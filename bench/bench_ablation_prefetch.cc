@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation: next-page prefetching from remote memory (§3).
+ *
+ * "Eliminating page faults from the critical path has the additional
+ * benefit that hardware prefetchers can prefetch more data, even from
+ * remote memory" — impossible for fault-based systems because a
+ * prefetch cannot cross a page fault (§4.4). This bench runs a
+ * sequential-scan workload over Kona with the FPGA's next-page
+ * prefetcher off and on, reporting critical-path fetches and the
+ * application-visible time.
+ */
+
+#include "bench/bench_util.h"
+
+namespace kona {
+namespace {
+
+struct Result
+{
+    Tick appNs;
+    std::uint64_t remoteFetches;
+    std::uint64_t prefetches;
+};
+
+Result
+scan(bool prefetch, bool sequential)
+{
+    Fabric fabric;
+    Controller controller(1 * MiB);
+    MemoryNode node(fabric, 1, 256 * MiB);
+    controller.registerNode(node);
+    KonaConfig cfg;
+    cfg.fpga.vfmemSize = 64 * MiB;
+    cfg.fpga.fmemSize = 32 * MiB;
+    cfg.fpga.prefetchNextPage = prefetch;
+    cfg.hierarchy = HierarchyConfig::scaled();
+    KonaRuntime runtime(fabric, controller, 0, cfg);
+
+    constexpr std::size_t span = 16 * MiB;
+    Addr region = runtime.allocate(span, pageSize);
+    Rng rng(5);
+    Tick before = runtime.appTime();
+    // One line per page: the fetch-dominated pattern where prefetch
+    // matters most (streaming over more data than FMem-hot lines).
+    if (sequential) {
+        for (Addr a = 0; a < span; a += pageSize)
+            (void)runtime.load<std::uint64_t>(region + a);
+    } else {
+        for (std::size_t i = 0; i < span / pageSize; ++i) {
+            Addr a = alignDown(rng.below(span - 8), pageSize);
+            (void)runtime.load<std::uint64_t>(region + a);
+        }
+    }
+    Result result;
+    result.appNs = runtime.appTime() - before;
+    result.remoteFetches = runtime.fpga().remoteFetches();
+    result.prefetches = runtime.fpga().prefetches();
+    return result;
+}
+
+} // namespace
+} // namespace kona
+
+int
+main()
+{
+    using namespace kona;
+    setQuietLogging(true);
+
+    bench::section("Ablation: next-page prefetch from remote memory "
+                   "(16MB scan)");
+    bench::row("variant",
+               {"app ms", "demand", "prefetched", "speedup"});
+
+    Result seqOff = scan(false, true);
+    Result seqOn = scan(true, true);
+    Result rndOff = scan(false, false);
+    Result rndOn = scan(true, false);
+
+    auto line = [](const char *name, const Result &r, double speedup) {
+        bench::row(name,
+                   {bench::fmt(static_cast<double>(r.appNs) / 1e6),
+                    bench::fmtInt(r.remoteFetches - r.prefetches),
+                    bench::fmtInt(r.prefetches),
+                    bench::fmt(speedup, 2)});
+    };
+    line("seq, prefetch off", seqOff, 1.0);
+    line("seq, prefetch on", seqOn,
+         static_cast<double>(seqOff.appNs) /
+             static_cast<double>(seqOn.appNs));
+    line("rand, prefetch off", rndOff, 1.0);
+    line("rand, prefetch on", rndOn,
+         static_cast<double>(rndOff.appNs) /
+             static_cast<double>(rndOn.appNs));
+
+    std::printf("\nShape (§3): sequential scans gain substantially "
+                "(prefetches hide the remote fetch latency off the "
+                "critical path); random access gains little. A "
+                "fault-based runtime cannot do this at all — the "
+                "prefetcher never crosses a page fault.\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 2: CDF of the number of accessed cache-lines within each 4KB
+ * page, for Redis-Rand and Redis-Seq, reads and writes separately.
+ *
+ * Expected shape: Redis-Rand is skewed toward pages with 1-8 accessed
+ * lines; Redis-Seq has a large mass at 64 (whole page); both patterns
+ * appear in both workloads.
+ */
+
+#include "bench/bench_util.h"
+#include "trace/access_trace.h"
+#include "trace/pattern_analyzer.h"
+
+namespace kona {
+namespace {
+
+AccessPatternAnalyzer
+analyze(const std::string &name)
+{
+    bench::PlainEnv env;
+    TracingMemory traced(env.store);
+    AccessPatternAnalyzer analyzer;
+    WorkloadContext context(
+        traced,
+        [&env](std::size_t s, std::size_t a) {
+            return *env.heap.allocate(s, a);
+        },
+        [&env](Addr a) { env.heap.deallocate(a); });
+    auto workload = makeWorkload(name, context);
+    workload->setup();
+    traced.addSink(&analyzer);
+    for (std::size_t w = 0; w < defaultWindowCount(name); ++w) {
+        if (workload->run(defaultWindowOps(name)) == 0)
+            break;
+        traced.endWindow();
+    }
+    return analyzer;
+}
+
+void
+printCdf(const std::string &label, const IntDistribution &dist)
+{
+    std::vector<std::string> cells;
+    for (std::uint64_t n : {1, 2, 4, 8, 16, 32, 63, 64})
+        cells.push_back(bench::fmt(dist.cdfAt(n), 3));
+    bench::row(label, cells, 24, 9);
+}
+
+} // namespace
+} // namespace kona
+
+int
+main()
+{
+    using namespace kona;
+    setQuietLogging(true);
+    bench::section("Figure 2: CDF of accessed cache-lines per page "
+                   "(Redis)");
+    bench::row("series \\ N lines <=",
+               {"1", "2", "4", "8", "16", "32", "63", "64"}, 24, 9);
+
+    AccessPatternAnalyzer rand = analyze("redis-rand");
+    AccessPatternAnalyzer seq = analyze("redis-seq");
+    printCdf("reads (rand)", rand.linesPerPageDist(AccessType::Read));
+    printCdf("writes (rand)",
+             rand.linesPerPageDist(AccessType::Write));
+    printCdf("reads (seq)", seq.linesPerPageDist(AccessType::Read));
+    printCdf("writes (seq)", seq.linesPerPageDist(AccessType::Write));
+
+    double randMedian = static_cast<double>(
+        rand.linesPerPageDist(AccessType::Write).quantile(0.5));
+    double seqFullFrac =
+        1.0 -
+        seq.linesPerPageDist(AccessType::Write).cdfAt(63);
+    std::printf("\nShape: Rand write median lines/page = %.0f "
+                "(paper: 1-8); Seq fraction of fully-written pages = "
+                "%.2f (paper: large).\n",
+                randMedian, seqFullFrac);
+    return 0;
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Figure 8: average memory access time (AMAT) from KCacheSim.
+ *
+ *  (a-c) AMAT vs local-cache size (as % of the workload footprint)
+ *        for Redis-Rand, Linear Regression and Graph Coloring, under
+ *        LegoOS, Kona and Kona-main (Infiniswap reported as a ratio —
+ *        the paper omits it from the graphs for visibility).
+ *  (d)   AMAT vs DRAM-cache block size for Redis-Rand at several
+ *        cache sizes; ~1KB is optimal, 4KB close behind.
+ *
+ * Expected shape: AMAT rises steeply for the fault-based systems as
+ * the cache shrinks but stays nearly flat for Kona (~1.7X better than
+ * LegoOS and ~5X better than Infiniswap at 25% cache); Linear
+ * Regression is flat everywhere (streaming, no reuse); Kona-main
+ * shows the NUMA overhead of FMem (2-25%).
+ */
+
+#include "bench/bench_util.h"
+#include "tools/kcachesim.h"
+#include "trace/access_trace.h"
+
+namespace kona {
+namespace {
+
+/** Round cache geometry so sizeBytes is a legal multiple. */
+std::size_t
+roundGeometry(std::size_t bytes, std::size_t block, std::size_t assoc)
+{
+    std::size_t unit = block * assoc;
+    std::size_t rounded = (bytes / unit) * unit;
+    return rounded < unit ? unit : rounded;
+}
+
+/** Run @p name through KCacheSim over the given DRAM-cache variants. */
+KCacheSim
+simulate(const std::string &name,
+         const std::vector<DramCacheSpec> &variants,
+         const LatencyConfig &lat)
+{
+    bench::PlainEnv env;
+    TracingMemory traced(env.store);
+    WorkloadContext context(
+        traced,
+        [&env](std::size_t s, std::size_t a) {
+            return *env.heap.allocate(s, a);
+        },
+        [&env](Addr a) { env.heap.deallocate(a); });
+    auto workload = makeWorkload(name, context);
+    workload->setup();
+
+    KCacheSim sim(HierarchyConfig::scaled(), variants, lat);
+    traced.addSink(&sim);
+    std::uint64_t windowOps = defaultWindowOps(name);
+    for (std::size_t w = 0; w < defaultWindowCount(name); ++w) {
+        if (workload->run(windowOps) == 0)
+            break;
+    }
+    return sim;
+}
+
+std::size_t
+footprintOf(const std::string &name)
+{
+    bench::PlainEnv env;
+    WorkloadContext context(
+        env.store,
+        [&env](std::size_t s, std::size_t a) {
+            return *env.heap.allocate(s, a);
+        },
+        [&env](Addr a) { env.heap.deallocate(a); });
+    auto workload = makeWorkload(name, context);
+    workload->setup();
+    return workload->footprintBytes();
+}
+
+const int cachePercents[] = {10, 25, 50, 75, 100};
+
+void
+amatVsCacheSize(const std::string &name, const LatencyConfig &lat)
+{
+    std::size_t footprint = footprintOf(name);
+    std::vector<DramCacheSpec> variants;
+    for (int pct : cachePercents) {
+        DramCacheSpec spec;
+        spec.label = std::to_string(pct) + "%";
+        spec.sizeBytes = roundGeometry(footprint * pct / 100,
+                                       pageSize, 4);
+        variants.push_back(spec);
+    }
+    KCacheSim sim = simulate(name, variants, lat);
+
+    bench::section("Figure 8: AMAT (ns) vs cache size — " + name);
+    bench::row("system \\ cache %",
+               {"10%", "25%", "50%", "75%", "100%"}, 24, 10);
+
+    // Cachegrind (the paper's KCacheSim substrate) simulates every
+    // access of the process — instruction fetches, stack, locals —
+    // which are hit-dominated and dilute the AMAT into the 5-30ns
+    // band. We trace only data-structure accesses, so we report both
+    // the raw per-data-access AMAT and a diluted AMAT that folds in
+    // ~60 L1-hit background accesses per traced access.
+    constexpr double dilution = 60.0;
+    for (const AmatModel &model :
+         {legoOsModel(lat), konaModel(lat), konaMainModel(lat)}) {
+        std::vector<std::string> cells;
+        std::vector<std::string> dilutedCells;
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            double amat = sim.amat(v, model);
+            cells.push_back(bench::fmt(amat, 1));
+            dilutedCells.push_back(bench::fmt(
+                (amat + dilution * lat.l1HitNs) / (dilution + 1), 1));
+        }
+        bench::row(model.name, cells, 24, 10);
+        bench::row("  " + model.name + " (diluted)", dilutedCells, 24,
+                   10);
+    }
+
+    // The 25%-cache ratios the paper headlines.
+    double kona25 = sim.amat(1, konaModel(lat));
+    double lego25 = sim.amat(1, legoOsModel(lat));
+    double infini25 = sim.amat(1, infiniswapModel(lat));
+    double main25 = sim.amat(1, konaMainModel(lat));
+    std::printf("@25%% cache: LegoOS/Kona = %.2fX (paper ~1.7X), "
+                "Infiniswap/Kona = %.2fX (paper ~5X), "
+                "NUMA overhead vs Kona-main = %.0f%%\n",
+                lego25 / kona25, infini25 / kona25,
+                (kona25 / main25 - 1.0) * 100.0);
+}
+
+void
+blockSizeSweep(const LatencyConfig &lat)
+{
+    std::size_t footprint = footprintOf("redis-rand");
+    const std::size_t blocks[] = {64, 256, 1024, 4096, 16384, 30720};
+    const int sizes[] = {27, 54, 100};
+
+    std::vector<DramCacheSpec> variants;
+    for (int pct : sizes) {
+        for (std::size_t block : blocks) {
+            DramCacheSpec spec;
+            std::size_t b = block == 30720 ? 30720 : block;
+            spec.label = std::to_string(pct) + "%/" +
+                         std::to_string(b);
+            spec.blockSize = b == 30720 ? 32768 : b;   // power of two
+            spec.sizeBytes = roundGeometry(footprint * pct / 100,
+                                           spec.blockSize, 4);
+            variants.push_back(spec);
+        }
+    }
+    KCacheSim sim = simulate("redis-rand", variants, lat);
+
+    bench::section("Figure 8d: AMAT (ns) vs fetch block size — "
+                   "Redis-Rand (Kona model)");
+    bench::row("cache \\ block",
+               {"64B", "256B", "1KB", "4KB", "16KB", "30KB"}, 24, 10);
+    std::size_t v = 0;
+    for (int pct : sizes) {
+        std::vector<std::string> cells;
+        std::size_t bestIdx = 0;
+        double best = 1e18;
+        for (std::size_t b = 0; b < 6; ++b, ++v) {
+            double amat = sim.amat(v, konaModel(lat));
+            cells.push_back(bench::fmt(amat, 1));
+            if (amat < best) {
+                best = amat;
+                bestIdx = b;
+            }
+        }
+        bench::row(std::to_string(pct) + "% cache", cells, 24, 10);
+        static const char *names[] = {"64B", "256B", "1KB",
+                                      "4KB", "16KB", "30KB"};
+        std::printf("  -> best block at %d%%: %s "
+                    "(paper: ~1KB best, 4KB close)\n",
+                    pct, names[bestIdx]);
+    }
+}
+
+void
+associativityAblation(const LatencyConfig &lat)
+{
+    std::size_t footprint = footprintOf("redis-rand");
+    std::vector<DramCacheSpec> variants;
+    for (std::size_t assoc : {1, 2, 4, 8, 16}) {
+        DramCacheSpec spec;
+        spec.label = "assoc" + std::to_string(assoc);
+        spec.associativity = assoc;
+        spec.sizeBytes = roundGeometry(footprint / 4, pageSize,
+                                       assoc);
+        variants.push_back(spec);
+    }
+    KCacheSim sim = simulate("redis-rand", variants, lat);
+
+    bench::section("Ablation: FMem associativity (Redis-Rand, 25% "
+                   "cache; paper: no significant impact)");
+    bench::row("assoc", {"1", "2", "4", "8", "16"}, 24, 10);
+    std::vector<std::string> cells;
+    for (std::size_t v = 0; v < variants.size(); ++v)
+        cells.push_back(bench::fmt(sim.amat(v, konaModel(lat)), 1));
+    bench::row("AMAT (ns)", cells, 24, 10);
+}
+
+} // namespace
+} // namespace kona
+
+int
+main()
+{
+    using namespace kona;
+    setQuietLogging(true);
+    LatencyConfig lat;
+    amatVsCacheSize("redis-rand", lat);
+    amatVsCacheSize("linear-regression", lat);
+    amatVsCacheSize("graph-coloring", lat);
+    blockSizeSweep(lat);
+    associativityAblation(lat);
+    return 0;
+}

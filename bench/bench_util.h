@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment harnesses in bench/: a
+ * standard simulated rack, workload environments, and fixed-width
+ * table printing so each binary regenerates its paper table/figure as
+ * plain text.
+ */
+
+#ifndef KONA_BENCH_BENCH_UTIL_H
+#define KONA_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kona_runtime.h"
+#include "core/vm_runtime.h"
+#include "mem/backing_store.h"
+#include "workloads/registry.h"
+
+namespace kona::bench {
+
+/** A rack with @p nodeCount memory nodes of @p nodeSize bytes each. */
+struct Rack
+{
+    explicit Rack(std::size_t nodeCount = 3,
+                  std::size_t nodeSize = 512 * MiB,
+                  std::size_t slabSize = 1 * MiB)
+        : controller(slabSize)
+    {
+        for (NodeId id = 1; id <= nodeCount; ++id) {
+            nodes.push_back(std::make_unique<MemoryNode>(
+                fabric, id, nodeSize));
+            controller.registerNode(*nodes.back());
+        }
+    }
+
+    Fabric fabric;
+    Controller controller;
+    std::vector<std::unique_ptr<MemoryNode>> nodes;
+};
+
+/** Plain-memory workload environment (for trace-analysis benches). */
+struct PlainEnv
+{
+    explicit PlainEnv(std::size_t size = 1024 * MiB)
+        : store(size), heap(pageSize, size - pageSize),
+          context(
+              store,
+              [this](std::size_t s, std::size_t a) {
+                  auto addr = heap.allocate(s, a);
+                  if (!addr.has_value())
+                      fatal("bench heap exhausted");
+                  return *addr;
+              },
+              [this](Addr a) { heap.deallocate(a); })
+    {}
+
+    BackingStore store;
+    RegionAllocator heap;
+    WorkloadContext context;
+};
+
+/** Workload context running on a remote-memory runtime. */
+inline WorkloadContext
+runtimeContext(RemoteMemoryRuntime &runtime)
+{
+    return WorkloadContext(
+        runtime,
+        [&runtime](std::size_t s, std::size_t a) {
+            return runtime.allocate(s, a);
+        },
+        [&runtime](Addr a) { runtime.deallocate(a); });
+}
+
+/** Print a separator + title for one experiment section. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n%s\n", title.c_str());
+    for (std::size_t i = 0; i < title.size(); ++i)
+        std::printf("=");
+    std::printf("\n");
+}
+
+/** Print one row of right-aligned cells after a left label. */
+inline void
+row(const std::string &label, const std::vector<std::string> &cells,
+    int labelWidth = 24, int cellWidth = 12)
+{
+    std::printf("%-*s", labelWidth, label.c_str());
+    for (const std::string &cell : cells)
+        std::printf("%*s", cellWidth, cell.c_str());
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double value, int precision = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+inline std::string
+fmtInt(std::uint64_t value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+} // namespace kona::bench
+
+#endif // KONA_BENCH_BENCH_UTIL_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Example: graph analytics over disaggregated memory with replication
+ * and fail-over.
+ *
+ * A PageRank computation runs on a graph whose CSR arrays live in
+ * disaggregated memory, replicated across two memory nodes. Mid-run,
+ * the primary memory node "fails"; the FPGA fails over to the replica
+ * transparently (§4.5) and the computation completes with correct
+ * results.
+ *
+ * Build & run:  ./build/examples/graph_analytics
+ */
+
+#include <cstdio>
+
+#include "core/kona_runtime.h"
+#include "workloads/graph.h"
+
+int
+main()
+{
+    using namespace kona;
+    setQuietLogging(true);
+
+    Fabric fabric;
+    Controller controller(1 * MiB);
+    MemoryNode nodeA(fabric, 1, 256 * MiB);
+    MemoryNode nodeB(fabric, 2, 256 * MiB);
+    controller.registerNode(nodeA);
+    controller.registerNode(nodeB);
+
+    KonaConfig cfg;
+    cfg.fpga.fmemSize = 4 * MiB;
+    cfg.hierarchy = HierarchyConfig::scaled();
+    cfg.replicationFactor = 1;   // every slab has a second copy
+    KonaRuntime kona(fabric, controller, 0, cfg);
+
+    WorkloadContext context(
+        kona,
+        [&kona](std::size_t s, std::size_t a) {
+            return kona.allocate(s, a);
+        },
+        [&kona](Addr a) { kona.deallocate(a); });
+
+    GraphWorkload::Params params;
+    params.algorithm = GraphAlgorithm::PageRank;
+    params.vertices = 100000;
+    params.avgDegree = 8;
+    GraphWorkload pagerank(context, params);
+    pagerank.setup();
+    std::printf("PageRank on %u vertices (%.1f MB of graph + "
+                "properties), replicated on 2 memory nodes\n",
+                params.vertices,
+                static_cast<double>(pagerank.footprintBytes()) / 1e6);
+
+    // First half of the computation with both nodes healthy.
+    pagerank.run(static_cast<std::uint64_t>(params.vertices) * 2);
+    kona.writebackAll();   // checkpoint everything to the rack
+
+    // Disaster: take node 1 down. Fetches fail over to replicas.
+    std::printf("\n*** memory node 1 fails ***\n");
+    fabric.setNodeDown(1, true);
+
+    pagerank.run(static_cast<std::uint64_t>(params.vertices) * 2);
+
+    double sum = 0.0;
+    for (std::uint32_t v = 0; v < 1000; ++v)
+        sum += pagerank.vertexValue(v);
+    std::printf("computation completed after fail-over; mean rank of "
+                "first 1000 vertices = %.4f\n", sum / 1000.0);
+
+    RuntimeStats stats = kona.stats();
+    std::printf("\nremote fetches: %llu, fetch fail-overs survived, "
+                "pages evicted: %llu, dirty lines shipped: %llu\n",
+                static_cast<unsigned long long>(stats.remoteFetches),
+                static_cast<unsigned long long>(stats.pagesEvicted),
+                static_cast<unsigned long long>(
+                    stats.dirtyLinesWritten));
+    std::printf("simulated runtime: %.1f ms (4MB FMem cache over a "
+                "%.1f MB working set)\n",
+                static_cast<double>(kona.elapsed()) / 1e6,
+                static_cast<double>(pagerank.footprintBytes()) / 1e6);
+    return 0;
+}

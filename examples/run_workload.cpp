@@ -1,0 +1,197 @@
+/**
+ * @file
+ * CLI driver: run any of the nine paper workloads on any runtime
+ * with a chosen local-memory fraction, and report throughput and
+ * runtime statistics. The "swiss-army knife" for exploring the
+ * design space beyond the canned benchmarks.
+ *
+ * Usage:
+ *   run_workload [workload] [runtime] [local%] [ops]
+ *
+ *   workload:  redis-rand | redis-seq | linear-regression |
+ *              histogram | pagerank | graph-coloring |
+ *              connected-components | label-propagation |
+ *              voltdb-tpcc                       (default redis-rand)
+ *   runtime:   kona | kona-vm | legoos | infiniswap | local
+ *                                                  (default kona)
+ *   local%:    local cache as a percent of the footprint (default 50)
+ *   ops:       operations to run (default 4x the workload's window)
+ *
+ * Examples:
+ *   ./build/examples/run_workload pagerank kona 25
+ *   ./build/examples/run_workload voltdb-tpcc infiniswap 50 20000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/kona_runtime.h"
+#include "core/vm_runtime.h"
+#include "mem/backing_store.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace kona;
+
+/** Footprint of @p name from a dry setup on plain memory. */
+std::size_t
+dryFootprint(const std::string &name)
+{
+    BackingStore store(1024 * MiB);
+    RegionAllocator heap(pageSize, 1024 * MiB - pageSize);
+    WorkloadContext context(
+        store,
+        [&heap](std::size_t s, std::size_t a) {
+            return *heap.allocate(s, a);
+        },
+        [&heap](Addr a) { heap.deallocate(a); });
+    auto workload = makeWorkload(name, context);
+    workload->setup();
+    return workload->footprintBytes();
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: run_workload [workload] [runtime] [local%%] "
+                 "[ops]\n  workloads:");
+    for (const std::string &name : table2WorkloadNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr,
+                 "\n  runtimes: kona kona-vm legoos infiniswap local\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace kona;
+    setQuietLogging(true);
+
+    std::string workloadName = argc > 1 ? argv[1] : "redis-rand";
+    std::string runtimeName = argc > 2 ? argv[2] : "kona";
+    int localPct = argc > 3 ? std::atoi(argv[3]) : 50;
+    std::uint64_t ops = argc > 4
+        ? static_cast<std::uint64_t>(std::atoll(argv[4]))
+        : defaultWindowOps(workloadName) * 4;
+
+    bool known = false;
+    for (const std::string &name : table2WorkloadNames())
+        known |= name == workloadName;
+    if (!known || localPct < 1 || localPct > 100)
+        usage();
+
+    std::size_t footprint = dryFootprint(workloadName);
+    std::size_t localBytes = std::max<std::size_t>(
+        footprint * static_cast<std::size_t>(localPct) / 100,
+        64 * pageSize);
+
+    // Rack: three memory nodes sized generously.
+    Fabric fabric;
+    Controller controller(1 * MiB);
+    std::vector<std::unique_ptr<MemoryNode>> nodes;
+    for (NodeId id = 1; id <= 3; ++id) {
+        nodes.push_back(std::make_unique<MemoryNode>(
+            fabric, id, 1024 * MiB));
+        controller.registerNode(*nodes.back());
+    }
+
+    std::unique_ptr<RemoteMemoryRuntime> runtime;
+    std::unique_ptr<BackingStore> localStore;
+    std::unique_ptr<RegionAllocator> localHeap;
+    std::unique_ptr<WorkloadContext> context;
+
+    if (runtimeName == "kona") {
+        KonaConfig cfg;
+        cfg.fpga.vfmemSize = 2048 * MiB;
+        cfg.fpga.fmemSize = alignUp(localBytes, 4 * pageSize);
+        cfg.hierarchy = HierarchyConfig::scaled();
+        runtime = std::make_unique<KonaRuntime>(fabric, controller, 0,
+                                                cfg);
+    } else if (runtimeName == "kona-vm" || runtimeName == "legoos" ||
+               runtimeName == "infiniswap") {
+        VmConfig cfg;
+        cfg.personality = runtimeName == "legoos"
+            ? VmPersonality::LegoOs
+            : runtimeName == "infiniswap" ? VmPersonality::Infiniswap
+                                          : VmPersonality::KonaVm;
+        cfg.localCachePages = localBytes / pageSize;
+        cfg.hierarchy = HierarchyConfig::scaled();
+        runtime = std::make_unique<VmRuntime>(fabric, controller, 0,
+                                              cfg);
+    } else if (runtimeName != "local") {
+        usage();
+    }
+
+    if (runtime != nullptr) {
+        context = std::make_unique<WorkloadContext>(
+            *runtime,
+            [&runtime](std::size_t s, std::size_t a) {
+                return runtime->allocate(s, a);
+            },
+            [&runtime](Addr a) { runtime->deallocate(a); });
+    } else {
+        localStore = std::make_unique<BackingStore>(1024 * MiB);
+        localHeap = std::make_unique<RegionAllocator>(
+            pageSize, 1024 * MiB - pageSize);
+        context = std::make_unique<WorkloadContext>(
+            *localStore,
+            [&localHeap](std::size_t s, std::size_t a) {
+                return *localHeap->allocate(s, a);
+            },
+            [&localHeap](Addr a) { localHeap->deallocate(a); });
+    }
+
+    auto workload = makeWorkload(workloadName, *context);
+    workload->setup();
+
+    Tick before = runtime ? runtime->elapsed() : 0;
+    std::uint64_t executed = 0;
+    while (executed < ops) {
+        std::uint64_t got = workload->run(
+            std::min<std::uint64_t>(ops - executed, 10000));
+        if (got == 0)
+            break;
+        executed += got;
+    }
+    Tick ns = runtime ? runtime->elapsed() - before : 1;
+
+    std::printf("workload   : %s (%.1f MB footprint)\n",
+                workloadName.c_str(),
+                static_cast<double>(footprint) / 1e6);
+    std::printf("runtime    : %s, %d%% local (%.1f MB)\n",
+                runtime ? runtime->name().c_str() : "local DRAM",
+                localPct, static_cast<double>(localBytes) / 1e6);
+    std::printf("operations : %llu\n",
+                static_cast<unsigned long long>(executed));
+    if (runtime) {
+        RuntimeStats stats = runtime->stats();
+        std::printf("sim time   : %.2f ms  (%.0f kops/s)\n",
+                    static_cast<double>(ns) / 1e6,
+                    static_cast<double>(executed) /
+                        (static_cast<double>(ns) / 1e9) / 1e3);
+        std::printf("fetches    : %llu remote\n",
+                    static_cast<unsigned long long>(
+                        stats.remoteFetches));
+        std::printf("faults     : %llu major + %llu minor\n",
+                    static_cast<unsigned long long>(stats.majorFaults),
+                    static_cast<unsigned long long>(
+                        stats.minorFaults));
+        std::printf("eviction   : %llu pages (%llu silent), %llu "
+                    "dirty lines, %.2f MB on wire\n",
+                    static_cast<unsigned long long>(
+                        stats.pagesEvicted),
+                    static_cast<unsigned long long>(
+                        stats.silentEvictions),
+                    static_cast<unsigned long long>(
+                        stats.dirtyLinesWritten),
+                    static_cast<double>(stats.evictionBytesOnWire) /
+                        1e6);
+    }
+    return 0;
+}

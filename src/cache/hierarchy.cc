@@ -1,0 +1,136 @@
+#include "cache/hierarchy.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+HierarchyConfig
+HierarchyConfig::scaled()
+{
+    HierarchyConfig cfg;
+    cfg.levels = {
+        {"L1d", 8 * KiB, 8, cacheLineSize},
+        {"L2", 64 * KiB, 16, cacheLineSize},
+        {"L3", 512 * KiB, 16, cacheLineSize},
+    };
+    return cfg;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+{
+    KONA_ASSERT(!config.levels.empty(), "hierarchy needs >= 1 level");
+    for (const CacheConfig &level : config.levels) {
+        KONA_ASSERT(level.blockSize == cacheLineSize,
+                    "CPU cache levels must use 64B lines");
+        levels_.push_back(std::make_unique<SetAssocCache>(level));
+    }
+}
+
+void
+CacheHierarchy::access(Addr addr, std::size_t size, AccessType type)
+{
+    if (size == 0)
+        return;
+    Addr first = alignDown(addr, cacheLineSize);
+    Addr last = alignDown(addr + size - 1, cacheLineSize);
+    for (Addr line = first; line <= last; line += cacheLineSize)
+        accessLine(line, type);
+}
+
+void
+CacheHierarchy::accessLine(Addr lineAddr, AccessType type)
+{
+    accessOne(lineAddr, type);
+}
+
+int
+CacheHierarchy::accessOne(Addr lineAddr, AccessType type)
+{
+    lineAddr = alignDown(lineAddr, cacheLineSize);
+    std::vector<CacheEviction> evictions;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        evictions.clear();
+        CacheOutcome outcome = levels_[i]->access(lineAddr, type,
+                                                  evictions);
+        for (const CacheEviction &ev : evictions) {
+            if (ev.dirty)
+                propagateWriteback(i, ev.blockAddr);
+        }
+        if (outcome == CacheOutcome::Hit) {
+            // Inner-level hit: a write makes the line dirty there; the
+            // writeback will propagate when it is evicted.
+            return static_cast<int>(i);
+        }
+    }
+    // Miss at every level: the request reaches memory.
+    memRequests_.add();
+    if (listener_)
+        listener_->onLineRequest(lineAddr, type);
+    return -1;
+}
+
+void
+CacheHierarchy::propagateWriteback(std::size_t from, Addr blockAddr)
+{
+    std::size_t next = from + 1;
+    if (next >= levels_.size()) {
+        memWritebacks_.add();
+        if (listener_)
+            listener_->onWriteback(blockAddr);
+        return;
+    }
+    std::vector<CacheEviction> evictions;
+    levels_[next]->fillDirty(blockAddr, evictions);
+    for (const CacheEviction &ev : evictions) {
+        if (ev.dirty)
+            propagateWriteback(next, ev.blockAddr);
+    }
+}
+
+void
+CacheHierarchy::snoopLine(Addr addr)
+{
+    bool dirtyAnywhere = false;
+    for (auto &level : levels_) {
+        auto dirty = level->invalidateBlock(addr);
+        if (dirty.has_value() && *dirty)
+            dirtyAnywhere = true;
+    }
+    if (dirtyAnywhere) {
+        memWritebacks_.add();
+        if (listener_)
+            listener_->onWriteback(alignDown(addr, cacheLineSize));
+    }
+}
+
+void
+CacheHierarchy::invalidateLine(Addr addr)
+{
+    for (auto &level : levels_)
+        level->invalidateBlock(addr);
+}
+
+void
+CacheHierarchy::snoopPage(Addr pn)
+{
+    Addr base = pn * pageSize;
+    for (unsigned line = 0; line < linesPerPage; ++line)
+        snoopLine(base + line * cacheLineSize);
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    // Flush inner levels first so their dirty victims merge into outer
+    // levels before those are flushed.
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        std::vector<CacheEviction> evictions;
+        levels_[i]->flushAll(evictions);
+        for (const CacheEviction &ev : evictions) {
+            if (ev.dirty)
+                propagateWriteback(i, ev.blockAddr);
+        }
+    }
+}
+
+} // namespace kona

@@ -1,0 +1,137 @@
+#include "cache/set_assoc_cache.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace kona {
+
+SetAssocCache::SetAssocCache(const CacheConfig &config) : config_(config)
+{
+    KONA_ASSERT(config.blockSize > 0 &&
+                    (config.blockSize & (config.blockSize - 1)) == 0,
+                "block size must be a power of two");
+    KONA_ASSERT(config.associativity > 0, "associativity must be > 0");
+    KONA_ASSERT(config.sizeBytes % (config.blockSize *
+                                    config.associativity) == 0,
+                "cache size must be a multiple of way size for ",
+                config.name);
+    numSets_ = config.sizeBytes / (config.blockSize *
+                                   config.associativity);
+    KONA_ASSERT(numSets_ > 0, "cache too small for its geometry");
+    sets_.resize(numSets_);
+}
+
+CacheOutcome
+SetAssocCache::access(Addr addr, AccessType type,
+                      std::vector<CacheEviction> &evictions)
+{
+    Addr blockNum = addr / config_.blockSize;
+    Set &set = sets_[setIndex(blockNum)];
+
+    for (auto it = set.begin(); it != set.end(); ++it) {
+        if (it->tag == blockNum) {
+            if (type == AccessType::Write)
+                it->dirty = true;
+            set.splice(set.begin(), set, it);
+            hits_.add();
+            return CacheOutcome::Hit;
+        }
+    }
+
+    misses_.add();
+    if (set.size() >= config_.associativity) {
+        const Way &victim = set.back();
+        if (victim.dirty)
+            writebacks_.add();
+        evictions.push_back({victim.tag * config_.blockSize,
+                             victim.dirty});
+        set.pop_back();
+    }
+    set.push_front({blockNum, type == AccessType::Write});
+    return CacheOutcome::Miss;
+}
+
+void
+SetAssocCache::fillDirty(Addr addr, std::vector<CacheEviction> &evictions)
+{
+    Addr blockNum = addr / config_.blockSize;
+    Set &set = sets_[setIndex(blockNum)];
+
+    for (auto it = set.begin(); it != set.end(); ++it) {
+        if (it->tag == blockNum) {
+            it->dirty = true;
+            set.splice(set.begin(), set, it);
+            return;
+        }
+    }
+    if (set.size() >= config_.associativity) {
+        const Way &victim = set.back();
+        if (victim.dirty)
+            writebacks_.add();
+        evictions.push_back({victim.tag * config_.blockSize,
+                             victim.dirty});
+        set.pop_back();
+    }
+    set.push_front({blockNum, true});
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    Addr blockNum = addr / config_.blockSize;
+    const Set &set = sets_[setIndex(blockNum)];
+    for (const Way &way : set) {
+        if (way.tag == blockNum)
+            return true;
+    }
+    return false;
+}
+
+std::optional<bool>
+SetAssocCache::invalidateBlock(Addr addr)
+{
+    Addr blockNum = addr / config_.blockSize;
+    Set &set = sets_[setIndex(blockNum)];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+        if (it->tag == blockNum) {
+            bool dirty = it->dirty;
+            set.erase(it);
+            return dirty;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+SetAssocCache::flushAll(std::vector<CacheEviction> &evictions)
+{
+    for (Set &set : sets_) {
+        for (const Way &way : set) {
+            if (way.dirty)
+                writebacks_.add();
+            evictions.push_back({way.tag * config_.blockSize, way.dirty});
+        }
+        set.clear();
+    }
+}
+
+bool
+SetAssocCache::checkInvariants() const
+{
+    for (std::size_t i = 0; i < sets_.size(); ++i) {
+        const Set &set = sets_[i];
+        if (set.size() > config_.associativity)
+            return false;
+        std::unordered_set<Addr> tags;
+        for (const Way &way : set) {
+            if (!tags.insert(way.tag).second)
+                return false;      // duplicate tag in a set
+            if (setIndex(way.tag) != i)
+                return false;      // tag hashed to the wrong set
+        }
+    }
+    return true;
+}
+
+} // namespace kona

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * SetAssocCache: a write-back, write-allocate, LRU set-associative
+ * cache model with configurable block size.
+ *
+ * It plays two roles in the reproduction:
+ *  - levels of the CPU cache hierarchy (64B blocks), whose misses and
+ *    writebacks are the coherence events the FPGA observes;
+ *  - the FMem page cache on the FPGA (4KB blocks, 4-way), and the
+ *    KCacheSim DRAM-cache level swept over block sizes in Fig 8d.
+ */
+
+#ifndef KONA_CACHE_SET_ASSOC_CACHE_H
+#define KONA_CACHE_SET_ASSOC_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace kona {
+
+/** Geometry of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 32 * KiB;
+    std::size_t associativity = 8;
+    std::size_t blockSize = cacheLineSize;
+};
+
+/** A block leaving the cache. */
+struct CacheEviction
+{
+    Addr blockAddr = 0;   ///< block-aligned address
+    bool dirty = false;
+};
+
+/** Result of one access. */
+enum class CacheOutcome : std::uint8_t { Hit, Miss };
+
+/** Write-back write-allocate LRU set-associative cache. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &config);
+
+    /**
+     * Access the block containing @p addr.
+     * On a miss the block is allocated; a victim, if any, is appended
+     * to @p evictions (at most one per access).
+     */
+    CacheOutcome access(Addr addr, AccessType type,
+                        std::vector<CacheEviction> &evictions);
+
+    /**
+     * Insert a block without an access (fill from a writeback arriving
+     * from an inner level); marks it dirty.
+     */
+    void fillDirty(Addr addr, std::vector<CacheEviction> &evictions);
+
+    /** Whether the block containing @p addr is cached (no side effects). */
+    bool contains(Addr addr) const;
+
+    /**
+     * Remove the block containing @p addr (snoop / back-invalidate).
+     * @return The dirty flag if the block was present.
+     */
+    std::optional<bool> invalidateBlock(Addr addr);
+
+    /** Evict everything; dirty victims go to @p evictions. */
+    void flushAll(std::vector<CacheEviction> &evictions);
+
+    const CacheConfig &config() const { return config_; }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+    std::uint64_t accesses() const { return hits() + misses(); }
+    double
+    missRate() const
+    {
+        std::uint64_t a = accesses();
+        return a == 0 ? 0.0
+                      : static_cast<double>(misses()) /
+                            static_cast<double>(a);
+    }
+    std::size_t numSets() const { return numSets_; }
+
+    /** LRU lists sized <= associativity; tags unique per set. */
+    bool checkInvariants() const;
+
+  private:
+    struct Way
+    {
+        Addr tag;       ///< block number (addr / blockSize)
+        bool dirty;
+    };
+    /** One set: LRU-ordered ways, front = most recent. */
+    using Set = std::list<Way>;
+
+    std::size_t setIndex(Addr blockNum) const
+    {
+        return static_cast<std::size_t>(blockNum % numSets_);
+    }
+
+    CacheConfig config_;
+    std::size_t numSets_;
+    std::vector<Set> sets_;
+    Counter hits_;
+    Counter misses_;
+    Counter writebacks_;
+};
+
+} // namespace kona
+
+#endif // KONA_CACHE_SET_ASSOC_CACHE_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The calibrated latency table (DESIGN.md §5). Every simulated cost in
+ * the reproduction is drawn from one LatencyConfig instance so that
+ * experiments can perturb a single knob (e.g. remote fetch latency per
+ * baseline personality) without touching component code.
+ *
+ * Values come from the paper's own measurements (§2.1, §6): a 4KB RDMA
+ * op is ~3us, an Infiniswap remote fetch ~40us, LegoOS ~10us, FMem is
+ * ~1.5X slower than CMem (NUMA-like), eviction under Infiniswap >32us.
+ */
+
+#ifndef KONA_COMMON_LATENCY_H
+#define KONA_COMMON_LATENCY_H
+
+#include "common/types.h"
+
+namespace kona {
+
+/** All simulated latencies, in nanoseconds unless noted. */
+struct LatencyConfig
+{
+    // CPU cache hierarchy hit latencies (Skylake-class @2.2GHz).
+    double l1HitNs = 1.8;
+    double l2HitNs = 5.5;
+    double l3HitNs = 18.0;
+
+    // Memory latencies.
+    double cmemNs = 90.0;      ///< locally attached DRAM
+    double fmemNs = 135.0;     ///< FPGA-attached DRAM over coherent link
+
+    // Network / RDMA model: cost(op) = base + bytes at line rate.
+    // The base term absorbs NIC processing and fabric latency (a lone
+    // 4KB op lands at ~3us, matching the paper's testbed); payload
+    // serialization runs at ~100Gbps regardless of batching, and
+    // linked WRs amortize the base down to a marginal doorbell cost.
+    double rdmaBaseNs = 2680.0;        ///< per-op NIC + fabric overhead
+    double rdmaLinkedOpNs = 150.0;     ///< marginal cost of a linked WR
+    double rdmaPipelinedPerKbNs = 80.0; ///< wire time per KB (~100Gbps)
+    double rdmaCompletionNs = 250.0;   ///< polling a signaled completion
+    double rdmaInlineThreshold = 220;  ///< bytes; inline send cutoff
+
+    // Local data movement (AVX-accelerated memcpy to RDMA buffers).
+    double copyPerKbNs = 30.0;
+    double copySetupNs = 100.0;   ///< per-page gather setup (cache miss)
+    double copyPerRunNs = 20.0;   ///< per contiguous run within a page
+
+    // Virtual-memory costs charged by VmRuntime.
+    double minorFaultNs = 2500.0;   ///< mprotect-style WP fault service
+    double uffdWpFaultNs = 4500.0;  ///< userfaultfd WP fault round trip
+    double majorFaultExtraNs = 4000.0; ///< fault path on a remote fetch
+    double tlbShootdownNs = 4000.0;
+    double pteUpdateNs = 300.0;
+
+    // Remote fetch latencies per personality, including their software
+    // stacks, as measured by the paper on real hardware.
+    double konaRemoteFetchNs = 3000.0;      ///< no fault, RDMA only
+    double konaVmRemoteFetchNs = 10500.0;   ///< userfaultfd path
+    double legoOsRemoteFetchNs = 10000.0;
+    double infiniswapRemoteFetchNs = 40000.0;
+
+    // Eviction-side costs.
+    /// Extra per-page reclaim cost of Infiniswap's block-device swap
+    /// path (bio layer, kswapd bookkeeping); §2.1 measures the whole
+    /// eviction at >32us even though the RDMA write is ~3us.
+    double infiniswapEvictionOverheadNs = 24000.0;
+    double bitmapScanPerPageNs = 55.0; ///< scan a 64-bit dirty mask
+    double logUnpackPerLineNs = 4.0;   ///< receiver writes one line home
+    double ackNs = 1800.0;             ///< one-way ack message
+
+    // FPGA-side costs.
+    double fmemLookupNs = 20.0;   ///< FMem set-associative tag check
+    double vfmemDirectoryNs = 25.0; ///< directory request handling
+};
+
+/** Baseline personalities for VmRuntime (see core/vm_runtime.h). */
+enum class VmPersonality
+{
+    KonaVm,     ///< userfaultfd-based runtime, same algorithms as Kona
+    LegoOs,     ///< disaggregated OS, 10us remote fetch
+    Infiniswap, ///< block-device swap path, 40us remote fetch
+};
+
+/** Remote fetch latency for @p p under config @p cfg. */
+inline double
+remoteFetchNs(const LatencyConfig &cfg, VmPersonality p)
+{
+    switch (p) {
+      case VmPersonality::KonaVm: return cfg.konaVmRemoteFetchNs;
+      case VmPersonality::LegoOs: return cfg.legoOsRemoteFetchNs;
+      case VmPersonality::Infiniswap: return cfg.infiniswapRemoteFetchNs;
+    }
+    return cfg.konaVmRemoteFetchNs;
+}
+
+} // namespace kona
+
+#endif // KONA_COMMON_LATENCY_H

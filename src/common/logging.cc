@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace kona {
+namespace detail {
+
+namespace {
+std::mutex emitMutex;
+bool quiet = false;
+} // namespace
+
+void
+emit(const char *level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(emitMutex);
+    if (quiet)
+        return;
+    std::fprintf(stderr, "kona: %s: %s\n", level, msg.c_str());
+}
+
+} // namespace detail
+
+/** Silence inform/warn output (used by benches to keep tables clean). */
+void
+setQuietLogging(bool on)
+{
+    detail::quiet = on;
+}
+
+} // namespace kona

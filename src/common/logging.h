@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition: inform() for normal
+ * status, warn() for suspicious-but-survivable conditions, fatal() for
+ * user errors (bad configuration), panic() for internal invariant
+ * violations.
+ *
+ * fatal() and panic() throw typed exceptions instead of exiting so the
+ * test suite can assert on them; the provided main() helpers in the
+ * benches catch and report them.
+ */
+
+#ifndef KONA_COMMON_LOGGING_H
+#define KONA_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kona {
+
+/** Thrown by fatal(): the simulation cannot continue due to user error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown by panic(): an internal invariant of the simulator broke. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+void emit(const char *level, const std::string &msg);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report normal operating status to the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit("info", detail::format(std::forward<Args>(args)...));
+}
+
+/** Report a condition that might indicate a problem but is survivable. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::format(std::forward<Args>(args)...));
+}
+
+/** Abort the simulation due to a user-caused condition. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::format(std::forward<Args>(args)...);
+    detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Abort the simulation due to an internal bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::format(std::forward<Args>(args)...);
+    detail::emit("panic", msg);
+    throw PanicError(msg);
+}
+
+/** Silence inform/warn output (benches use this to keep tables clean). */
+void setQuietLogging(bool on);
+
+/** panic() unless @p cond holds. Cheap enough to keep in release builds. */
+#define KONA_ASSERT(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::kona::panic("assertion failed: ", #cond, " ", __VA_ARGS__); \
+        }                                                                 \
+    } while (0)
+
+} // namespace kona
+
+#endif // KONA_COMMON_LOGGING_H

@@ -1,0 +1,46 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace kona {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta, Rng &rng)
+    : n_(n), theta_(theta), rng_(rng)
+{
+    KONA_ASSERT(n > 0, "ZipfGenerator needs a nonempty key space");
+    KONA_ASSERT(theta >= 0.0 && theta < 1.0, "theta must be in [0, 1)");
+    zetan_ = zeta(n_, theta_);
+    double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+double
+ZipfGenerator::zeta(std::uint64_t n, double theta) const
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+std::uint64_t
+ZipfGenerator::next()
+{
+    if (theta_ == 0.0)
+        return rng_.below(n_);
+
+    double u = rng_.uniform();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+}
+
+} // namespace kona

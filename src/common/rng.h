@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the reproduction flows through Rng so that every
+ * experiment is reproducible from a seed. The generator is xoshiro256**,
+ * seeded through splitmix64 as its authors recommend.
+ */
+
+#ifndef KONA_COMMON_RNG_H
+#define KONA_COMMON_RNG_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace kona {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x4b6f6e6121ULL)
+    {
+        // splitmix64 expansion of the seed into the four-word state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        KONA_ASSERT(bound != 0, "Rng::below(0)");
+        // Lemire's nearly-divisionless bounded generation.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = -bound % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        KONA_ASSERT(lo <= hi, "Rng::range empty");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipfian key-popularity generator (Gray et al.), used by the KV and
+ * TPC-C workloads to model skewed access without external traces.
+ */
+class ZipfGenerator
+{
+  public:
+    /** Draw from [0, n) with skew @p theta (0 = uniform, ~0.99 = hot). */
+    ZipfGenerator(std::uint64_t n, double theta, Rng &rng);
+
+    std::uint64_t next();
+
+  private:
+    double zeta(std::uint64_t n, double theta) const;
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    Rng &rng_;
+};
+
+} // namespace kona
+
+#endif // KONA_COMMON_RNG_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SimClock: the simulated time base.
+ *
+ * The reproduction does not run a full discrete-event engine; like the
+ * paper's own KCacheSim, it uses cost accounting. Every component charges
+ * the latency of the operations it models to a SimClock. Logical threads
+ * (Fig 7) each own a clock; a run's completion time is the max across
+ * thread clocks plus any serialized background work.
+ */
+
+#ifndef KONA_COMMON_SIM_CLOCK_H
+#define KONA_COMMON_SIM_CLOCK_H
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace kona {
+
+/** Accumulates simulated nanoseconds. */
+class SimClock
+{
+  public:
+    SimClock() = default;
+
+    /** Current simulated time in ns. */
+    Tick now() const { return now_; }
+
+    /** Charge @p ns of simulated latency. */
+    void advance(Tick ns) { now_ += ns; }
+
+    /** Jump forward to @p t if @p t is in the future (sync points). */
+    void advanceTo(Tick t) { now_ = std::max(now_, t); }
+
+    /** Reset to time zero. */
+    void reset() { now_ = 0; }
+
+  private:
+    Tick now_ = 0;
+};
+
+} // namespace kona
+
+#endif // KONA_COMMON_SIM_CLOCK_H

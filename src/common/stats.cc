@@ -1,0 +1,137 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kona {
+
+void
+IntDistribution::record(std::uint64_t value, std::uint64_t weight)
+{
+    buckets_[value] += weight;
+    samples_ += weight;
+    weightedSum_ += value * weight;
+}
+
+double
+IntDistribution::mean() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    return static_cast<double>(weightedSum_) /
+           static_cast<double>(samples_);
+}
+
+double
+IntDistribution::cdfAt(std::uint64_t v) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (const auto &[value, count] : buckets_) {
+        if (value > v)
+            break;
+        below += count;
+    }
+    return static_cast<double>(below) / static_cast<double>(samples_);
+}
+
+std::uint64_t
+IntDistribution::quantile(double q) const
+{
+    KONA_ASSERT(q > 0.0 && q <= 1.0, "quantile out of range");
+    KONA_ASSERT(samples_ > 0, "quantile of empty distribution");
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(samples_)));
+    std::uint64_t running = 0;
+    for (const auto &[value, count] : buckets_) {
+        running += count;
+        if (running >= target)
+            return value;
+    }
+    return buckets_.rbegin()->first;
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+IntDistribution::cdfPoints(std::uint64_t lo, std::uint64_t hi) const
+{
+    std::vector<std::pair<std::uint64_t, double>> points;
+    points.reserve(hi - lo + 1);
+    std::uint64_t running = 0;
+    auto it = buckets_.begin();
+    // Account for any mass below the printed range first.
+    while (it != buckets_.end() && it->first < lo) {
+        running += it->second;
+        ++it;
+    }
+    for (std::uint64_t v = lo; v <= hi; ++v) {
+        while (it != buckets_.end() && it->first == v) {
+            running += it->second;
+            ++it;
+        }
+        double frac = samples_ == 0
+            ? 0.0
+            : static_cast<double>(running) / static_cast<double>(samples_);
+        points.emplace_back(v, frac);
+    }
+    return points;
+}
+
+double
+WindowedSeries::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values_)
+        sum += v;
+    return sum / static_cast<double>(values_.size());
+}
+
+double
+WindowedSeries::trimmedMean(std::size_t skipFront,
+                            std::size_t skipBack) const
+{
+    if (values_.size() <= skipFront + skipBack)
+        return 0.0;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = skipFront; i < values_.size() - skipBack; ++i) {
+        sum += values_[i];
+        ++n;
+    }
+    return sum / static_cast<double>(n);
+}
+
+double
+WindowedSeries::min() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+WindowedSeries::max() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        KONA_ASSERT(v > 0.0, "geometricMean needs positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace kona

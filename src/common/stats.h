@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Statistics primitives used across the reproduction: scalar counters,
+ * integer-bucket distributions with CDF extraction (Figs 2 and 3), and
+ * per-window time series (Fig 9 and Table 2's windowed measurement).
+ */
+
+#ifndef KONA_COMMON_STATS_H
+#define KONA_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kona {
+
+/** A monotonically increasing named counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Distribution over small integer values (e.g. "number of accessed
+ * cache-lines in a page", always in [0, 64]). Stores exact bucket counts.
+ */
+class IntDistribution
+{
+  public:
+    void record(std::uint64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t totalWeight() const { return samples_; }
+
+    /** Mean of the recorded values. */
+    double mean() const;
+
+    /** Fraction of samples with value <= @p v (the CDF at v). */
+    double cdfAt(std::uint64_t v) const;
+
+    /** Smallest value v with cdfAt(v) >= @p q, for q in (0, 1]. */
+    std::uint64_t quantile(double q) const;
+
+    /**
+     * Materialize CDF points (value, cumulative fraction) for every
+     * value in [lo, hi], suitable for printing a figure series.
+     */
+    std::vector<std::pair<std::uint64_t, double>>
+    cdfPoints(std::uint64_t lo, std::uint64_t hi) const;
+
+    const std::map<std::uint64_t, std::uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> buckets_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t weightedSum_ = 0;
+};
+
+/**
+ * A per-window scalar series: the Fig 9 experiment reports dirty-data
+ * amplification per 1-second window; Table 2 averages over windows.
+ */
+class WindowedSeries
+{
+  public:
+    void append(double value) { values_.push_back(value); }
+
+    std::size_t windows() const { return values_.size(); }
+    const std::vector<double> &values() const { return values_; }
+
+    /** Arithmetic mean over all windows; 0 when empty. */
+    double mean() const;
+
+    /** Mean skipping the first @p skipFront and last @p skipBack windows.
+     *  The paper drops the teardown window from the reported averages. */
+    double trimmedMean(std::size_t skipFront, std::size_t skipBack) const;
+
+    double min() const;
+    double max() const;
+
+  private:
+    std::vector<double> values_;
+};
+
+/** Geometric mean of a vector of positive ratios. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace kona
+
+#endif // KONA_COMMON_STATS_H

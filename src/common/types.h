@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fundamental type aliases and geometry constants shared by every
+ * subsystem of the Kona reproduction.
+ *
+ * The whole simulator speaks in terms of three address spaces:
+ *  - application virtual addresses (Addr),
+ *  - fake physical addresses inside VFMem exposed by the coherent
+ *    FPGA (also Addr; the FPGA owns the mapping),
+ *  - remote addresses on a memory node (RemoteAddr = node id + offset).
+ */
+
+#ifndef KONA_COMMON_TYPES_H
+#define KONA_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kona {
+
+/** A (virtual or fake-physical) byte address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Identifier of a node in the rack (compute or memory node). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a coarse-grained remote memory slab. */
+using SlabId = std::uint32_t;
+
+/** Geometry of the memory system. All sizes in bytes. */
+constexpr std::size_t cacheLineSize = 64;
+constexpr std::size_t pageSize = 4096;
+constexpr std::size_t hugePageSize = 2 * 1024 * 1024;
+constexpr std::size_t linesPerPage = pageSize / cacheLineSize;   // 64
+
+constexpr std::size_t KiB = 1024;
+constexpr std::size_t MiB = 1024 * KiB;
+constexpr std::size_t GiB = 1024 * MiB;
+
+/** An invalid/unmapped address sentinel. */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+/** Round @p addr down to the enclosing unit of size @p unit (power of 2). */
+constexpr Addr
+alignDown(Addr addr, std::size_t unit)
+{
+    return addr & ~static_cast<Addr>(unit - 1);
+}
+
+/** Round @p addr up to the next multiple of @p unit (power of 2). */
+constexpr Addr
+alignUp(Addr addr, std::size_t unit)
+{
+    return (addr + unit - 1) & ~static_cast<Addr>(unit - 1);
+}
+
+/** Page number containing @p addr. */
+constexpr Addr
+pageNumber(Addr addr)
+{
+    return addr / pageSize;
+}
+
+/** Cache-line index of @p addr within its 4KB page, in [0, 64). */
+constexpr unsigned
+lineInPage(Addr addr)
+{
+    return static_cast<unsigned>((addr % pageSize) / cacheLineSize);
+}
+
+/** Whether the access [addr, addr+size) stays within one cache line. */
+constexpr bool
+withinOneLine(Addr addr, std::size_t size)
+{
+    return alignDown(addr, cacheLineSize) ==
+           alignDown(addr + size - 1, cacheLineSize);
+}
+
+/** Kind of a memory access observed by the instrumentation layer. */
+enum class AccessType : std::uint8_t { Read, Write };
+
+/** An address on a remote memory node. */
+struct RemoteAddr
+{
+    NodeId node = 0;
+    Addr offset = 0;
+
+    bool operator==(const RemoteAddr &other) const = default;
+};
+
+} // namespace kona
+
+#endif // KONA_COMMON_TYPES_H

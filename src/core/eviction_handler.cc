@@ -1,0 +1,287 @@
+#include "core/eviction_handler.h"
+
+#include <bit>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "common/logging.h"
+#include "rack/cl_log.h"
+
+namespace kona {
+
+namespace {
+
+/** A run of contiguous dirty lines within a page. */
+struct LineRun
+{
+    unsigned firstLine;
+    unsigned count;
+};
+
+/** Decompose a 64-bit dirty mask into contiguous runs. */
+std::vector<LineRun>
+runsOf(std::uint64_t mask)
+{
+    std::vector<LineRun> runs;
+    unsigned line = 0;
+    while (line < linesPerPage) {
+        if (((mask >> line) & 1ULL) == 0) {
+            ++line;
+            continue;
+        }
+        unsigned start = line;
+        while (line < linesPerPage && ((mask >> line) & 1ULL))
+            ++line;
+        runs.push_back({start, line - start});
+    }
+    return runs;
+}
+
+/** Append one CL-log record to @p buffer. */
+void
+appendRecord(std::vector<std::uint8_t> &buffer, Addr remoteAddr,
+             const std::uint8_t *lines, std::uint32_t lineCount)
+{
+    ClLogEntryHeader header{remoteAddr, lineCount};
+    std::size_t off = buffer.size();
+    std::size_t bytes = static_cast<std::size_t>(lineCount) *
+                        cacheLineSize;
+    buffer.resize(off + sizeof(header) + bytes);
+    std::memcpy(buffer.data() + off, &header, sizeof(header));
+    std::memcpy(buffer.data() + off + sizeof(header), lines, bytes);
+}
+
+} // namespace
+
+EvictionHandler::EvictionHandler(Fabric &fabric, CoherentFpga &fpga,
+                                 CacheHierarchy &hierarchy,
+                                 Controller &controller,
+                                 EvictionMode mode)
+    : fabric_(fabric), fpga_(fpga), hierarchy_(hierarchy),
+      controller_(controller), mode_(mode)
+{
+}
+
+void
+EvictionHandler::evictPage(Addr vpn, SimClock &clock)
+{
+    evictBatch({vpn}, clock);
+}
+
+void
+EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
+                            SimClock &clock)
+{
+    // Bound one shipment so a worst-case (fully dirty) batch still
+    // fits in the memory nodes' log landing areas.
+    constexpr std::size_t batchLimit = 256;
+    if (vpns.size() > batchLimit) {
+        for (std::size_t i = 0; i < vpns.size(); i += batchLimit) {
+            std::vector<Addr> chunk(
+                vpns.begin() + i,
+                vpns.begin() + std::min(i + batchLimit, vpns.size()));
+            evictBatch(chunk, clock);
+        }
+        return;
+    }
+
+    const LatencyConfig &lat = fpga_.latency();
+
+    // Phase 1: snoop CPU caches and read the dirty masks. Clean pages
+    // drop silently; remote memory already holds their bytes.
+    struct DirtyPage
+    {
+        Addr vpn;
+        std::uint64_t mask;
+    };
+    std::vector<DirtyPage> dirty;
+    for (Addr vpn : vpns) {
+        if (!fpga_.pageResident(vpn))
+            continue;
+        hierarchy_.snoopPage(vpn);
+        clock.advance(static_cast<Tick>(lat.bitmapScanPerPageNs));
+        breakdown_.bitmapNs += lat.bitmapScanPerPageNs;
+        std::uint64_t mask = fpga_.dirtyMask(vpn);
+        if (mask == 0) {
+            fpga_.dropPage(vpn);
+            silent_.add();
+            pagesEvicted_.add();
+        } else {
+            dirty.push_back({vpn, mask});
+        }
+    }
+    if (dirty.empty())
+        return;
+
+    // Phase 2: build one payload per destination node. The registered-
+    // buffer copy is paid once per run (or page); replicas reuse the
+    // aggregated bytes.
+    struct NodePayload
+    {
+        std::vector<std::uint8_t> log;      ///< ClLog mode
+        std::vector<WorkRequest> chain;     ///< FullPage mode
+        std::vector<std::unique_ptr<std::vector<std::uint8_t>>>
+            pageCopies;                     ///< FullPage staging
+    };
+    std::map<NodeId, NodePayload> perNode;
+    std::map<Addr, std::vector<NodeId>> homesOf;
+
+    double copyCost = 0.0;
+    for (const DirtyPage &page : dirty) {
+        const std::uint8_t *frame = fpga_.framePointer(page.vpn);
+        auto copies = fpga_.translation().translateAll(page.vpn *
+                                                       pageSize);
+        std::vector<LineRun> runs = runsOf(page.mask);
+
+        if (mode_ == EvictionMode::ClLog) {
+            // Gathering a page's dirty lines costs one page lookup,
+            // a little work per contiguous run, and the byte copy
+            // (the hardware prefetcher streams within runs).
+            std::uint64_t bytes =
+                static_cast<std::uint64_t>(std::popcount(page.mask)) *
+                cacheLineSize;
+            copyCost += lat.copySetupNs +
+                        static_cast<double>(runs.size()) *
+                            lat.copyPerRunNs +
+                        static_cast<double>(bytes) * lat.copyPerKbNs /
+                            1024.0;
+        } else {
+            copyCost += lat.copySetupNs +
+                        static_cast<double>(pageSize) *
+                            lat.copyPerKbNs / 1024.0;
+        }
+
+        for (const RemoteLocation &loc : copies) {
+            homesOf[page.vpn].push_back(loc.node);
+            NodePayload &payload = perNode[loc.node];
+            if (mode_ == EvictionMode::ClLog) {
+                for (const LineRun &run : runs) {
+                    appendRecord(
+                        payload.log,
+                        loc.addr + static_cast<Addr>(run.firstLine) *
+                                       cacheLineSize,
+                        frame + static_cast<std::size_t>(
+                                    run.firstLine) * cacheLineSize,
+                        run.count);
+                }
+            } else {
+                payload.pageCopies.push_back(
+                    std::make_unique<std::vector<std::uint8_t>>(
+                        frame, frame + pageSize));
+                WorkRequest wr;
+                wr.wrId = nextWrId_++;
+                wr.opcode = RdmaOpcode::Write;
+                wr.localBuf = payload.pageCopies.back()->data();
+                wr.remoteKey = loc.regionKey;
+                wr.remoteAddr = loc.addr;
+                wr.length = pageSize;
+                wr.signaled = false;
+                payload.chain.push_back(wr);
+            }
+        }
+    }
+    clock.advance(static_cast<Tick>(copyCost));
+    breakdown_.copyNs += copyCost;
+
+    // Phase 3: ship every node's payload in parallel; the batch
+    // completes when the slowest destination acks.
+    Tick start = clock.now();
+    Tick maxEnd = start;
+    double maxRdma = 0.0;
+    double maxAck = 0.0;
+    std::vector<NodeId> reached;
+
+    for (auto &[nodeId, payload] : perNode) {
+        if (fabric_.nodeDown(nodeId))
+            continue;
+        MemoryNode &node = controller_.node(nodeId);
+        SimClock branch;
+        branch.advanceTo(start);
+
+        if (mode_ == EvictionMode::ClLog) {
+            if (payload.log.size() > node.logRegion().length)
+                fatal("CL log batch (", payload.log.size(),
+                      " bytes) exceeds the node's landing area");
+            WorkRequest wr;
+            wr.wrId = nextWrId_++;
+            wr.opcode = RdmaOpcode::Write;
+            wr.localBuf = payload.log.data();
+            wr.remoteKey = node.logRegion().key;
+            wr.remoteAddr = node.logRegion().base;
+            wr.length = payload.log.size();
+            QueuePair &qp = fpga_.qpTo(nodeId);
+            if (!qp.post(wr, branch)) {
+                fpga_.poller().waitOne(fpga_.cq(), branch);
+                continue;
+            }
+            fpga_.poller().waitOne(fpga_.cq(), branch);
+            double rdmaPart = static_cast<double>(branch.now() -
+                                                  start);
+            // The Cache-line Log Receiver distributes and acks.
+            LogReceiptStats receipt =
+                node.receiveLog(0, payload.log.size());
+            branch.advance(static_cast<Tick>(receipt.unpackNs +
+                                             lat.ackNs));
+            maxAck = std::max(maxAck,
+                              static_cast<double>(branch.now() -
+                                                  start) - rdmaPart);
+            maxRdma = std::max(maxRdma, rdmaPart);
+            wireBytes_.add(payload.log.size());
+        } else {
+            if (payload.chain.empty())
+                continue;
+            payload.chain.back().signaled = true;
+            QueuePair &qp = fpga_.qpTo(nodeId);
+            if (!qp.postLinked(payload.chain, branch)) {
+                fpga_.poller().waitOne(fpga_.cq(), branch);
+                continue;
+            }
+            fpga_.poller().waitOne(fpga_.cq(), branch);
+            maxRdma = std::max(maxRdma,
+                               static_cast<double>(branch.now() -
+                                                   start));
+            wireBytes_.add(payload.chain.size() * pageSize);
+        }
+        reached.push_back(nodeId);
+        maxEnd = std::max(maxEnd, branch.now());
+    }
+
+    clock.advanceTo(maxEnd);
+    breakdown_.rdmaNs += maxRdma;
+    breakdown_.ackNs += maxAck;
+
+    // Phase 4: drop every page whose data reached at least one copy.
+    for (const DirtyPage &page : dirty) {
+        bool safe = false;
+        for (NodeId home : homesOf[page.vpn]) {
+            for (NodeId ok : reached)
+                safe |= home == ok;
+        }
+        if (!safe) {
+            warn("eviction of page ", page.vpn,
+                 " failed: all replicas down; keeping it resident");
+            continue;
+        }
+        lines_.add(std::popcount(page.mask));
+        fpga_.clearDirty(page.vpn);
+        fpga_.dropPage(page.vpn);
+        pagesEvicted_.add();
+    }
+}
+
+void
+EvictionHandler::pump(SimClock &backgroundClock, std::size_t freeWays)
+{
+    std::vector<FMemCache::Victim> victims =
+        fpga_.backgroundVictims(freeWays);
+    if (victims.empty())
+        return;
+    std::vector<Addr> vpns;
+    vpns.reserve(victims.size());
+    for (const FMemCache::Victim &victim : victims)
+        vpns.push_back(victim.vfmemPage);
+    evictBatch(vpns, backgroundClock);
+}
+
+} // namespace kona

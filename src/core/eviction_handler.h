@@ -1,0 +1,102 @@
+/**
+ * @file
+ * EvictionHandler: Kona's third remote-memory operation (§4.4, "Evicting
+ * dirty data"). It monitors FMem utilization, picks victims, snoops
+ * their lines out of the CPU caches, and ships only the dirty
+ * cache-lines in a FaRM-style CL log that a receiver thread on the
+ * memory node unpacks. Clean pages are evicted silently, and batches
+ * aggregate dirty lines from many pages into one log per destination
+ * node ("even from different pages", §6.4).
+ *
+ * Two movement modes exercise the paper's "choose the data movement
+ * size between page and cache-line granularity" principle:
+ *  - ClLog: dirty lines aggregated into a log (Kona proper);
+ *  - FullPage: whole-page RDMA writes (what Kona-VM is forced to do),
+ *    linked into one chain per destination node.
+ */
+
+#ifndef KONA_CORE_EVICTION_HANDLER_H
+#define KONA_CORE_EVICTION_HANDLER_H
+
+#include <vector>
+
+#include "fpga/coherent_fpga.h"
+#include "rack/controller.h"
+
+namespace kona {
+
+/** Eviction data-movement granularity. */
+enum class EvictionMode : std::uint8_t { ClLog, FullPage };
+
+/** Time breakdown of the eviction path (Fig 11c). */
+struct EvictionBreakdown
+{
+    double bitmapNs = 0.0;   ///< scanning dirty masks
+    double copyNs = 0.0;     ///< copying lines into the RDMA buffer
+    double rdmaNs = 0.0;     ///< posting + wire time
+    double ackNs = 0.0;      ///< receiver unpack + ack wait
+
+    double
+    totalNs() const
+    {
+        return bitmapNs + copyNs + rdmaNs + ackNs;
+    }
+};
+
+/** Kona's eviction engine. */
+class EvictionHandler
+{
+  public:
+    EvictionHandler(Fabric &fabric, CoherentFpga &fpga,
+                    CacheHierarchy &hierarchy, Controller &controller,
+                    EvictionMode mode);
+
+    /**
+     * Evict VFMem page @p vpn: snoop CPU caches, write dirty lines (or
+     * the full page) to every remote copy, drop the page from FMem.
+     * All critical-path cost is charged to @p clock.
+     */
+    void evictPage(Addr vpn, SimClock &clock);
+
+    /**
+     * Evict a batch of pages together: one CL log (or one linked WR
+     * chain) per destination node, one ack per node.
+     */
+    void evictBatch(const std::vector<Addr> &vpns, SimClock &clock);
+
+    /**
+     * Background sweep: keep @p freeWays ways free in every FMem set,
+     * charging the work to the background clock so it stays off the
+     * application's critical path.
+     */
+    void pump(SimClock &backgroundClock, std::size_t freeWays = 1);
+
+    EvictionMode mode() const { return mode_; }
+    void setMode(EvictionMode mode) { mode_ = mode; }
+
+    std::uint64_t pagesEvicted() const { return pagesEvicted_.value(); }
+    std::uint64_t silentEvictions() const { return silent_.value(); }
+    std::uint64_t dirtyLinesWritten() const { return lines_.value(); }
+    std::uint64_t bytesOnWire() const { return wireBytes_.value(); }
+    const EvictionBreakdown &breakdown() const { return breakdown_; }
+    void resetBreakdown() { breakdown_ = {}; }
+
+  private:
+    Fabric &fabric_;
+    CoherentFpga &fpga_;
+    CacheHierarchy &hierarchy_;
+    Controller &controller_;
+    EvictionMode mode_;
+
+    std::uint64_t nextWrId_ = 0x10000000;
+
+    Counter pagesEvicted_;
+    Counter silent_;
+    Counter lines_;
+    Counter wireBytes_;
+    EvictionBreakdown breakdown_;
+};
+
+} // namespace kona
+
+#endif // KONA_CORE_EVICTION_HANDLER_H

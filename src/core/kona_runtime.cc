@@ -1,0 +1,244 @@
+#include "core/kona_runtime.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
+                         NodeId computeNode, const KonaConfig &config)
+    : fabric_(fabric), controller_(controller), config_(config),
+      fpga_(fabric, computeNode, config.fpga),
+      hierarchy_(config.hierarchy),
+      evictor_(fabric, fpga_, hierarchy_, controller,
+               config.evictionMode),
+      vfmemCursor_(config.fpga.vfmemBase)
+{
+    hierarchy_.setListener(&fpga_);
+    fpga_.setEvictionCallback(
+        [this](const FMemCache::Victim &victim, SimClock &clock) {
+            evictor_.evictPage(victim.vfmemPage, clock);
+        });
+
+    // Cumulative hit latencies: a hit at level i pays every level
+    // above it (the AMAT structure KCacheSim uses).
+    const LatencyConfig &lat = fabric_.latency();
+    double levels[3] = {lat.l1HitNs, lat.l2HitNs, lat.l3HitNs};
+    double running = 0.0;
+    std::size_t n = std::min<std::size_t>(hierarchy_.numLevels(), 3);
+    for (std::size_t i = 0; i < n; ++i) {
+        running += levels[i];
+        levelLatencyNs_[i] = running;
+    }
+    levelLatencyNs_[n] = running;   // cost before entering memory
+
+    // Pre-map the first slab so the heap exists (the Resource Manager
+    // allocates remote memory proactively, off the critical path).
+    mapNewSlab();
+}
+
+void
+KonaRuntime::mapNewSlab()
+{
+    std::size_t slabSize = controller_.slabSize();
+    if (vfmemCursor_ + slabSize >
+        config_.fpga.vfmemBase + config_.fpga.vfmemSize) {
+        fatal("VFMem window exhausted: cannot map another slab");
+    }
+
+    SlabGrant primary = controller_.allocateSlab();
+    std::vector<SlabGrant> replicas;
+    for (std::size_t i = 0; i < config_.replicationFactor; ++i)
+        replicas.push_back(controller_.allocateSlab());
+    fpga_.translation().addSlab(vfmemCursor_, primary,
+                                std::move(replicas));
+
+    // All pages become present and writable now and never change:
+    // Kona "logically pre-populates" the mapping, which is what kills
+    // page faults and TLB shootdowns on the data path.
+    Addr firstVpn = pageNumber(vfmemCursor_);
+    Addr pages = slabSize / pageSize;
+    for (Addr i = 0; i < pages; ++i)
+        pageTable_.map(firstVpn + i, firstVpn + i, /*writable=*/true);
+
+    if (heap_ == nullptr) {
+        heap_ = std::make_unique<RegionAllocator>(vfmemCursor_,
+                                                  slabSize);
+    } else {
+        heap_->extend(slabSize);
+    }
+    vfmemCursor_ += slabSize;
+}
+
+void
+KonaRuntime::ensureHeap(std::size_t need)
+{
+    while (heap_->bytesFree() < need)
+        mapNewSlab();
+}
+
+Addr
+KonaRuntime::allocate(std::size_t size, std::size_t align)
+{
+    KONA_ASSERT(size > 0, "zero-byte allocation");
+    ensureHeap(size + align);
+    auto addr = heap_->allocate(size, align);
+    while (!addr.has_value()) {
+        // Fragmentation can defeat bytesFree(); map more and retry.
+        mapNewSlab();
+        addr = heap_->allocate(size, align);
+    }
+    return *addr;
+}
+
+void
+KonaRuntime::deallocate(Addr addr)
+{
+    heap_->deallocate(addr);
+}
+
+void
+KonaRuntime::simulateAccess(Addr addr, std::size_t size,
+                            AccessType type)
+{
+    KONA_ASSERT(fpga_.inVFMem(addr) &&
+                    fpga_.inVFMem(addr + size - 1),
+                "access outside VFMem at ", addr);
+
+    Addr first = alignDown(addr, cacheLineSize);
+    Addr last = alignDown(addr + size - 1, cacheLineSize);
+    for (Addr line = first; line <= last; line += cacheLineSize) {
+        int level = hierarchy_.accessOne(line, type);
+        if (level >= 0) {
+            appClock_.advance(static_cast<Tick>(
+                levelLatencyNs_[static_cast<std::size_t>(level)]));
+            continue;
+        }
+        appClock_.advance(static_cast<Tick>(
+            levelLatencyNs_[hierarchy_.numLevels()]));
+        ServeStatus status = fpga_.serveLine(line, type, appClock_);
+        for (std::size_t attempt = 0;
+             status == ServeStatus::RemoteUnavailable; ++attempt) {
+            // The fill never happened: roll the line back out of the
+            // simulated caches so a retry misses to memory again.
+            hierarchy_.invalidateLine(line);
+            if (config_.failurePolicy == FailurePolicy::Fatal ||
+                attempt >= config_.maxRetries) {
+                fatal("remote memory unreachable for VFMem line ",
+                      line, "; resolve the network outage and "
+                      "restart");
+            }
+            // §4.5: report the failure and wait for the outage to
+            // resolve, then retry the fetch.
+            outageRetries_.add();
+            appClock_.advance(config_.retryBackoffNs);
+            if (outageObserver_)
+                outageObserver_(attempt);
+            hierarchy_.accessOne(line, type);
+            status = fpga_.serveLine(line, type, appClock_);
+        }
+    }
+}
+
+bool
+KonaRuntime::spanResident(Addr addr, std::size_t size) const
+{
+    Addr firstVpn = pageNumber(addr);
+    Addr lastVpn = pageNumber(addr + size - 1);
+    for (Addr vpn = firstVpn; vpn <= lastVpn; ++vpn) {
+        if (!fpga_.pageResident(vpn))
+            return false;
+    }
+    return true;
+}
+
+void
+KonaRuntime::ensureSpan(Addr addr, std::size_t size, AccessType type)
+{
+    // A multi-page access can have an earlier page force-evicted by a
+    // set conflict while a later page is being fetched; re-simulate
+    // until the whole span is simultaneously resident. Eviction
+    // snoops a page's lines out of the CPU caches, so the re-fetch
+    // misses and goes through serveLine again (a real re-fetch the
+    // application would also pay for).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        simulateAccess(addr, size, type);
+        if (spanResident(addr, size))
+            return;
+    }
+    fatal("access at ", addr, " size ", size,
+          " cannot keep its pages simultaneously resident; FMem is "
+          "too small or too low-associative for this access");
+}
+
+void
+KonaRuntime::read(Addr addr, void *buf, std::size_t size)
+{
+    if (size == 0)
+        return;
+    ensureSpan(addr, size, AccessType::Read);
+    fpga_.readBytes(addr, buf, size);
+    reads_.add();
+    bytesRead_.add(size);
+
+    if (++accessesSincePump_ >= config_.evictionPumpPeriod) {
+        accessesSincePump_ = 0;
+        evictor_.pump(backgroundClock_, config_.evictionFreeWays);
+    }
+}
+
+void
+KonaRuntime::write(Addr addr, const void *buf, std::size_t size)
+{
+    if (size == 0)
+        return;
+    ensureSpan(addr, size, AccessType::Write);
+    fpga_.writeBytes(addr, buf, size);
+    writes_.add();
+    bytesWritten_.add(size);
+
+    // Emulated track-local-data (§5): in lieu of real coherence
+    // hardware the instrumentation marks the written lines directly;
+    // the simulated hierarchy's writebacks mark the same lines when
+    // they drain, so the mask is a superset-correct union.
+    fpga_.markDirtyRange(addr, size);
+
+    if (++accessesSincePump_ >= config_.evictionPumpPeriod) {
+        accessesSincePump_ = 0;
+        evictor_.pump(backgroundClock_, config_.evictionFreeWays);
+    }
+}
+
+void
+KonaRuntime::writebackAll()
+{
+    hierarchy_.flushAll();
+    evictor_.evictBatch(fpga_.fmem().residentPages(),
+                        backgroundClock_);
+}
+
+Tick
+KonaRuntime::elapsed() const
+{
+    Tick t = appClock_.now();
+    t = std::max(t, backgroundClock_.now());
+    t = std::max(t, fpga_.backgroundTime());
+    return t;
+}
+
+RuntimeStats
+KonaRuntime::stats() const
+{
+    RuntimeStats s;
+    s.reads = reads_.value();
+    s.writes = writes_.value();
+    s.bytesRead = bytesRead_.value();
+    s.bytesWritten = bytesWritten_.value();
+    s.remoteFetches = fpga_.remoteFetches();
+    s.pagesEvicted = evictor_.pagesEvicted();
+    s.silentEvictions = evictor_.silentEvictions();
+    s.dirtyLinesWritten = evictor_.dirtyLinesWritten();
+    s.evictionBytesOnWire = evictor_.bytesOnWire();
+    return s;
+}
+
+} // namespace kona

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * KonaRuntime: the coherence-based remote memory runtime (§4).
+ *
+ * The three remote-memory operations map to hardware primitives:
+ *  - fetch: a CPU cache miss to VFMem becomes an FPGA directory
+ *    request; no page fault ever fires because every VFMem page is
+ *    mapped present and writable at allocation time and stays that way;
+ *  - track: dirty cache-lines are recorded by the FPGA from observed
+ *    writebacks, decoupled from the page size;
+ *  - evict: the EvictionHandler ships only dirty lines in a CL log,
+ *    off the critical path via a background pump.
+ *
+ * The KLib pieces of Fig 4 appear as: ResourceManager = the slab
+ * mapping logic in ensureHeap(); AllocLib = allocate()/deallocate();
+ * Caching Handler = CoherentFpga::serveLine; Dirty Data Tracker =
+ * CoherentFpga::onWriteback; Eviction Handler = EvictionHandler;
+ * Poller = net Poller used by the FPGA and eviction paths.
+ */
+
+#ifndef KONA_CORE_KONA_RUNTIME_H
+#define KONA_CORE_KONA_RUNTIME_H
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "cache/hierarchy.h"
+#include "core/eviction_handler.h"
+#include "core/runtime.h"
+#include "fpga/coherent_fpga.h"
+#include "mem/page_table.h"
+#include "mem/region_allocator.h"
+#include "rack/controller.h"
+
+namespace kona {
+
+/** What to do when every replica of a page is unreachable (§4.5). */
+enum class FailurePolicy : std::uint8_t
+{
+    Fatal,      ///< raise the outage to the application immediately
+    WaitRetry,  ///< back off and retry — "wait until the network
+                ///< delay or outage is resolved"
+};
+
+/** Configuration of the whole Kona stack on a compute node. */
+struct KonaConfig
+{
+    FpgaConfig fpga;
+    HierarchyConfig hierarchy;
+
+    FailurePolicy failurePolicy = FailurePolicy::Fatal;
+    /** WaitRetry: simulated backoff between retries. */
+    Tick retryBackoffNs = 100000;
+    /** WaitRetry: attempts before escalating to fatal. */
+    std::size_t maxRetries = 64;
+
+    /** Extra remote copies per slab (§4.5 replication; 0 = none). */
+    std::size_t replicationFactor = 0;
+
+    /** Eviction data-movement granularity. */
+    EvictionMode evictionMode = EvictionMode::ClLog;
+
+    /** Accesses between background eviction pumps. */
+    std::size_t evictionPumpPeriod = 256;
+
+    /** Free ways per FMem set the background pump maintains. */
+    std::size_t evictionFreeWays = 1;
+};
+
+/** The Kona software runtime. */
+class KonaRuntime : public RemoteMemoryRuntime
+{
+  public:
+    KonaRuntime(Fabric &fabric, Controller &controller,
+                NodeId computeNode, const KonaConfig &config = {});
+
+    // MemoryInterface
+    void read(Addr addr, void *buf, std::size_t size) override;
+    void write(Addr addr, const void *buf, std::size_t size) override;
+
+    // RemoteMemoryRuntime
+    Addr allocate(std::size_t size, std::size_t align = 16) override;
+    void deallocate(Addr addr) override;
+    void writebackAll() override;
+    Tick elapsed() const override;
+    RuntimeStats stats() const override;
+    std::string name() const override { return "Kona"; }
+
+    const KonaConfig &config() const { return config_; }
+    CoherentFpga &fpga() { return fpga_; }
+    CacheHierarchy &hierarchy() { return hierarchy_; }
+    EvictionHandler &evictionHandler() { return evictor_; }
+    SimClock &appClock() { return appClock_; }
+    SimClock &backgroundClock() { return backgroundClock_; }
+    const PageTable &pageTable() const { return pageTable_; }
+
+    /** Simulated time spent on the critical path so far. */
+    Tick appTime() const { return appClock_.now(); }
+
+    /**
+     * WaitRetry policy: hook invoked once per backoff period while an
+     * outage persists (tests and operator tooling use it to observe
+     * or resolve the outage). Return value ignored.
+     */
+    void setOutageObserver(std::function<void(std::size_t attempt)> cb)
+    {
+        outageObserver_ = std::move(cb);
+    }
+
+    std::uint64_t outageRetries() const { return outageRetries_.value(); }
+
+  private:
+    /** Simulate the hierarchy + FPGA path for one access. */
+    void simulateAccess(Addr addr, std::size_t size, AccessType type);
+
+    /** Whether every page of [addr, addr+size) is in FMem. */
+    bool spanResident(Addr addr, std::size_t size) const;
+
+    /** Simulate until the whole span is simultaneously resident. */
+    void ensureSpan(Addr addr, std::size_t size, AccessType type);
+
+    /** Map new slabs until the heap can satisfy @p need bytes. */
+    void ensureHeap(std::size_t need);
+
+    /** Map one fresh slab at the VFMem cursor. */
+    void mapNewSlab();
+
+    Fabric &fabric_;
+    Controller &controller_;
+    KonaConfig config_;
+    CoherentFpga fpga_;
+    CacheHierarchy hierarchy_;
+    EvictionHandler evictor_;
+    PageTable pageTable_;
+
+    std::unique_ptr<RegionAllocator> heap_;
+    Addr vfmemCursor_;
+
+    SimClock appClock_;
+    SimClock backgroundClock_;
+    std::size_t accessesSincePump_ = 0;
+
+    /** Cumulative latency of a hit at each level, then memory entry. */
+    std::array<double, 8> levelLatencyNs_{};
+
+    std::function<void(std::size_t)> outageObserver_;
+
+    Counter reads_;
+    Counter writes_;
+    Counter bytesRead_;
+    Counter bytesWritten_;
+    Counter outageRetries_;
+};
+
+} // namespace kona
+
+#endif // KONA_CORE_KONA_RUNTIME_H

@@ -1,0 +1,409 @@
+#include "core/vm_runtime.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+VmRuntime::VmRuntime(Fabric &fabric, Controller &controller,
+                     NodeId computeNode, const VmConfig &config)
+    : fabric_(fabric), controller_(controller),
+      computeNode_(computeNode), config_(config),
+      hierarchy_(config.hierarchy),
+      cmem_(config.windowBase + config.windowSize),
+      windowCursor_(config.windowBase), poller_(fabric.latency()),
+      rdmaBuffer_(pageSize)
+{
+    KONA_ASSERT(config.localCachePages > 0, "empty local cache");
+
+    const LatencyConfig &lat = fabric_.latency();
+    double levels[3] = {lat.l1HitNs, lat.l2HitNs, lat.l3HitNs};
+    double running = 0.0;
+    std::size_t n = std::min<std::size_t>(hierarchy_.numLevels(), 3);
+    for (std::size_t i = 0; i < n; ++i) {
+        running += levels[i];
+        levelLatencyNs_[i] = running;
+    }
+    levelLatencyNs_[n] = running;
+
+    mapNewSlab();
+}
+
+std::string
+VmRuntime::name() const
+{
+    switch (config_.personality) {
+      case VmPersonality::KonaVm:
+        return config_.writeProtectTracking ? "Kona-VM" : "Kona-VM-NoWP";
+      case VmPersonality::LegoOs: return "LegoOS";
+      case VmPersonality::Infiniswap: return "Infiniswap";
+    }
+    return "VM";
+}
+
+QueuePair &
+VmRuntime::qpTo(NodeId node)
+{
+    auto it = qps_.find(node);
+    if (it == qps_.end()) {
+        it = qps_.emplace(node,
+                          std::make_unique<QueuePair>(
+                              fabric_, computeNode_, node, cq_)).first;
+    }
+    return *it->second;
+}
+
+void
+VmRuntime::mapNewSlab()
+{
+    std::size_t slabSize = controller_.slabSize();
+    if (windowCursor_ + slabSize >
+        config_.windowBase + config_.windowSize) {
+        fatal("VM window exhausted: cannot map another slab");
+    }
+
+    SlabGrant primary = controller_.allocateSlab();
+    std::vector<SlabGrant> replicas;
+    for (std::size_t i = 0; i < config_.replicationFactor; ++i)
+        replicas.push_back(controller_.allocateSlab());
+    translation_.addSlab(windowCursor_, primary, std::move(replicas));
+
+    // Pages are mapped but not present: the first touch of each page
+    // will raise a major fault — the defining cost of this family.
+    Addr firstVpn = pageNumber(windowCursor_);
+    Addr pages = slabSize / pageSize;
+    for (Addr i = 0; i < pages; ++i) {
+        pageTable_.map(firstVpn + i, firstVpn + i, true);
+        pageTable_.markNotPresent(firstVpn + i);
+    }
+
+    if (heap_ == nullptr) {
+        heap_ = std::make_unique<RegionAllocator>(windowCursor_,
+                                                  slabSize);
+    } else {
+        heap_->extend(slabSize);
+    }
+    windowCursor_ += slabSize;
+}
+
+void
+VmRuntime::ensureHeap(std::size_t need)
+{
+    while (heap_->bytesFree() < need)
+        mapNewSlab();
+}
+
+Addr
+VmRuntime::allocate(std::size_t size, std::size_t align)
+{
+    KONA_ASSERT(size > 0, "zero-byte allocation");
+    ensureHeap(size + align);
+    auto addr = heap_->allocate(size, align);
+    while (!addr.has_value()) {
+        mapNewSlab();
+        addr = heap_->allocate(size, align);
+    }
+    return *addr;
+}
+
+void
+VmRuntime::deallocate(Addr addr)
+{
+    heap_->deallocate(addr);
+}
+
+void
+VmRuntime::touchLru(Addr vpn)
+{
+    auto it = lruMap_.find(vpn);
+    KONA_ASSERT(it != lruMap_.end(), "LRU touch of non-resident page");
+    lruList_.splice(lruList_.begin(), lruList_, it->second);
+}
+
+void
+VmRuntime::majorFault(Addr vpn)
+{
+    majorFaults_.add();
+    const LatencyConfig &lat = fabric_.latency();
+
+    // Make room first (the fault handler needs a free local frame).
+    if (lruList_.size() >= config_.localCachePages)
+        evictOne();
+
+    // Fetch the page. The personality's measured fault-to-data latency
+    // already includes its software stack and the RDMA transfer, so it
+    // is charged as one critical-path cost; the functional transfer
+    // below uses a scratch clock to avoid double charging.
+    appClock_.advance(static_cast<Tick>(
+        remoteFetchNs(lat, config_.personality)));
+
+    RemoteLocation loc = translation_.translate(vpn * pageSize);
+    if (fabric_.nodeDown(loc.node))
+        fatal("remote memory node ", loc.node, " unreachable");
+
+    SimClock scratch;
+    WorkRequest wr;
+    wr.wrId = nextWrId_++;
+    wr.opcode = RdmaOpcode::Read;
+    wr.localBuf = rdmaBuffer_.data();
+    wr.remoteKey = loc.regionKey;
+    wr.remoteAddr = loc.addr;
+    wr.length = pageSize;
+    qpTo(loc.node).post(wr, scratch);
+    poller_.waitOne(cq_, scratch);
+    cmem_.write(vpn * pageSize, rdmaBuffer_.data(), pageSize);
+
+    // Install the translation; with dirty tracking enabled the page
+    // comes up write-protected so the first store minor-faults.
+    pageTable_.map(vpn, vpn, !config_.writeProtectTracking);
+    if (config_.writeProtectTracking)
+        pageTable_.writeProtect(vpn);
+    appClock_.advance(static_cast<Tick>(lat.pteUpdateNs));
+
+    lruList_.push_front(vpn);
+    lruMap_[vpn] = lruList_.begin();
+}
+
+void
+VmRuntime::minorFault(Addr vpn)
+{
+    minorFaults_.add();
+    const LatencyConfig &lat = fabric_.latency();
+    // Kona-VM resolves write-protect faults through userfaultfd,
+    // which costs a user-space round trip; the kernel-path baselines
+    // service them in the kernel fault handler.
+    double cost = config_.personality == VmPersonality::KonaVm
+        ? lat.uffdWpFaultNs : lat.minorFaultNs;
+    appClock_.advance(static_cast<Tick>(cost));
+    pageTable_.enableWrite(vpn);
+}
+
+void
+VmRuntime::ensureAccess(Addr vpn, AccessType type)
+{
+    const LatencyConfig &lat = fabric_.latency();
+
+    if (!tlb_.lookup(vpn)) {
+        appClock_.advance(static_cast<Tick>(lat.pteUpdateNs)); // walk
+        tlb_.insert(vpn);
+    }
+
+    for (int spins = 0; spins < 4; ++spins) {
+        switch (pageTable_.translate(vpn, type)) {
+          case TranslationResult::Ok:
+            touchLru(vpn);
+            return;
+          case TranslationResult::NotPresent:
+            majorFault(vpn);
+            break;
+          case TranslationResult::WriteProtected:
+            minorFault(vpn);
+            break;
+        }
+    }
+    panic("page ", vpn, " still faulting after major+minor service");
+}
+
+void
+VmRuntime::ensureRange(Addr addr, std::size_t size, AccessType type)
+{
+    Addr firstVpn = pageNumber(addr);
+    Addr lastVpn = pageNumber(addr + size - 1);
+    std::size_t spanned = static_cast<std::size_t>(lastVpn - firstVpn) +
+                          1;
+    if (spanned > config_.localCachePages) {
+        fatal("access spans ", spanned,
+              " pages but the local cache holds only ",
+              config_.localCachePages);
+    }
+
+    // Faulting in a later page can evict an earlier one; iterate until
+    // the whole span is simultaneously present.
+    for (;;) {
+        bool stable = true;
+        for (Addr vpn = firstVpn; vpn <= lastVpn; ++vpn) {
+            const PageTableEntry *pte = pageTable_.entry(vpn);
+            bool ok = pte != nullptr && pte->present &&
+                      (type == AccessType::Read || pte->writable ||
+                       !config_.writeProtectTracking);
+            if (!ok) {
+                ensureAccess(vpn, type);
+                stable = false;
+            } else {
+                // Keep the whole span hot so LRU prefers other victims.
+                if (pageTable_.translate(vpn, type) ==
+                    TranslationResult::Ok) {
+                    touchLru(vpn);
+                }
+            }
+        }
+        if (stable)
+            return;
+    }
+}
+
+void
+VmRuntime::evictOne()
+{
+    KONA_ASSERT(!lruList_.empty(), "eviction with empty cache");
+    Addr vpn = lruList_.back();
+    lruList_.pop_back();
+    lruMap_.erase(vpn);
+
+    const LatencyConfig &lat = fabric_.latency();
+    const PageTableEntry *pte = pageTable_.entry(vpn);
+    KONA_ASSERT(pte != nullptr && pte->present, "LRU page not mapped");
+
+    // Without write-protect tracking, every page must be assumed dirty.
+    bool dirty = config_.writeProtectTracking ? pte->dirty : true;
+
+    if (dirty) {
+        SimClock &evClock = config_.backgroundEviction
+            ? backgroundClock_ : appClock_;
+        if (config_.personality == VmPersonality::Infiniswap) {
+            // The block-device swap path adds heavy per-page costs
+            // beyond the RDMA write itself (§2.1: >32us observed).
+            evClock.advance(static_cast<Tick>(
+                lat.infiniswapEvictionOverheadNs));
+        }
+        writebackPage(vpn, evClock);
+        pageTable_.clearDirty(vpn);
+    } else {
+        silentEvictions_.add();
+    }
+
+    // Unmapping requires a PTE update and a TLB shootdown; the IPIs
+    // stall the application regardless of who runs the eviction.
+    pageTable_.markNotPresent(vpn);
+    tlb_.invalidatePage(vpn);
+    tlbShootdowns_.add();
+    appClock_.advance(static_cast<Tick>(lat.tlbShootdownNs +
+                                        lat.pteUpdateNs));
+
+    cmem_.dropPage(vpn * pageSize);
+    pagesEvicted_.add();
+}
+
+void
+VmRuntime::writebackPage(Addr vpn, SimClock &clock)
+{
+    const LatencyConfig &lat = fabric_.latency();
+
+    // Copy the page into the RDMA-registered buffer (the cost Fig 11's
+    // idealized no-copy baselines omit).
+    clock.advance(static_cast<Tick>(
+        lat.copySetupNs +
+        static_cast<double>(pageSize) * lat.copyPerKbNs / 1024.0));
+    cmem_.read(vpn * pageSize, rdmaBuffer_.data(), pageSize);
+
+    auto copies = translation_.translateAll(vpn * pageSize);
+    Tick start = clock.now();
+    Tick maxEnd = start;
+    bool any = false;
+    for (const RemoteLocation &loc : copies) {
+        if (fabric_.nodeDown(loc.node))
+            continue;
+        SimClock branch;
+        branch.advanceTo(start);
+        WorkRequest wr;
+        wr.wrId = nextWrId_++;
+        wr.opcode = RdmaOpcode::Write;
+        wr.localBuf = rdmaBuffer_.data();
+        wr.remoteKey = loc.regionKey;
+        wr.remoteAddr = loc.addr;
+        wr.length = pageSize;
+        if (!qpTo(loc.node).post(wr, branch)) {
+            poller_.waitOne(cq_, branch);
+            continue;
+        }
+        poller_.waitOne(cq_, branch);
+        wireBytes_.add(pageSize);
+        maxEnd = std::max(maxEnd, branch.now());
+        any = true;
+    }
+    if (!any)
+        fatal("page writeback failed: all replicas unreachable");
+    clock.advanceTo(maxEnd);
+}
+
+void
+VmRuntime::read(Addr addr, void *buf, std::size_t size)
+{
+    if (size == 0)
+        return;
+    ensureRange(addr, size, AccessType::Read);
+
+    Addr first = alignDown(addr, cacheLineSize);
+    Addr last = alignDown(addr + size - 1, cacheLineSize);
+    for (Addr line = first; line <= last; line += cacheLineSize) {
+        int level = hierarchy_.accessOne(line, AccessType::Read);
+        std::size_t idx = level >= 0 ? static_cast<std::size_t>(level)
+                                     : hierarchy_.numLevels();
+        appClock_.advance(static_cast<Tick>(levelLatencyNs_[idx]));
+        if (level < 0) {
+            appClock_.advance(static_cast<Tick>(
+                fabric_.latency().cmemNs));
+        }
+    }
+
+    cmem_.read(addr, buf, size);
+    reads_.add();
+    bytesRead_.add(size);
+}
+
+void
+VmRuntime::write(Addr addr, const void *buf, std::size_t size)
+{
+    if (size == 0)
+        return;
+    ensureRange(addr, size, AccessType::Write);
+
+    Addr first = alignDown(addr, cacheLineSize);
+    Addr last = alignDown(addr + size - 1, cacheLineSize);
+    for (Addr line = first; line <= last; line += cacheLineSize) {
+        int level = hierarchy_.accessOne(line, AccessType::Write);
+        std::size_t idx = level >= 0 ? static_cast<std::size_t>(level)
+                                     : hierarchy_.numLevels();
+        appClock_.advance(static_cast<Tick>(levelLatencyNs_[idx]));
+        if (level < 0) {
+            appClock_.advance(static_cast<Tick>(
+                fabric_.latency().cmemNs));
+        }
+    }
+
+    cmem_.write(addr, buf, size);
+    writes_.add();
+    bytesWritten_.add(size);
+}
+
+void
+VmRuntime::writebackAll()
+{
+    while (!lruList_.empty())
+        evictOne();
+}
+
+Tick
+VmRuntime::elapsed() const
+{
+    return std::max(appClock_.now(), backgroundClock_.now());
+}
+
+RuntimeStats
+VmRuntime::stats() const
+{
+    RuntimeStats s;
+    s.reads = reads_.value();
+    s.writes = writes_.value();
+    s.bytesRead = bytesRead_.value();
+    s.bytesWritten = bytesWritten_.value();
+    s.remoteFetches = majorFaults_.value();
+    s.majorFaults = majorFaults_.value();
+    s.minorFaults = minorFaults_.value();
+    s.tlbShootdowns = tlbShootdowns_.value();
+    s.pagesEvicted = pagesEvicted_.value();
+    s.silentEvictions = silentEvictions_.value();
+    s.evictionBytesOnWire = wireBytes_.value();
+    return s;
+}
+
+} // namespace kona

@@ -1,0 +1,207 @@
+#include "fpga/coherent_fpga.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace kona {
+
+CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
+                           const FpgaConfig &config)
+    : fabric_(fabric), computeNode_(computeNode), config_(config),
+      fmem_(config.fmemSize, config.fmemAssociativity),
+      fmemStore_(config.fmemSize), poller_(fabric.latency())
+{
+    KONA_ASSERT(config.vfmemSize % pageSize == 0,
+                "VFMem window must be page aligned");
+    KONA_ASSERT(config.vfmemBase % pageSize == 0,
+                "VFMem base must be page aligned");
+    KONA_ASSERT(config.fmemSize <= config.vfmemSize,
+                "FMem larger than the VFMem window is pointless");
+}
+
+QueuePair &
+CoherentFpga::qpTo(NodeId node)
+{
+    auto it = qps_.find(node);
+    if (it == qps_.end()) {
+        it = qps_.emplace(node,
+                          std::make_unique<QueuePair>(
+                              fabric_, computeNode_, node, cq_)).first;
+    }
+    return *it->second;
+}
+
+ServeStatus
+CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
+{
+    (void)type;
+    KONA_ASSERT(inVFMem(lineAddr), "serveLine outside VFMem: ",
+                lineAddr);
+    const LatencyConfig &lat = fabric_.latency();
+    clock.advance(static_cast<Tick>(lat.vfmemDirectoryNs));
+
+    Addr vpn = pageNumber(lineAddr);
+    if (fmem_.lookup(vpn).has_value()) {
+        clock.advance(static_cast<Tick>(lat.fmemNs));
+        // Streaming accesses keep the prefetcher one page ahead even
+        // while hitting in FMem (a fault-based runtime cannot: the
+        // prefetcher never crosses a page fault, §4.4).
+        maybePrefetch(vpn);
+        return ServeStatus::FMemHit;
+    }
+
+    // Need to fetch the page; make room in the set first.
+    auto victim = fmem_.victimFor(vpn);
+    if (victim.has_value()) {
+        KONA_ASSERT(static_cast<bool>(evictionCallback_),
+                    "FMem set full and no eviction callback installed");
+        evictionCallback_(*victim, clock);
+        if (fmem_.contains(victim->vfmemPage)) {
+            // Eviction failed (all replicas unreachable); the fetch
+            // cannot proceed without a frame.
+            fetchFailures_.add();
+            return ServeStatus::RemoteUnavailable;
+        }
+    }
+
+    if (!fetchPage(vpn, clock)) {
+        fetchFailures_.add();
+        return ServeStatus::RemoteUnavailable;
+    }
+    clock.advance(static_cast<Tick>(lat.fmemNs));
+    maybePrefetch(vpn);
+    return ServeStatus::RemoteFetch;
+}
+
+bool
+CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
+{
+    Addr vfmemAddr = vpn * pageSize;
+    std::array<std::uint8_t, pageSize> staging;
+
+    auto locations = translation_.translateAll(vfmemAddr);
+    bool fetched = false;
+    for (std::size_t i = 0; i < locations.size(); ++i) {
+        const RemoteLocation &loc = locations[i];
+        if (fabric_.nodeDown(loc.node))
+            continue;
+        WorkRequest wr;
+        wr.wrId = nextWrId_++;
+        wr.opcode = RdmaOpcode::Read;
+        wr.localBuf = staging.data();
+        wr.remoteKey = loc.regionKey;
+        wr.remoteAddr = loc.addr;
+        wr.length = pageSize;
+        if (!qpTo(loc.node).post(wr, clock)) {
+            poller_.waitOne(cq_, clock);   // consume the error CQE
+            continue;
+        }
+        poller_.waitOne(cq_, clock);
+        if (i > 0) {
+            // The primary failed: promote the replica we read from so
+            // future traffic avoids the dead node (§4.5).
+            translation_.promoteReplica(vfmemAddr, i - 1);
+            warn("failed over VFMem page ", vpn, " to node ", loc.node);
+        }
+        fetched = true;
+        break;
+    }
+    if (!fetched)
+        return false;
+
+    std::size_t frame = fmem_.insert(vpn);
+    fmemStore_.write(static_cast<Addr>(frame) * pageSize, staging.data(),
+                     pageSize);
+    remoteFetches_.add();
+    return true;
+}
+
+void
+CoherentFpga::maybePrefetch(Addr vpn)
+{
+    if (!config_.prefetchNextPage)
+        return;
+    Addr next = vpn + 1;
+    Addr nextAddr = next * pageSize;
+    if (!inVFMem(nextAddr) || !translation_.mapped(nextAddr))
+        return;
+    if (fmem_.contains(next) || fmem_.victimFor(next).has_value())
+        return;   // resident already, or the set is full: skip
+    if (fetchPage(next, backgroundClock_))
+        prefetches_.add();
+}
+
+void
+CoherentFpga::onLineRequest(Addr lineAddr, AccessType type)
+{
+    // Requests are served through serveLine() on the runtime's explicit
+    // call; the listener hook exists for trace-driven counting uses.
+    (void)lineAddr;
+    (void)type;
+}
+
+void
+CoherentFpga::onWriteback(Addr lineAddr)
+{
+    if (!inVFMem(lineAddr))
+        return;
+    writebacksObserved_.add();
+    dirtyLines_.markLine(lineAddr);
+}
+
+void
+CoherentFpga::readBytes(Addr vfmemAddr, void *buf, std::size_t size)
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (size > 0) {
+        Addr vpn = pageNumber(vfmemAddr);
+        std::size_t offset = vfmemAddr % pageSize;
+        std::size_t chunk = std::min(size, pageSize - offset);
+        auto frame = fmem_.frameOf(vpn);
+        KONA_ASSERT(frame.has_value(),
+                    "functional read of non-resident VFMem page ", vpn);
+        fmemStore_.read(static_cast<Addr>(*frame) * pageSize + offset,
+                        out, chunk);
+        vfmemAddr += chunk;
+        out += chunk;
+        size -= chunk;
+    }
+}
+
+void
+CoherentFpga::writeBytes(Addr vfmemAddr, const void *buf,
+                         std::size_t size)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (size > 0) {
+        Addr vpn = pageNumber(vfmemAddr);
+        std::size_t offset = vfmemAddr % pageSize;
+        std::size_t chunk = std::min(size, pageSize - offset);
+        auto frame = fmem_.frameOf(vpn);
+        KONA_ASSERT(frame.has_value(),
+                    "functional write of non-resident VFMem page ", vpn);
+        fmemStore_.write(static_cast<Addr>(*frame) * pageSize + offset,
+                         in, chunk);
+        vfmemAddr += chunk;
+        in += chunk;
+        size -= chunk;
+    }
+}
+
+void
+CoherentFpga::dropPage(Addr vpn)
+{
+    fmem_.remove(vpn);
+}
+
+std::uint8_t *
+CoherentFpga::framePointer(Addr vpn)
+{
+    auto frame = fmem_.frameOf(vpn);
+    KONA_ASSERT(frame.has_value(), "framePointer of non-resident page ",
+                vpn);
+    return fmemStore_.pagePointer(static_cast<Addr>(*frame) * pageSize);
+}
+
+} // namespace kona

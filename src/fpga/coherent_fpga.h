@@ -1,0 +1,205 @@
+/**
+ * @file
+ * CoherentFpga: the reference architecture of §4.3 — an FPGA attached
+ * to the CPU over a coherent interconnect, exposing a fake physical
+ * address space (VFMem) backed by remote memory and cached in its own
+ * DRAM (FMem).
+ *
+ * The model provides the paper's two mandatory hardware primitives:
+ *
+ *  - cache-remote-data: serveLine() handles a line request that missed
+ *    the whole CPU hierarchy. FMem hit -> NUMA-latency access; miss ->
+ *    page fetch from the owning memory node over RDMA (evicting an FMem
+ *    victim through the runtime's eviction callback if the set is full).
+ *  - track-local-data: onWriteback() observes dirty-line writebacks
+ *    from the CPU hierarchy and records them in per-page bitmaps.
+ *
+ * Functional data: the authoritative bytes of a resident VFMem page
+ * live in the FMem backing store; non-resident pages live on their
+ * memory node. The runtime keeps the invariant that any line in CPU
+ * caches belongs to a resident page (eviction snoops the page first),
+ * so reads/writes can always be applied to FMem.
+ */
+
+#ifndef KONA_FPGA_COHERENT_FPGA_H
+#define KONA_FPGA_COHERENT_FPGA_H
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/hierarchy.h"
+#include "common/latency.h"
+#include "common/sim_clock.h"
+#include "fpga/fmem_cache.h"
+#include "fpga/remote_translation.h"
+#include "mem/backing_store.h"
+#include "mem/dirty_bitmap.h"
+#include "net/queue_pair.h"
+
+namespace kona {
+
+/** Configuration of the coherent FPGA. */
+struct FpgaConfig
+{
+    Addr vfmemBase = 0x400000000000ULL;   ///< base of the fake window
+    std::size_t vfmemSize = 1 * GiB;      ///< size of the fake window
+    std::size_t fmemSize = 64 * MiB;      ///< FPGA-attached DRAM cache
+    std::size_t fmemAssociativity = 4;
+    bool prefetchNextPage = false;        ///< fetch page+1 in background
+};
+
+/** Outcome of serving a line request. */
+enum class ServeStatus : std::uint8_t
+{
+    FMemHit,       ///< page was resident
+    RemoteFetch,   ///< page fetched from its memory node
+    RemoteUnavailable, ///< memory node down (network failure, §4.5)
+};
+
+/** The cache-coherent FPGA model. */
+class CoherentFpga : public MemorySideListener
+{
+  public:
+    /**
+     * @param fabric The rack network.
+     * @param computeNode This host's node id on the fabric.
+     * @param config Geometry and features.
+     */
+    CoherentFpga(Fabric &fabric, NodeId computeNode,
+                 const FpgaConfig &config);
+
+    const FpgaConfig &config() const { return config_; }
+
+    /** True when @p addr falls inside the VFMem window. */
+    bool
+    inVFMem(Addr addr) const
+    {
+        return addr >= config_.vfmemBase &&
+               addr < config_.vfmemBase + config_.vfmemSize;
+    }
+
+    /** The Resource Manager's view of the translation map. */
+    RemoteTranslation &translation() { return translation_; }
+    const RemoteTranslation &translation() const { return translation_; }
+
+    /**
+     * Eviction callback: invoked when a fetch needs a frame in a full
+     * set. The callee must write back and dropPage() the victim,
+     * charging any critical-path cost to the supplied clock.
+     */
+    using EvictionCallback =
+        std::function<void(const FMemCache::Victim &, SimClock &)>;
+    void setEvictionCallback(EvictionCallback cb)
+    {
+        evictionCallback_ = std::move(cb);
+    }
+
+    /**
+     * cache-remote-data: serve a CPU line request that missed every
+     * cache level. Charges directory + FMem or fetch cost to @p clock.
+     */
+    ServeStatus serveLine(Addr lineAddr, AccessType type,
+                          SimClock &clock);
+
+    // MemorySideListener: track-local-data.
+    void onLineRequest(Addr lineAddr, AccessType type) override;
+    void onWriteback(Addr lineAddr) override;
+
+    /** Functional read of resident VFMem bytes (from FMem frames). */
+    void readBytes(Addr vfmemAddr, void *buf, std::size_t size);
+    /** Functional write of resident VFMem bytes (to FMem frames). */
+    void writeBytes(Addr vfmemAddr, const void *buf, std::size_t size);
+
+    /** Whether VFMem page @p vpn is resident in FMem. */
+    bool pageResident(Addr vpn) const { return fmem_.contains(vpn); }
+
+    /** Dirty-line mask of VFMem page @p vpn (tracking primitive). */
+    std::uint64_t dirtyMask(Addr vpn) const
+    {
+        return dirtyLines_.pageMask(vpn);
+    }
+
+    /** Clear tracking state for @p vpn (after writeback). */
+    void clearDirty(Addr vpn) { dirtyLines_.clearPage(vpn); }
+
+    /** Mark lines dirty directly (used when emulating via snapshots). */
+    void markDirtyRange(Addr vfmemAddr, std::size_t size)
+    {
+        dirtyLines_.markRange(vfmemAddr, size);
+    }
+
+    /**
+     * Remove a page from FMem (its frame becomes free). The caller has
+     * already written dirty lines back.
+     */
+    void dropPage(Addr vpn);
+
+    /** Victims needed to keep @p freeWays ways free in every set. */
+    std::vector<FMemCache::Victim>
+    backgroundVictims(std::size_t freeWays) const
+    {
+        return fmem_.overOccupiedVictims(freeWays);
+    }
+
+    /** Raw pointer to the FMem bytes of resident page @p vpn. */
+    std::uint8_t *framePointer(Addr vpn);
+
+    /** Queue pair to memory node @p node (created on first use). */
+    QueuePair &qpTo(NodeId node);
+    CompletionQueue &cq() { return cq_; }
+    Poller &poller() { return poller_; }
+
+    /** The fabric's latency table. */
+    const LatencyConfig &latency() const { return fabric_.latency(); }
+
+    FMemCache &fmem() { return fmem_; }
+    const FMemCache &fmem() const { return fmem_; }
+    const DirtyLineBitmap &dirtyBitmap() const { return dirtyLines_; }
+
+    // Statistics.
+    std::uint64_t remoteFetches() const { return remoteFetches_.value(); }
+    std::uint64_t fmemHits() const { return fmem_.hits(); }
+    std::uint64_t writebacksObserved() const
+    {
+        return writebacksObserved_.value();
+    }
+    std::uint64_t prefetches() const { return prefetches_.value(); }
+    std::uint64_t fetchFailures() const { return fetchFailures_.value(); }
+
+    /** Background (off-critical-path) simulated time spent. */
+    Tick backgroundTime() const { return backgroundClock_.now(); }
+
+  private:
+    /**
+     * Bring VFMem page @p vpn into FMem. Assumes a free way exists.
+     * @return false when the memory node is unreachable.
+     */
+    bool fetchPage(Addr vpn, SimClock &clock);
+
+    void maybePrefetch(Addr vpn);
+
+    Fabric &fabric_;
+    NodeId computeNode_;
+    FpgaConfig config_;
+    FMemCache fmem_;
+    BackingStore fmemStore_;
+    RemoteTranslation translation_;
+    DirtyLineBitmap dirtyLines_;
+    EvictionCallback evictionCallback_;
+
+    CompletionQueue cq_;
+    Poller poller_;
+    std::unordered_map<NodeId, std::unique_ptr<QueuePair>> qps_;
+
+    SimClock backgroundClock_;
+    Counter remoteFetches_;
+    Counter writebacksObserved_;
+    Counter prefetches_;
+    Counter fetchFailures_;
+    std::uint64_t nextWrId_ = 1;
+};
+
+} // namespace kona
+
+#endif // KONA_FPGA_COHERENT_FPGA_H

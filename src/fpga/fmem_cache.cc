@@ -1,0 +1,164 @@
+#include "fpga/fmem_cache.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace kona {
+
+FMemCache::FMemCache(std::size_t sizeBytes, std::size_t associativity)
+    : assoc_(associativity)
+{
+    KONA_ASSERT(assoc_ > 0, "FMem needs >= 1 way");
+    KONA_ASSERT(sizeBytes % (assoc_ * pageSize) == 0,
+                "FMem size must be a multiple of assoc * pageSize");
+    frames_ = sizeBytes / pageSize;
+    numSets_ = frames_ / assoc_;
+    KONA_ASSERT(numSets_ > 0, "FMem too small");
+    sets_.resize(numSets_);
+    freeFrames_.resize(numSets_);
+    for (std::size_t set = 0; set < numSets_; ++set) {
+        for (std::size_t way = 0; way < assoc_; ++way)
+            freeFrames_[set].push_back(set * assoc_ + way);
+    }
+}
+
+std::optional<std::size_t>
+FMemCache::lookup(Addr vpn)
+{
+    Set &set = sets_[setOf(vpn)];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+        if (it->vpn == vpn) {
+            set.splice(set.begin(), set, it);
+            hits_.add();
+            return it->frame;
+        }
+    }
+    misses_.add();
+    return std::nullopt;
+}
+
+bool
+FMemCache::contains(Addr vpn) const
+{
+    const Set &set = sets_[setOf(vpn)];
+    for (const Way &way : set) {
+        if (way.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+std::optional<std::size_t>
+FMemCache::frameOf(Addr vpn) const
+{
+    const Set &set = sets_[setOf(vpn)];
+    for (const Way &way : set) {
+        if (way.vpn == vpn)
+            return way.frame;
+    }
+    return std::nullopt;
+}
+
+std::size_t
+FMemCache::insert(Addr vpn)
+{
+    std::size_t si = setOf(vpn);
+    Set &set = sets_[si];
+    KONA_ASSERT(!contains(vpn), "double insert of VFMem page ", vpn);
+    KONA_ASSERT(!freeFrames_[si].empty(),
+                "insert into a full set; evict the victim first");
+    std::size_t frame = freeFrames_[si].back();
+    freeFrames_[si].pop_back();
+    set.push_front({vpn, frame});
+    ++resident_;
+    return frame;
+}
+
+std::optional<FMemCache::Victim>
+FMemCache::victimFor(Addr vpn) const
+{
+    std::size_t si = setOf(vpn);
+    if (!freeFrames_[si].empty())
+        return std::nullopt;
+    const Way &lru = sets_[si].back();
+    return Victim{lru.vpn, lru.frame};
+}
+
+void
+FMemCache::remove(Addr vpn)
+{
+    std::size_t si = setOf(vpn);
+    Set &set = sets_[si];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+        if (it->vpn == vpn) {
+            freeFrames_[si].push_back(it->frame);
+            set.erase(it);
+            --resident_;
+            return;
+        }
+    }
+    panic("remove of non-resident VFMem page ", vpn);
+}
+
+std::vector<FMemCache::Victim>
+FMemCache::overOccupiedVictims(std::size_t freeWays) const
+{
+    std::vector<Victim> victims;
+    for (std::size_t si = 0; si < numSets_; ++si) {
+        std::size_t free = freeFrames_[si].size();
+        if (free >= freeWays)
+            continue;
+        std::size_t need = freeWays - free;
+        // Walk the set from LRU (back) forward.
+        auto it = sets_[si].rbegin();
+        for (std::size_t i = 0; i < need && it != sets_[si].rend();
+             ++i, ++it) {
+            victims.push_back({it->vpn, it->frame});
+        }
+    }
+    return victims;
+}
+
+std::vector<Addr>
+FMemCache::residentPages() const
+{
+    std::vector<Addr> pages;
+    pages.reserve(resident_);
+    for (const Set &set : sets_) {
+        for (const Way &way : set)
+            pages.push_back(way.vpn);
+    }
+    return pages;
+}
+
+bool
+FMemCache::checkInvariants() const
+{
+    std::unordered_set<std::size_t> seenFrames;
+    std::size_t resident = 0;
+    for (std::size_t si = 0; si < numSets_; ++si) {
+        const Set &set = sets_[si];
+        if (set.size() + freeFrames_[si].size() != assoc_)
+            return false;
+        std::unordered_set<Addr> tags;
+        for (const Way &way : set) {
+            if (setOf(way.vpn) != si)
+                return false;
+            if (!tags.insert(way.vpn).second)
+                return false;
+            if (!seenFrames.insert(way.frame).second)
+                return false;
+            if (way.frame / assoc_ != si)
+                return false;
+            ++resident;
+        }
+        for (std::size_t frame : freeFrames_[si]) {
+            if (!seenFrames.insert(frame).second)
+                return false;
+        }
+    }
+    return resident == resident_;
+}
+
+} // namespace kona

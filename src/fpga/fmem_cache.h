@@ -1,0 +1,111 @@
+/**
+ * @file
+ * FMemCache: tag/frame management for the FPGA-attached DRAM cache.
+ *
+ * Per §4.4 (Local translation), FMem is a 4-way set-associative cache
+ * of VFMem with its block size equal to the page size. Frames are
+ * fixed per (set, way) slot, so a page's bytes live at
+ * frame * pageSize inside the FMem backing store.
+ */
+
+#ifndef KONA_FPGA_FMEM_CACHE_H
+#define KONA_FPGA_FMEM_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace kona {
+
+/** Set-associative page-granularity tag store with per-set LRU. */
+class FMemCache
+{
+  public:
+    /** A page selected for eviction. */
+    struct Victim
+    {
+        Addr vfmemPage;      ///< VFMem page number being displaced
+        std::size_t frame;   ///< frame it occupies
+    };
+
+    /**
+     * @param sizeBytes Total FMem capacity (must be a multiple of
+     *                  associativity * pageSize).
+     * @param associativity Ways per set (the paper uses 4).
+     */
+    FMemCache(std::size_t sizeBytes, std::size_t associativity = 4);
+
+    /** Look up VFMem page @p vpn; refreshes LRU on hit. */
+    std::optional<std::size_t> lookup(Addr vpn);
+
+    /** Tag probe without LRU side effects. */
+    bool contains(Addr vpn) const;
+
+    /** Frame of @p vpn without LRU update; nullopt if absent. */
+    std::optional<std::size_t> frameOf(Addr vpn) const;
+
+    /**
+     * Insert @p vpn into its set, which must have a free way (evict
+     * first if victimFor() returns a victim). Returns the frame.
+     */
+    std::size_t insert(Addr vpn);
+
+    /**
+     * The LRU victim that must leave before @p vpn can be inserted;
+     * nullopt when the set has a free way.
+     */
+    std::optional<Victim> victimFor(Addr vpn) const;
+
+    /** Remove @p vpn (after eviction writeback). */
+    void remove(Addr vpn);
+
+    /**
+     * Victims to evict so every set keeps >= @p freeWays free ways.
+     * Used by background eviction to stay ahead of fetches.
+     */
+    std::vector<Victim> overOccupiedVictims(std::size_t freeWays) const;
+
+    /** All VFMem pages currently resident (for shutdown writeback). */
+    std::vector<Addr> residentPages() const;
+
+    std::size_t frames() const { return frames_; }
+    std::size_t pagesResident() const { return resident_; }
+    std::size_t numSets() const { return numSets_; }
+    std::size_t associativity() const { return assoc_; }
+    std::size_t capacityBytes() const { return frames_ * pageSize; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    /** Tag store consistency: frames unique, LRU lists well formed. */
+    bool checkInvariants() const;
+
+  private:
+    struct Way
+    {
+        Addr vpn;
+        std::size_t frame;
+    };
+    /** LRU-ordered occupied ways, front = most recent. */
+    using Set = std::list<Way>;
+
+    std::size_t setOf(Addr vpn) const { return vpn % numSets_; }
+
+    std::size_t assoc_;
+    std::size_t numSets_;
+    std::size_t frames_;
+    std::size_t resident_ = 0;
+    std::vector<Set> sets_;
+    /** Per-set free frame slots. */
+    std::vector<std::vector<std::size_t>> freeFrames_;
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace kona
+
+#endif // KONA_FPGA_FMEM_CACHE_H

@@ -1,0 +1,78 @@
+#include "mem/backing_store.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace kona {
+
+BackingStore::BackingStore(std::size_t capacity) : capacity_(capacity)
+{
+    KONA_ASSERT(capacity > 0, "empty backing store");
+}
+
+std::uint8_t *
+BackingStore::pageFor(Addr addr)
+{
+    Addr pn = pageNumber(addr);
+    auto it = pages_.find(pn);
+    if (it == pages_.end()) {
+        auto page = std::make_unique<std::uint8_t[]>(pageSize);
+        std::memset(page.get(), 0, pageSize);
+        it = pages_.emplace(pn, std::move(page)).first;
+    }
+    return it->second.get();
+}
+
+void
+BackingStore::read(Addr addr, void *buf, std::size_t size)
+{
+    KONA_ASSERT(addr + size <= capacity_,
+                "read past end of backing store at ", addr);
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (size > 0) {
+        std::size_t offset = addr % pageSize;
+        std::size_t chunk = std::min(size, pageSize - offset);
+        Addr pn = pageNumber(addr);
+        auto it = pages_.find(pn);
+        if (it == pages_.end()) {
+            std::memset(out, 0, chunk);   // untouched pages read as zero
+        } else {
+            std::memcpy(out, it->second.get() + offset, chunk);
+        }
+        addr += chunk;
+        out += chunk;
+        size -= chunk;
+    }
+}
+
+void
+BackingStore::write(Addr addr, const void *buf, std::size_t size)
+{
+    KONA_ASSERT(addr + size <= capacity_,
+                "write past end of backing store at ", addr);
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (size > 0) {
+        std::size_t offset = addr % pageSize;
+        std::size_t chunk = std::min(size, pageSize - offset);
+        std::memcpy(pageFor(addr) + offset, in, chunk);
+        addr += chunk;
+        in += chunk;
+        size -= chunk;
+    }
+}
+
+std::uint8_t *
+BackingStore::pagePointer(Addr addr)
+{
+    KONA_ASSERT(addr < capacity_, "pagePointer past end");
+    return pageFor(addr) + (addr % pageSize);
+}
+
+bool
+BackingStore::pageResident(Addr addr) const
+{
+    return pages_.count(pageNumber(addr)) != 0;
+}
+
+} // namespace kona

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * BackingStore: a flat, sparsely populated simulated DRAM.
+ *
+ * Pages are materialized on first touch so that multi-GB simulated
+ * address spaces cost only what is actually used. This models both CMem
+ * on the compute node and the DRAM of memory nodes.
+ */
+
+#ifndef KONA_MEM_BACKING_STORE_H
+#define KONA_MEM_BACKING_STORE_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/memory_interface.h"
+
+namespace kona {
+
+/** Sparse page-granularity byte store. Zero-filled on first touch. */
+class BackingStore : public MemoryInterface
+{
+  public:
+    /** @param capacity Maximum legal address + 1 (checked on access). */
+    explicit BackingStore(std::size_t capacity);
+
+    void read(Addr addr, void *buf, std::size_t size) override;
+    void write(Addr addr, const void *buf, std::size_t size) override;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Number of pages materialized so far (resident footprint). */
+    std::size_t residentPages() const { return pages_.size(); }
+
+    /**
+     * Direct pointer to the byte backing @p addr, materializing the
+     * page. Valid only up to the end of that page; used by zero-copy
+     * paths (RDMA MRs, snapshot diffs).
+     */
+    std::uint8_t *pagePointer(Addr addr);
+
+    /** Whether the page containing @p addr has been materialized. */
+    bool pageResident(Addr addr) const;
+
+    /** Discard the page containing @p addr (reads as zero afterwards). */
+    void dropPage(Addr addr) { pages_.erase(pageNumber(addr)); }
+
+  private:
+    std::uint8_t *pageFor(Addr addr);
+
+    std::size_t capacity_;
+    std::unordered_map<Addr, std::unique_ptr<std::uint8_t[]>> pages_;
+};
+
+} // namespace kona
+
+#endif // KONA_MEM_BACKING_STORE_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * DirtyLineBitmap: per-4KB-page 64-bit masks of dirty cache-lines.
+ *
+ * This is the data structure the coherent FPGA maintains from observed
+ * writebacks (track-local-data) and the Eviction Handler scans to build
+ * the CL log. One bit per 64-byte line, 64 lines per page.
+ */
+
+#ifndef KONA_MEM_DIRTY_BITMAP_H
+#define KONA_MEM_DIRTY_BITMAP_H
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace kona {
+
+/** Sparse map of page number -> dirty-line mask. */
+class DirtyLineBitmap
+{
+  public:
+    /** Mark all cache-lines overlapped by [addr, addr+size) dirty. */
+    void
+    markRange(Addr addr, std::size_t size)
+    {
+        if (size == 0)
+            return;
+        Addr first = alignDown(addr, cacheLineSize);
+        Addr last = alignDown(addr + size - 1, cacheLineSize);
+        for (Addr line = first; line <= last; line += cacheLineSize)
+            markLine(line);
+    }
+
+    /** Mark the single cache-line containing @p addr dirty. */
+    void
+    markLine(Addr addr)
+    {
+        masks_[pageNumber(addr)] |= 1ULL << lineInPage(addr);
+    }
+
+    /** Dirty mask for page @p pn (0 if clean/untracked). */
+    std::uint64_t
+    pageMask(Addr pn) const
+    {
+        auto it = masks_.find(pn);
+        return it == masks_.end() ? 0 : it->second;
+    }
+
+    bool pageDirty(Addr pn) const { return pageMask(pn) != 0; }
+
+    /** Number of dirty lines in page @p pn. */
+    unsigned
+    dirtyLines(Addr pn) const
+    {
+        return static_cast<unsigned>(std::popcount(pageMask(pn)));
+    }
+
+    /** Forget page @p pn (after writeback). Returns old mask. */
+    std::uint64_t
+    clearPage(Addr pn)
+    {
+        auto it = masks_.find(pn);
+        if (it == masks_.end())
+            return 0;
+        std::uint64_t mask = it->second;
+        masks_.erase(it);
+        return mask;
+    }
+
+    void clearAll() { masks_.clear(); }
+
+    /** Total dirty lines across all pages. */
+    std::uint64_t
+    totalDirtyLines() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &[pn, mask] : masks_)
+            total += std::popcount(mask);
+        return total;
+    }
+
+    std::uint64_t totalDirtyBytes() const
+    {
+        return totalDirtyLines() * cacheLineSize;
+    }
+
+    std::size_t dirtyPages() const { return masks_.size(); }
+
+    const std::unordered_map<Addr, std::uint64_t> &pages() const
+    {
+        return masks_;
+    }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> masks_;
+};
+
+/**
+ * Count the contiguous dirty segments in a 64-bit line mask, the metric
+ * behind Fig 3 and the CL-log aggregation efficiency.
+ */
+inline unsigned
+segmentCount(std::uint64_t mask)
+{
+    // A segment starts at every set bit whose lower neighbour is clear.
+    return static_cast<unsigned>(std::popcount(mask & ~(mask << 1)));
+}
+
+} // namespace kona
+
+#endif // KONA_MEM_DIRTY_BITMAP_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MemoryInterface: the byte-addressable access abstraction every layer
+ * of the reproduction speaks.
+ *
+ * Workloads issue loads and stores through a MemoryInterface exactly the
+ * way the paper's emulation instruments application reads and writes.
+ * Implementations include the raw DRAM backing store, the Kona runtime,
+ * the virtual-memory baseline runtimes, and the trace-capturing wrapper.
+ */
+
+#ifndef KONA_MEM_MEMORY_INTERFACE_H
+#define KONA_MEM_MEMORY_INTERFACE_H
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/types.h"
+
+namespace kona {
+
+/** Abstract byte-addressable memory with typed load/store helpers. */
+class MemoryInterface
+{
+  public:
+    virtual ~MemoryInterface() = default;
+
+    /** Copy @p size bytes at simulated address @p addr into @p buf. */
+    virtual void read(Addr addr, void *buf, std::size_t size) = 0;
+
+    /** Copy @p size bytes from @p buf to simulated address @p addr. */
+    virtual void write(Addr addr, const void *buf, std::size_t size) = 0;
+
+    /** Typed load of a trivially copyable T. */
+    template <typename T>
+    T
+    load(Addr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+
+    /** Typed store of a trivially copyable T. */
+    template <typename T>
+    void
+    store(Addr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(addr, &value, sizeof(T));
+    }
+};
+
+} // namespace kona
+
+#endif // KONA_MEM_MEMORY_INTERFACE_H

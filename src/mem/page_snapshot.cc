@@ -1,0 +1,75 @@
+#include "mem/page_snapshot.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace kona {
+
+void
+PageSnapshotStore::capture(Addr pn, MemoryInterface &mem)
+{
+    PageCopy &copy = snapshots_[pn];
+    mem.read(pn * pageSize, copy.data(), pageSize);
+}
+
+void
+PageSnapshotStore::release(Addr pn)
+{
+    snapshots_.erase(pn);
+}
+
+std::uint64_t
+PageSnapshotStore::diffLines(Addr pn, MemoryInterface &mem) const
+{
+    auto it = snapshots_.find(pn);
+    if (it == snapshots_.end())
+        return 0;
+
+    PageCopy current;
+    mem.read(pn * pageSize, current.data(), pageSize);
+
+    std::uint64_t mask = 0;
+    for (unsigned line = 0; line < linesPerPage; ++line) {
+        std::size_t off = line * cacheLineSize;
+        if (std::memcmp(current.data() + off,
+                        it->second.data() + off, cacheLineSize) != 0) {
+            mask |= 1ULL << line;
+        }
+    }
+    return mask;
+}
+
+std::uint64_t
+PageSnapshotStore::diffAndRefresh(Addr pn, MemoryInterface &mem)
+{
+    auto it = snapshots_.find(pn);
+    if (it == snapshots_.end()) {
+        capture(pn, mem);
+        return 0;
+    }
+
+    PageCopy current;
+    mem.read(pn * pageSize, current.data(), pageSize);
+
+    std::uint64_t mask = 0;
+    for (unsigned line = 0; line < linesPerPage; ++line) {
+        std::size_t off = line * cacheLineSize;
+        if (std::memcmp(current.data() + off,
+                        it->second.data() + off, cacheLineSize) != 0) {
+            mask |= 1ULL << line;
+        }
+    }
+    it->second = current;
+    return mask;
+}
+
+const std::uint8_t *
+PageSnapshotStore::data(Addr pn) const
+{
+    auto it = snapshots_.find(pn);
+    KONA_ASSERT(it != snapshots_.end(), "no snapshot for page ", pn);
+    return it->second.data();
+}
+
+} // namespace kona

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * PageSnapshotStore: copies of page contents used by KTracker and by
+ * Kona's emulated dirty tracking (§5): "for each page that is fetched
+ * from remote memory, we create a copy of the page that is used by the
+ * eviction thread to determine which cache-lines have changed".
+ */
+
+#ifndef KONA_MEM_PAGE_SNAPSHOT_H
+#define KONA_MEM_PAGE_SNAPSHOT_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/memory_interface.h"
+
+namespace kona {
+
+/** Keeps byte-exact copies of pages and diffs them at line granularity. */
+class PageSnapshotStore
+{
+  public:
+    /** Snapshot the current contents of page @p pn read from @p mem. */
+    void capture(Addr pn, MemoryInterface &mem);
+
+    /** Drop the snapshot of page @p pn. */
+    void release(Addr pn);
+
+    bool has(Addr pn) const { return snapshots_.count(pn) != 0; }
+    std::size_t size() const { return snapshots_.size(); }
+
+    /**
+     * Compare page @p pn in @p mem against its snapshot.
+     * @return 64-bit mask of cache-lines whose bytes differ; 0 when the
+     *         page is unchanged or was never captured.
+     */
+    std::uint64_t diffLines(Addr pn, MemoryInterface &mem) const;
+
+    /**
+     * Diff and refresh: returns the changed-line mask and updates the
+     * snapshot to the current contents (KTracker's per-window cycle).
+     */
+    std::uint64_t diffAndRefresh(Addr pn, MemoryInterface &mem);
+
+    /** Raw snapshot bytes for page @p pn (must exist). */
+    const std::uint8_t *data(Addr pn) const;
+
+  private:
+    using PageCopy = std::array<std::uint8_t, pageSize>;
+    std::unordered_map<Addr, PageCopy> snapshots_;
+};
+
+} // namespace kona
+
+#endif // KONA_MEM_PAGE_SNAPSHOT_H

@@ -1,0 +1,95 @@
+#include "mem/page_table.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+void
+PageTable::map(Addr vpn, Addr ppn, bool writable)
+{
+    PageTableEntry &pte = entries_[vpn];
+    pte.physPage = ppn;
+    pte.present = true;
+    pte.writable = writable;
+    pte.dirty = false;
+    pte.accessed = false;
+    pteUpdates_.add();
+}
+
+void
+PageTable::unmap(Addr vpn)
+{
+    entries_.erase(vpn);
+    pteUpdates_.add();
+}
+
+PageTableEntry &
+PageTable::entryRef(Addr vpn)
+{
+    auto it = entries_.find(vpn);
+    KONA_ASSERT(it != entries_.end(), "no PTE for vpn ", vpn);
+    return it->second;
+}
+
+void
+PageTable::markNotPresent(Addr vpn)
+{
+    entryRef(vpn).present = false;
+    pteUpdates_.add();
+}
+
+void
+PageTable::markPresent(Addr vpn)
+{
+    entryRef(vpn).present = true;
+    pteUpdates_.add();
+}
+
+void
+PageTable::writeProtect(Addr vpn)
+{
+    entryRef(vpn).writable = false;
+    pteUpdates_.add();
+}
+
+void
+PageTable::enableWrite(Addr vpn)
+{
+    PageTableEntry &pte = entryRef(vpn);
+    pte.writable = true;
+    pte.dirty = true;
+    pteUpdates_.add();
+}
+
+void
+PageTable::clearDirty(Addr vpn)
+{
+    entryRef(vpn).dirty = false;
+    pteUpdates_.add();
+}
+
+TranslationResult
+PageTable::translate(Addr vpn, AccessType type)
+{
+    auto it = entries_.find(vpn);
+    if (it == entries_.end() || !it->second.present)
+        return TranslationResult::NotPresent;
+
+    PageTableEntry &pte = it->second;
+    if (type == AccessType::Write && !pte.writable)
+        return TranslationResult::WriteProtected;
+
+    pte.accessed = true;
+    if (type == AccessType::Write)
+        pte.dirty = true;
+    return TranslationResult::Ok;
+}
+
+const PageTableEntry *
+PageTable::entry(Addr vpn) const
+{
+    auto it = entries_.find(vpn);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+} // namespace kona

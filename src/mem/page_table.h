@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A single-level simulated page table with the protection machinery the
+ * virtual-memory baselines depend on: present bits (fetch faults),
+ * write-protection (dirty tracking faults), and dirty/accessed bits.
+ *
+ * Kona itself keeps pages permanently present and writable in VFMem;
+ * the VM baselines flip these bits constantly — that asymmetry is the
+ * core of the paper.
+ */
+
+#ifndef KONA_MEM_PAGE_TABLE_H
+#define KONA_MEM_PAGE_TABLE_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace kona {
+
+/** One page table entry. */
+struct PageTableEntry
+{
+    Addr physPage = invalidAddr; ///< physical page number
+    bool present = false;
+    bool writable = true;
+    bool dirty = false;
+    bool accessed = false;
+};
+
+/** Outcome of a translation attempt. */
+enum class TranslationResult : std::uint8_t
+{
+    Ok,             ///< translation succeeded
+    NotPresent,     ///< page not mapped or present bit clear (major fault)
+    WriteProtected, ///< write hit a read-only page (minor fault)
+};
+
+/** Virtual page number -> PageTableEntry map with fault semantics. */
+class PageTable
+{
+  public:
+    PageTable() = default;
+
+    /**
+     * Map virtual page @p vpn to physical page @p ppn.
+     * @param writable Initial write permission.
+     */
+    void map(Addr vpn, Addr ppn, bool writable = true);
+
+    /** Remove the mapping for @p vpn entirely. */
+    void unmap(Addr vpn);
+
+    /** Clear the present bit but keep the entry (eviction). */
+    void markNotPresent(Addr vpn);
+
+    /** Set the present bit (fetch completed). */
+    void markPresent(Addr vpn);
+
+    /** Clear write permission on @p vpn (dirty-tracking re-arm). */
+    void writeProtect(Addr vpn);
+
+    /** Grant write permission and mark dirty (minor fault service). */
+    void enableWrite(Addr vpn);
+
+    /** Clear the dirty bit (after writeback). */
+    void clearDirty(Addr vpn);
+
+    /**
+     * Translate an access to virtual page @p vpn.
+     * Sets accessed/dirty bits on success.
+     */
+    TranslationResult translate(Addr vpn, AccessType type);
+
+    /** Entry lookup without side effects. */
+    const PageTableEntry *entry(Addr vpn) const;
+
+    bool mapped(Addr vpn) const { return entries_.count(vpn) != 0; }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Number of PTE modifications performed (cost accounting). */
+    std::uint64_t pteUpdates() const { return pteUpdates_.value(); }
+
+  private:
+    PageTableEntry &entryRef(Addr vpn);
+
+    std::unordered_map<Addr, PageTableEntry> entries_;
+    Counter pteUpdates_;
+};
+
+} // namespace kona
+
+#endif // KONA_MEM_PAGE_TABLE_H

@@ -1,0 +1,155 @@
+#include "mem/region_allocator.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+RegionAllocator::RegionAllocator(Addr base, std::size_t size)
+    : base_(base), totalSize_(size)
+{
+    KONA_ASSERT(size > 0, "empty region");
+    insertFree(base, size);
+}
+
+std::optional<Addr>
+RegionAllocator::allocate(std::size_t size, std::size_t alignment)
+{
+    KONA_ASSERT(size > 0, "zero-size allocation");
+    KONA_ASSERT((alignment & (alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+    // Best fit via the size index: walk candidates from the smallest
+    // chunk that could possibly fit; alignment padding can disqualify
+    // a candidate, in which case the next-larger chunk is tried. The
+    // padding is at most alignment-1 bytes, so this terminates fast.
+    for (auto it = freeBySize_.lower_bound(size);
+         it != freeBySize_.end(); ++it) {
+        Addr chunkAddr = it->second;
+        std::size_t chunkSize = it->first;
+        Addr start = alignUp(chunkAddr, alignment);
+        std::size_t pad = start - chunkAddr;
+        if (pad + size > chunkSize)
+            continue;
+
+        eraseFree(chunkAddr, chunkSize);
+        if (pad > 0)
+            insertFree(chunkAddr, pad);
+        std::size_t tail = chunkSize - pad - size;
+        if (tail > 0)
+            insertFree(start + size, tail);
+
+        live_[start] = size;
+        bytesInUse_ += size;
+        return start;
+    }
+    return std::nullopt;
+}
+
+void
+RegionAllocator::deallocate(Addr addr)
+{
+    auto it = live_.find(addr);
+    KONA_ASSERT(it != live_.end(), "deallocate of unknown address ",
+                addr);
+    std::size_t size = it->second;
+    live_.erase(it);
+    bytesInUse_ -= size;
+    coalesceInsert(addr, size);
+}
+
+void
+RegionAllocator::insertFree(Addr addr, std::size_t size)
+{
+    freeByAddr_[addr] = size;
+    freeBySize_.emplace(size, addr);
+}
+
+void
+RegionAllocator::eraseFree(Addr addr, std::size_t size)
+{
+    freeByAddr_.erase(addr);
+    auto [lo, hi] = freeBySize_.equal_range(size);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second == addr) {
+            freeBySize_.erase(it);
+            return;
+        }
+    }
+    panic("size index out of sync at ", addr);
+}
+
+void
+RegionAllocator::coalesceInsert(Addr addr, std::size_t size)
+{
+    // Coalesce with successor.
+    auto next = freeByAddr_.lower_bound(addr);
+    if (next != freeByAddr_.end() && addr + size == next->first) {
+        std::size_t nextSize = next->second;
+        eraseFree(next->first, nextSize);
+        size += nextSize;
+    }
+    // Coalesce with predecessor.
+    next = freeByAddr_.lower_bound(addr);
+    if (next != freeByAddr_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            Addr prevAddr = prev->first;
+            std::size_t prevSize = prev->second;
+            eraseFree(prevAddr, prevSize);
+            addr = prevAddr;
+            size += prevSize;
+        }
+    }
+    insertFree(addr, size);
+}
+
+std::size_t
+RegionAllocator::allocationSize(Addr addr) const
+{
+    auto it = live_.find(addr);
+    KONA_ASSERT(it != live_.end(), "unknown allocation ", addr);
+    return it->second;
+}
+
+void
+RegionAllocator::extend(std::size_t size)
+{
+    KONA_ASSERT(size > 0, "empty extension");
+    Addr oldEnd = base_ + totalSize_;
+    totalSize_ += size;
+    coalesceInsert(oldEnd, size);
+}
+
+bool
+RegionAllocator::checkInvariants() const
+{
+    if (freeByAddr_.size() != freeBySize_.size())
+        return false;
+    std::size_t freeSum = 0;
+    Addr prevEnd = 0;
+    bool first = true;
+    for (const auto &[addr, size] : freeByAddr_) {
+        if (size == 0)
+            return false;
+        if (!first && addr < prevEnd)
+            return false;            // overlap
+        if (!first && addr == prevEnd)
+            return false;            // should have been coalesced
+        prevEnd = addr + size;
+        first = false;
+        freeSum += size;
+        // Each address chunk must appear in the size index.
+        auto [lo, hi] = freeBySize_.equal_range(size);
+        bool found = false;
+        for (auto it = lo; it != hi; ++it)
+            found |= it->second == addr;
+        if (!found)
+            return false;
+    }
+    std::size_t liveSum = 0;
+    for (const auto &[addr, size] : live_)
+        liveSum += size;
+    return freeSum + liveSum == totalSize_;
+}
+
+} // namespace kona

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * RegionAllocator: a free-list allocator over a contiguous range of
+ * simulated addresses.
+ *
+ * Two users: AllocLib carves application objects out of VFMem-mapped
+ * slabs with it (the "local memory allocator" of §4.4), and memory
+ * nodes carve registered DRAM into slabs for the rack controller.
+ *
+ * The allocator keeps all metadata host-side (no headers inside the
+ * simulated heap) so that the workloads' access patterns contain only
+ * their own data — important for the amplification measurements.
+ */
+
+#ifndef KONA_MEM_REGION_ALLOCATOR_H
+#define KONA_MEM_REGION_ALLOCATOR_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace kona {
+
+/** Best-fit free-list allocator with coalescing. */
+class RegionAllocator
+{
+  public:
+    /** Manage [base, base+size). */
+    RegionAllocator(Addr base, std::size_t size);
+
+    /**
+     * Allocate @p size bytes aligned to @p alignment (power of two).
+     * @return Address, or nullopt if the region is exhausted.
+     */
+    std::optional<Addr> allocate(std::size_t size,
+                                 std::size_t alignment = 16);
+
+    /** Free a previous allocation. @p addr must be a returned address. */
+    void deallocate(Addr addr);
+
+    /** Size of the live allocation at @p addr. */
+    std::size_t allocationSize(Addr addr) const;
+
+    /** Grow the managed region by appending [end, end+size). */
+    void extend(std::size_t size);
+
+    std::size_t bytesInUse() const { return bytesInUse_; }
+    std::size_t bytesFree() const { return totalSize_ - bytesInUse_; }
+    std::size_t totalSize() const { return totalSize_; }
+    Addr base() const { return base_; }
+    Addr end() const { return base_ + totalSize_; }
+    std::size_t liveAllocations() const { return live_.size(); }
+
+    /** Invariant check: free chunks disjoint, coalesced, sizes add up. */
+    bool checkInvariants() const;
+
+  private:
+    /** Add a free chunk to both indices (no coalescing). */
+    void insertFree(Addr addr, std::size_t size);
+    /** Remove a known free chunk from both indices. */
+    void eraseFree(Addr addr, std::size_t size);
+    /** Insert a free chunk, merging with adjacent free chunks. */
+    void coalesceInsert(Addr addr, std::size_t size);
+
+    Addr base_;
+    std::size_t totalSize_;
+    std::size_t bytesInUse_ = 0;
+
+    /** Free chunks by address (for coalescing). addr -> size. */
+    std::map<Addr, std::size_t> freeByAddr_;
+    /** Free chunks by size (for best-fit in O(log n)). */
+    std::multimap<std::size_t, Addr> freeBySize_;
+    /** Live allocations. addr -> size actually reserved. */
+    std::unordered_map<Addr, std::size_t> live_;
+};
+
+} // namespace kona
+
+#endif // KONA_MEM_REGION_ALLOCATOR_H

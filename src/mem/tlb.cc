@@ -1,0 +1,61 @@
+#include "mem/tlb.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+Tlb::Tlb(std::size_t entries) : capacity_(entries)
+{
+    KONA_ASSERT(entries > 0, "TLB needs at least one entry");
+}
+
+bool
+Tlb::lookup(Addr vpn)
+{
+    auto it = map_.find(vpn);
+    if (it == map_.end()) {
+        misses_.add();
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hits_.add();
+    return true;
+}
+
+void
+Tlb::insert(Addr vpn)
+{
+    auto it = map_.find(vpn);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        Addr victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+    }
+    lru_.push_front(vpn);
+    map_[vpn] = lru_.begin();
+}
+
+void
+Tlb::invalidatePage(Addr vpn)
+{
+    auto it = map_.find(vpn);
+    if (it != map_.end()) {
+        lru_.erase(it->second);
+        map_.erase(it);
+    }
+    invalidations_.add();
+}
+
+void
+Tlb::invalidateAll()
+{
+    lru_.clear();
+    map_.clear();
+    flushes_.add();
+}
+
+} // namespace kona

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A TLB model. The virtual-memory baselines pay for it dearly: every
+ * write-protection change and every eviction invalidates entries and,
+ * on multi-core runs, triggers shootdown IPIs whose cost the runtimes
+ * charge via LatencyConfig::tlbShootdownNs. Kona never changes page
+ * permissions after setup, so its TLB entries are never shot down.
+ */
+
+#ifndef KONA_MEM_TLB_H
+#define KONA_MEM_TLB_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace kona {
+
+/** Fully associative LRU TLB over virtual page numbers. */
+class Tlb
+{
+  public:
+    /** @param entries Capacity in translations (e.g. 1536 for L2 STLB). */
+    explicit Tlb(std::size_t entries = 1536);
+
+    /** Look up @p vpn; true on hit. Updates recency and counters. */
+    bool lookup(Addr vpn);
+
+    /** Install a translation for @p vpn, evicting LRU if full. */
+    void insert(Addr vpn);
+
+    /** Invalidate one page (invlpg). Counts an invalidation. */
+    void invalidatePage(Addr vpn);
+
+    /** Invalidate everything (full flush / context switch). */
+    void invalidateAll();
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t invalidations() const { return invalidations_.value(); }
+    std::uint64_t flushes() const { return flushes_.value(); }
+    std::size_t occupancy() const { return map_.size(); }
+
+  private:
+    std::size_t capacity_;
+    std::list<Addr> lru_;   // front = most recent
+    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+    Counter hits_;
+    Counter misses_;
+    Counter invalidations_;
+    Counter flushes_;
+};
+
+} // namespace kona
+
+#endif // KONA_MEM_TLB_H

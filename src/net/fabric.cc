@@ -1,0 +1,77 @@
+#include "net/fabric.h"
+
+namespace kona {
+
+void
+Fabric::attachNode(NodeId node, BackingStore *store)
+{
+    KONA_ASSERT(store != nullptr, "null backing store");
+    KONA_ASSERT(stores_.count(node) == 0, "node ", node,
+                " already attached");
+    stores_[node] = store;
+}
+
+BackingStore &
+Fabric::nodeStore(NodeId node)
+{
+    auto it = stores_.find(node);
+    KONA_ASSERT(it != stores_.end(), "unknown node ", node);
+    return *it->second;
+}
+
+MemoryRegion
+Fabric::registerRegion(NodeId node, Addr base, std::size_t length)
+{
+    KONA_ASSERT(stores_.count(node) != 0, "unknown node ", node);
+    KONA_ASSERT(length > 0, "empty region");
+    MemoryRegion mr;
+    mr.key = nextKey_++;
+    mr.node = node;
+    mr.base = base;
+    mr.length = length;
+    regions_[mr.key] = mr;
+    return mr;
+}
+
+void
+Fabric::deregisterRegion(std::uint32_t key)
+{
+    KONA_ASSERT(regions_.erase(key) == 1, "unknown region key ", key);
+}
+
+const MemoryRegion &
+Fabric::region(std::uint32_t key) const
+{
+    auto it = regions_.find(key);
+    if (it == regions_.end())
+        fatal("work request references unregistered region key ", key);
+    return it->second;
+}
+
+void
+Fabric::setNodeDelay(NodeId node, Tick extraNs)
+{
+    delays_[node] = extraNs;
+}
+
+void
+Fabric::setNodeDown(NodeId node, bool down)
+{
+    down_[node] = down;
+}
+
+Tick
+Fabric::nodeDelay(NodeId node) const
+{
+    auto it = delays_.find(node);
+    return it == delays_.end() ? 0 : it->second;
+}
+
+bool
+Fabric::nodeDown(NodeId node) const
+{
+    auto it = down_.find(node);
+    return it != down_.end() && it->second;
+}
+
+} // namespace kona

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fabric: the simulated RoCE switch connecting compute and memory
+ * nodes. It owns per-node backing stores' registration namespace and
+ * the link cost/failure model; QueuePairs execute verbs against it.
+ *
+ * The cost model is deliberately simple and calibrated to the paper's
+ * measured numbers (4KB op ~ 3us on CX5/100Gbps):
+ *
+ *     cost(op)        = rdmaBaseNs + bytes * rdmaPipelinedPerKbNs/1024
+ *     cost(linked op) = rdmaLinkedOpNs + the same wire term
+ *
+ * Linked (chained) work requests amortize the doorbell and DMA setup,
+ * which is the batching optimization of §5.1.
+ */
+
+#ifndef KONA_NET_FABRIC_H
+#define KONA_NET_FABRIC_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/latency.h"
+#include "common/logging.h"
+#include "common/types.h"
+#include "mem/backing_store.h"
+
+namespace kona {
+
+/** A registered memory region on some node. */
+struct MemoryRegion
+{
+    std::uint32_t key = 0;
+    NodeId node = 0;
+    Addr base = 0;
+    std::size_t length = 0;
+
+    bool
+    covers(Addr addr, std::size_t size) const
+    {
+        return addr >= base && addr + size <= base + length;
+    }
+};
+
+/** The rack network. */
+class Fabric
+{
+  public:
+    explicit Fabric(const LatencyConfig &latency = {})
+        : latency_(latency)
+    {}
+
+    /** Attach @p store as the physical memory of node @p node. */
+    void attachNode(NodeId node, BackingStore *store);
+
+    BackingStore &nodeStore(NodeId node);
+    bool hasNode(NodeId node) const { return stores_.count(node) != 0; }
+
+    /**
+     * Register [base, base+length) of @p node's memory for RDMA.
+     * @return The region key used in work requests.
+     */
+    MemoryRegion registerRegion(NodeId node, Addr base,
+                                std::size_t length);
+
+    /** Drop a registration. */
+    void deregisterRegion(std::uint32_t key);
+
+    /** Look up a registration; fatal if unknown. */
+    const MemoryRegion &region(std::uint32_t key) const;
+
+    const LatencyConfig &latency() const { return latency_; }
+
+    /** Inject extra one-way delay on every op touching @p node. */
+    void setNodeDelay(NodeId node, Tick extraNs);
+
+    /** Mark @p node unreachable (ops fail) or reachable again. */
+    void setNodeDown(NodeId node, bool down);
+
+    Tick nodeDelay(NodeId node) const;
+    bool nodeDown(NodeId node) const;
+
+    std::uint64_t bytesTransferred() const { return bytesMoved_; }
+    std::uint64_t opsExecuted() const { return opsExecuted_; }
+
+    /** Internal accounting hooks used by QueuePair. */
+    void accountTransfer(std::uint64_t bytes)
+    {
+        bytesMoved_ += bytes;
+        ++opsExecuted_;
+    }
+
+  private:
+    LatencyConfig latency_;
+    std::unordered_map<NodeId, BackingStore *> stores_;
+    std::unordered_map<std::uint32_t, MemoryRegion> regions_;
+    std::unordered_map<NodeId, Tick> delays_;
+    std::unordered_map<NodeId, bool> down_;
+    std::uint32_t nextKey_ = 1;
+    std::uint64_t bytesMoved_ = 0;
+    std::uint64_t opsExecuted_ = 0;
+};
+
+} // namespace kona
+
+#endif // KONA_NET_FABRIC_H

@@ -1,0 +1,123 @@
+#include "net/queue_pair.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+WorkCompletion
+CompletionQueue::pop()
+{
+    KONA_ASSERT(!entries_.empty(), "pop from empty CQ");
+    WorkCompletion wc = entries_.front();
+    entries_.pop_front();
+    return wc;
+}
+
+QueuePair::QueuePair(Fabric &fabric, NodeId localNode, NodeId remoteNode,
+                     CompletionQueue &cq)
+    : fabric_(fabric), localNode_(localNode), remoteNode_(remoteNode),
+      cq_(cq)
+{
+    KONA_ASSERT(fabric.hasNode(remoteNode), "QP to unknown node ",
+                remoteNode);
+}
+
+double
+QueuePair::executeOne(const WorkRequest &wr, bool linked)
+{
+    KONA_ASSERT(wr.localBuf != nullptr || wr.length == 0,
+                "work request without a local buffer");
+    const MemoryRegion &mr = fabric_.region(wr.remoteKey);
+    KONA_ASSERT(mr.node == remoteNode_,
+                "region key belongs to a different node");
+    if (!mr.covers(wr.remoteAddr, wr.length))
+        fatal("RDMA access outside registered region: addr ",
+              wr.remoteAddr, " len ", wr.length);
+
+    BackingStore &remote = fabric_.nodeStore(remoteNode_);
+    if (wr.opcode == RdmaOpcode::Write) {
+        remote.write(wr.remoteAddr, wr.localBuf, wr.length);
+    } else {
+        remote.read(wr.remoteAddr, wr.localBuf, wr.length);
+    }
+    fabric_.accountTransfer(wr.length);
+    postedOps_++;
+    postedBytes_ += wr.length;
+
+    const LatencyConfig &lat = fabric_.latency();
+    double base = linked ? lat.rdmaLinkedOpNs : lat.rdmaBaseNs;
+    if (wr.inlineData && wr.opcode == RdmaOpcode::Write &&
+        wr.length <= lat.rdmaInlineThreshold) {
+        // Inline payloads skip the DMA fetch of the local buffer but
+        // still cross the wire; the paper found this unhelpful at 64B+
+        // sizes, which the model reflects via a small constant saving.
+        base = std::max(0.0, base - 100.0);
+    }
+    double wire = static_cast<double>(wr.length) *
+                  lat.rdmaPipelinedPerKbNs / 1024.0;
+    return base + wire + static_cast<double>(
+        fabric_.nodeDelay(remoteNode_));
+}
+
+bool
+QueuePair::post(const WorkRequest &wr, SimClock &clock)
+{
+    if (fabric_.nodeDown(remoteNode_)) {
+        cq_.push({wr.wrId, WcStatus::RemoteUnreachable, clock.now()});
+        return false;
+    }
+    double cost = executeOne(wr, /*linked=*/false);
+    Tick done = clock.now() + static_cast<Tick>(cost);
+    if (wr.signaled)
+        cq_.push({wr.wrId, WcStatus::Success, done});
+    return true;
+}
+
+bool
+QueuePair::postLinked(std::span<const WorkRequest> wrs, SimClock &clock)
+{
+    if (wrs.empty())
+        return true;
+    if (fabric_.nodeDown(remoteNode_)) {
+        cq_.push({wrs.back().wrId, WcStatus::RemoteUnreachable,
+                  clock.now()});
+        return false;
+    }
+    // The first WR of a chain pays the full doorbell; subsequent linked
+    // WRs pay only the marginal cost. Ops within a chain pipeline, so
+    // completion time accumulates their costs serially on the wire.
+    double total = 0.0;
+    bool first = true;
+    for (const WorkRequest &wr : wrs) {
+        total += executeOne(wr, /*linked=*/!first);
+        first = false;
+    }
+    Tick done = clock.now() + static_cast<Tick>(total);
+    for (const WorkRequest &wr : wrs) {
+        if (wr.signaled)
+            cq_.push({wr.wrId, WcStatus::Success, done});
+    }
+    return true;
+}
+
+WorkCompletion
+Poller::waitOne(CompletionQueue &cq, SimClock &clock)
+{
+    KONA_ASSERT(!cq.empty(),
+                "waitOne on an empty CQ: nothing in flight");
+    WorkCompletion wc = cq.pop();
+    clock.advanceTo(wc.completeAt);
+    clock.advance(static_cast<Tick>(latency_.rdmaCompletionNs));
+    return wc;
+}
+
+std::vector<WorkCompletion>
+Poller::drain(CompletionQueue &cq, SimClock &clock, std::size_t max)
+{
+    std::vector<WorkCompletion> out;
+    while (!cq.empty() && out.size() < max)
+        out.push_back(waitOne(cq, clock));
+    return out;
+}
+
+} // namespace kona

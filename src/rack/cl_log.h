@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The cache-line log (CL log) wire format — the FaRM-style ring-buffer
+ * log Kona uses to ship dirty cache-lines to memory nodes (§4.4).
+ *
+ * A log is a byte buffer of back-to-back records:
+ *
+ *   +-------------------+----------------------+
+ *   | ClLogEntryHeader  |  lineCount * 64 bytes|
+ *   +-------------------+----------------------+
+ *
+ * Each record carries one run of contiguous dirty cache-lines with the
+ * remote address of the first line. Aggregating runs (even from
+ * different pages) into one buffer lets the eviction path issue a
+ * single large RDMA write instead of many small ones.
+ */
+
+#ifndef KONA_RACK_CL_LOG_H
+#define KONA_RACK_CL_LOG_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace kona {
+
+/** Header of one CL-log record. */
+struct ClLogEntryHeader
+{
+    Addr remoteAddr;          ///< home of the first line in the run
+    std::uint32_t lineCount;  ///< number of contiguous lines following
+};
+
+/** Builder/parser for CL logs in a caller-provided byte buffer. */
+class ClLogWriter
+{
+  public:
+    explicit ClLogWriter(std::vector<std::uint8_t> &buffer)
+        : buffer_(buffer)
+    {
+        buffer_.clear();
+    }
+
+    /**
+     * Append a run of @p lineCount contiguous cache-lines whose bytes
+     * are at @p lines (host memory), homed at @p remoteAddr.
+     */
+    void
+    appendRun(Addr remoteAddr, const std::uint8_t *lines,
+              std::uint32_t lineCount)
+    {
+        KONA_ASSERT(lineCount > 0, "empty CL-log run");
+        ClLogEntryHeader header{remoteAddr, lineCount};
+        std::size_t off = buffer_.size();
+        buffer_.resize(off + sizeof(header) +
+                       static_cast<std::size_t>(lineCount) *
+                           cacheLineSize);
+        std::memcpy(buffer_.data() + off, &header, sizeof(header));
+        std::memcpy(buffer_.data() + off + sizeof(header), lines,
+                    static_cast<std::size_t>(lineCount) * cacheLineSize);
+        ++runs_;
+        lines_ += lineCount;
+    }
+
+    std::size_t sizeBytes() const { return buffer_.size(); }
+    std::uint32_t runs() const { return runs_; }
+    std::uint64_t lines() const { return lines_; }
+
+  private:
+    std::vector<std::uint8_t> &buffer_;
+    std::uint32_t runs_ = 0;
+    std::uint64_t lines_ = 0;
+};
+
+/** Iterates the records of a serialized CL log. */
+class ClLogReader
+{
+  public:
+    ClLogReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    bool atEnd() const { return offset_ >= size_; }
+
+    /** Read the next record; payload points into the log buffer. */
+    ClLogEntryHeader
+    next(const std::uint8_t *&payload)
+    {
+        KONA_ASSERT(offset_ + sizeof(ClLogEntryHeader) <= size_,
+                    "truncated CL log header");
+        ClLogEntryHeader header;
+        std::memcpy(&header, data_ + offset_, sizeof(header));
+        offset_ += sizeof(header);
+        std::size_t bytes =
+            static_cast<std::size_t>(header.lineCount) * cacheLineSize;
+        KONA_ASSERT(offset_ + bytes <= size_, "truncated CL log payload");
+        payload = data_ + offset_;
+        offset_ += bytes;
+        return header;
+    }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t offset_ = 0;
+};
+
+} // namespace kona
+
+#endif // KONA_RACK_CL_LOG_H

@@ -1,0 +1,80 @@
+#include "rack/controller.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+Controller::Controller(std::size_t slabSize) : slabSize_(slabSize)
+{
+    KONA_ASSERT(slabSize >= pageSize && slabSize % pageSize == 0,
+                "slab size must be a positive multiple of the page size");
+}
+
+void
+Controller::registerNode(MemoryNode &node)
+{
+    KONA_ASSERT(nodes_.count(node.id()) == 0, "node ", node.id(),
+                " already registered");
+    nodes_[node.id()] = &node;
+}
+
+void
+Controller::removeNode(NodeId node)
+{
+    KONA_ASSERT(nodes_.erase(node) == 1, "unknown node ", node);
+}
+
+SlabGrant
+Controller::allocateSlab()
+{
+    MemoryNode *best = nullptr;
+    for (auto &[id, node] : nodes_) {
+        if (node->bytesFree() < slabSize_)
+            continue;
+        if (best == nullptr || node->bytesFree() > best->bytesFree())
+            best = node;
+    }
+    if (best == nullptr)
+        fatal("rack out of disaggregated memory (", nodes_.size(),
+              " nodes, need ", slabSize_, " bytes)");
+
+    auto offset = best->allocateSlab(slabSize_);
+    KONA_ASSERT(offset.has_value(), "node free-space accounting broke");
+
+    SlabGrant grant;
+    grant.slab = nextSlab_++;
+    grant.where = {best->id(), *offset};
+    grant.size = slabSize_;
+    grant.regionKey = best->slabRegion().key;
+    ++slabsAllocated_;
+    return grant;
+}
+
+void
+Controller::freeSlab(const SlabGrant &grant)
+{
+    auto it = nodes_.find(grant.where.node);
+    KONA_ASSERT(it != nodes_.end(), "slab frees to unknown node ",
+                grant.where.node);
+    it->second->freeSlab(grant.where.offset);
+}
+
+MemoryNode &
+Controller::node(NodeId id) const
+{
+    auto it = nodes_.find(id);
+    if (it == nodes_.end())
+        fatal("unknown memory node ", id);
+    return *it->second;
+}
+
+std::size_t
+Controller::totalFree() const
+{
+    std::size_t total = 0;
+    for (const auto &[id, node] : nodes_)
+        total += node->bytesFree();
+    return total;
+}
+
+} // namespace kona

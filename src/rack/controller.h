@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Controller: the centralized rack controller of §4.1. Memory nodes
+ * register the pools they expose; compute-node Resource Managers ask
+ * it for coarse-grained slabs off the application's critical path.
+ */
+
+#ifndef KONA_RACK_CONTROLLER_H
+#define KONA_RACK_CONTROLLER_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "rack/memory_node.h"
+
+namespace kona {
+
+/** A slab grant handed to a compute node. */
+struct SlabGrant
+{
+    SlabId slab = 0;
+    RemoteAddr where;           ///< node + offset of the slab base
+    std::size_t size = 0;
+    std::uint32_t regionKey = 0; ///< RDMA key covering the slab
+};
+
+/** Centralized slab allocator over the registered memory nodes. */
+class Controller
+{
+  public:
+    /** Default slab granularity; the paper uses large slabs. */
+    static constexpr std::size_t defaultSlabSize = 4 * MiB;
+
+    explicit Controller(std::size_t slabSize = defaultSlabSize);
+
+    /** A memory node exposes its pool to applications. */
+    void registerNode(MemoryNode &node);
+
+    /** Stop placing new slabs on @p node (decommission). */
+    void removeNode(NodeId node);
+
+    /**
+     * Allocate one slab, preferring the node with the most free space
+     * (simple balancing). Fatal when the rack is out of memory.
+     */
+    SlabGrant allocateSlab();
+
+    /** Return a slab to its node. */
+    void freeSlab(const SlabGrant &grant);
+
+    /** The registered memory node @p id (fatal if unknown). */
+    MemoryNode &node(NodeId id) const;
+
+    std::size_t slabSize() const { return slabSize_; }
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::uint64_t slabsAllocated() const { return slabsAllocated_; }
+
+    /** Total free bytes across all registered nodes. */
+    std::size_t totalFree() const;
+
+  private:
+    std::size_t slabSize_;
+    std::unordered_map<NodeId, MemoryNode *> nodes_;
+    SlabId nextSlab_ = 1;
+    std::uint64_t slabsAllocated_ = 0;
+};
+
+} // namespace kona
+
+#endif // KONA_RACK_CONTROLLER_H

@@ -1,0 +1,60 @@
+#include "rack/memory_node.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+MemoryNode::MemoryNode(Fabric &fabric, NodeId id, std::size_t capacity,
+                       std::size_t logArea)
+    : fabric_(fabric), id_(id),
+      store_(std::make_unique<BackingStore>(capacity)),
+      slabs_(logArea, capacity - logArea)
+{
+    KONA_ASSERT(capacity > logArea,
+                "memory node smaller than its log area");
+    fabric_.attachNode(id_, store_.get());
+    slabRegion_ = fabric_.registerRegion(id_, logArea,
+                                         capacity - logArea);
+    logRegion_ = fabric_.registerRegion(id_, 0, logArea);
+}
+
+std::optional<Addr>
+MemoryNode::allocateSlab(std::size_t size)
+{
+    return slabs_.allocate(size, pageSize);
+}
+
+void
+MemoryNode::freeSlab(Addr addr)
+{
+    slabs_.deallocate(addr);
+}
+
+LogReceiptStats
+MemoryNode::receiveLog(Addr logOffset, std::size_t logBytes)
+{
+    KONA_ASSERT(logOffset + logBytes <= logRegion_.length,
+                "log outside the landing area");
+    LogReceiptStats stats;
+
+    // Pull the serialized log out of the landing area, then distribute.
+    std::vector<std::uint8_t> log(logBytes);
+    store_->read(logRegion_.base + logOffset, log.data(), logBytes);
+
+    ClLogReader reader(log.data(), log.size());
+    const LatencyConfig &lat = fabric_.latency();
+    while (!reader.atEnd()) {
+        const std::uint8_t *payload = nullptr;
+        ClLogEntryHeader header = reader.next(payload);
+        store_->write(header.remoteAddr, payload,
+                      static_cast<std::size_t>(header.lineCount) *
+                          cacheLineSize);
+        stats.runs += 1;
+        stats.lines += header.lineCount;
+        stats.unpackNs += lat.logUnpackPerLineNs * header.lineCount;
+    }
+    linesReceived_ += stats.lines;
+    return stats;
+}
+
+} // namespace kona

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * MemoryNode: a disaggregated memory server. It owns DRAM, registers a
+ * pool with the rack Controller, carves that pool into slabs on demand,
+ * and runs the Cache-line Log Receiver that unpacks CL logs shipped by
+ * compute nodes and distributes the lines to their home addresses.
+ */
+
+#ifndef KONA_RACK_MEMORY_NODE_H
+#define KONA_RACK_MEMORY_NODE_H
+
+#include <memory>
+
+#include "common/latency.h"
+#include "common/sim_clock.h"
+#include "mem/backing_store.h"
+#include "mem/region_allocator.h"
+#include "net/fabric.h"
+#include "rack/cl_log.h"
+
+namespace kona {
+
+/** Result of unpacking one CL log on the memory node. */
+struct LogReceiptStats
+{
+    std::uint64_t runs = 0;
+    std::uint64_t lines = 0;
+    double unpackNs = 0.0;  ///< receiver-thread time to distribute lines
+};
+
+/** A memory server in the rack. */
+class MemoryNode
+{
+  public:
+    /**
+     * @param fabric The rack network this node attaches to.
+     * @param id Node identifier (must be unique on the fabric).
+     * @param capacity DRAM capacity in bytes.
+     * @param logArea Bytes reserved at offset 0 for incoming CL logs.
+     */
+    MemoryNode(Fabric &fabric, NodeId id, std::size_t capacity,
+               std::size_t logArea = 4 * MiB);
+
+    NodeId id() const { return id_; }
+    std::size_t capacity() const { return store_->capacity(); }
+    BackingStore &store() { return *store_; }
+
+    /** RDMA registration of the whole slab area (one-time setup). */
+    const MemoryRegion &slabRegion() const { return slabRegion_; }
+    /** RDMA registration of the log landing area. */
+    const MemoryRegion &logRegion() const { return logRegion_; }
+
+    /** Carve a slab of @p size bytes; nullopt when the pool is full. */
+    std::optional<Addr> allocateSlab(std::size_t size);
+
+    /** Return a slab to the pool. */
+    void freeSlab(Addr addr);
+
+    std::size_t bytesInUse() const { return slabs_.bytesInUse(); }
+    std::size_t bytesFree() const { return slabs_.bytesFree(); }
+
+    /**
+     * Cache-line Log Receiver: parse the log that a compute node just
+     * RDMA-wrote into [logRegion().base + logOffset, +logBytes) and
+     * write every line to its home address. Models the receiver
+     * thread's per-line cost.
+     */
+    LogReceiptStats receiveLog(Addr logOffset, std::size_t logBytes);
+
+    std::uint64_t linesReceived() const { return linesReceived_; }
+
+  private:
+    Fabric &fabric_;
+    NodeId id_;
+    std::unique_ptr<BackingStore> store_;
+    RegionAllocator slabs_;
+    MemoryRegion slabRegion_;
+    MemoryRegion logRegion_;
+    std::uint64_t linesReceived_ = 0;
+};
+
+} // namespace kona
+
+#endif // KONA_RACK_MEMORY_NODE_H

@@ -1,0 +1,134 @@
+#include "tools/kcachesim.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+namespace {
+
+/** Wire time of a 4KB transfer — the measured per-personality fetch
+ *  latencies embed one, which remoteBaseNs must exclude. */
+double
+wire4k(const LatencyConfig &lat)
+{
+    return 4096.0 * lat.rdmaPipelinedPerKbNs / 1024.0;
+}
+
+} // namespace
+
+AmatModel
+konaModel(const LatencyConfig &lat)
+{
+    return {"Kona", lat.fmemNs, lat.konaRemoteFetchNs - wire4k(lat),
+            lat.rdmaPipelinedPerKbNs};
+}
+
+AmatModel
+konaMainModel(const LatencyConfig &lat)
+{
+    return {"Kona-main", lat.cmemNs,
+            lat.konaRemoteFetchNs - wire4k(lat), lat.rdmaPipelinedPerKbNs};
+}
+
+AmatModel
+legoOsModel(const LatencyConfig &lat)
+{
+    return {"LegoOS", lat.cmemNs,
+            lat.legoOsRemoteFetchNs - wire4k(lat), lat.rdmaPipelinedPerKbNs};
+}
+
+AmatModel
+infiniswapModel(const LatencyConfig &lat)
+{
+    return {"Infiniswap", lat.cmemNs,
+            lat.infiniswapRemoteFetchNs - wire4k(lat),
+            lat.rdmaPipelinedPerKbNs};
+}
+
+AmatModel
+konaVmModel(const LatencyConfig &lat)
+{
+    return {"Kona-VM", lat.cmemNs,
+            lat.konaVmRemoteFetchNs - wire4k(lat), lat.rdmaPipelinedPerKbNs};
+}
+
+KCacheSim::KCacheSim(const HierarchyConfig &cpu,
+                     std::vector<DramCacheSpec> variants,
+                     const LatencyConfig &lat)
+    : cpu_(cpu), specs_(std::move(variants)), lat_(lat)
+{
+    KONA_ASSERT(!specs_.empty(), "KCacheSim needs >= 1 DRAM cache");
+    for (const DramCacheSpec &spec : specs_) {
+        CacheConfig cfg;
+        cfg.name = spec.label;
+        cfg.sizeBytes = spec.sizeBytes;
+        cfg.associativity = spec.associativity;
+        cfg.blockSize = spec.blockSize;
+        dramCaches_.push_back(std::make_unique<SetAssocCache>(cfg));
+    }
+    cpuHits_.assign(cpu_.numLevels(), 0);
+    dramHits_.assign(specs_.size(), 0);
+}
+
+void
+KCacheSim::record(const AccessRecord &access)
+{
+    if (access.size == 0)
+        return;
+    Addr first = alignDown(access.addr, cacheLineSize);
+    Addr last = alignDown(access.addr + access.size - 1, cacheLineSize);
+    for (Addr line = first; line <= last; line += cacheLineSize) {
+        ++lineAccesses_;
+        int level = cpu_.accessOne(line, access.type);
+        if (level >= 0) {
+            ++cpuHits_[static_cast<std::size_t>(level)];
+            continue;
+        }
+        ++llcMisses_;
+        // The miss stream feeds every DRAM-cache variant in parallel.
+        for (std::size_t v = 0; v < dramCaches_.size(); ++v) {
+            scratchEvictions_.clear();
+            CacheOutcome outcome = dramCaches_[v]->access(
+                line, access.type, scratchEvictions_);
+            if (outcome == CacheOutcome::Hit)
+                ++dramHits_[v];
+        }
+    }
+}
+
+double
+KCacheSim::dramMissRate(std::size_t variant) const
+{
+    if (llcMisses_ == 0)
+        return 0.0;
+    return static_cast<double>(remoteAccesses(variant)) /
+           static_cast<double>(llcMisses_);
+}
+
+double
+KCacheSim::amat(std::size_t variant, const AmatModel &model) const
+{
+    KONA_ASSERT(variant < dramCaches_.size(), "no such variant");
+    if (lineAccesses_ == 0)
+        return 0.0;
+
+    // Cumulative per-level latencies: a hit at level i pays the lookup
+    // of every level above it.
+    double levels[3] = {lat_.l1HitNs, lat_.l2HitNs, lat_.l3HitNs};
+    double totalNs = 0.0;
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < cpu_.numLevels() && i < 3; ++i) {
+        cumulative += levels[i];
+        totalNs += cumulative * static_cast<double>(cpuHits_[i]);
+    }
+
+    double dramHitCost = cumulative + model.localCacheNs;
+    double remoteCost =
+        cumulative + model.remoteNs(specs_[variant].blockSize);
+    totalNs += dramHitCost * static_cast<double>(dramHits_[variant]);
+    totalNs += remoteCost *
+               static_cast<double>(remoteAccesses(variant));
+    return totalNs / static_cast<double>(lineAccesses_);
+}
+
+} // namespace kona

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * KCacheSim (§5): the Cachegrind-style simulator behind Fig 8.
+ *
+ * It drives every access through a CPU cache hierarchy and feeds the
+ * LLC miss stream into one or more DRAM-cache variants (different
+ * sizes, block sizes, associativities — all simulated in one workload
+ * pass). From the resulting hit/miss profile it computes the average
+ * memory access time of each system:
+ *
+ *   Kona       — DRAM cache is FMem (NUMA latency), remote access is a
+ *                faultless RDMA fetch (~3us);
+ *   Kona-main  — like Kona but caching in CMem (no NUMA penalty);
+ *   LegoOS     — DRAM cache in CMem, remote fetch 10us (fault incl.);
+ *   Infiniswap — DRAM cache in CMem, remote fetch 40us;
+ *   Kona-VM    — DRAM cache in CMem, remote fetch ~10.5us.
+ *
+ * The model is conservative exactly the way the paper's is: a page
+ * fault is modelled purely as extra transfer latency.
+ */
+
+#ifndef KONA_TOOLS_KCACHESIM_H
+#define KONA_TOOLS_KCACHESIM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "common/latency.h"
+#include "trace/access_trace.h"
+
+namespace kona {
+
+/** One simulated DRAM-cache configuration. */
+struct DramCacheSpec
+{
+    std::string label;
+    std::size_t sizeBytes = 16 * MiB;
+    std::size_t blockSize = pageSize;
+    std::size_t associativity = 4;
+};
+
+/** Latency model of one system evaluated over the miss profile. */
+struct AmatModel
+{
+    std::string name;
+    double localCacheNs;   ///< DRAM-cache hit (FMem or CMem)
+    double remoteBaseNs;   ///< fetch cost excluding the wire transfer
+    double remotePerKbNs;  ///< wire cost per KB of the fetched block
+
+    /** Full remote-fetch latency for a given block size. */
+    double
+    remoteNs(std::size_t blockSize) const
+    {
+        return remoteBaseNs +
+               static_cast<double>(blockSize) * remotePerKbNs /
+                   1024.0;
+    }
+};
+
+/** Build the paper's standard system models from a latency table. */
+AmatModel konaModel(const LatencyConfig &lat);
+AmatModel konaMainModel(const LatencyConfig &lat);
+AmatModel legoOsModel(const LatencyConfig &lat);
+AmatModel infiniswapModel(const LatencyConfig &lat);
+AmatModel konaVmModel(const LatencyConfig &lat);
+
+/** Per-variant hit/miss profile and AMAT extraction. */
+class KCacheSim : public TraceSink
+{
+  public:
+    KCacheSim(const HierarchyConfig &cpu,
+              std::vector<DramCacheSpec> variants,
+              const LatencyConfig &lat = {});
+
+    // TraceSink
+    void record(const AccessRecord &access) override;
+
+    /** Line accesses simulated so far. */
+    std::uint64_t lineAccesses() const { return lineAccesses_; }
+
+    /** Hits at CPU level @p i (cumulative over the run). */
+    std::uint64_t cpuHits(std::size_t i) const { return cpuHits_[i]; }
+
+    /** LLC misses (== accesses reaching the DRAM-cache variants). */
+    std::uint64_t llcMisses() const { return llcMisses_; }
+
+    std::uint64_t dramHits(std::size_t variant) const
+    {
+        return dramHits_[variant];
+    }
+    std::uint64_t remoteAccesses(std::size_t variant) const
+    {
+        return llcMisses_ - dramHits_[variant];
+    }
+
+    /** DRAM-cache miss rate of @p variant relative to LLC misses. */
+    double dramMissRate(std::size_t variant) const;
+
+    /**
+     * Average memory access time (ns) of @p model using the DRAM
+     * cache profile of variant @p variant.
+     */
+    double amat(std::size_t variant, const AmatModel &model) const;
+
+    std::size_t variantCount() const { return dramCaches_.size(); }
+    const DramCacheSpec &variantSpec(std::size_t i) const
+    {
+        return specs_[i];
+    }
+
+  private:
+    CacheHierarchy cpu_;
+    std::vector<DramCacheSpec> specs_;
+    std::vector<std::unique_ptr<SetAssocCache>> dramCaches_;
+    LatencyConfig lat_;
+
+    std::uint64_t lineAccesses_ = 0;
+    std::vector<std::uint64_t> cpuHits_;
+    std::uint64_t llcMisses_ = 0;
+    std::vector<std::uint64_t> dramHits_;
+    std::vector<CacheEviction> scratchEvictions_;
+};
+
+} // namespace kona
+
+#endif // KONA_TOOLS_KCACHESIM_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Access tracing: the reproduction's stand-in for Intel Pin (§2.1).
+ *
+ * Workloads run against a TracingMemory that forwards every load and
+ * store to the real MemoryInterface underneath (a raw BackingStore for
+ * analysis runs, or a full runtime for end-to-end runs) while feeding
+ * one or more TraceSinks that compute the paper's metrics online.
+ */
+
+#ifndef KONA_TRACE_ACCESS_TRACE_H
+#define KONA_TRACE_ACCESS_TRACE_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "mem/memory_interface.h"
+
+namespace kona {
+
+/** One observed memory access. */
+struct AccessRecord
+{
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    AccessType type = AccessType::Read;
+};
+
+/** Consumer of an access stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void record(const AccessRecord &access) = 0;
+
+    /** Close the current measurement window (10s windows in §2.1). */
+    virtual void endWindow() {}
+};
+
+/** Instrumented memory: forwards accesses and notifies the sinks. */
+class TracingMemory : public MemoryInterface
+{
+  public:
+    explicit TracingMemory(MemoryInterface &backing)
+        : backing_(backing)
+    {}
+
+    void addSink(TraceSink *sink) { sinks_.push_back(sink); }
+
+    // Sinks are notified BEFORE the access executes, exactly like a
+    // Pin instrumentation callback: KTracker relies on this to capture
+    // pre-write page snapshots.
+    void
+    read(Addr addr, void *buf, std::size_t size) override
+    {
+        AccessRecord rec{addr, static_cast<std::uint32_t>(size),
+                         AccessType::Read};
+        for (TraceSink *sink : sinks_)
+            sink->record(rec);
+        backing_.read(addr, buf, size);
+    }
+
+    void
+    write(Addr addr, const void *buf, std::size_t size) override
+    {
+        AccessRecord rec{addr, static_cast<std::uint32_t>(size),
+                         AccessType::Write};
+        for (TraceSink *sink : sinks_)
+            sink->record(rec);
+        backing_.write(addr, buf, size);
+    }
+
+    /** Signal a window boundary to every sink. */
+    void
+    endWindow()
+    {
+        for (TraceSink *sink : sinks_)
+            sink->endWindow();
+    }
+
+    MemoryInterface &backing() { return backing_; }
+
+  private:
+    MemoryInterface &backing_;
+    std::vector<TraceSink *> sinks_;
+};
+
+/** A sink that simply retains the records (tests, replay). */
+class RecordingSink : public TraceSink
+{
+  public:
+    void
+    record(const AccessRecord &access) override
+    {
+        records_.push_back(access);
+    }
+
+    const std::vector<AccessRecord> &records() const { return records_; }
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<AccessRecord> records_;
+};
+
+} // namespace kona
+
+#endif // KONA_TRACE_ACCESS_TRACE_H

@@ -1,0 +1,134 @@
+#include "trace/pattern_analyzer.h"
+
+#include <bit>
+
+namespace kona {
+
+namespace {
+
+/** Record every maximal run of set bits in @p mask into @p dist. */
+void
+recordSegments(std::uint64_t mask, IntDistribution &dist)
+{
+    unsigned line = 0;
+    while (line < linesPerPage) {
+        if (((mask >> line) & 1ULL) == 0) {
+            ++line;
+            continue;
+        }
+        unsigned start = line;
+        while (line < linesPerPage && ((mask >> line) & 1ULL))
+            ++line;
+        dist.record(line - start);
+    }
+}
+
+} // namespace
+
+void
+AccessPatternAnalyzer::record(const AccessRecord &access)
+{
+    if (access.size == 0)
+        return;
+    Addr addr = access.addr;
+    std::size_t remaining = access.size;
+
+    while (remaining > 0) {
+        Addr pn = pageNumber(addr);
+        std::size_t offset = addr % pageSize;
+        std::size_t chunk = std::min(remaining, pageSize - offset);
+        PageState &page = pages_[pn];
+
+        // Line mask covered by this chunk.
+        unsigned firstLine = static_cast<unsigned>(offset /
+                                                   cacheLineSize);
+        unsigned lastLine = static_cast<unsigned>(
+            (offset + chunk - 1) / cacheLineSize);
+        std::uint64_t mask;
+        if (lastLine - firstLine + 1 >= linesPerPage) {
+            mask = ~0ULL;
+        } else {
+            mask = ((1ULL << (lastLine - firstLine + 1)) - 1)
+                   << firstLine;
+        }
+
+        if (access.type == AccessType::Read) {
+            page.readLines |= mask;
+        } else {
+            page.writeLines |= mask;
+            for (std::size_t i = 0; i < chunk; ++i)
+                page.dirtyBytes.set(offset + i);
+            dirtyHugePages_.insert(addr / hugePageSize);
+        }
+
+        addr += chunk;
+        remaining -= chunk;
+    }
+}
+
+void
+AccessPatternAnalyzer::endWindow()
+{
+    AmplificationSample sample;
+    std::uint64_t dirtyPages4k = 0;
+    std::uint64_t dirtyLines = 0;
+
+    for (const auto &[pn, page] : pages_) {
+        if (page.readLines != 0) {
+            readLinesPerPage_.record(std::popcount(page.readLines));
+            recordSegments(page.readLines, readSegments_);
+        }
+        if (page.writeLines != 0) {
+            writeLinesPerPage_.record(std::popcount(page.writeLines));
+            recordSegments(page.writeLines, writeSegments_);
+            ++dirtyPages4k;
+            dirtyLines += std::popcount(page.writeLines);
+            sample.uniqueBytesWritten += page.dirtyBytes.count();
+        }
+    }
+
+    if (sample.uniqueBytesWritten > 0) {
+        double bytes =
+            static_cast<double>(sample.uniqueBytesWritten);
+        sample.amp4k = static_cast<double>(dirtyPages4k * pageSize) /
+                       bytes;
+        sample.amp2m = static_cast<double>(dirtyHugePages_.size() *
+                                           hugePageSize) / bytes;
+        sample.ampLine = static_cast<double>(dirtyLines *
+                                             cacheLineSize) / bytes;
+    }
+    samples_.push_back(sample);
+
+    pages_.clear();
+    dirtyHugePages_.clear();
+}
+
+AmplificationSample
+AccessPatternAnalyzer::meanAmplification(std::size_t skipFront,
+                                         std::size_t skipBack) const
+{
+    AmplificationSample mean;
+    if (samples_.size() <= skipFront + skipBack)
+        return mean;
+
+    std::size_t n = 0;
+    for (std::size_t i = skipFront; i < samples_.size() - skipBack;
+         ++i) {
+        const AmplificationSample &s = samples_[i];
+        if (s.uniqueBytesWritten == 0)
+            continue;   // windows without writes carry no signal
+        mean.uniqueBytesWritten += s.uniqueBytesWritten;
+        mean.amp4k += s.amp4k;
+        mean.amp2m += s.amp2m;
+        mean.ampLine += s.ampLine;
+        ++n;
+    }
+    if (n > 0) {
+        mean.amp4k /= static_cast<double>(n);
+        mean.amp2m /= static_cast<double>(n);
+        mean.ampLine /= static_cast<double>(n);
+    }
+    return mean;
+}
+
+} // namespace kona

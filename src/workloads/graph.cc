@@ -1,0 +1,282 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kona {
+
+namespace {
+
+/**
+ * Per-vertex property record, one cache line like GraphLab's vertex
+ * data (value + scratch fields + version). Updates rewrite the whole
+ * record; the scheduler flag lives in a separate packed array.
+ */
+struct VertexRecord
+{
+    double value;
+    double delta;
+    std::uint32_t version;
+    std::uint32_t pad[11];
+};
+static_assert(sizeof(VertexRecord) == cacheLineSize);
+
+/** Multiplicative stride that scatters vertex execution order the way
+ *  GraphLab's async scheduler does (no sequential sweeps). */
+constexpr std::uint64_t schedulerStride = 2654435761ULL;
+
+} // namespace
+
+CsrGraph::CsrGraph(WorkloadContext &context, std::uint32_t vertices,
+                   std::uint32_t avgDegree, std::uint64_t seed)
+    : context_(context), vertices_(vertices)
+{
+    KONA_ASSERT(vertices > 1, "graph needs >= 2 vertices");
+    Rng rng(seed);
+    ZipfGenerator zipf(vertices, 0.6, rng);
+
+    // Build the CSR host-side, then store it once (dataset load).
+    std::vector<std::uint64_t> offsets(vertices + 1, 0);
+    std::vector<std::uint32_t> neighbors;
+    neighbors.reserve(static_cast<std::size_t>(vertices) * avgDegree);
+    for (std::uint32_t v = 0; v < vertices; ++v) {
+        std::uint32_t degree = static_cast<std::uint32_t>(
+            1 + rng.below(2 * avgDegree));
+        offsets[v] = neighbors.size();
+        for (std::uint32_t i = 0; i < degree; ++i) {
+            auto u = static_cast<std::uint32_t>(zipf.next());
+            if (u == v)
+                u = (u + 1) % vertices;
+            neighbors.push_back(u);
+        }
+    }
+    offsets[vertices] = neighbors.size();
+    edges_ = neighbors.size();
+
+    offsets_ = context_.alloc((vertices_ + 1) * sizeof(std::uint64_t),
+                              cacheLineSize);
+    neighbors_ = context_.alloc(edges_ * sizeof(std::uint32_t),
+                                cacheLineSize);
+    context_.mem().write(offsets_, offsets.data(),
+                         offsets.size() * sizeof(std::uint64_t));
+    context_.mem().write(neighbors_, neighbors.data(),
+                         neighbors.size() * sizeof(std::uint32_t));
+}
+
+std::uint32_t
+CsrGraph::degree(std::uint32_t v)
+{
+    auto begin = context_.mem().load<std::uint64_t>(
+        offsets_ + v * sizeof(std::uint64_t));
+    auto end = context_.mem().load<std::uint64_t>(
+        offsets_ + (v + 1) * sizeof(std::uint64_t));
+    return static_cast<std::uint32_t>(end - begin);
+}
+
+std::uint32_t
+CsrGraph::neighbor(std::uint32_t v, std::uint32_t i)
+{
+    auto begin = context_.mem().load<std::uint64_t>(
+        offsets_ + v * sizeof(std::uint64_t));
+    return context_.mem().load<std::uint32_t>(
+        neighbors_ + (begin + i) * sizeof(std::uint32_t));
+}
+
+std::size_t
+CsrGraph::footprintBytes() const
+{
+    return (vertices_ + 1) * sizeof(std::uint64_t) +
+           edges_ * sizeof(std::uint32_t);
+}
+
+GraphWorkload::GraphWorkload(WorkloadContext &context,
+                             const Params &params)
+    : Workload(context), params_(params), rng_(params.seed)
+{
+}
+
+std::string
+GraphWorkload::name() const
+{
+    switch (params_.algorithm) {
+      case GraphAlgorithm::PageRank: return "pagerank";
+      case GraphAlgorithm::Coloring: return "graph-coloring";
+      case GraphAlgorithm::ConnectedComponents:
+        return "connected-components";
+      case GraphAlgorithm::LabelPropagation: return "label-propagation";
+    }
+    return "graph";
+}
+
+void
+GraphWorkload::setup()
+{
+    graph_ = std::make_unique<CsrGraph>(context_, params_.vertices,
+                                        params_.avgDegree,
+                                        params_.seed);
+    std::size_t recordBytes = params_.vertices * sizeof(VertexRecord);
+    values_ = context_.alloc(recordBytes, cacheLineSize);
+    nextValues_ = params_.algorithm == GraphAlgorithm::PageRank
+        ? context_.alloc(recordBytes, cacheLineSize) : 0;
+    schedFlags_ = context_.alloc(params_.vertices *
+                                 sizeof(std::uint32_t), cacheLineSize);
+
+    for (std::uint32_t v = 0; v < params_.vertices; ++v) {
+        VertexRecord record{};
+        switch (params_.algorithm) {
+          case GraphAlgorithm::PageRank:
+            record.value = 1.0;
+            break;
+          case GraphAlgorithm::Coloring:
+          case GraphAlgorithm::ConnectedComponents:
+            record.value = static_cast<double>(v);
+            break;
+          case GraphAlgorithm::LabelPropagation:
+            // Seed a bounded label space (communities), so neighbor
+            // agreement exists from the start and labels keep
+            // propagating gradually.
+            record.value = static_cast<double>(v % 16);
+            break;
+        }
+        context_.mem().store(values_ + v * sizeof(VertexRecord),
+                             record);
+    }
+}
+
+double
+GraphWorkload::vertexValue(std::uint32_t v)
+{
+    auto record = context_.mem().load<VertexRecord>(
+        values_ + v * sizeof(VertexRecord));
+    return record.value;
+}
+
+void
+GraphWorkload::runVertex(std::uint32_t v)
+{
+    MemoryInterface &mem = context_.mem();
+    std::uint32_t degree = graph_->degree(v);
+    // Cap the gather like GraphLab's factorized vertex programs do.
+    std::uint32_t fanIn = std::min<std::uint32_t>(degree, 32);
+
+    auto self = mem.load<VertexRecord>(values_ +
+                                       v * sizeof(VertexRecord));
+    double newValue = self.value;
+
+    switch (params_.algorithm) {
+      case GraphAlgorithm::PageRank: {
+        double sum = 0.0;
+        for (std::uint32_t i = 0; i < fanIn; ++i) {
+            std::uint32_t u = graph_->neighbor(v, i);
+            auto record = mem.load<VertexRecord>(
+                values_ + u * sizeof(VertexRecord));
+            std::uint32_t du = graph_->degree(u);
+            sum += record.value / std::max<std::uint32_t>(du, 1);
+        }
+        newValue = 0.15 + 0.85 * sum;
+        break;
+      }
+      case GraphAlgorithm::Coloring: {
+        // Greedy: smallest color unused by the gathered neighbors.
+        std::uint64_t used = 0;
+        for (std::uint32_t i = 0; i < fanIn; ++i) {
+            std::uint32_t u = graph_->neighbor(v, i);
+            auto record = mem.load<VertexRecord>(
+                values_ + u * sizeof(VertexRecord));
+            auto color = static_cast<std::uint64_t>(record.value);
+            if (color < 64)
+                used |= 1ULL << color;
+        }
+        std::uint32_t color = 0;
+        while (color < 64 && ((used >> color) & 1ULL))
+            ++color;
+        newValue = static_cast<double>(color);
+        break;
+      }
+      case GraphAlgorithm::ConnectedComponents: {
+        double best = self.value;
+        for (std::uint32_t i = 0; i < fanIn; ++i) {
+            std::uint32_t u = graph_->neighbor(v, i);
+            auto record = mem.load<VertexRecord>(
+                values_ + u * sizeof(VertexRecord));
+            best = std::min(best, record.value);
+        }
+        newValue = best;
+        break;
+      }
+      case GraphAlgorithm::LabelPropagation: {
+        // Adopt the smallest label at least two neighbors agree on (a
+        // cheap deterministic stand-in for the mode). Requiring
+        // agreement slows convergence, so updates keep trickling in —
+        // the sparse scattered writes behind LP's high amplification.
+        double best = self.value;
+        std::uint32_t agree = 0;
+        for (std::uint32_t i = 0; i < fanIn; ++i) {
+            std::uint32_t u = graph_->neighbor(v, i);
+            auto record = mem.load<VertexRecord>(
+                values_ + u * sizeof(VertexRecord));
+            if (record.value < best) {
+                best = record.value;
+                agree = 1;
+            } else if (record.value == best) {
+                ++agree;
+            }
+        }
+        if (agree >= 2)
+            newValue = best;
+        break;
+      }
+    }
+
+    bool changed = newValue != self.value;
+    bool pageRank = params_.algorithm == GraphAlgorithm::PageRank;
+    if (changed || pageRank) {
+        self.delta = newValue - self.value;
+        self.value = newValue;
+        self.version += 1;
+        Addr target = pageRank ? nextValues_ : values_;
+        mem.store(target + v * sizeof(VertexRecord), self);
+        // The scheduler re-arms the vertex's task flag on updates.
+        mem.store<std::uint32_t>(
+            schedFlags_ + v * sizeof(std::uint32_t), self.version);
+    }
+}
+
+std::uint64_t
+GraphWorkload::run(std::uint64_t ops)
+{
+    KONA_ASSERT(graph_ != nullptr, "run before setup");
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        // Async-scheduler execution order: a coprime stride scatters
+        // vertex activations across the whole array.
+        auto v = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(cursor_) * schedulerStride +
+             sweeps_) % params_.vertices);
+        runVertex(v);
+        if (++cursor_ >= params_.vertices) {
+            cursor_ = 0;
+            ++sweeps_;
+            if (params_.algorithm == GraphAlgorithm::PageRank) {
+                // Swap the double buffers; copy next -> current.
+                std::swap(values_, nextValues_);
+            }
+        }
+    }
+    return ops;
+}
+
+std::size_t
+GraphWorkload::footprintBytes() const
+{
+    if (!graph_)
+        return 0;
+    std::size_t recordBytes = params_.vertices * sizeof(VertexRecord);
+    std::size_t total = graph_->footprintBytes() + recordBytes +
+                        params_.vertices * sizeof(std::uint32_t);
+    if (params_.algorithm == GraphAlgorithm::PageRank)
+        total += recordBytes;
+    return total;
+}
+
+} // namespace kona

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * GraphLab-like graph analytics over a CSR graph in simulated memory.
+ *
+ * Four algorithms from the paper's evaluation: PageRank, Graph
+ * Coloring, Connected Components, Label Propagation. The CSR arrays
+ * (offsets, neighbors) are read with scattered gathers; the per-vertex
+ * property array receives the writes. PageRank writes every vertex per
+ * sweep; the propagation algorithms write only vertices whose value
+ * changes, plus a per-vertex scheduler flag (GraphLab's scheduling
+ * metadata), which is what produces mid-range dirty amplification.
+ */
+
+#ifndef KONA_WORKLOADS_GRAPH_H
+#define KONA_WORKLOADS_GRAPH_H
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace kona {
+
+/** The four GraphLab benchmarks from Table 2. */
+enum class GraphAlgorithm : std::uint8_t
+{
+    PageRank,
+    Coloring,
+    ConnectedComponents,
+    LabelPropagation,
+};
+
+/** A synthetic power-law graph in CSR form, in simulated memory. */
+class CsrGraph
+{
+  public:
+    /**
+     * Build a random graph with @p vertices and about @p avgDegree
+     * out-edges per vertex. Edge endpoints are skewed (Zipf) to mimic
+     * power-law degree distributions of real graph datasets.
+     */
+    CsrGraph(WorkloadContext &context, std::uint32_t vertices,
+             std::uint32_t avgDegree, std::uint64_t seed);
+
+    std::uint32_t vertexCount() const { return vertices_; }
+    std::uint64_t edgeCount() const { return edges_; }
+
+    /** Degree of @p v (reads the offsets array). */
+    std::uint32_t degree(std::uint32_t v);
+
+    /** Read the @p i-th out-neighbor of @p v. */
+    std::uint32_t neighbor(std::uint32_t v, std::uint32_t i);
+
+    std::size_t footprintBytes() const;
+
+  private:
+    WorkloadContext &context_;
+    std::uint32_t vertices_;
+    std::uint64_t edges_;
+    Addr offsets_;    ///< uint64[vertices + 1]
+    Addr neighbors_;  ///< uint32[edges]
+};
+
+/** One of the four analytics kernels, executed in vertex steps. */
+class GraphWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        GraphAlgorithm algorithm = GraphAlgorithm::PageRank;
+        std::uint32_t vertices = 200000;
+        std::uint32_t avgDegree = 8;
+        std::uint64_t seed = 7;
+    };
+
+    GraphWorkload(WorkloadContext &context, const Params &params);
+
+    std::string name() const override;
+    void setup() override;
+
+    /** One op = one vertex program execution. Sweeps wrap around. */
+    std::uint64_t run(std::uint64_t ops) override;
+
+    std::size_t footprintBytes() const override;
+
+    /** Completed full sweeps over the vertex set. */
+    std::uint64_t sweeps() const { return sweeps_; }
+
+    /** Vertex values (for convergence checks in tests). */
+    double vertexValue(std::uint32_t v);
+
+  private:
+    void runVertex(std::uint32_t v);
+
+    Params params_;
+    Rng rng_;
+    std::unique_ptr<CsrGraph> graph_;
+    Addr values_;      ///< double[vertices] (rank / color / comp / label)
+    Addr nextValues_;  ///< double[vertices] (PageRank double buffer)
+    Addr schedFlags_;  ///< uint32[vertices] scheduler metadata
+    std::uint32_t cursor_ = 0;
+    std::uint64_t sweeps_ = 0;
+};
+
+} // namespace kona
+
+#endif // KONA_WORKLOADS_GRAPH_H

@@ -1,0 +1,233 @@
+#include "workloads/kv_store.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+KvStore::KvStore(WorkloadContext &context, std::size_t capacity,
+                 bool hashed)
+    : context_(context), capacity_(capacity), hashed_(hashed)
+{
+    KONA_ASSERT((capacity & (capacity - 1)) == 0,
+                "capacity must be a power of two");
+    table_ = context_.alloc(capacity_ * sizeof(Bucket),
+                            cacheLineSize);
+    // Zero the bucket states (allocated memory reads as zero in the
+    // plain backing store, but runtimes may recycle addresses).
+    Bucket empty{};
+    for (std::size_t i = 0; i < capacity_; ++i)
+        context_.mem().store(bucketAddr(i), empty);
+}
+
+std::uint64_t
+KvStore::bucketIndex(std::uint64_t key) const
+{
+    if (!hashed_)
+        return key & (capacity_ - 1);
+    // splitmix64 finalizer as the hash.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return z & (capacity_ - 1);
+}
+
+std::optional<std::uint64_t>
+KvStore::find(std::uint64_t key)
+{
+    std::uint64_t index = bucketIndex(key);
+    for (std::size_t probe = 0; probe < capacity_; ++probe) {
+        Bucket bucket = context_.mem().load<Bucket>(bucketAddr(index));
+        if (bucket.state == 0)
+            return std::nullopt;
+        if (bucket.state == 1 && bucket.key == key)
+            return index;
+        index = (index + 1) & (capacity_ - 1);
+    }
+    return std::nullopt;
+}
+
+void
+KvStore::set(std::uint64_t key, const std::uint8_t *value,
+             std::uint32_t length)
+{
+    std::uint64_t index = bucketIndex(key);
+    std::optional<std::uint64_t> tombstone;
+    for (std::size_t probe = 0; probe < capacity_; ++probe) {
+        Bucket bucket = context_.mem().load<Bucket>(bucketAddr(index));
+        if (bucket.state == 1 && bucket.key == key) {
+            // Overwrite. Reuse the value buffer when it still fits.
+            if (bucket.valueLen >= length) {
+                context_.mem().write(bucket.valueAddr, value, length);
+                if (bucket.valueLen != length) {
+                    bucket.valueLen = length;
+                    context_.mem().store(bucketAddr(index), bucket);
+                }
+            } else {
+                context_.release(bucket.valueAddr);
+                bucket.valueAddr = context_.alloc(length);
+                bucket.valueLen = length;
+                context_.mem().write(bucket.valueAddr, value, length);
+                context_.mem().store(bucketAddr(index), bucket);
+            }
+            return;
+        }
+        if (bucket.state == 2 && !tombstone.has_value())
+            tombstone = index;
+        if (bucket.state == 0) {
+            std::uint64_t slot = tombstone.value_or(index);
+            Bucket fresh;
+            fresh.key = key;
+            fresh.valueAddr = context_.alloc(length);
+            fresh.valueLen = length;
+            fresh.state = 1;
+            context_.mem().write(fresh.valueAddr, value, length);
+            context_.mem().store(bucketAddr(slot), fresh);
+            ++live_;
+            valueBytes_ += length;
+            return;
+        }
+        index = (index + 1) & (capacity_ - 1);
+    }
+    fatal("KvStore full: ", live_, " live entries in ", capacity_,
+          " buckets");
+}
+
+bool
+KvStore::get(std::uint64_t key, std::vector<std::uint8_t> &out)
+{
+    auto index = find(key);
+    if (!index.has_value())
+        return false;
+    Bucket bucket = context_.mem().load<Bucket>(bucketAddr(*index));
+    out.resize(bucket.valueLen);
+    context_.mem().read(bucket.valueAddr, out.data(), bucket.valueLen);
+    return true;
+}
+
+bool
+KvStore::erase(std::uint64_t key)
+{
+    auto index = find(key);
+    if (!index.has_value())
+        return false;
+    Bucket bucket = context_.mem().load<Bucket>(bucketAddr(*index));
+    context_.release(bucket.valueAddr);
+    valueBytes_ -= bucket.valueLen;
+    bucket.state = 2;
+    bucket.valueAddr = 0;
+    bucket.valueLen = 0;
+    context_.mem().store(bucketAddr(*index), bucket);
+    --live_;
+    return true;
+}
+
+std::size_t
+KvStore::footprintBytes() const
+{
+    return capacity_ * sizeof(Bucket) + valueBytes_;
+}
+
+KvWorkload::KvWorkload(WorkloadContext &context, const Params &params)
+    : Workload(context), params_(params), rng_(params.seed)
+{
+    KONA_ASSERT(params_.numKeys > 0, "empty key space");
+}
+
+std::string
+KvWorkload::name() const
+{
+    return params_.pattern == KvPattern::Uniform ? "redis-rand"
+                                                 : "redis-seq";
+}
+
+void
+KvWorkload::fillValue(std::uint64_t key,
+                      std::vector<std::uint8_t> &out)
+{
+    out.resize(params_.valueSize);
+    // Deterministic value derived from the key + a version counter so
+    // overwrites actually change bytes (snapshot diffs must see them).
+    std::uint64_t stamp = key * 0x9e3779b97f4a7c15ULL + opsExecuted_;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(stamp >> ((i % 8) * 8)) ^
+                 static_cast<std::uint8_t>(i);
+}
+
+std::uint64_t
+KvWorkload::nextKey(bool isSet)
+{
+    if (params_.pattern == KvPattern::Sequential) {
+        if (isSet) {
+            std::uint64_t key = seqCursor_;
+            seqCursor_ = (seqCursor_ + 1) % params_.numKeys;
+            return key;
+        }
+        // Sequential readers trail the writer (memtier's seq mode):
+        // GETs revisit recently written keys instead of punching
+        // read-only holes into the write stream.
+        std::uint64_t back = 1 + rng_.below(64);
+        return (seqCursor_ + params_.numKeys - back) %
+               params_.numKeys;
+    }
+    return rng_.below(params_.numKeys);
+}
+
+void
+KvWorkload::setup()
+{
+    std::size_t buckets = 1;
+    while (buckets < params_.numKeys * 2)
+        buckets <<= 1;
+    store_ = std::make_unique<KvStore>(
+        context_, buckets, params_.pattern == KvPattern::Uniform);
+
+    // Initial load: insert every key once, in key order (a bulk load
+    // or an AOF replay would do the same).
+    for (std::uint64_t key = 0; key < params_.numKeys; ++key) {
+        fillValue(key, valueScratch_);
+        store_->set(key, valueScratch_.data(),
+                    static_cast<std::uint32_t>(valueScratch_.size()));
+    }
+}
+
+std::uint64_t
+KvWorkload::run(std::uint64_t ops)
+{
+    KONA_ASSERT(store_ != nullptr, "run before setup");
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        bool isSet = rng_.chance(params_.setFraction);
+        std::uint64_t key = nextKey(isSet);
+        if (isSet) {
+            fillValue(key, valueScratch_);
+            store_->set(key, valueScratch_.data(),
+                        static_cast<std::uint32_t>(
+                            valueScratch_.size()));
+        } else {
+            store_->get(key, valueScratch_);
+        }
+        ++opsExecuted_;
+    }
+    return ops;
+}
+
+std::size_t
+KvWorkload::footprintBytes() const
+{
+    return store_ ? store_->footprintBytes() : 0;
+}
+
+bool
+KvWorkload::verifyAll()
+{
+    std::vector<std::uint8_t> value;
+    for (std::uint64_t key = 0; key < params_.numKeys; ++key) {
+        if (!store_->get(key, value))
+            return false;
+        if (value.size() != params_.valueSize)
+            return false;
+    }
+    return true;
+}
+
+} // namespace kona

@@ -1,0 +1,252 @@
+#include "workloads/metis.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kona {
+
+namespace {
+
+/** Cache-line aligned per-chunk partial record (Metis pads per-task
+ *  output buffers to avoid false sharing). */
+struct LinRegPartial
+{
+    double sx, sy, sxx, sxy;
+    std::uint64_t n;
+    std::uint8_t pad[24];
+};
+static_assert(sizeof(LinRegPartial) == cacheLineSize);
+
+/** One intermediate key-value entry of the histogram kernel. */
+struct HistEntry
+{
+    std::uint32_t bin;
+    std::uint32_t count;
+    std::uint64_t chunk;
+};
+static_assert(sizeof(HistEntry) == 16);
+
+constexpr std::size_t histBins = 256;
+
+} // namespace
+
+MetisWorkload::MetisWorkload(WorkloadContext &context,
+                             const Params &params)
+    : Workload(context), params_(params), rng_(params.seed)
+{
+    KONA_ASSERT(params_.inputElements >= params_.chunkElements,
+                "input smaller than one chunk");
+}
+
+std::string
+MetisWorkload::name() const
+{
+    return params_.kernel == MetisKernel::LinearRegression
+        ? "linear-regression" : "histogram";
+}
+
+void
+MetisWorkload::setup()
+{
+    chunkCount_ = params_.inputElements / params_.chunkElements;
+    cursor_ = 0;
+    reduced_ = false;
+
+    std::size_t elemSize =
+        params_.kernel == MetisKernel::LinearRegression ? 8 : 1;
+    std::size_t inputBytes = params_.inputElements * elemSize;
+    input_ = context_.alloc(inputBytes, pageSize);
+
+    // Generate the dataset host-side and load it in page chunks.
+    std::vector<std::uint8_t> buffer(pageSize);
+    for (std::size_t off = 0; off < inputBytes; off += pageSize) {
+        std::size_t chunk = std::min(pageSize, inputBytes - off);
+        if (params_.kernel == MetisKernel::LinearRegression) {
+            // (x, y) float pairs around y = 3x + noise.
+            auto *floats = reinterpret_cast<float *>(buffer.data());
+            for (std::size_t i = 0; i + 1 < chunk / 4; i += 2) {
+                float x = static_cast<float>(rng_.uniform() * 100.0);
+                float noise = static_cast<float>(rng_.uniform() - 0.5);
+                floats[i] = x;
+                floats[i + 1] = 3.0f * x + noise;
+            }
+        } else {
+            // Zipf-skewed pixels so chunks hit a subset of bins.
+            for (std::size_t i = 0; i < chunk; ++i) {
+                buffer[i] = static_cast<std::uint8_t>(
+                    rng_.next() % histBins);
+            }
+        }
+        context_.mem().write(input_ + off, buffer.data(), chunk);
+    }
+
+    if (params_.kernel == MetisKernel::LinearRegression) {
+        partials_ = context_.alloc(chunkCount_ * sizeof(LinRegPartial),
+                                   pageSize);
+        reduceTable_ = context_.alloc(sizeof(LinRegPartial), pageSize);
+        // Per-worker intermediate tables (Metis hashes map output into
+        // per-core buffers): chunk results round-robin over workers,
+        // so each worker's column fills slowly — partially-dirty pages.
+        workerTable_ = context_.alloc(
+            workerCount * (chunkCount_ / workerCount + 1) *
+                sizeof(LinRegPartial),
+            pageSize);
+    } else {
+        partials_ = context_.alloc(chunkCount_ * sizeof(std::uint64_t),
+                                   pageSize);
+        // Intermediate KV area: per bin, one entry slot per chunk.
+        reduceTable_ = context_.alloc(
+            histBins * chunkCount_ * sizeof(HistEntry), pageSize);
+    }
+}
+
+void
+MetisWorkload::mapChunkLinReg(std::size_t chunk)
+{
+    MemoryInterface &mem = context_.mem();
+    Addr base = input_ + chunk * params_.chunkElements * 8;
+
+    LinRegPartial partial{};
+    for (std::size_t i = 0; i < params_.chunkElements; ++i) {
+        float x = mem.load<float>(base + i * 8);
+        float y = mem.load<float>(base + i * 8 + 4);
+        partial.sx += x;
+        partial.sy += y;
+        partial.sxx += static_cast<double>(x) * x;
+        partial.sxy += static_cast<double>(x) * y;
+        partial.n += 1;
+    }
+    mem.store(partials_ + chunk * sizeof(LinRegPartial), partial);
+
+    // Emit the chunk's intermediate record into its worker's column.
+    std::size_t worker = chunk % workerCount;
+    std::size_t slot = chunk / workerCount;
+    std::size_t slotsPerWorker = chunkCount_ / workerCount + 1;
+    mem.store(workerTable_ +
+                  (worker * slotsPerWorker + slot) *
+                      sizeof(LinRegPartial),
+              partial);
+}
+
+void
+MetisWorkload::mapChunkHistogram(std::size_t chunk)
+{
+    MemoryInterface &mem = context_.mem();
+    Addr base = input_ + chunk * params_.chunkElements;
+
+    std::uint32_t counts[histBins] = {};
+    std::uint8_t pixels[512];
+    std::size_t remaining = params_.chunkElements;
+    Addr cursor = base;
+    std::uint64_t checksum = 0;
+    while (remaining > 0) {
+        std::size_t batch = std::min(remaining, sizeof(pixels));
+        mem.read(cursor, pixels, batch);
+        for (std::size_t i = 0; i < batch; ++i) {
+            ++counts[pixels[i]];
+            checksum += pixels[i];
+        }
+        cursor += batch;
+        remaining -= batch;
+    }
+    mem.store<std::uint64_t>(partials_ + chunk * sizeof(std::uint64_t),
+                             checksum);
+
+    // Emit one intermediate KV entry per bin seen in this chunk; each
+    // bin's entries form a per-bin column, so writes scatter across
+    // the table but stay contiguous within a bin across chunks.
+    for (std::size_t bin = 0; bin < histBins; ++bin) {
+        if (counts[bin] == 0)
+            continue;
+        HistEntry entry{static_cast<std::uint32_t>(bin), counts[bin],
+                        chunk};
+        Addr slot = reduceTable_ +
+                    (bin * chunkCount_ + chunk) * sizeof(HistEntry);
+        mem.store(slot, entry);
+    }
+}
+
+std::uint64_t
+MetisWorkload::run(std::uint64_t ops)
+{
+    KONA_ASSERT(input_ != 0, "run before setup");
+    std::uint64_t executed = 0;
+    while (executed < ops && cursor_ < chunkCount_) {
+        if (params_.kernel == MetisKernel::LinearRegression)
+            mapChunkLinReg(cursor_);
+        else
+            mapChunkHistogram(cursor_);
+        ++cursor_;
+        ++executed;
+    }
+    if (executed < ops && !reduced_) {
+        reducePhase();
+        reduced_ = true;
+        ++executed;
+    }
+    return executed;
+}
+
+void
+MetisWorkload::reducePhase()
+{
+    MemoryInterface &mem = context_.mem();
+    if (params_.kernel == MetisKernel::LinearRegression) {
+        LinRegPartial total{};
+        for (std::size_t c = 0; c < chunkCount_; ++c) {
+            auto partial = mem.load<LinRegPartial>(
+                partials_ + c * sizeof(LinRegPartial));
+            total.sx += partial.sx;
+            total.sy += partial.sy;
+            total.sxx += partial.sxx;
+            total.sxy += partial.sxy;
+            total.n += partial.n;
+        }
+        mem.store(reduceTable_, total);
+    }
+    // The histogram reduce is a read-mostly pass over the KV columns;
+    // its result is recomputed on demand in result().
+}
+
+double
+MetisWorkload::result()
+{
+    MemoryInterface &mem = context_.mem();
+    if (params_.kernel == MetisKernel::LinearRegression) {
+        auto total = mem.load<LinRegPartial>(reduceTable_);
+        double n = static_cast<double>(total.n);
+        if (n == 0)
+            return 0.0;
+        double denom = n * total.sxx - total.sx * total.sx;
+        if (denom == 0.0)
+            return 0.0;
+        return (n * total.sxy - total.sx * total.sy) / denom;
+    }
+    std::uint64_t checksum = 0;
+    for (std::size_t c = 0; c < chunkCount_; ++c) {
+        checksum += mem.load<std::uint64_t>(
+            partials_ + c * sizeof(std::uint64_t));
+    }
+    return static_cast<double>(checksum);
+}
+
+std::size_t
+MetisWorkload::footprintBytes() const
+{
+    if (input_ == 0)
+        return 0;
+    std::size_t elemSize =
+        params_.kernel == MetisKernel::LinearRegression ? 8 : 1;
+    std::size_t total = params_.inputElements * elemSize;
+    if (params_.kernel == MetisKernel::LinearRegression) {
+        total += chunkCount_ * sizeof(LinRegPartial) +
+                 sizeof(LinRegPartial);
+    } else {
+        total += chunkCount_ * sizeof(std::uint64_t) +
+                 histBins * chunkCount_ * sizeof(HistEntry);
+    }
+    return total;
+}
+
+} // namespace kona

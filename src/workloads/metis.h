@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Metis-style in-memory MapReduce kernels: Linear Regression and
+ * Histogram (Table 2's 40GB workloads, scaled down).
+ *
+ * Both stream a large input array (map phase) and write much smaller
+ * intermediate results: per-chunk partial records appended
+ * sequentially plus scattered updates to a shared reduction table —
+ * the streaming, low-reuse pattern behind Fig 8b's flat AMAT curve
+ * and Table 2's ~2-4X amplification.
+ */
+
+#ifndef KONA_WORKLOADS_METIS_H
+#define KONA_WORKLOADS_METIS_H
+
+#include "workloads/workload.h"
+
+namespace kona {
+
+/** Which Metis kernel to run. */
+enum class MetisKernel : std::uint8_t { LinearRegression, Histogram };
+
+/** Streaming map-reduce workload. */
+class MetisWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        MetisKernel kernel = MetisKernel::LinearRegression;
+        /** Input elements (8B each for linreg pairs, 1B for pixels). */
+        std::size_t inputElements = 4 * 1024 * 1024;
+        /** Elements consumed per map task (one op = one task). */
+        std::size_t chunkElements = 4096;
+        std::uint64_t seed = 11;
+    };
+
+    MetisWorkload(WorkloadContext &context, const Params &params);
+
+    std::string name() const override;
+    void setup() override;
+    std::uint64_t run(std::uint64_t ops) override;
+    std::size_t footprintBytes() const override;
+
+    /** Regression slope / histogram checksum (for validation). */
+    double result();
+
+  private:
+    void mapChunkLinReg(std::size_t chunk);
+    void mapChunkHistogram(std::size_t chunk);
+    void reducePhase();
+
+    Params params_;
+    Rng rng_;
+
+    static constexpr std::size_t workerCount = 4;
+
+    Addr input_ = 0;          ///< the big streamed dataset
+    Addr partials_ = 0;       ///< per-chunk partial results (appended)
+    Addr reduceTable_ = 0;    ///< shared reduction table (scattered)
+    Addr workerTable_ = 0;    ///< per-worker intermediate columns
+    std::size_t chunkCount_ = 0;
+    std::size_t cursor_ = 0;
+    bool reduced_ = false;
+};
+
+} // namespace kona
+
+#endif // KONA_WORKLOADS_METIS_H

@@ -1,0 +1,75 @@
+#include "workloads/microbench.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+OnePerPageWorkload::OnePerPageWorkload(WorkloadContext &context,
+                                       const Params &params)
+    : Workload(context), params_(params), rng_(params.seed)
+{
+    KONA_ASSERT(params_.regionBytes >= pageSize, "region too small");
+}
+
+void
+OnePerPageWorkload::setup()
+{
+    region_ = context_.alloc(params_.regionBytes, pageSize);
+    pages_ = params_.regionBytes / pageSize;
+}
+
+bool
+OnePerPageWorkload::finished() const
+{
+    return pass_ >= params_.passes;
+}
+
+std::uint64_t
+OnePerPageWorkload::run(std::uint64_t ops)
+{
+    KONA_ASSERT(region_ != 0, "run before setup");
+    std::uint64_t executed = 0;
+    while (executed < ops && !finished()) {
+        Addr page = region_ + cursor_ * pageSize;
+        // A line chosen per page (deterministic scatter inside the
+        // page so lines differ page to page).
+        unsigned line = static_cast<unsigned>(
+            (cursor_ * 29 + pass_ * 7) % linesPerPage);
+        Addr addr = page + line * cacheLineSize;
+
+        auto value = context_.mem().load<std::uint64_t>(addr);
+        context_.mem().store<std::uint64_t>(addr, value + cursor_ + 1);
+
+        ++touched_;
+        ++executed;
+        if (++cursor_ >= pages_) {
+            cursor_ = 0;
+            ++pass_;
+        }
+    }
+    return executed;
+}
+
+std::vector<unsigned>
+contiguousLines(unsigned n)
+{
+    KONA_ASSERT(n >= 1 && n <= linesPerPage, "bad line count");
+    std::vector<unsigned> lines;
+    lines.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        lines.push_back(i);
+    return lines;
+}
+
+std::vector<unsigned>
+alternateLines(unsigned n)
+{
+    KONA_ASSERT(n >= 1 && n <= linesPerPage / 2, "bad line count");
+    std::vector<unsigned> lines;
+    lines.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        lines.push_back(i * 2);
+    return lines;
+}
+
+} // namespace kona

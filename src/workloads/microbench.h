@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Microbenchmark access patterns used by the paper's Figs 7 and 11:
+ *
+ *  - OnePerPageWorkload: "read and write 1 cache-line in every page"
+ *    over a large region (Fig 7's per-thread kernel);
+ *  - dirtyPattern helpers producing N contiguous or alternate dirty
+ *    cache-lines per page (Fig 11's eviction kernel).
+ */
+
+#ifndef KONA_WORKLOADS_MICROBENCH_H
+#define KONA_WORKLOADS_MICROBENCH_H
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace kona {
+
+/** Fig 7 kernel: touch one line per page over the whole region. */
+class OnePerPageWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        std::size_t regionBytes = 64 * MiB;  ///< 4GB in the paper
+        std::size_t passes = 1;              ///< full sweeps to perform
+        std::uint64_t seed = 3;
+    };
+
+    OnePerPageWorkload(WorkloadContext &context, const Params &params);
+
+    std::string name() const override { return "one-per-page"; }
+    void setup() override;
+
+    /** One op = read+write one line of one page; 0 when done. */
+    std::uint64_t run(std::uint64_t ops) override;
+
+    std::size_t footprintBytes() const override
+    {
+        return params_.regionBytes;
+    }
+
+    std::uint64_t pagesTouched() const { return touched_; }
+    bool finished() const;
+
+  private:
+    Params params_;
+    Rng rng_;
+    Addr region_ = 0;
+    std::uint64_t pages_ = 0;
+    std::uint64_t cursor_ = 0;
+    std::uint64_t pass_ = 0;
+    std::uint64_t touched_ = 0;
+};
+
+/** Line indices for N contiguous dirty lines starting at line 0. */
+std::vector<unsigned> contiguousLines(unsigned n);
+
+/** Line indices for N alternate (every other) dirty lines. */
+std::vector<unsigned> alternateLines(unsigned n);
+
+} // namespace kona
+
+#endif // KONA_WORKLOADS_MICROBENCH_H

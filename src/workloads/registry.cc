@@ -1,0 +1,112 @@
+#include "workloads/registry.h"
+
+#include "common/logging.h"
+#include "workloads/graph.h"
+#include "workloads/kv_store.h"
+#include "workloads/metis.h"
+#include "workloads/tpcc.h"
+
+namespace kona {
+
+const std::vector<std::string> &
+table2WorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "redis-rand",
+        "redis-seq",
+        "linear-regression",
+        "histogram",
+        "pagerank",
+        "graph-coloring",
+        "connected-components",
+        "label-propagation",
+        "voltdb-tpcc",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, WorkloadContext &context,
+             const WorkloadScale &scale)
+{
+    auto scaled = [&scale](std::size_t n) {
+        auto v = static_cast<std::size_t>(
+            static_cast<double>(n) * scale.factor);
+        return std::max<std::size_t>(v, 1);
+    };
+
+    if (name == "redis-rand" || name == "redis-seq") {
+        KvWorkload::Params params;
+        params.numKeys = scaled(100000);
+        params.valueSize = 100;
+        params.pattern = name == "redis-rand" ? KvPattern::Uniform
+                                              : KvPattern::Sequential;
+        // memtier-style mixed load; the Seq workload is write-heavy
+        // (a bulk load / AOF replay pattern).
+        params.setFraction = name == "redis-rand" ? 0.5 : 0.9;
+        return std::make_unique<KvWorkload>(context, params);
+    }
+    if (name == "linear-regression" || name == "histogram") {
+        MetisWorkload::Params params;
+        params.kernel = name == "histogram"
+            ? MetisKernel::Histogram : MetisKernel::LinearRegression;
+        params.inputElements = name == "histogram"
+            ? scaled(16 * 1024 * 1024) : scaled(4 * 1024 * 1024);
+        params.chunkElements = name == "histogram" ? 16384 : 4096;
+        return std::make_unique<MetisWorkload>(context, params);
+    }
+    if (name == "pagerank" || name == "graph-coloring" ||
+        name == "connected-components" ||
+        name == "label-propagation") {
+        GraphWorkload::Params params;
+        if (name == "pagerank")
+            params.algorithm = GraphAlgorithm::PageRank;
+        else if (name == "graph-coloring")
+            params.algorithm = GraphAlgorithm::Coloring;
+        else if (name == "connected-components")
+            params.algorithm = GraphAlgorithm::ConnectedComponents;
+        else
+            params.algorithm = GraphAlgorithm::LabelPropagation;
+        params.vertices = static_cast<std::uint32_t>(scaled(200000));
+        params.avgDegree = 8;
+        return std::make_unique<GraphWorkload>(context, params);
+    }
+    if (name == "voltdb-tpcc") {
+        TpccWorkload::Params params;
+        params.items = static_cast<std::uint32_t>(scaled(20000));
+        params.customers = static_cast<std::uint32_t>(scaled(30000));
+        params.maxOrders = scaled(200000);
+        return std::make_unique<TpccWorkload>(context, params);
+    }
+    fatal("unknown workload '", name, "'");
+}
+
+std::uint64_t
+defaultWindowOps(const std::string &name)
+{
+    // Window sizes chosen so a window dirties a few percent of the
+    // footprint, mirroring the paper's 10-second real-time windows.
+    if (name == "redis-rand" || name == "redis-seq")
+        return 5000;
+    if (name == "linear-regression")
+        return 64;    // one op = one 4096-element map task
+    if (name == "histogram")
+        return 64;
+    if (name == "voltdb-tpcc")
+        return 4000;
+    if (name == "pagerank")
+        return 60000; // dense sweeps: wider windows, denser pages
+    return 40000;     // graph workloads: one op = one vertex program
+}
+
+std::size_t
+defaultWindowCount(const std::string &name)
+{
+    if (name == "graph-coloring" || name == "connected-components" ||
+        name == "label-propagation") {
+        return 8;   // ~1.5 sweeps: the active (pre-convergence) phase
+    }
+    return 14;
+}
+
+} // namespace kona

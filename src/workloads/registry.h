@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Workload registry: builds any of the paper's nine Table 2 workloads
+ * by name with footprints scaled for tractable simulation. Benches and
+ * examples iterate makeAll() to cover the full suite.
+ */
+
+#ifndef KONA_WORKLOADS_REGISTRY_H
+#define KONA_WORKLOADS_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace kona {
+
+/** Scale factor for workload footprints (1.0 = the repo defaults). */
+struct WorkloadScale
+{
+    double factor = 1.0;
+};
+
+/** The nine Table 2 workload names, in the paper's row order. */
+const std::vector<std::string> &table2WorkloadNames();
+
+/**
+ * Instantiate workload @p name ("redis-rand", "redis-seq",
+ * "linear-regression", "histogram", "pagerank", "graph-coloring",
+ * "connected-components", "label-propagation", "voltdb-tpcc").
+ * Fatal on unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       WorkloadContext &context,
+                                       const WorkloadScale &scale = {});
+
+/** Reasonable per-workload op budget for one measurement window. */
+std::uint64_t defaultWindowOps(const std::string &name);
+
+/** Number of measurement windows covering the workload's active
+ *  phase (propagation algorithms converge, so measuring far past
+ *  convergence would skew the per-window averages). */
+std::size_t defaultWindowCount(const std::string &name);
+
+} // namespace kona
+
+#endif // KONA_WORKLOADS_REGISTRY_H

@@ -1,0 +1,181 @@
+#include "workloads/tpcc.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+TpccWorkload::TpccWorkload(WorkloadContext &context,
+                           const Params &params)
+    : Workload(context), params_(params), rng_(params.seed)
+{
+    KONA_ASSERT(params_.items > 0 && params_.customers > 0 &&
+                    params_.districts > 0,
+                "empty TPC-C tables");
+}
+
+void
+TpccWorkload::setup()
+{
+    itemZipf_ = std::make_unique<ZipfGenerator>(params_.items, 0.8,
+                                                rng_);
+    MemoryInterface &mem = context_.mem();
+
+    itemPrice_ = context_.alloc(params_.items * 8, cacheLineSize);
+    stockQty_ = context_.alloc(params_.items * 4, cacheLineSize);
+    stockYtd_ = context_.alloc(params_.items * 8, cacheLineSize);
+    custBalance_ = context_.alloc(params_.customers * 8, cacheLineSize);
+    custYtd_ = context_.alloc(params_.customers * 8, cacheLineSize);
+    distNextOid_ = context_.alloc(params_.districts * 8, cacheLineSize);
+    distYtd_ = context_.alloc(params_.districts * 8, cacheLineSize);
+    orderCust_ = context_.alloc(params_.maxOrders * 4, cacheLineSize);
+    orderDist_ = context_.alloc(params_.maxOrders * 4, cacheLineSize);
+    orderDate_ = context_.alloc(params_.maxOrders * 8, cacheLineSize);
+    std::uint64_t lineCap = params_.maxOrders * maxLines;
+    olItem_ = context_.alloc(lineCap * 4, cacheLineSize);
+    olQty_ = context_.alloc(lineCap * 4, cacheLineSize);
+    olAmount_ = context_.alloc(lineCap * 8, cacheLineSize);
+
+    for (std::uint32_t i = 0; i < params_.items; ++i) {
+        mem.store<double>(itemPrice_ + i * 8,
+                          1.0 + static_cast<double>(i % 100));
+        mem.store<std::uint32_t>(stockQty_ + i * 4, 100);
+        mem.store<std::uint64_t>(stockYtd_ + i * 8, 0);
+    }
+    for (std::uint32_t c = 0; c < params_.customers; ++c) {
+        mem.store<double>(custBalance_ + c * 8, 0.0);
+        mem.store<double>(custYtd_ + c * 8, 0.0);
+    }
+    for (std::uint32_t d = 0; d < params_.districts; ++d) {
+        mem.store<std::uint64_t>(distNextOid_ + d * 8, 0);
+        mem.store<double>(distYtd_ + d * 8, 0.0);
+    }
+}
+
+void
+TpccWorkload::newOrder()
+{
+    if (orderCount_ >= params_.maxOrders) {
+        return;   // append columns full; keep the mix running
+    }
+    MemoryInterface &mem = context_.mem();
+    std::uint32_t d = static_cast<std::uint32_t>(
+        rng_.below(params_.districts));
+    std::uint32_t c = static_cast<std::uint32_t>(
+        rng_.below(params_.customers));
+
+    // Take the district's next order id (scattered 8B read + write).
+    auto oid = mem.load<std::uint64_t>(distNextOid_ + d * 8);
+    mem.store<std::uint64_t>(distNextOid_ + d * 8, oid + 1);
+
+    // Read customer credit info.
+    (void)mem.load<double>(custBalance_ + c * 8);
+
+    // Insert the order row (sequential appends into three columns).
+    std::uint64_t row = orderCount_;
+    mem.store<std::uint32_t>(orderCust_ + row * 4, c);
+    mem.store<std::uint32_t>(orderDist_ + row * 4, d);
+    mem.store<std::uint64_t>(orderDate_ + row * 8, orderCount_);
+
+    std::uint32_t lines = static_cast<std::uint32_t>(
+        5 + rng_.below(11));   // 5..15 per the spec
+    double totalAmount = 0.0;
+    for (std::uint32_t l = 0; l < lines; ++l) {
+        auto item = static_cast<std::uint32_t>(itemZipf_->next());
+        double price = mem.load<double>(itemPrice_ + item * 8);
+        auto qty = mem.load<std::uint32_t>(stockQty_ + item * 4);
+        std::uint32_t take = 1 + static_cast<std::uint32_t>(
+            rng_.below(5));
+        std::uint32_t newQty = qty >= take ? qty - take : qty + 91;
+        mem.store<std::uint32_t>(stockQty_ + item * 4, newQty);
+        auto ytd = mem.load<std::uint64_t>(stockYtd_ + item * 8);
+        mem.store<std::uint64_t>(stockYtd_ + item * 8, ytd + take);
+
+        std::uint64_t lrow = lineCount_ + l;
+        mem.store<std::uint32_t>(olItem_ + lrow * 4, item);
+        mem.store<std::uint32_t>(olQty_ + lrow * 4, take);
+        mem.store<double>(olAmount_ + lrow * 8, price * take);
+        totalAmount += price * take;
+    }
+    lineCount_ += lines;
+    ++orderCount_;
+
+    // District year-to-date revenue (scattered 8B read-modify-write).
+    double ytd = mem.load<double>(distYtd_ + d * 8);
+    mem.store<double>(distYtd_ + d * 8, ytd + totalAmount);
+}
+
+void
+TpccWorkload::payment()
+{
+    MemoryInterface &mem = context_.mem();
+    std::uint32_t c = static_cast<std::uint32_t>(
+        rng_.below(params_.customers));
+    std::uint32_t d = static_cast<std::uint32_t>(
+        rng_.below(params_.districts));
+    double amount = 1.0 + rng_.uniform() * 500.0;
+
+    double balance = mem.load<double>(custBalance_ + c * 8);
+    mem.store<double>(custBalance_ + c * 8, balance - amount);
+    double cytd = mem.load<double>(custYtd_ + c * 8);
+    mem.store<double>(custYtd_ + c * 8, cytd + amount);
+    double dytd = mem.load<double>(distYtd_ + d * 8);
+    mem.store<double>(distYtd_ + d * 8, dytd + amount);
+    ++payments_;
+}
+
+void
+TpccWorkload::orderStatus()
+{
+    if (orderCount_ == 0)
+        return;
+    MemoryInterface &mem = context_.mem();
+    std::uint64_t row = rng_.below(orderCount_);
+    (void)mem.load<std::uint32_t>(orderCust_ + row * 4);
+    (void)mem.load<std::uint32_t>(orderDist_ + row * 4);
+    (void)mem.load<std::uint64_t>(orderDate_ + row * 8);
+    // Scan a window of recent order lines (sequential reads).
+    std::uint64_t start = row * 10 < lineCount_ ? row * 10 : 0;
+    std::uint64_t end = std::min<std::uint64_t>(start + 10, lineCount_);
+    for (std::uint64_t l = start; l < end; ++l) {
+        (void)mem.load<std::uint32_t>(olItem_ + l * 4);
+        (void)mem.load<double>(olAmount_ + l * 8);
+    }
+}
+
+std::uint64_t
+TpccWorkload::run(std::uint64_t ops)
+{
+    KONA_ASSERT(itemPrice_ != 0, "run before setup");
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        double dice = rng_.uniform();
+        if (dice < 0.45)
+            newOrder();
+        else if (dice < 0.88)
+            payment();
+        else
+            orderStatus();
+    }
+    return ops;
+}
+
+std::size_t
+TpccWorkload::footprintBytes() const
+{
+    if (itemPrice_ == 0)
+        return 0;
+    return params_.items * (8 + 4 + 8) + params_.customers * 16 +
+           params_.districts * 16 + params_.maxOrders * (4 + 4 + 8) +
+           params_.maxOrders * maxLines * (4 + 4 + 8);
+}
+
+bool
+TpccWorkload::checkConsistency()
+{
+    MemoryInterface &mem = context_.mem();
+    std::uint64_t total = 0;
+    for (std::uint32_t d = 0; d < params_.districts; ++d)
+        total += mem.load<std::uint64_t>(distNextOid_ + d * 8);
+    return total == orderCount_;
+}
+
+} // namespace kona

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload scaffolding.
+ *
+ * The paper evaluates real applications (Redis, GraphLab, Metis,
+ * VoltDB) under Pin instrumentation. Those applications and traces are
+ * not available offline, so src/workloads provides in-repo models that
+ * perform the same computations over the same data-structure shapes in
+ * simulated memory — every load/store flows through a MemoryInterface,
+ * which is exactly what the paper's instrumentation captured.
+ *
+ * Workloads run in steps so drivers can insert measurement windows
+ * (the paper uses 10-second windows; we use operation-count windows).
+ */
+
+#ifndef KONA_WORKLOADS_WORKLOAD_H
+#define KONA_WORKLOADS_WORKLOAD_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "mem/memory_interface.h"
+#include "mem/region_allocator.h"
+
+namespace kona {
+
+/**
+ * The environment a workload runs in: a memory to load/store through
+ * and an allocator carving simulated addresses. Backed either by a
+ * RemoteMemoryRuntime (end-to-end runs) or by a plain BackingStore +
+ * RegionAllocator (trace-analysis runs).
+ */
+class WorkloadContext
+{
+  public:
+    using AllocFn = std::function<Addr(std::size_t, std::size_t)>;
+    using FreeFn = std::function<void(Addr)>;
+
+    WorkloadContext(MemoryInterface &mem, AllocFn alloc, FreeFn release)
+        : mem_(&mem), alloc_(std::move(alloc)),
+          release_(std::move(release))
+    {}
+
+    MemoryInterface &mem() { return *mem_; }
+
+    Addr
+    alloc(std::size_t size, std::size_t align = 16)
+    {
+        return alloc_(size, align);
+    }
+
+    void release(Addr addr) { release_(addr); }
+
+  private:
+    MemoryInterface *mem_;
+    AllocFn alloc_;
+    FreeFn release_;
+};
+
+/** A stepwise-executable application model. */
+class Workload
+{
+  public:
+    explicit Workload(WorkloadContext &context) : context_(context) {}
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Allocate and populate the data structures. */
+    virtual void setup() = 0;
+
+    /**
+     * Execute up to @p ops operations.
+     * @return Operations actually executed; 0 means the workload has
+     *         finished (finite workloads only).
+     */
+    virtual std::uint64_t run(std::uint64_t ops) = 0;
+
+    /** Approximate resident data footprint in bytes (after setup). */
+    virtual std::size_t footprintBytes() const = 0;
+
+  protected:
+    WorkloadContext &context_;
+};
+
+} // namespace kona
+
+#endif // KONA_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Differential tests: the remote-memory runtimes must be
+ * byte-for-byte indistinguishable from plain local memory under
+ * arbitrary access sequences — that is what "transparent" means.
+ *
+ * Each test drives an identical randomized op stream against a
+ * reference BackingStore and a runtime, comparing every read, across
+ * parameter sweeps (FMem pressure, eviction modes, replication,
+ * personalities).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/kona_runtime.h"
+#include "core/vm_runtime.h"
+
+namespace kona {
+namespace {
+
+/** Drive @p ops random reads/writes over [0, span) against both the
+ *  runtime (at @p base) and a shadow buffer; verify every read. */
+void
+differentialRun(RemoteMemoryRuntime &runtime, Addr base,
+                std::size_t span, std::uint64_t ops,
+                std::uint64_t seed)
+{
+    std::vector<std::uint8_t> shadow(span, 0);
+    Rng rng(seed);
+    std::vector<std::uint8_t> buf;
+
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        std::size_t size = 1 + rng.below(300);
+        std::size_t offset = rng.below(span - size);
+        if (rng.chance(0.5)) {
+            buf.resize(size);
+            for (auto &b : buf)
+                b = static_cast<std::uint8_t>(rng.next());
+            runtime.write(base + offset, buf.data(), size);
+            std::copy(buf.begin(), buf.end(),
+                      shadow.begin() + static_cast<long>(offset));
+        } else {
+            buf.assign(size, 0);
+            runtime.read(base + offset, buf.data(), size);
+            ASSERT_TRUE(std::equal(buf.begin(), buf.end(),
+                                   shadow.begin() +
+                                       static_cast<long>(offset)))
+                << "divergence at op " << i << " offset " << offset
+                << " size " << size;
+        }
+    }
+
+    // Full sweep at the end, after flushing everything remote.
+    // Page-sized reads so the sweep fits any local cache size.
+    runtime.writebackAll();
+    buf.assign(span, 0);
+    for (std::size_t off = 0; off < span; off += pageSize)
+        runtime.read(base + off, buf.data() + off, pageSize);
+    ASSERT_EQ(buf, shadow);
+}
+
+struct KonaParams
+{
+    std::size_t fmemKb;
+    EvictionMode mode;
+    std::size_t replicas;
+    std::uint64_t seed;
+};
+
+class KonaDifferential : public ::testing::TestWithParam<KonaParams>
+{
+};
+
+TEST_P(KonaDifferential, MatchesPlainMemory)
+{
+    const KonaParams &p = GetParam();
+    Fabric fabric;
+    Controller controller(1 * MiB);
+    MemoryNode nodeA(fabric, 1, 64 * MiB);
+    MemoryNode nodeB(fabric, 2, 64 * MiB);
+    controller.registerNode(nodeA);
+    controller.registerNode(nodeB);
+
+    KonaConfig cfg;
+    cfg.fpga.vfmemSize = 16 * MiB;
+    cfg.fpga.fmemSize = p.fmemKb * KiB;
+    cfg.hierarchy = HierarchyConfig::scaled();
+    cfg.evictionMode = p.mode;
+    cfg.replicationFactor = p.replicas;
+    KonaRuntime runtime(fabric, controller, 0, cfg);
+
+    std::size_t span = 512 * KiB;   // up to 32x the smallest FMem
+    Addr base = runtime.allocate(span, pageSize);
+    differentialRun(runtime, base, span, 3000, p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pressure, KonaDifferential,
+    ::testing::Values(
+        KonaParams{16, EvictionMode::ClLog, 0, 1},    // brutal churn
+        KonaParams{64, EvictionMode::ClLog, 0, 2},
+        KonaParams{256, EvictionMode::ClLog, 0, 3},
+        KonaParams{1024, EvictionMode::ClLog, 0, 4},  // mostly cached
+        KonaParams{64, EvictionMode::FullPage, 0, 5},
+        KonaParams{64, EvictionMode::ClLog, 1, 6},    // replicated
+        KonaParams{16, EvictionMode::FullPage, 1, 7}));
+
+struct VmParams
+{
+    std::size_t cachePages;
+    bool writeProtect;
+    VmPersonality personality;
+    std::uint64_t seed;
+};
+
+class VmDifferential : public ::testing::TestWithParam<VmParams>
+{
+};
+
+TEST_P(VmDifferential, MatchesPlainMemory)
+{
+    const VmParams &p = GetParam();
+    Fabric fabric;
+    Controller controller(1 * MiB);
+    MemoryNode node(fabric, 1, 64 * MiB);
+    controller.registerNode(node);
+
+    VmConfig cfg;
+    cfg.localCachePages = p.cachePages;
+    cfg.writeProtectTracking = p.writeProtect;
+    cfg.personality = p.personality;
+    cfg.hierarchy = HierarchyConfig::scaled();
+    VmRuntime runtime(fabric, controller, 0, cfg);
+
+    std::size_t span = 512 * KiB;
+    Addr base = runtime.allocate(span, pageSize);
+    differentialRun(runtime, base, span, 3000, p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pressure, VmDifferential,
+    ::testing::Values(
+        VmParams{8, true, VmPersonality::KonaVm, 11},
+        VmParams{32, true, VmPersonality::KonaVm, 12},
+        VmParams{32, false, VmPersonality::KonaVm, 13},  // NoWP
+        VmParams{512, true, VmPersonality::KonaVm, 14},
+        VmParams{32, true, VmPersonality::LegoOs, 15},
+        VmParams{32, true, VmPersonality::Infiniswap, 16}));
+
+/** Cross-runtime equivalence: the same op stream leaves Kona and the
+ *  VM baseline with identical memory images. */
+TEST(CrossRuntime, KonaAndVmConverge)
+{
+    auto image = [](bool useKona) {
+        Fabric fabric;
+        Controller controller(1 * MiB);
+        MemoryNode node(fabric, 1, 64 * MiB);
+        controller.registerNode(node);
+        std::unique_ptr<RemoteMemoryRuntime> runtime;
+        if (useKona) {
+            KonaConfig cfg;
+            cfg.fpga.fmemSize = 64 * KiB;
+            cfg.hierarchy = HierarchyConfig::scaled();
+            runtime = std::make_unique<KonaRuntime>(fabric, controller,
+                                                    0, cfg);
+        } else {
+            VmConfig cfg;
+            cfg.localCachePages = 16;
+            cfg.hierarchy = HierarchyConfig::scaled();
+            runtime = std::make_unique<VmRuntime>(fabric, controller,
+                                                  0, cfg);
+        }
+        std::size_t span = 128 * KiB;
+        Addr base = runtime->allocate(span, pageSize);
+        Rng rng(99);
+        std::vector<std::uint8_t> buf;
+        for (int i = 0; i < 2000; ++i) {
+            std::size_t size = 1 + rng.below(200);
+            std::size_t offset = rng.below(span - size);
+            buf.resize(size);
+            for (auto &b : buf)
+                b = static_cast<std::uint8_t>(rng.next());
+            runtime->write(base + offset, buf.data(), size);
+        }
+        std::vector<std::uint8_t> out(span);
+        for (std::size_t off = 0; off < span; off += pageSize)
+            runtime->read(base + off, out.data() + off, pageSize);
+        return out;
+    };
+    EXPECT_EQ(image(true), image(false));
+}
+
+} // namespace
+} // namespace kona

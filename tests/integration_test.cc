@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Integration tests: full workloads running transparently on the Kona
+ * and VM runtimes over a simulated rack, cross-checked against plain
+ * memory; performance ordering between systems; failure injection;
+ * and the eviction handler's cost breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/kona_runtime.h"
+#include "core/vm_runtime.h"
+#include "workloads/kv_store.h"
+#include "workloads/registry.h"
+#include "workloads/tpcc.h"
+
+namespace kona {
+namespace {
+
+/** A rack with three memory nodes. */
+struct Rack
+{
+    Rack() : controller(1 * MiB)
+    {
+        for (NodeId id = 1; id <= 3; ++id) {
+            nodes.push_back(std::make_unique<MemoryNode>(
+                fabric, id, 128 * MiB));
+            controller.registerNode(*nodes.back());
+        }
+    }
+
+    Fabric fabric;
+    Controller controller;
+    std::vector<std::unique_ptr<MemoryNode>> nodes;
+};
+
+WorkloadContext
+contextFor(RemoteMemoryRuntime &runtime)
+{
+    return WorkloadContext(
+        runtime,
+        [&runtime](std::size_t s, std::size_t a) {
+            return runtime.allocate(s, a);
+        },
+        [&runtime](Addr a) { runtime.deallocate(a); });
+}
+
+KonaConfig
+smallKona()
+{
+    KonaConfig cfg;
+    cfg.fpga.vfmemSize = 128 * MiB;
+    cfg.fpga.fmemSize = 4 * MiB;
+    cfg.hierarchy = HierarchyConfig::scaled();
+    return cfg;
+}
+
+TEST(Integration, KvWorkloadCorrectOnKona)
+{
+    Rack rack;
+    KonaConfig cfg = smallKona();
+    cfg.fpga.fmemSize = 256 * KiB;   // far below the ~700KB footprint
+    KonaRuntime runtime(rack.fabric, rack.controller, 0, cfg);
+    WorkloadContext context = contextFor(runtime);
+    KvWorkload::Params params;
+    params.numKeys = 3000;
+    KvWorkload workload(context, params);
+    workload.setup();
+    workload.run(6000);
+    EXPECT_TRUE(workload.verifyAll());
+    RuntimeStats stats = runtime.stats();
+    EXPECT_EQ(stats.majorFaults, 0u);
+    EXPECT_GT(stats.remoteFetches, 0u);
+    EXPECT_GT(stats.pagesEvicted, 0u);
+}
+
+TEST(Integration, KvWorkloadCorrectOnVm)
+{
+    Rack rack;
+    VmConfig cfg;
+    cfg.localCachePages = 1024;   // 4MB cache
+    cfg.hierarchy = HierarchyConfig::scaled();
+    VmRuntime runtime(rack.fabric, rack.controller, 0, cfg);
+    WorkloadContext context = contextFor(runtime);
+    KvWorkload::Params params;
+    params.numKeys = 3000;
+    KvWorkload workload(context, params);
+    workload.setup();
+    workload.run(6000);
+    EXPECT_TRUE(workload.verifyAll());
+    EXPECT_GT(runtime.stats().majorFaults, 0u);
+}
+
+TEST(Integration, TpccConsistentOnKona)
+{
+    Rack rack;
+    KonaRuntime runtime(rack.fabric, rack.controller, 0, smallKona());
+    WorkloadContext context = contextFor(runtime);
+    TpccWorkload::Params params;
+    params.items = 2000;
+    params.customers = 2000;
+    params.maxOrders = 10000;
+    TpccWorkload workload(context, params);
+    workload.setup();
+    workload.run(3000);
+    EXPECT_TRUE(workload.checkConsistency());
+}
+
+TEST(Integration, KonaFasterThanVmOnSameWork)
+{
+    // The Fig 7 shape at test scale: same access pattern, 50%-ish
+    // local cache, Kona beats the page-fault-based runtime clearly.
+    auto runKv = [](RemoteMemoryRuntime &runtime) {
+        WorkloadContext context = contextFor(runtime);
+        KvWorkload::Params params;
+        params.numKeys = 2000;
+        params.seed = 77;
+        KvWorkload workload(context, params);
+        workload.setup();
+        workload.run(4000);
+        runtime.writebackAll();
+        return runtime.elapsed();
+    };
+
+    Rack rackA;
+    KonaConfig kcfg = smallKona();
+    kcfg.fpga.fmemSize = 128 * KiB;   // ~25% of the footprint
+    KonaRuntime kona(rackA.fabric, rackA.controller, 0, kcfg);
+    Tick konaTime = runKv(kona);
+
+    Rack rackB;
+    VmConfig vcfg;
+    vcfg.localCachePages = 128 * KiB / pageSize;
+    vcfg.hierarchy = HierarchyConfig::scaled();
+    VmRuntime vm(rackB.fabric, rackB.controller, 0, vcfg);
+    Tick vmTime = runKv(vm);
+
+    EXPECT_GT(vmTime, 2 * konaTime)
+        << "Kona " << konaTime << "ns vs VM " << vmTime << "ns";
+}
+
+TEST(Integration, InfiniswapSlowerThanLegoOs)
+{
+    auto runOnce = [](VmPersonality personality) {
+        Rack rack;
+        VmConfig cfg;
+        cfg.personality = personality;
+        cfg.localCachePages = 256;
+        cfg.hierarchy = HierarchyConfig::scaled();
+        VmRuntime runtime(rack.fabric, rack.controller, 0, cfg);
+        WorkloadContext context = contextFor(runtime);
+        KvWorkload::Params params;
+        params.numKeys = 1500;
+        KvWorkload workload(context, params);
+        workload.setup();
+        workload.run(2000);
+        return runtime.elapsed();
+    };
+    Tick lego = runOnce(VmPersonality::LegoOs);
+    Tick infini = runOnce(VmPersonality::Infiniswap);
+    EXPECT_GT(infini, 2 * lego);
+}
+
+TEST(Integration, EvictionAmplificationKonaVsVm)
+{
+    // Same one-line-per-page dirty pattern; compare wire traffic.
+    auto dirtyBytes = [](RemoteMemoryRuntime &runtime) {
+        Addr a = runtime.allocate(512 * pageSize, pageSize);
+        for (int p = 0; p < 512; ++p)
+            runtime.store<std::uint64_t>(a + p * pageSize, p);
+        runtime.writebackAll();
+        return runtime.stats().evictionBytesOnWire;
+    };
+
+    Rack rackA;
+    KonaRuntime kona(rackA.fabric, rackA.controller, 0, smallKona());
+    auto konaBytes = dirtyBytes(kona);
+
+    Rack rackB;
+    VmConfig vcfg;
+    vcfg.localCachePages = 1024;
+    vcfg.hierarchy = HierarchyConfig::scaled();
+    VmRuntime vm(rackB.fabric, rackB.controller, 0, vcfg);
+    auto vmBytes = dirtyBytes(vm);
+
+    // One dirty line/page: VM ships 4KB, Kona ships ~72B -> 50x+.
+    EXPECT_GT(vmBytes, 40 * konaBytes);
+}
+
+TEST(Integration, NetworkOutageIsReportedNotSilent)
+{
+    Rack rack;
+    KonaRuntime runtime(rack.fabric, rack.controller, 0, smallKona());
+    Addr a = runtime.allocate(16 * pageSize, pageSize);
+    runtime.store<std::uint64_t>(a, 1);
+    runtime.writebackAll();
+
+    for (auto &node : rack.nodes)
+        rack.fabric.setNodeDown(node->id(), true);
+    EXPECT_THROW(runtime.load<std::uint64_t>(a), FatalError);
+
+    // After the outage resolves, the data is intact.
+    for (auto &node : rack.nodes)
+        rack.fabric.setNodeDown(node->id(), false);
+    EXPECT_EQ(runtime.load<std::uint64_t>(a), 1u);
+}
+
+TEST(Integration, WaitRetryPolicySurvivesTransientOutage)
+{
+    Rack rack;
+    KonaConfig cfg = smallKona();
+    cfg.failurePolicy = FailurePolicy::WaitRetry;
+    cfg.retryBackoffNs = 50000;
+    KonaRuntime runtime(rack.fabric, rack.controller, 0, cfg);
+    Addr a = runtime.allocate(4 * pageSize, pageSize);
+    runtime.store<std::uint64_t>(a, 42);
+    runtime.writebackAll();
+
+    // Outage starts; the observer resolves it after three backoffs.
+    for (auto &node : rack.nodes)
+        rack.fabric.setNodeDown(node->id(), true);
+    runtime.setOutageObserver([&rack](std::size_t attempt) {
+        if (attempt >= 2) {
+            for (auto &node : rack.nodes)
+                rack.fabric.setNodeDown(node->id(), false);
+        }
+    });
+
+    Tick before = runtime.appTime();
+    EXPECT_EQ(runtime.load<std::uint64_t>(a), 42u);
+    EXPECT_EQ(runtime.outageRetries(), 3u);
+    // Three 50us backoffs were charged to the application.
+    EXPECT_GE(runtime.appTime() - before, 150000u);
+}
+
+TEST(Integration, WaitRetryEscalatesAfterMaxRetries)
+{
+    Rack rack;
+    KonaConfig cfg = smallKona();
+    cfg.failurePolicy = FailurePolicy::WaitRetry;
+    cfg.retryBackoffNs = 1000;
+    cfg.maxRetries = 5;
+    KonaRuntime runtime(rack.fabric, rack.controller, 0, cfg);
+    Addr a = runtime.allocate(pageSize, pageSize);
+    for (auto &node : rack.nodes)
+        rack.fabric.setNodeDown(node->id(), true);
+    EXPECT_THROW(runtime.load<std::uint64_t>(a), FatalError);
+    EXPECT_EQ(runtime.outageRetries(), 5u);
+    for (auto &node : rack.nodes)
+        rack.fabric.setNodeDown(node->id(), false);
+}
+
+TEST(Integration, NetworkDelaySlowsButDoesNotBreak)
+{
+    Rack rack;
+    KonaRuntime runtime(rack.fabric, rack.controller, 0, smallKona());
+    Addr a = runtime.allocate(64 * pageSize, pageSize);
+    for (int p = 0; p < 32; ++p)
+        runtime.store<std::uint64_t>(a + p * pageSize, p);
+
+    for (auto &node : rack.nodes)
+        rack.fabric.setNodeDelay(node->id(), 50000);
+    Tick before = runtime.appTime();
+    // Cold pages: fetches now pay the extra 50us.
+    std::uint64_t sink = 0;
+    for (int p = 32; p < 40; ++p)
+        sink += runtime.load<std::uint64_t>(a + p * pageSize);
+    (void)sink;
+    EXPECT_GT(runtime.appTime() - before, 8 * 50000u);
+    for (int p = 0; p < 32; ++p)
+        EXPECT_EQ(runtime.load<std::uint64_t>(a + p * pageSize),
+                  static_cast<std::uint64_t>(p));
+}
+
+TEST(Integration, EvictionBreakdownAccounted)
+{
+    Rack rack;
+    KonaRuntime runtime(rack.fabric, rack.controller, 0, smallKona());
+    Addr a = runtime.allocate(128 * pageSize, pageSize);
+    for (int p = 0; p < 128; ++p) {
+        for (int l = 0; l < 4; ++l) {
+            runtime.store<std::uint64_t>(
+                a + p * pageSize + l * cacheLineSize, p * 64 + l);
+        }
+    }
+    runtime.writebackAll();
+    const EvictionBreakdown &bd =
+        runtime.evictionHandler().breakdown();
+    EXPECT_GT(bd.copyNs, 0.0);
+    EXPECT_GT(bd.rdmaNs, 0.0);
+    EXPECT_GT(bd.ackNs, 0.0);
+    EXPECT_GT(bd.bitmapNs, 0.0);
+    EXPECT_GT(bd.totalNs(), bd.rdmaNs);
+}
+
+TEST(Integration, BackgroundEvictionStaysOffCriticalPath)
+{
+    // With the background pump active, forced (critical-path)
+    // evictions should be rare: background time >> eviction share of
+    // app time.
+    Rack rack;
+    KonaConfig cfg = smallKona();
+    cfg.fpga.fmemSize = 1 * MiB;
+    cfg.evictionPumpPeriod = 32;
+    KonaRuntime runtime(rack.fabric, rack.controller, 0, cfg);
+    Addr a = runtime.allocate(8 * MiB, pageSize);
+    for (Addr p = 0; p < 8 * MiB / pageSize; ++p)
+        runtime.store<std::uint64_t>(a + p * pageSize, p);
+    EXPECT_GT(runtime.backgroundClock().now(), 0u);
+    EXPECT_GT(runtime.stats().pagesEvicted, 1000u);
+}
+
+TEST(Integration, SameWorkloadSameClockDeterminism)
+{
+    auto elapsed = []() {
+        Rack rack;
+        KonaRuntime runtime(rack.fabric, rack.controller, 0,
+                            smallKona());
+        WorkloadContext context = contextFor(runtime);
+        KvWorkload::Params params;
+        params.numKeys = 1000;
+        KvWorkload workload(context, params);
+        workload.setup();
+        workload.run(2000);
+        return runtime.elapsed();
+    };
+    EXPECT_EQ(elapsed(), elapsed());
+}
+
+} // namespace
+} // namespace kona

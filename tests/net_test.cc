@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for src/net: fabric registration, RDMA data integrity,
+ * the batching/linking and signaled/unsignaled completion semantics,
+ * the cost model's calibration, and failure injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "net/queue_pair.h"
+
+namespace kona {
+namespace {
+
+class NetFixture : public ::testing::Test
+{
+  protected:
+    NetFixture()
+        : fabric(), local(1 * MiB), remote(8 * MiB),
+          poller(fabric.latency())
+    {
+        fabric.attachNode(0, &local);
+        fabric.attachNode(1, &remote);
+        mr = fabric.registerRegion(1, 0, 8 * MiB);
+    }
+
+    WorkRequest
+    writeWr(void *buf, Addr remoteAddr, std::size_t len)
+    {
+        WorkRequest wr;
+        wr.wrId = nextId++;
+        wr.opcode = RdmaOpcode::Write;
+        wr.localBuf = buf;
+        wr.remoteKey = mr.key;
+        wr.remoteAddr = remoteAddr;
+        wr.length = len;
+        return wr;
+    }
+
+    Fabric fabric;
+    BackingStore local;
+    BackingStore remote;
+    MemoryRegion mr;
+    CompletionQueue cq;
+    Poller poller;
+    std::uint64_t nextId = 1;
+};
+
+TEST_F(NetFixture, WriteThenReadRoundTrip)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    SimClock clock;
+
+    std::vector<std::uint8_t> out(4096);
+    Rng rng(5);
+    for (auto &b : out)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    ASSERT_TRUE(qp.post(writeWr(out.data(), 8192, out.size()), clock));
+    poller.waitOne(cq, clock);
+
+    std::vector<std::uint8_t> in(4096, 0);
+    WorkRequest rd = writeWr(in.data(), 8192, in.size());
+    rd.opcode = RdmaOpcode::Read;
+    ASSERT_TRUE(qp.post(rd, clock));
+    poller.waitOne(cq, clock);
+    EXPECT_EQ(in, out);
+}
+
+TEST_F(NetFixture, FourKbOpCostsAboutThreeMicroseconds)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    SimClock clock;
+    std::vector<std::uint8_t> buf(4096, 7);
+    qp.post(writeWr(buf.data(), 0, buf.size()), clock);
+    WorkCompletion wc = poller.waitOne(cq, clock);
+    EXPECT_EQ(wc.status, WcStatus::Success);
+    // Calibrated: ~3us for 4KB (paper §2.1), within 30%.
+    EXPECT_NEAR(static_cast<double>(clock.now()), 3000.0, 1000.0);
+}
+
+TEST_F(NetFixture, LinkedBatchCheaperThanIndividualPosts)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    std::vector<std::uint8_t> buf(64, 1);
+
+    std::vector<WorkRequest> wrs;
+    for (int i = 0; i < 16; ++i) {
+        WorkRequest wr = writeWr(buf.data(), i * 64, 64);
+        wr.signaled = i == 15;   // only the tail signals
+        wrs.push_back(wr);
+    }
+    SimClock batched;
+    ASSERT_TRUE(qp.postLinked(wrs, batched));
+    poller.waitOne(cq, batched);
+    Tick batchedTime = batched.now();
+
+    SimClock individual;
+    for (int i = 0; i < 16; ++i) {
+        WorkRequest wr = writeWr(buf.data(), i * 64, 64);
+        qp.post(wr, individual);
+        poller.waitOne(cq, individual);
+    }
+    EXPECT_LT(batchedTime, individual.now() / 2);
+}
+
+TEST_F(NetFixture, UnsignaledOpsProduceNoCqes)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    SimClock clock;
+    std::vector<std::uint8_t> buf(64, 2);
+    std::vector<WorkRequest> wrs;
+    for (int i = 0; i < 4; ++i) {
+        WorkRequest wr = writeWr(buf.data(), i * 64, 64);
+        wr.signaled = i == 3;
+        wrs.push_back(wr);
+    }
+    qp.postLinked(wrs, clock);
+    EXPECT_EQ(cq.depth(), 1u);
+    WorkCompletion wc = poller.waitOne(cq, clock);
+    EXPECT_EQ(wc.wrId, wrs[3].wrId);
+    EXPECT_TRUE(cq.empty());
+}
+
+TEST_F(NetFixture, DataLandsEvenWhenUnsignaled)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    SimClock clock;
+    std::uint64_t magic = 0x1122334455667788ULL;
+    WorkRequest wr = writeWr(&magic, 4096, sizeof(magic));
+    wr.signaled = false;
+    qp.post(wr, clock);
+    std::uint64_t check = 0;
+    remote.read(4096, &check, sizeof(check));
+    EXPECT_EQ(check, magic);
+}
+
+TEST_F(NetFixture, AccessOutsideRegionIsFatal)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    SimClock clock;
+    std::uint8_t b = 0;
+    WorkRequest wr = writeWr(&b, 8 * MiB - 0, 1);   // one past the end
+    EXPECT_THROW(qp.post(wr, clock), FatalError);
+}
+
+TEST_F(NetFixture, UnknownRegionKeyIsFatal)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    SimClock clock;
+    std::uint8_t b = 0;
+    WorkRequest wr = writeWr(&b, 0, 1);
+    wr.remoteKey = 0xdead;
+    EXPECT_THROW(qp.post(wr, clock), FatalError);
+}
+
+TEST_F(NetFixture, NodeDownYieldsErrorCqe)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    SimClock clock;
+    fabric.setNodeDown(1, true);
+    std::uint8_t b = 1;
+    EXPECT_FALSE(qp.post(writeWr(&b, 0, 1), clock));
+    WorkCompletion wc = poller.waitOne(cq, clock);
+    EXPECT_EQ(wc.status, WcStatus::RemoteUnreachable);
+
+    fabric.setNodeDown(1, false);
+    EXPECT_TRUE(qp.post(writeWr(&b, 0, 1), clock));
+}
+
+TEST_F(NetFixture, NodeDelayRaisesLatency)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    std::vector<std::uint8_t> buf(4096, 3);
+
+    SimClock fast;
+    qp.post(writeWr(buf.data(), 0, buf.size()), fast);
+    poller.waitOne(cq, fast);
+
+    fabric.setNodeDelay(1, 100000);   // +100us (network brownout §4.5)
+    SimClock slow;
+    qp.post(writeWr(buf.data(), 0, buf.size()), slow);
+    poller.waitOne(cq, slow);
+    EXPECT_GT(slow.now(), fast.now() + 90000);
+}
+
+TEST_F(NetFixture, TransferAccounting)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    SimClock clock;
+    std::vector<std::uint8_t> buf(256, 1);
+    auto bytesBefore = fabric.bytesTransferred();
+    qp.post(writeWr(buf.data(), 0, 256), clock);
+    EXPECT_EQ(fabric.bytesTransferred(), bytesBefore + 256);
+    EXPECT_EQ(qp.postedBytes(), 256u);
+    EXPECT_EQ(qp.postedOps(), 1u);
+}
+
+TEST_F(NetFixture, CompletionTimestampsRespectWireTime)
+{
+    QueuePair qp(fabric, 0, 1, cq);
+    SimClock clock;
+    std::vector<std::uint8_t> small(64, 1), big(64 * KiB, 2);
+    qp.post(writeWr(small.data(), 0, small.size()), clock);
+    WorkCompletion first = poller.waitOne(cq, clock);
+    Tick start = clock.now();
+    qp.post(writeWr(big.data(), 0, big.size()), clock);
+    WorkCompletion second = poller.waitOne(cq, clock);
+    EXPECT_GT(second.completeAt - start,
+              first.completeAt);   // 64KB takes longer than 64B
+}
+
+/** Payload-size sweep: byte-exact transfers at every size. */
+class PayloadSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PayloadSweep, ByteExactTransfer)
+{
+    Fabric fabric;
+    BackingStore local(1 * MiB), remote(2 * MiB);
+    fabric.attachNode(0, &local);
+    fabric.attachNode(1, &remote);
+    MemoryRegion mr = fabric.registerRegion(1, 0, 2 * MiB);
+    CompletionQueue cq;
+    QueuePair qp(fabric, 0, 1, cq);
+    Poller poller(fabric.latency());
+    SimClock clock;
+
+    std::size_t size = GetParam();
+    std::vector<std::uint8_t> out(size);
+    Rng rng(size);
+    for (auto &b : out)
+        b = static_cast<std::uint8_t>(rng.next());
+
+    WorkRequest wr;
+    wr.wrId = 1;
+    wr.opcode = RdmaOpcode::Write;
+    wr.localBuf = out.data();
+    wr.remoteKey = mr.key;
+    wr.remoteAddr = 777;
+    wr.length = size;
+    ASSERT_TRUE(qp.post(wr, clock));
+    poller.waitOne(cq, clock);
+
+    std::vector<std::uint8_t> in(size, 0);
+    wr.opcode = RdmaOpcode::Read;
+    wr.localBuf = in.data();
+    ASSERT_TRUE(qp.post(wr, clock));
+    poller.waitOne(cq, clock);
+    EXPECT_EQ(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PayloadSweep,
+                         ::testing::Values(1, 63, 64, 65, 100, 4096,
+                                           4097, 65536, 1048576));
+
+} // namespace
+} // namespace kona

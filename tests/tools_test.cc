@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for KCacheSim (AMAT model math, DRAM-cache variant sweeps)
+ * and KTracker (snapshot-diff dirty detection, write-protect fault
+ * accounting, the Fig 9/10 metrics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mem/backing_store.h"
+#include "tools/kcachesim.h"
+#include "tools/ktracker.h"
+
+namespace kona {
+namespace {
+
+HierarchyConfig
+tinyCpu()
+{
+    HierarchyConfig cfg;
+    cfg.levels = {
+        {"L1", 4 * 64, 1, 64},
+        {"L2", 32 * 64, 2, 64},
+    };
+    return cfg;
+}
+
+TEST(KCacheSim, AllHitsGiveL1Latency)
+{
+    LatencyConfig lat;
+    KCacheSim sim(tinyCpu(), {{"dram", 64 * KiB, pageSize, 4}}, lat);
+    sim.record({0, 8, AccessType::Read});   // cold miss
+    for (int i = 0; i < 999; ++i)
+        sim.record({0, 8, AccessType::Read});
+    EXPECT_EQ(sim.lineAccesses(), 1000u);
+    EXPECT_EQ(sim.cpuHits(0), 999u);
+    // AMAT converges to the L1 hit latency.
+    double amat = sim.amat(0, konaModel(lat));
+    EXPECT_NEAR(amat, lat.l1HitNs, 15.0);
+}
+
+TEST(KCacheSim, ModelOrderingAtSameMissProfile)
+{
+    LatencyConfig lat;
+    KCacheSim sim(tinyCpu(), {{"dram", 16 * KiB, pageSize, 4}}, lat);
+    // A scattered pattern with many LLC and DRAM-cache misses.
+    Rng rng(5);
+    for (int i = 0; i < 30000; ++i)
+        sim.record({rng.below(8 * MiB), 8, AccessType::Read});
+    ASSERT_GT(sim.remoteAccesses(0), 0u);
+
+    double kona = sim.amat(0, konaModel(lat));
+    double konaMain = sim.amat(0, konaMainModel(lat));
+    double lego = sim.amat(0, legoOsModel(lat));
+    double infini = sim.amat(0, infiniswapModel(lat));
+    // §6.2: Kona < LegoOS < Infiniswap; Kona-main < Kona (no NUMA).
+    EXPECT_LT(kona, lego);
+    EXPECT_LT(lego, infini);
+    EXPECT_LT(konaMain, kona);
+}
+
+TEST(KCacheSim, BiggerDramCacheReducesRemoteAccesses)
+{
+    KCacheSim sim(tinyCpu(),
+                  {{"small", 64 * KiB, pageSize, 4},
+                   {"large", 4 * MiB, pageSize, 4}});
+    Rng rng(6);
+    for (int i = 0; i < 20000; ++i)
+        sim.record({rng.below(2 * MiB), 8, AccessType::Read});
+    EXPECT_GT(sim.remoteAccesses(0), sim.remoteAccesses(1));
+    EXPECT_GE(sim.dramMissRate(0), sim.dramMissRate(1));
+}
+
+TEST(KCacheSim, BlockSizeSweepSpatialLocality)
+{
+    // Sequential access: bigger blocks exploit spatial locality.
+    KCacheSim sim(tinyCpu(),
+                  {{"64B", 256 * KiB, 64, 4},
+                   {"4KB", 256 * KiB, pageSize, 4}});
+    for (Addr a = 0; a < 1 * MiB; a += 64)
+        sim.record({a, 8, AccessType::Read});
+    EXPECT_GT(sim.remoteAccesses(0), sim.remoteAccesses(1));
+}
+
+TEST(KCacheSim, RemoteLatencyDominatesSmallCaches)
+{
+    LatencyConfig lat;
+    KCacheSim sim(tinyCpu(), {{"dram", 16 * KiB, pageSize, 4}}, lat);
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i)
+        sim.record({rng.below(16 * MiB), 8, AccessType::Read});
+    // With a ~100% DRAM-cache miss rate, Infiniswap's AMAT approaches
+    // its fetch latency times the LLC miss rate.
+    double infini = sim.amat(0, infiniswapModel(lat));
+    double kona = sim.amat(0, konaModel(lat));
+    EXPECT_GT(infini / kona, 5.0);
+}
+
+class KTrackerFixture : public ::testing::Test
+{
+  protected:
+    KTrackerFixture() : store(4 * MiB), tracker(store)
+    {
+        tracker.trackRegion(0, 4 * MiB);
+    }
+
+    BackingStore store;
+    KTracker tracker;
+
+    /** Instrumentation order: the sink sees the access pre-write. */
+    void
+    doWrite(Addr addr, std::uint64_t value)
+    {
+        tracker.record({addr, 8, AccessType::Write});
+        store.write(addr, &value, sizeof(value));
+    }
+};
+
+TEST_F(KTrackerFixture, DetectsDirtyLinesExactly)
+{
+    doWrite(0, 1);
+    doWrite(10 * 64, 2);
+    doWrite(pageSize + 5 * 64, 3);
+    tracker.endWindow();
+    ASSERT_EQ(tracker.windowResults().size(), 1u);
+    const KTrackerWindow &w = tracker.windowResults()[0];
+    EXPECT_EQ(w.dirtyPages, 2u);
+    EXPECT_EQ(w.dirtyLines, 3u);
+    // amp ratio = (2 * 4096) / (3 * 64)
+    EXPECT_NEAR(w.ampRatio, 2.0 * 4096 / (3 * 64), 1e-9);
+}
+
+TEST_F(KTrackerFixture, SecondWindowOnlySeesNewWrites)
+{
+    doWrite(0, 1);
+    tracker.endWindow();
+    // Re-write the same value: bytes unchanged -> diff is clean.
+    tracker.record({0, 8, AccessType::Write});
+    tracker.endWindow();
+    EXPECT_EQ(tracker.windowResults()[1].dirtyLines, 0u);
+    doWrite(0, 99);
+    tracker.endWindow();
+    EXPECT_EQ(tracker.windowResults()[2].dirtyLines, 1u);
+}
+
+TEST_F(KTrackerFixture, WriteProtectFaultAccounting)
+{
+    doWrite(0, 1);
+    doWrite(8, 2);              // same page: one fault only
+    doWrite(pageSize, 3);       // second page: second fault
+    tracker.endWindow();
+    EXPECT_EQ(tracker.windowResults()[0].writeFaults, 2u);
+    // Next window re-arms protection: writing again re-faults.
+    doWrite(0, 4);
+    tracker.endWindow();
+    EXPECT_EQ(tracker.windowResults()[1].writeFaults, 1u);
+    EXPECT_EQ(tracker.totalWriteFaults(), 3u);
+}
+
+TEST_F(KTrackerFixture, WpModeIsSlowerThanClMode)
+{
+    Rng rng(8);
+    for (int w = 0; w < 5; ++w) {
+        for (int i = 0; i < 500; ++i)
+            doWrite(alignDown(rng.below(4 * MiB - 8), 8),
+                    rng.next());
+        tracker.endWindow();
+    }
+    EXPECT_GT(tracker.appTimeWpNs(), tracker.appTimeClNs());
+    EXPECT_GE(tracker.speedupPercent(), 0.0);
+    EXPECT_GT(tracker.trackerOverheadNs(), 0.0);
+}
+
+TEST_F(KTrackerFixture, UntrackedRegionsIgnored)
+{
+    KTracker narrow(store);
+    narrow.trackRegion(0, pageSize);   // only the first page
+    std::uint64_t v = 5;
+    store.write(10 * pageSize, &v, 8);
+    narrow.record({10 * pageSize, 8, AccessType::Write});
+    narrow.endWindow();
+    EXPECT_EQ(narrow.windowResults()[0].dirtyLines, 0u);
+    EXPECT_EQ(narrow.windowResults()[0].writeFaults, 0u);
+}
+
+TEST_F(KTrackerFixture, ReadsNeverFaultOrDirty)
+{
+    tracker.record({0, 64, AccessType::Read});
+    tracker.endWindow();
+    EXPECT_EQ(tracker.windowResults()[0].writeFaults, 0u);
+    EXPECT_EQ(tracker.windowResults()[0].dirtyLines, 0u);
+}
+
+TEST_F(KTrackerFixture, SequentialWritesAmplifyLess)
+{
+    // Sequential: fill 8 pages completely.
+    KTracker seq(store);
+    seq.trackRegion(0, 4 * MiB);
+    for (Addr a = 0; a < 8 * pageSize; a += 8) {
+        std::uint64_t v = a + 1;
+        seq.record({a, 8, AccessType::Write});
+        store.write(a, &v, 8);
+    }
+    seq.endWindow();
+    double seqRatio = seq.windowResults()[0].ampRatio;
+    EXPECT_NEAR(seqRatio, 1.0, 1e-9);
+
+    // Random: one line in each of 8 scattered pages.
+    KTracker rnd(store);
+    rnd.trackRegion(0, 4 * MiB);
+    for (int p = 0; p < 8; ++p) {
+        Addr a = (100 + 7 * p) * pageSize;
+        std::uint64_t v = p + 1000;
+        rnd.record({a, 8, AccessType::Write});
+        store.write(a, &v, 8);
+    }
+    rnd.endWindow();
+    EXPECT_GT(rnd.windowResults()[0].ampRatio, 10 * seqRatio);
+}
+
+} // namespace
+} // namespace kona

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for src/trace: the instrumented memory wrapper and the
+ * access-pattern analyzer (amplification math, Fig 2 / Fig 3
+ * distributions) on hand-constructed access patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.h"
+#include "trace/access_trace.h"
+#include "trace/pattern_analyzer.h"
+
+namespace kona {
+namespace {
+
+TEST(TracingMemory, ForwardsAndRecords)
+{
+    BackingStore store(1 * MiB);
+    TracingMemory traced(store);
+    RecordingSink sink;
+    traced.addSink(&sink);
+
+    traced.store<std::uint32_t>(100, 7);
+    std::uint32_t v = traced.load<std::uint32_t>(100);
+    EXPECT_EQ(v, 7u);
+    ASSERT_EQ(sink.records().size(), 2u);
+    EXPECT_EQ(sink.records()[0].type, AccessType::Write);
+    EXPECT_EQ(sink.records()[0].addr, 100u);
+    EXPECT_EQ(sink.records()[0].size, 4u);
+    EXPECT_EQ(sink.records()[1].type, AccessType::Read);
+}
+
+TEST(TracingMemory, MultipleSinksAllNotified)
+{
+    BackingStore store(1 * MiB);
+    TracingMemory traced(store);
+    RecordingSink s1, s2;
+    traced.addSink(&s1);
+    traced.addSink(&s2);
+    traced.store<std::uint8_t>(0, 1);
+    EXPECT_EQ(s1.records().size(), 1u);
+    EXPECT_EQ(s2.records().size(), 1u);
+}
+
+TEST(PatternAnalyzer, OneLinePerPageGivesAmp64)
+{
+    AccessPatternAnalyzer analyzer;
+    // Write exactly one full cache-line in each of 10 pages.
+    for (Addr p = 0; p < 10; ++p) {
+        analyzer.record({p * pageSize, cacheLineSize,
+                         AccessType::Write});
+    }
+    analyzer.endWindow();
+    const AmplificationSample &s = analyzer.samples().back();
+    EXPECT_EQ(s.uniqueBytesWritten, 10u * cacheLineSize);
+    EXPECT_DOUBLE_EQ(s.amp4k, 64.0);
+    EXPECT_DOUBLE_EQ(s.ampLine, 1.0);
+    // All ten pages live in the same 2MB region.
+    EXPECT_DOUBLE_EQ(s.amp2m, static_cast<double>(hugePageSize) /
+                                  (10 * cacheLineSize));
+}
+
+TEST(PatternAnalyzer, FullPageWriteGivesAmp1)
+{
+    AccessPatternAnalyzer analyzer;
+    analyzer.record({0, pageSize, AccessType::Write});
+    analyzer.endWindow();
+    const AmplificationSample &s = analyzer.samples().back();
+    EXPECT_DOUBLE_EQ(s.amp4k, 1.0);
+    EXPECT_DOUBLE_EQ(s.ampLine, 1.0);
+}
+
+TEST(PatternAnalyzer, PartialLineAmplifiesAtLineGranularity)
+{
+    AccessPatternAnalyzer analyzer;
+    analyzer.record({0, 8, AccessType::Write});   // 8B of one line
+    analyzer.endWindow();
+    const AmplificationSample &s = analyzer.samples().back();
+    EXPECT_DOUBLE_EQ(s.ampLine, 8.0);    // 64/8
+    EXPECT_DOUBLE_EQ(s.amp4k, 512.0);    // 4096/8
+}
+
+TEST(PatternAnalyzer, OverlappingWritesCountOnce)
+{
+    AccessPatternAnalyzer analyzer;
+    analyzer.record({0, 64, AccessType::Write});
+    analyzer.record({0, 64, AccessType::Write});   // same bytes again
+    analyzer.endWindow();
+    EXPECT_EQ(analyzer.samples().back().uniqueBytesWritten, 64u);
+    EXPECT_DOUBLE_EQ(analyzer.samples().back().ampLine, 1.0);
+}
+
+TEST(PatternAnalyzer, WindowsAreIndependent)
+{
+    AccessPatternAnalyzer analyzer;
+    analyzer.record({0, 64, AccessType::Write});
+    analyzer.endWindow();
+    analyzer.record({pageSize, 8, AccessType::Write});
+    analyzer.endWindow();
+    ASSERT_EQ(analyzer.windows(), 2u);
+    EXPECT_DOUBLE_EQ(analyzer.samples()[0].amp4k, 64.0);
+    EXPECT_DOUBLE_EQ(analyzer.samples()[1].amp4k, 512.0);
+}
+
+TEST(PatternAnalyzer, MeanSkipsEmptyAndTrimmedWindows)
+{
+    AccessPatternAnalyzer analyzer;
+    analyzer.record({0, 64, AccessType::Write});   // amp4k = 64
+    analyzer.endWindow();
+    analyzer.endWindow();                          // empty window
+    analyzer.record({0, pageSize, AccessType::Write});   // amp4k = 1
+    analyzer.endWindow();                          // teardown window
+    AmplificationSample mean = analyzer.meanAmplification(0, 1);
+    EXPECT_DOUBLE_EQ(mean.amp4k, 64.0);   // teardown + empty dropped
+    mean = analyzer.meanAmplification(0, 0);
+    EXPECT_DOUBLE_EQ(mean.amp4k, (64.0 + 1.0) / 2);
+}
+
+TEST(PatternAnalyzer, Fig2LinesPerPageDistribution)
+{
+    AccessPatternAnalyzer analyzer;
+    // Page 0: read 3 lines; page 1: read all 64; page 2: write 2.
+    analyzer.record({0, 8, AccessType::Read});
+    analyzer.record({64, 8, AccessType::Read});
+    analyzer.record({128, 8, AccessType::Read});
+    analyzer.record({pageSize, pageSize, AccessType::Read});
+    analyzer.record({2 * pageSize, 8, AccessType::Write});
+    analyzer.record({2 * pageSize + 100, 8, AccessType::Write});
+    analyzer.endWindow();
+
+    const IntDistribution &reads =
+        analyzer.linesPerPageDist(AccessType::Read);
+    EXPECT_EQ(reads.samples(), 2u);
+    EXPECT_DOUBLE_EQ(reads.cdfAt(3), 0.5);
+    EXPECT_DOUBLE_EQ(reads.cdfAt(64), 1.0);
+
+    const IntDistribution &writes =
+        analyzer.linesPerPageDist(AccessType::Write);
+    EXPECT_EQ(writes.samples(), 1u);
+    EXPECT_DOUBLE_EQ(writes.cdfAt(2), 1.0);
+}
+
+TEST(PatternAnalyzer, Fig3SegmentDistribution)
+{
+    AccessPatternAnalyzer analyzer;
+    // One page: lines 0-3 contiguous, line 10, lines 20-21.
+    analyzer.record({0, 4 * 64, AccessType::Write});
+    analyzer.record({10 * 64, 8, AccessType::Write});
+    analyzer.record({20 * 64, 2 * 64, AccessType::Write});
+    analyzer.endWindow();
+
+    const IntDistribution &segs =
+        analyzer.segmentLengths(AccessType::Write);
+    EXPECT_EQ(segs.samples(), 3u);   // segments of length 4, 1, 2
+    EXPECT_DOUBLE_EQ(segs.cdfAt(1), 1.0 / 3);
+    EXPECT_DOUBLE_EQ(segs.cdfAt(2), 2.0 / 3);
+    EXPECT_DOUBLE_EQ(segs.cdfAt(4), 1.0);
+}
+
+TEST(PatternAnalyzer, CrossPageAccessSplits)
+{
+    AccessPatternAnalyzer analyzer;
+    analyzer.record({pageSize - 32, 64, AccessType::Write});
+    analyzer.endWindow();
+    const AmplificationSample &s = analyzer.samples().back();
+    EXPECT_EQ(s.uniqueBytesWritten, 64u);
+    // Two pages dirtied, one line each.
+    EXPECT_DOUBLE_EQ(s.amp4k, 2.0 * pageSize / 64);
+    EXPECT_DOUBLE_EQ(s.ampLine, 2.0 * cacheLineSize / 64);
+}
+
+TEST(PatternAnalyzer, ReadsDoNotDirty)
+{
+    AccessPatternAnalyzer analyzer;
+    analyzer.record({0, pageSize, AccessType::Read});
+    analyzer.endWindow();
+    EXPECT_EQ(analyzer.samples().back().uniqueBytesWritten, 0u);
+    EXPECT_DOUBLE_EQ(analyzer.samples().back().amp4k, 0.0);
+}
+
+} // namespace
+} // namespace kona

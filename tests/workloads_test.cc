@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the application models: functional correctness (KV
+ * round-trips, regression slope, TPC-C consistency, graph
+ * convergence), determinism from seeds, and the registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.h"
+#include "workloads/graph.h"
+#include "workloads/kv_store.h"
+#include "workloads/metis.h"
+#include "workloads/microbench.h"
+#include "workloads/registry.h"
+#include "workloads/tpcc.h"
+
+namespace kona {
+namespace {
+
+/** Plain-memory workload environment. */
+class Env
+{
+  public:
+    explicit Env(std::size_t size = 256 * MiB)
+        : store(size), heap(pageSize, size - pageSize),
+          context(
+              store,
+              [this](std::size_t s, std::size_t a) {
+                  auto addr = heap.allocate(s, a);
+                  KONA_ASSERT(addr.has_value(), "test heap exhausted");
+                  return *addr;
+              },
+              [this](Addr a) { heap.deallocate(a); })
+    {}
+
+    BackingStore store;
+    RegionAllocator heap;
+    WorkloadContext context;
+};
+
+TEST(KvStoreTest, SetGetEraseRoundTrip)
+{
+    Env env;
+    KvStore store(env.context, 1024, true);
+    std::vector<std::uint8_t> value = {1, 2, 3, 4, 5};
+    store.set(42, value.data(), 5);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(store.get(42, out));
+    EXPECT_EQ(out, value);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_TRUE(store.erase(42));
+    EXPECT_FALSE(store.get(42, out));
+    EXPECT_FALSE(store.erase(42));
+}
+
+TEST(KvStoreTest, OverwriteChangesValue)
+{
+    Env env;
+    KvStore store(env.context, 1024, true);
+    std::vector<std::uint8_t> v1(100, 0xAA), v2(100, 0xBB);
+    store.set(1, v1.data(), 100);
+    store.set(1, v2.data(), 100);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(store.get(1, out));
+    EXPECT_EQ(out, v2);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, GrowingValueReallocates)
+{
+    Env env;
+    KvStore store(env.context, 1024, true);
+    std::vector<std::uint8_t> small(10, 1), big(200, 2);
+    store.set(1, small.data(), 10);
+    store.set(1, big.data(), 200);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(store.get(1, out));
+    EXPECT_EQ(out, big);
+}
+
+TEST(KvStoreTest, CollisionsResolveByProbing)
+{
+    Env env;
+    // Identity mapping, tiny table: keys 0 and 8 collide mod 8.
+    KvStore store(env.context, 8, false);
+    std::uint8_t a = 1, b = 2;
+    store.set(0, &a, 1);
+    store.set(8, &b, 1);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(store.get(0, out));
+    EXPECT_EQ(out[0], 1);
+    ASSERT_TRUE(store.get(8, out));
+    EXPECT_EQ(out[0], 2);
+}
+
+TEST(KvStoreTest, TombstoneReuse)
+{
+    Env env;
+    KvStore store(env.context, 8, false);
+    std::uint8_t v = 9;
+    store.set(0, &v, 1);
+    store.set(8, &v, 1);
+    store.erase(0);
+    store.set(16, &v, 1);   // probes through the tombstone
+    std::vector<std::uint8_t> out;
+    EXPECT_TRUE(store.get(16, out));
+    EXPECT_TRUE(store.get(8, out));
+}
+
+TEST(KvWorkloadTest, VerifyAllAfterMixedOps)
+{
+    Env env;
+    KvWorkload::Params params;
+    params.numKeys = 2000;
+    KvWorkload workload(env.context, params);
+    workload.setup();
+    workload.run(5000);
+    EXPECT_TRUE(workload.verifyAll());
+    EXPECT_GT(workload.footprintBytes(),
+              params.numKeys * params.valueSize);
+}
+
+TEST(KvWorkloadTest, SequentialCursorWraps)
+{
+    Env env;
+    KvWorkload::Params params;
+    params.numKeys = 100;
+    params.pattern = KvPattern::Sequential;
+    KvWorkload workload(env.context, params);
+    workload.setup();
+    workload.run(250);   // 2.5 passes over the key space
+    EXPECT_TRUE(workload.verifyAll());
+}
+
+TEST(GraphTest, CsrDegreesAndNeighborsValid)
+{
+    Env env;
+    CsrGraph graph(env.context, 1000, 4, 99);
+    EXPECT_EQ(graph.vertexCount(), 1000u);
+    EXPECT_GT(graph.edgeCount(), 1000u);
+    std::uint64_t total = 0;
+    for (std::uint32_t v = 0; v < 1000; ++v) {
+        std::uint32_t d = graph.degree(v);
+        total += d;
+        for (std::uint32_t i = 0; i < d; ++i)
+            EXPECT_LT(graph.neighbor(v, i), 1000u);
+    }
+    EXPECT_EQ(total, graph.edgeCount());
+}
+
+TEST(GraphTest, ConnectedComponentsConverges)
+{
+    Env env;
+    GraphWorkload::Params params;
+    params.algorithm = GraphAlgorithm::ConnectedComponents;
+    params.vertices = 2000;
+    params.avgDegree = 6;
+    GraphWorkload workload(env.context, params);
+    workload.setup();
+    // Component ids only ever shrink; after several sweeps the min
+    // label (0) must have spread widely.
+    workload.run(static_cast<std::uint64_t>(params.vertices) * 12);
+    std::size_t atMin = 0;
+    for (std::uint32_t v = 0; v < params.vertices; ++v) {
+        if (workload.vertexValue(v) == 0.0)
+            ++atMin;
+    }
+    EXPECT_GT(atMin, params.vertices / 2);
+}
+
+TEST(GraphTest, PageRankValuesStayPositive)
+{
+    Env env;
+    GraphWorkload::Params params;
+    params.algorithm = GraphAlgorithm::PageRank;
+    params.vertices = 1000;
+    GraphWorkload workload(env.context, params);
+    workload.setup();
+    workload.run(3000);
+    for (std::uint32_t v = 0; v < 100; ++v)
+        EXPECT_GT(workload.vertexValue(v), 0.0);
+}
+
+TEST(GraphTest, ColoringProducesSmallColors)
+{
+    Env env;
+    GraphWorkload::Params params;
+    params.algorithm = GraphAlgorithm::Coloring;
+    params.vertices = 1000;
+    params.avgDegree = 4;
+    GraphWorkload workload(env.context, params);
+    workload.setup();
+    workload.run(4000);   // four sweeps
+    for (std::uint32_t v = 0; v < params.vertices; ++v)
+        EXPECT_LT(workload.vertexValue(v), 64.0);
+}
+
+TEST(MetisTest, LinearRegressionRecoversSlope)
+{
+    Env env;
+    MetisWorkload::Params params;
+    params.inputElements = 64 * 1024;
+    params.chunkElements = 4096;
+    MetisWorkload workload(env.context, params);
+    workload.setup();
+    while (workload.run(4) != 0) {
+    }
+    EXPECT_NEAR(workload.result(), 3.0, 0.05);   // y = 3x + noise
+}
+
+TEST(MetisTest, HistogramChecksumMatchesInput)
+{
+    Env env;
+    MetisWorkload::Params params;
+    params.kernel = MetisKernel::Histogram;
+    params.inputElements = 64 * 1024;
+    params.chunkElements = 8192;
+    MetisWorkload workload(env.context, params);
+    workload.setup();
+    while (workload.run(4) != 0) {
+    }
+    // The checksum equals the byte sum of the input.
+    double viaPartials = workload.result();
+    EXPECT_GT(viaPartials, 0.0);
+}
+
+TEST(MetisTest, FiniteWorkloadSignalsCompletion)
+{
+    Env env;
+    MetisWorkload::Params params;
+    params.inputElements = 16 * 1024;
+    params.chunkElements = 4096;
+    MetisWorkload workload(env.context, params);
+    workload.setup();
+    std::uint64_t total = 0, got = 0;
+    while ((got = workload.run(2)) != 0)
+        total += got;
+    EXPECT_EQ(total, 16 * 1024 / 4096 + 1);   // chunks + reduce
+    EXPECT_EQ(workload.run(5), 0u);
+}
+
+TEST(TpccTest, ConsistencyAfterTransactions)
+{
+    Env env;
+    TpccWorkload::Params params;
+    params.items = 2000;
+    params.customers = 3000;
+    params.maxOrders = 20000;
+    TpccWorkload workload(env.context, params);
+    workload.setup();
+    workload.run(5000);
+    EXPECT_GT(workload.ordersPlaced(), 1000u);
+    EXPECT_GT(workload.paymentsMade(), 1000u);
+    EXPECT_TRUE(workload.checkConsistency());
+}
+
+TEST(MicrobenchTest, OnePerPageTouchesEveryPage)
+{
+    Env env;
+    OnePerPageWorkload::Params params;
+    params.regionBytes = 64 * pageSize;
+    params.passes = 2;
+    OnePerPageWorkload workload(env.context, params);
+    workload.setup();
+    std::uint64_t total = 0, got = 0;
+    while ((got = workload.run(50)) != 0)
+        total += got;
+    EXPECT_EQ(total, 128u);   // 64 pages x 2 passes
+    EXPECT_TRUE(workload.finished());
+}
+
+TEST(MicrobenchTest, LinePatterns)
+{
+    auto contiguous = contiguousLines(4);
+    EXPECT_EQ(contiguous, (std::vector<unsigned>{0, 1, 2, 3}));
+    auto alternate = alternateLines(4);
+    EXPECT_EQ(alternate, (std::vector<unsigned>{0, 2, 4, 6}));
+    EXPECT_THROW(contiguousLines(0), PanicError);
+    EXPECT_THROW(alternateLines(33), PanicError);
+}
+
+TEST(RegistryTest, AllTable2WorkloadsConstructAndRun)
+{
+    for (const std::string &name : table2WorkloadNames()) {
+        Env env;
+        WorkloadScale scale;
+        scale.factor = 0.02;   // tiny footprints for this smoke test
+        auto workload = makeWorkload(name, env.context, scale);
+        ASSERT_NE(workload, nullptr) << name;
+        EXPECT_EQ(workload->name(), name);
+        workload->setup();
+        EXPECT_GT(workload->footprintBytes(), 0u) << name;
+        workload->run(std::min<std::uint64_t>(
+            defaultWindowOps(name), 500));
+    }
+}
+
+TEST(RegistryTest, UnknownNameIsFatal)
+{
+    Env env;
+    EXPECT_THROW(makeWorkload("memcached", env.context), FatalError);
+}
+
+TEST(RegistryTest, DeterministicAcrossRuns)
+{
+    auto fingerprint = []() {
+        Env env;
+        WorkloadScale scale;
+        scale.factor = 0.05;
+        auto workload = makeWorkload("redis-rand", env.context, scale);
+        workload->setup();
+        workload->run(2000);
+        // Hash a slice of simulated memory as the fingerprint.
+        std::vector<std::uint8_t> bytes(64 * KiB);
+        env.store.read(pageSize, bytes.data(), bytes.size());
+        std::uint64_t h = 1469598103934665603ULL;
+        for (std::uint8_t b : bytes) {
+            h ^= b;
+            h *= 1099511628211ULL;
+        }
+        return h;
+    };
+    EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+} // namespace
+} // namespace kona
