@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_contiguity.dir/bench_fig3_contiguity.cc.o"
+  "CMakeFiles/bench_fig3_contiguity.dir/bench_fig3_contiguity.cc.o.d"
+  "bench_fig3_contiguity"
+  "bench_fig3_contiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_contiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_microbenchmark.dir/bench_fig7_microbenchmark.cc.o"
+  "CMakeFiles/bench_fig7_microbenchmark.dir/bench_fig7_microbenchmark.cc.o.d"
+  "bench_fig7_microbenchmark"
+  "bench_fig7_microbenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

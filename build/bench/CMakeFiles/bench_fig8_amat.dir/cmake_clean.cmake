@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_amat.dir/bench_fig8_amat.cc.o"
+  "CMakeFiles/bench_fig8_amat.dir/bench_fig8_amat.cc.o.d"
+  "bench_fig8_amat"
+  "bench_fig8_amat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_amat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_amplification_windows.dir/bench_fig9_amplification_windows.cc.o"
+  "CMakeFiles/bench_fig9_amplification_windows.dir/bench_fig9_amplification_windows.cc.o.d"
+  "bench_fig9_amplification_windows"
+  "bench_fig9_amplification_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_amplification_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

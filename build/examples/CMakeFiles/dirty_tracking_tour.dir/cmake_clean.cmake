@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirty_tracking_tour.dir/dirty_tracking_tour.cpp.o"
+  "CMakeFiles/dirty_tracking_tour.dir/dirty_tracking_tour.cpp.o.d"
+  "dirty_tracking_tour"
+  "dirty_tracking_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_tracking_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

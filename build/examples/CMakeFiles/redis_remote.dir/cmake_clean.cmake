@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_remote.dir/redis_remote.cpp.o"
+  "CMakeFiles/redis_remote.dir/redis_remote.cpp.o.d"
+  "redis_remote"
+  "redis_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

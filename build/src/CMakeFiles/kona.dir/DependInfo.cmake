@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/kona.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/kona.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cc" "src/CMakeFiles/kona.dir/cache/set_assoc_cache.cc.o" "gcc" "src/CMakeFiles/kona.dir/cache/set_assoc_cache.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/kona.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/kona.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/kona.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/kona.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/kona.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/kona.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/eviction_handler.cc" "src/CMakeFiles/kona.dir/core/eviction_handler.cc.o" "gcc" "src/CMakeFiles/kona.dir/core/eviction_handler.cc.o.d"
+  "/root/repo/src/core/kona_runtime.cc" "src/CMakeFiles/kona.dir/core/kona_runtime.cc.o" "gcc" "src/CMakeFiles/kona.dir/core/kona_runtime.cc.o.d"
+  "/root/repo/src/core/vm_runtime.cc" "src/CMakeFiles/kona.dir/core/vm_runtime.cc.o" "gcc" "src/CMakeFiles/kona.dir/core/vm_runtime.cc.o.d"
+  "/root/repo/src/fpga/coherent_fpga.cc" "src/CMakeFiles/kona.dir/fpga/coherent_fpga.cc.o" "gcc" "src/CMakeFiles/kona.dir/fpga/coherent_fpga.cc.o.d"
+  "/root/repo/src/fpga/fmem_cache.cc" "src/CMakeFiles/kona.dir/fpga/fmem_cache.cc.o" "gcc" "src/CMakeFiles/kona.dir/fpga/fmem_cache.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/kona.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/kona.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/page_snapshot.cc" "src/CMakeFiles/kona.dir/mem/page_snapshot.cc.o" "gcc" "src/CMakeFiles/kona.dir/mem/page_snapshot.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/kona.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/kona.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/region_allocator.cc" "src/CMakeFiles/kona.dir/mem/region_allocator.cc.o" "gcc" "src/CMakeFiles/kona.dir/mem/region_allocator.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/kona.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/kona.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/kona.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/kona.dir/net/fabric.cc.o.d"
+  "/root/repo/src/net/queue_pair.cc" "src/CMakeFiles/kona.dir/net/queue_pair.cc.o" "gcc" "src/CMakeFiles/kona.dir/net/queue_pair.cc.o.d"
+  "/root/repo/src/rack/controller.cc" "src/CMakeFiles/kona.dir/rack/controller.cc.o" "gcc" "src/CMakeFiles/kona.dir/rack/controller.cc.o.d"
+  "/root/repo/src/rack/memory_node.cc" "src/CMakeFiles/kona.dir/rack/memory_node.cc.o" "gcc" "src/CMakeFiles/kona.dir/rack/memory_node.cc.o.d"
+  "/root/repo/src/tools/kcachesim.cc" "src/CMakeFiles/kona.dir/tools/kcachesim.cc.o" "gcc" "src/CMakeFiles/kona.dir/tools/kcachesim.cc.o.d"
+  "/root/repo/src/tools/ktracker.cc" "src/CMakeFiles/kona.dir/tools/ktracker.cc.o" "gcc" "src/CMakeFiles/kona.dir/tools/ktracker.cc.o.d"
+  "/root/repo/src/trace/pattern_analyzer.cc" "src/CMakeFiles/kona.dir/trace/pattern_analyzer.cc.o" "gcc" "src/CMakeFiles/kona.dir/trace/pattern_analyzer.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/kona.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/kona.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/kv_store.cc" "src/CMakeFiles/kona.dir/workloads/kv_store.cc.o" "gcc" "src/CMakeFiles/kona.dir/workloads/kv_store.cc.o.d"
+  "/root/repo/src/workloads/metis.cc" "src/CMakeFiles/kona.dir/workloads/metis.cc.o" "gcc" "src/CMakeFiles/kona.dir/workloads/metis.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/CMakeFiles/kona.dir/workloads/microbench.cc.o" "gcc" "src/CMakeFiles/kona.dir/workloads/microbench.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/kona.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/kona.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/CMakeFiles/kona.dir/workloads/tpcc.cc.o" "gcc" "src/CMakeFiles/kona.dir/workloads/tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

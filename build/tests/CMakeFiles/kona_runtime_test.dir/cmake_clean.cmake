@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kona_runtime_test.dir/kona_runtime_test.cc.o"
+  "CMakeFiles/kona_runtime_test.dir/kona_runtime_test.cc.o.d"
+  "kona_runtime_test"
+  "kona_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kona_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

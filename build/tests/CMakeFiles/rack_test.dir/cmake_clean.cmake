@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_test.dir/rack_test.cc.o"
+  "CMakeFiles/rack_test.dir/rack_test.cc.o.d"
+  "rack_test"
+  "rack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_runtime_test.dir/vm_runtime_test.cc.o"
+  "CMakeFiles/vm_runtime_test.dir/vm_runtime_test.cc.o.d"
+  "vm_runtime_test"
+  "vm_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
