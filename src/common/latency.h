@@ -66,7 +66,8 @@ struct LatencyConfig
     double infiniswapEvictionOverheadNs = 24000.0;
     double bitmapScanPerPageNs = 55.0; ///< scan a 64-bit dirty mask
     double logUnpackPerLineNs = 4.0;   ///< receiver writes one line home
-    double ackNs = 1800.0;             ///< one-way ack message
+    double logCrcPerKbNs = 90.0;       ///< receiver-side CRC32 verify
+    double ackNs = 1800.0;             ///< one-way ack (or NAK) message
 
     // FPGA-side costs.
     double fmemLookupNs = 20.0;   ///< FMem set-associative tag check

@@ -97,6 +97,23 @@ class WindowedSeries
 /** Geometric mean of a vector of positive ratios. */
 double geometricMean(const std::vector<double> &values);
 
+/**
+ * Fault-tolerance snapshot of a runtime and its rack (§4.5): how often
+ * the recovery machinery fired and whether the system is currently
+ * operating with less redundancy than configured.
+ */
+struct ReliabilityStats
+{
+    std::uint64_t retries = 0;           ///< backoff retries, all paths
+    std::uint64_t retransmits = 0;       ///< CL logs re-sent (drop/NAK)
+    std::uint64_t checksumFailures = 0;  ///< corrupt CL logs NAKed
+    std::uint64_t replicaPromotions = 0; ///< fail-overs to a replica
+    std::uint64_t nodesFailed = 0;       ///< permanent node losses seen
+    std::uint64_t slabsRebuilt = 0;      ///< replacement copies created
+    std::uint64_t slabsLost = 0;         ///< no surviving copy existed
+    bool degraded = false;               ///< running below redundancy
+};
+
 } // namespace kona
 
 #endif // KONA_COMMON_STATS_H

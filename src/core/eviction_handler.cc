@@ -38,20 +38,6 @@ runsOf(std::uint64_t mask)
     return runs;
 }
 
-/** Append one CL-log record to @p buffer. */
-void
-appendRecord(std::vector<std::uint8_t> &buffer, Addr remoteAddr,
-             const std::uint8_t *lines, std::uint32_t lineCount)
-{
-    ClLogEntryHeader header{remoteAddr, lineCount};
-    std::size_t off = buffer.size();
-    std::size_t bytes = static_cast<std::size_t>(lineCount) *
-                        cacheLineSize;
-    buffer.resize(off + sizeof(header) + bytes);
-    std::memcpy(buffer.data() + off, &header, sizeof(header));
-    std::memcpy(buffer.data() + off + sizeof(header), lines, bytes);
-}
-
 } // namespace
 
 EvictionHandler::EvictionHandler(Fabric &fabric, CoherentFpga &fpga,
@@ -120,6 +106,7 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
     struct NodePayload
     {
         std::vector<std::uint8_t> log;      ///< ClLog mode
+        std::unique_ptr<ClLogWriter> writer; ///< builds + checksums log
         std::vector<WorkRequest> chain;     ///< FullPage mode
         std::vector<std::unique_ptr<std::vector<std::uint8_t>>>
             pageCopies;                     ///< FullPage staging
@@ -156,14 +143,24 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
             homesOf[page.vpn].push_back(loc.node);
             NodePayload &payload = perNode[loc.node];
             if (mode_ == EvictionMode::ClLog) {
-                for (const LineRun &run : runs) {
-                    appendRecord(
+                if (!payload.writer) {
+                    // Cap the log at the node's landing area so an
+                    // oversized shipment is rejected at append time.
+                    payload.writer = std::make_unique<ClLogWriter>(
                         payload.log,
+                        controller_.node(loc.node).logRegion().length);
+                }
+                for (const LineRun &run : runs) {
+                    bool fits = payload.writer->appendRun(
                         loc.addr + static_cast<Addr>(run.firstLine) *
                                        cacheLineSize,
                         frame + static_cast<std::size_t>(
                                     run.firstLine) * cacheLineSize,
                         run.count);
+                    if (!fits)
+                        fatal("CL log batch for node ", loc.node,
+                              " exceeds its landing area (",
+                              payload.writer->maxBytes(), " bytes)");
                 }
             } else {
                 payload.pageCopies.push_back(
@@ -193,55 +190,102 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
     std::vector<NodeId> reached;
 
     for (auto &[nodeId, payload] : perNode) {
-        if (fabric_.nodeDown(nodeId))
+        if (fabric_.nodeDown(nodeId)) {
+            controller_.reportOpFailure(nodeId);
             continue;
+        }
         MemoryNode &node = controller_.node(nodeId);
         SimClock branch;
         branch.advanceTo(start);
 
         if (mode_ == EvictionMode::ClLog) {
-            if (payload.log.size() > node.logRegion().length)
-                fatal("CL log batch (", payload.log.size(),
-                      " bytes) exceeds the node's landing area");
-            WorkRequest wr;
-            wr.wrId = nextWrId_++;
-            wr.opcode = RdmaOpcode::Write;
-            wr.localBuf = payload.log.data();
-            wr.remoteKey = node.logRegion().key;
-            wr.remoteAddr = node.logRegion().base;
-            wr.length = payload.log.size();
             QueuePair &qp = fpga_.qpTo(nodeId);
-            if (!qp.post(wr, branch)) {
+            RetryState retry(retryPolicy_, retrySeed_++);
+            bool shipped = false;
+            std::uint64_t sends = 0;
+            while (true) {
+                WorkRequest wr;
+                wr.wrId = nextWrId_++;
+                wr.opcode = RdmaOpcode::Write;
+                wr.localBuf = payload.log.data();
+                wr.remoteKey = node.logRegion().key;
+                wr.remoteAddr = node.logRegion().base;
+                wr.length = payload.log.size();
+                ++sends;
+                if (!qp.post(wr, branch)) {
+                    // Dropped or timed out: the log never landed.
+                    fpga_.poller().waitOne(fpga_.cq(), branch);
+                    controller_.reportOpFailure(nodeId);
+                    if (fabric_.nodeDown(nodeId) || !retry.shouldRetry())
+                        break;
+                    retry.backoff(branch);
+                    retries_.add();
+                    continue;
+                }
                 fpga_.poller().waitOne(fpga_.cq(), branch);
-                continue;
+                double rdmaPart = static_cast<double>(branch.now() -
+                                                      start);
+                // The Cache-line Log Receiver verifies every record's
+                // CRC before distributing; a NAK means the payload was
+                // corrupted past the transport's checks — retransmit.
+                LogReceiptStats receipt =
+                    node.receiveLog(0, payload.log.size());
+                branch.advance(static_cast<Tick>(receipt.unpackNs +
+                                                 lat.ackNs));
+                wireBytes_.add(payload.log.size());
+                if (!receipt.ok) {
+                    naks_.add();
+                    if (!retry.shouldRetry())
+                        break;
+                    retry.backoff(branch);
+                    retries_.add();
+                    continue;
+                }
+                controller_.reportOpSuccess(nodeId);
+                maxAck = std::max(maxAck,
+                                  static_cast<double>(branch.now() -
+                                                      start) - rdmaPart);
+                maxRdma = std::max(maxRdma, rdmaPart);
+                shipped = true;
+                break;
             }
-            fpga_.poller().waitOne(fpga_.cq(), branch);
-            double rdmaPart = static_cast<double>(branch.now() -
-                                                  start);
-            // The Cache-line Log Receiver distributes and acks.
-            LogReceiptStats receipt =
-                node.receiveLog(0, payload.log.size());
-            branch.advance(static_cast<Tick>(receipt.unpackNs +
-                                             lat.ackNs));
-            maxAck = std::max(maxAck,
-                              static_cast<double>(branch.now() -
-                                                  start) - rdmaPart);
-            maxRdma = std::max(maxRdma, rdmaPart);
-            wireBytes_.add(payload.log.size());
+            retransmits_.add(sends - 1);
+            if (!shipped)
+                continue;
         } else {
             if (payload.chain.empty())
                 continue;
             payload.chain.back().signaled = true;
             QueuePair &qp = fpga_.qpTo(nodeId);
-            if (!qp.postLinked(payload.chain, branch)) {
+            RetryState retry(retryPolicy_, retrySeed_++);
+            bool shipped = false;
+            std::uint64_t sends = 0;
+            while (true) {
+                // A mid-chain failure fails the whole doorbell; pages
+                // are idempotent writes, so replaying the entire chain
+                // after backoff is safe.
+                ++sends;
+                if (!qp.postLinked(payload.chain, branch)) {
+                    fpga_.poller().waitOne(fpga_.cq(), branch);
+                    controller_.reportOpFailure(nodeId);
+                    if (fabric_.nodeDown(nodeId) || !retry.shouldRetry())
+                        break;
+                    retry.backoff(branch);
+                    retries_.add();
+                    continue;
+                }
                 fpga_.poller().waitOne(fpga_.cq(), branch);
-                continue;
+                controller_.reportOpSuccess(nodeId);
+                maxRdma = std::max(maxRdma,
+                                   static_cast<double>(branch.now() -
+                                                       start));
+                wireBytes_.add(payload.chain.size() * pageSize);
+                shipped = true;
+                break;
             }
-            fpga_.poller().waitOne(fpga_.cq(), branch);
-            maxRdma = std::max(maxRdma,
-                               static_cast<double>(branch.now() -
-                                                   start));
-            wireBytes_.add(payload.chain.size() * pageSize);
+            retransmits_.add(sends - 1);
+            if (!shipped)
+                continue;
         }
         reached.push_back(nodeId);
         maxEnd = std::max(maxEnd, branch.now());

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fpga/coherent_fpga.h"
+#include "net/retry_policy.h"
 #include "rack/controller.h"
 
 namespace kona {
@@ -74,10 +75,20 @@ class EvictionHandler
     EvictionMode mode() const { return mode_; }
     void setMode(EvictionMode mode) { mode_ = mode; }
 
+    /** Retry discipline for shipping payloads (drops, NAKs). */
+    void setRetryPolicy(const RetryPolicy &policy)
+    {
+        retryPolicy_ = policy;
+    }
+    const RetryPolicy &retryPolicy() const { return retryPolicy_; }
+
     std::uint64_t pagesEvicted() const { return pagesEvicted_.value(); }
     std::uint64_t silentEvictions() const { return silent_.value(); }
     std::uint64_t dirtyLinesWritten() const { return lines_.value(); }
     std::uint64_t bytesOnWire() const { return wireBytes_.value(); }
+    std::uint64_t retryBackoffs() const { return retries_.value(); }
+    std::uint64_t logRetransmits() const { return retransmits_.value(); }
+    std::uint64_t checksumNaks() const { return naks_.value(); }
     const EvictionBreakdown &breakdown() const { return breakdown_; }
     void resetBreakdown() { breakdown_ = {}; }
 
@@ -87,13 +98,18 @@ class EvictionHandler
     CacheHierarchy &hierarchy_;
     Controller &controller_;
     EvictionMode mode_;
+    RetryPolicy retryPolicy_;
 
     std::uint64_t nextWrId_ = 0x10000000;
+    std::uint64_t retrySeed_ = 0x5eedULL;
 
     Counter pagesEvicted_;
     Counter silent_;
     Counter lines_;
     Counter wireBytes_;
+    Counter retries_;
+    Counter retransmits_;
+    Counter naks_;
     EvictionBreakdown breakdown_;
 };
 

@@ -18,6 +18,16 @@ KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
         [this](const FMemCache::Victim &victim, SimClock &clock) {
             evictor_.evictPage(victim.vfmemPage, clock);
         });
+    evictor_.setRetryPolicy(config_.retry);
+    // Every fetch-path observation feeds the Controller's failure
+    // detector; enough consecutive failures declare the node dead and
+    // checkRackHealth() triggers the rebuild.
+    fpga_.setHealthReporter([this](NodeId node, bool ok) {
+        if (ok)
+            controller_.reportOpSuccess(node);
+        else
+            controller_.reportOpFailure(node);
+    });
 
     // Cumulative hit latencies: a hit at level i pays every level
     // above it (the AMAT structure KCacheSim uses).
@@ -116,13 +126,15 @@ KonaRuntime::simulateAccess(Addr addr, std::size_t size,
         appClock_.advance(static_cast<Tick>(
             levelLatencyNs_[hierarchy_.numLevels()]));
         ServeStatus status = fpga_.serveLine(line, type, appClock_);
-        for (std::size_t attempt = 0;
-             status == ServeStatus::RemoteUnavailable; ++attempt) {
+        if (status != ServeStatus::RemoteUnavailable)
+            continue;
+        RetryState retry(config_.retry, retrySeed_++);
+        while (status == ServeStatus::RemoteUnavailable) {
             // The fill never happened: roll the line back out of the
             // simulated caches so a retry misses to memory again.
             hierarchy_.invalidateLine(line);
             if (config_.failurePolicy == FailurePolicy::Fatal ||
-                attempt >= config_.maxRetries) {
+                !retry.shouldRetry()) {
                 fatal("remote memory unreachable for VFMem line ",
                       line, "; resolve the network outage and "
                       "restart");
@@ -130,9 +142,14 @@ KonaRuntime::simulateAccess(Addr addr, std::size_t size,
             // §4.5: report the failure and wait for the outage to
             // resolve, then retry the fetch.
             outageRetries_.add();
-            appClock_.advance(config_.retryBackoffNs);
+            std::size_t attempt = retry.attempts();
+            retry.backoff(appClock_);
             if (outageObserver_)
                 outageObserver_(attempt);
+            // The outage may have pushed a node over the failure
+            // threshold; rebuilding re-homes its slabs so the retry
+            // can succeed against a healthy placement.
+            checkRackHealth();
             hierarchy_.accessOne(line, type);
             status = fpga_.serveLine(line, type, appClock_);
         }
@@ -175,6 +192,7 @@ KonaRuntime::read(Addr addr, void *buf, std::size_t size)
 {
     if (size == 0)
         return;
+    checkRackHealth();
     ensureSpan(addr, size, AccessType::Read);
     fpga_.readBytes(addr, buf, size);
     reads_.add();
@@ -191,6 +209,7 @@ KonaRuntime::write(Addr addr, const void *buf, std::size_t size)
 {
     if (size == 0)
         return;
+    checkRackHealth();
     ensureSpan(addr, size, AccessType::Write);
     fpga_.writeBytes(addr, buf, size);
     writes_.add();
@@ -238,7 +257,77 @@ KonaRuntime::stats() const
     s.silentEvictions = evictor_.silentEvictions();
     s.dirtyLinesWritten = evictor_.dirtyLinesWritten();
     s.evictionBytesOnWire = evictor_.bytesOnWire();
+    s.retries = outageRetries_.value() + evictor_.retryBackoffs();
+    s.retransmits = evictor_.logRetransmits();
+    s.replicaPromotions = fpga_.replicaPromotions() + rebuildPromotions_;
     return s;
+}
+
+std::vector<PlacementRef>
+KonaRuntime::collectPlacements()
+{
+    // The refs alias MappedSlab values inside RemoteTranslation's map,
+    // which are stable across the Controller's in-place rewrites.
+    std::vector<PlacementRef> refs;
+    fpga_.translation().forEachSlab([&refs](MappedSlab &slab) {
+        refs.push_back({&slab.primary, &slab.replicas});
+    });
+    return refs;
+}
+
+void
+KonaRuntime::checkRackHealth()
+{
+    for (NodeId node : controller_.takeNewlyFailed())
+        recoverFromNodeFailure(node);
+}
+
+RebuildReport
+KonaRuntime::recoverFromNodeFailure(NodeId node)
+{
+    // Fence the node before touching placements so no path (fetch,
+    // eviction, rebuild source selection) talks to it again.
+    fabric_.setNodeDown(node, true);
+    auto placements = collectPlacements();
+    RebuildReport report = controller_.rebuildReplicas(node, placements);
+    rebuildPromotions_ += report.primariesPromoted;
+    degraded_ = report.slabsLost > 0 || report.slabsUnrebuilt > 0;
+    if (report.slabsLost > 0) {
+        warn("node ", node, " loss destroyed ", report.slabsLost,
+             " slab(s) with no surviving copy; replicationFactor was "
+             "too low");
+    }
+    return report;
+}
+
+RebuildReport
+KonaRuntime::decommissionNode(NodeId node)
+{
+    auto placements = collectPlacements();
+    RebuildReport report = controller_.evacuateNode(node, placements);
+    if (report.slabsUnrebuilt == 0) {
+        controller_.removeNode(node);
+        inform("node ", node, " decommissioned");
+    } else {
+        warn("node ", node, " still holds ", report.slabsUnrebuilt,
+             " slab(s); decommission incomplete");
+    }
+    return report;
+}
+
+ReliabilityStats
+KonaRuntime::reliability() const
+{
+    ReliabilityStats r;
+    r.retries = outageRetries_.value() + evictor_.retryBackoffs();
+    r.retransmits = evictor_.logRetransmits();
+    r.checksumFailures = evictor_.checksumNaks();
+    r.replicaPromotions = fpga_.replicaPromotions() + rebuildPromotions_;
+    r.nodesFailed = controller_.nodesFailed();
+    r.slabsRebuilt = controller_.slabsRebuilt();
+    r.slabsLost = controller_.slabsLost();
+    r.degraded = degraded_;
+    return r;
 }
 
 } // namespace kona

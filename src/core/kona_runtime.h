@@ -26,11 +26,13 @@
 #include <memory>
 
 #include "cache/hierarchy.h"
+#include "common/stats.h"
 #include "core/eviction_handler.h"
 #include "core/runtime.h"
 #include "fpga/coherent_fpga.h"
 #include "mem/page_table.h"
 #include "mem/region_allocator.h"
+#include "net/retry_policy.h"
 #include "rack/controller.h"
 
 namespace kona {
@@ -50,10 +52,12 @@ struct KonaConfig
     HierarchyConfig hierarchy;
 
     FailurePolicy failurePolicy = FailurePolicy::Fatal;
-    /** WaitRetry: simulated backoff between retries. */
-    Tick retryBackoffNs = 100000;
-    /** WaitRetry: attempts before escalating to fatal. */
-    std::size_t maxRetries = 64;
+    /**
+     * WaitRetry: the shared backoff discipline (also handed to the
+     * EvictionHandler for its retransmit loop). initialBackoffNs is
+     * the first wait; maxAttempts bounds retries before escalating.
+     */
+    RetryPolicy retry{.initialBackoffNs = 100'000, .maxAttempts = 64};
 
     /** Extra remote copies per slab (§4.5 replication; 0 = none). */
     std::size_t replicationFactor = 0;
@@ -110,6 +114,32 @@ class KonaRuntime : public RemoteMemoryRuntime
 
     std::uint64_t outageRetries() const { return outageRetries_.value(); }
 
+    /**
+     * Poll the Controller's failure detector and run rebuilds for any
+     * node newly declared dead. Called automatically on the access
+     * path; exposed so tests and operator tooling can force a sweep.
+     */
+    void checkRackHealth();
+
+    /**
+     * Self-healing (§4.5): fence @p node, promote replicas whose
+     * primary died with it, and re-replicate every affected slab onto
+     * surviving healthy nodes.
+     */
+    RebuildReport recoverFromNodeFailure(NodeId node);
+
+    /**
+     * Graceful decommission: drain @p node, migrate all of its slabs
+     * to other healthy nodes, and deregister it once empty.
+     */
+    RebuildReport decommissionNode(NodeId node);
+
+    /** True while the rack holds less redundancy than configured. */
+    bool degraded() const { return degraded_; }
+
+    /** Fault-tolerance counters across all of this runtime's paths. */
+    ReliabilityStats reliability() const;
+
   private:
     /** Simulate the hierarchy + FPGA path for one access. */
     void simulateAccess(Addr addr, std::size_t size, AccessType type);
@@ -126,6 +156,9 @@ class KonaRuntime : public RemoteMemoryRuntime
     /** Map one fresh slab at the VFMem cursor. */
     void mapNewSlab();
 
+    /** Lend every slab's placement to the Controller for rewriting. */
+    std::vector<PlacementRef> collectPlacements();
+
     Fabric &fabric_;
     Controller &controller_;
     KonaConfig config_;
@@ -140,6 +173,9 @@ class KonaRuntime : public RemoteMemoryRuntime
     SimClock appClock_;
     SimClock backgroundClock_;
     std::size_t accessesSincePump_ = 0;
+    std::uint64_t retrySeed_ = 0x4b6fULL;
+    std::uint64_t rebuildPromotions_ = 0;
+    bool degraded_ = false;
 
     /** Cumulative latency of a hit at each level, then memory entry. */
     std::array<double, 8> levelLatencyNs_{};

@@ -39,6 +39,10 @@ struct RuntimeStats
     std::uint64_t dirtyLinesWritten = 0; ///< lines shipped at eviction
     std::uint64_t evictionBytesOnWire = 0;
 
+    std::uint64_t retries = 0;           ///< backoff retries, all paths
+    std::uint64_t retransmits = 0;       ///< payloads re-sent (drop/NAK)
+    std::uint64_t replicaPromotions = 0; ///< fetch fail-overs (§4.5)
+
     /** Amplification of eviction traffic: wire bytes / dirty bytes. */
     double
     evictionAmplification() const

@@ -136,20 +136,57 @@ VmRuntime::majorFault(Addr vpn)
     appClock_.advance(static_cast<Tick>(
         remoteFetchNs(lat, config_.personality)));
 
-    RemoteLocation loc = translation_.translate(vpn * pageSize);
-    if (fabric_.nodeDown(loc.node))
-        fatal("remote memory node ", loc.node, " unreachable");
-
+    // Fetch from the primary, fail over to replicas, and back off and
+    // retry when every copy is misbehaving. A replica is promoted only
+    // when every earlier copy sits on a node that is actually down —
+    // a transient drop should not reshuffle the placement.
     SimClock scratch;
-    WorkRequest wr;
-    wr.wrId = nextWrId_++;
-    wr.opcode = RdmaOpcode::Read;
-    wr.localBuf = rdmaBuffer_.data();
-    wr.remoteKey = loc.regionKey;
-    wr.remoteAddr = loc.addr;
-    wr.length = pageSize;
-    qpTo(loc.node).post(wr, scratch);
-    poller_.waitOne(cq_, scratch);
+    RetryState retry(config_.retry, retrySeed_++);
+    bool fetched = false;
+    while (!fetched) {
+        auto copies = translation_.translateAll(vpn * pageSize);
+        for (std::size_t i = 0; i < copies.size() && !fetched; ++i) {
+            const RemoteLocation &loc = copies[i];
+            if (fabric_.nodeDown(loc.node)) {
+                controller_.reportOpFailure(loc.node);
+                continue;
+            }
+            WorkRequest wr;
+            wr.wrId = nextWrId_++;
+            wr.opcode = RdmaOpcode::Read;
+            wr.localBuf = rdmaBuffer_.data();
+            wr.remoteKey = loc.regionKey;
+            wr.remoteAddr = loc.addr;
+            wr.length = pageSize;
+            if (!qpTo(loc.node).post(wr, scratch)) {
+                poller_.waitOne(cq_, scratch);
+                controller_.reportOpFailure(loc.node);
+                continue;
+            }
+            poller_.waitOne(cq_, scratch);
+            controller_.reportOpSuccess(loc.node);
+            if (i > 0) {
+                bool earlierAllDown = true;
+                for (std::size_t j = 0; j < i; ++j)
+                    earlierAllDown &= fabric_.nodeDown(copies[j].node);
+                if (earlierAllDown) {
+                    translation_.promoteReplica(vpn * pageSize, i - 1);
+                    promotions_.add();
+                    warn(name(), ": failed over page ", vpn,
+                         " to node ", loc.node);
+                }
+            }
+            fetched = true;
+        }
+        if (fetched)
+            break;
+        if (!retry.shouldRetry()) {
+            fatal("remote memory unreachable for page ", vpn,
+                  ": every copy is down or failing");
+        }
+        retries_.add();
+        retry.backoff(appClock_);
+    }
     cmem_.write(vpn * pageSize, rdmaBuffer_.data(), pageSize);
 
     // Install the translation; with dirty tracking enabled the page
@@ -295,33 +332,48 @@ VmRuntime::writebackPage(Addr vpn, SimClock &clock)
         static_cast<double>(pageSize) * lat.copyPerKbNs / 1024.0));
     cmem_.read(vpn * pageSize, rdmaBuffer_.data(), pageSize);
 
-    auto copies = translation_.translateAll(vpn * pageSize);
-    Tick start = clock.now();
-    Tick maxEnd = start;
-    bool any = false;
-    for (const RemoteLocation &loc : copies) {
-        if (fabric_.nodeDown(loc.node))
-            continue;
-        SimClock branch;
-        branch.advanceTo(start);
-        WorkRequest wr;
-        wr.wrId = nextWrId_++;
-        wr.opcode = RdmaOpcode::Write;
-        wr.localBuf = rdmaBuffer_.data();
-        wr.remoteKey = loc.regionKey;
-        wr.remoteAddr = loc.addr;
-        wr.length = pageSize;
-        if (!qpTo(loc.node).post(wr, branch)) {
+    // Write to every reachable copy; if the whole placement is
+    // misbehaving, back off and retry rather than dying on a transient
+    // outage. Idempotent page writes make the replay safe.
+    RetryState retry(config_.retry, retrySeed_++);
+    Tick maxEnd = clock.now();
+    for (;;) {
+        auto copies = translation_.translateAll(vpn * pageSize);
+        Tick start = clock.now();
+        maxEnd = start;
+        bool any = false;
+        for (const RemoteLocation &loc : copies) {
+            if (fabric_.nodeDown(loc.node)) {
+                controller_.reportOpFailure(loc.node);
+                continue;
+            }
+            SimClock branch;
+            branch.advanceTo(start);
+            WorkRequest wr;
+            wr.wrId = nextWrId_++;
+            wr.opcode = RdmaOpcode::Write;
+            wr.localBuf = rdmaBuffer_.data();
+            wr.remoteKey = loc.regionKey;
+            wr.remoteAddr = loc.addr;
+            wr.length = pageSize;
+            if (!qpTo(loc.node).post(wr, branch)) {
+                poller_.waitOne(cq_, branch);
+                controller_.reportOpFailure(loc.node);
+                continue;
+            }
             poller_.waitOne(cq_, branch);
-            continue;
+            controller_.reportOpSuccess(loc.node);
+            wireBytes_.add(pageSize);
+            maxEnd = std::max(maxEnd, branch.now());
+            any = true;
         }
-        poller_.waitOne(cq_, branch);
-        wireBytes_.add(pageSize);
-        maxEnd = std::max(maxEnd, branch.now());
-        any = true;
+        if (any)
+            break;
+        if (!retry.shouldRetry())
+            fatal("page writeback failed: all replicas unreachable");
+        retries_.add();
+        retry.backoff(clock);
     }
-    if (!any)
-        fatal("page writeback failed: all replicas unreachable");
     clock.advanceTo(maxEnd);
 }
 
@@ -403,6 +455,8 @@ VmRuntime::stats() const
     s.pagesEvicted = pagesEvicted_.value();
     s.silentEvictions = silentEvictions_.value();
     s.evictionBytesOnWire = wireBytes_.value();
+    s.retries = retries_.value();
+    s.replicaPromotions = promotions_.value();
     return s;
 }
 

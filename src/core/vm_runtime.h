@@ -34,6 +34,7 @@
 #include "mem/region_allocator.h"
 #include "mem/tlb.h"
 #include "net/queue_pair.h"
+#include "net/retry_policy.h"
 #include "rack/controller.h"
 
 namespace kona {
@@ -57,6 +58,9 @@ struct VmConfig
 
     HierarchyConfig hierarchy;
     std::size_t replicationFactor = 0;
+
+    /** Shared retry discipline for the fault and writeback paths. */
+    RetryPolicy retry{.initialBackoffNs = 100'000, .maxAttempts = 16};
 
     Addr windowBase = 0x200000000000ULL;
     std::size_t windowSize = 16 * GiB;
@@ -86,6 +90,11 @@ class VmRuntime : public RemoteMemoryRuntime
     const PageTable &pageTable() const { return pageTable_; }
     const Tlb &tlb() const { return tlb_; }
     std::size_t residentPages() const { return lruList_.size(); }
+    std::uint64_t faultRetries() const { return retries_.value(); }
+    std::uint64_t replicaPromotions() const
+    {
+        return promotions_.value();
+    }
 
   private:
     /** Fault/translate until the access to @p vpn is permitted. */
@@ -153,7 +162,10 @@ class VmRuntime : public RemoteMemoryRuntime
     Counter pagesEvicted_;
     Counter silentEvictions_;
     Counter wireBytes_;
+    Counter retries_;
+    Counter promotions_;
     std::uint64_t nextWrId_ = 0x20000000;
+    std::uint64_t retrySeed_ = 0x76edULL;
 };
 
 } // namespace kona

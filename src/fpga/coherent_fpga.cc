@@ -74,6 +74,13 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
     return ServeStatus::RemoteFetch;
 }
 
+void
+CoherentFpga::reportHealth(NodeId node, bool ok)
+{
+    if (healthReporter_)
+        healthReporter_(node, ok);
+}
+
 bool
 CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
 {
@@ -84,8 +91,13 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
     bool fetched = false;
     for (std::size_t i = 0; i < locations.size(); ++i) {
         const RemoteLocation &loc = locations[i];
-        if (fabric_.nodeDown(loc.node))
+        if (fabric_.nodeDown(loc.node)) {
+            // Skipping a down node is itself evidence for the failure
+            // detector; without it a dead primary would never attract
+            // op reports at all.
+            reportHealth(loc.node, false);
             continue;
+        }
         WorkRequest wr;
         wr.wrId = nextWrId_++;
         wr.opcode = RdmaOpcode::Read;
@@ -95,14 +107,25 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
         wr.length = pageSize;
         if (!qpTo(loc.node).post(wr, clock)) {
             poller_.waitOne(cq_, clock);   // consume the error CQE
+            reportHealth(loc.node, false);
             continue;
         }
         poller_.waitOne(cq_, clock);
+        reportHealth(loc.node, true);
         if (i > 0) {
-            // The primary failed: promote the replica we read from so
-            // future traffic avoids the dead node (§4.5).
-            translation_.promoteReplica(vfmemAddr, i - 1);
-            warn("failed over VFMem page ", vpn, " to node ", loc.node);
+            // Promote the replica we read from only when every earlier
+            // copy sits on a node that is actually down (§4.5). A
+            // transient drop should not reshuffle the placement — the
+            // caller's retry gives the primary another chance instead.
+            bool earlierAllDown = true;
+            for (std::size_t j = 0; j < i; ++j)
+                earlierAllDown &= fabric_.nodeDown(locations[j].node);
+            if (earlierAllDown) {
+                translation_.promoteReplica(vfmemAddr, i - 1);
+                promotions_.add();
+                warn("failed over VFMem page ", vpn, " to node ",
+                     loc.node);
+            }
         }
         fetched = true;
         break;

@@ -145,6 +145,17 @@ class CoherentFpga : public MemorySideListener
     /** Raw pointer to the FMem bytes of resident page @p vpn. */
     std::uint8_t *framePointer(Addr vpn);
 
+    /**
+     * Observer of per-node op outcomes on the fetch path. KonaRuntime
+     * wires this to the Controller's failure detector so that skipped
+     * or failing nodes accumulate evidence toward a Failed verdict.
+     */
+    using HealthReporter = std::function<void(NodeId, bool ok)>;
+    void setHealthReporter(HealthReporter reporter)
+    {
+        healthReporter_ = std::move(reporter);
+    }
+
     /** Queue pair to memory node @p node (created on first use). */
     QueuePair &qpTo(NodeId node);
     CompletionQueue &cq() { return cq_; }
@@ -166,6 +177,7 @@ class CoherentFpga : public MemorySideListener
     }
     std::uint64_t prefetches() const { return prefetches_.value(); }
     std::uint64_t fetchFailures() const { return fetchFailures_.value(); }
+    std::uint64_t replicaPromotions() const { return promotions_.value(); }
 
     /** Background (off-critical-path) simulated time spent. */
     Tick backgroundTime() const { return backgroundClock_.now(); }
@@ -179,6 +191,8 @@ class CoherentFpga : public MemorySideListener
 
     void maybePrefetch(Addr vpn);
 
+    void reportHealth(NodeId node, bool ok);
+
     Fabric &fabric_;
     NodeId computeNode_;
     FpgaConfig config_;
@@ -187,6 +201,7 @@ class CoherentFpga : public MemorySideListener
     RemoteTranslation translation_;
     DirtyLineBitmap dirtyLines_;
     EvictionCallback evictionCallback_;
+    HealthReporter healthReporter_;
 
     CompletionQueue cq_;
     Poller poller_;
@@ -197,6 +212,7 @@ class CoherentFpga : public MemorySideListener
     Counter writebacksObserved_;
     Counter prefetches_;
     Counter fetchFailures_;
+    Counter promotions_;
     std::uint64_t nextWrId_ = 1;
 };
 

@@ -10,6 +10,7 @@
 #ifndef KONA_FPGA_REMOTE_TRANSLATION_H
 #define KONA_FPGA_REMOTE_TRANSLATION_H
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -109,6 +110,19 @@ class RemoteTranslation
 
     std::size_t slabCount() const { return slabs_.size(); }
     const std::map<Addr, MappedSlab> &slabs() const { return slabs_; }
+
+    /**
+     * Visit every slab's placement mutably. The rack Controller uses
+     * this (via PlacementRefs collected by the runtime) to rewrite
+     * placements during rebuild and decommission without this layer
+     * depending on the FPGA's address space.
+     */
+    void
+    forEachSlab(const std::function<void(MappedSlab &)> &fn)
+    {
+        for (auto &[base, slab] : slabs_)
+            fn(slab);
+    }
 
   private:
     std::pair<Addr, const MappedSlab &>

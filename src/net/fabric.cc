@@ -1,5 +1,7 @@
 #include "net/fabric.h"
 
+#include "net/fault_injector.h"
+
 namespace kona {
 
 void
@@ -36,7 +38,11 @@ Fabric::registerRegion(NodeId node, Addr base, std::size_t length)
 void
 Fabric::deregisterRegion(std::uint32_t key)
 {
-    KONA_ASSERT(regions_.erase(key) == 1, "unknown region key ", key);
+    // Deregistering an unknown key is a caller bug during teardown, but
+    // not worth dying for — failover paths may legitimately race a
+    // region's owner going away. Complain loudly and carry on.
+    if (regions_.erase(key) != 1)
+        warn("deregisterRegion: unknown region key ", key, " (no-op)");
 }
 
 const MemoryRegion &
@@ -72,6 +78,14 @@ Fabric::nodeDown(NodeId node) const
 {
     auto it = down_.find(node);
     return it != down_.end() && it->second;
+}
+
+void
+Fabric::setFaultInjector(FaultInjector *injector)
+{
+    injector_ = injector;
+    if (injector != nullptr)
+        injector->bind(this);
 }
 
 } // namespace kona

@@ -27,6 +27,8 @@
 
 namespace kona {
 
+class FaultInjector;
+
 /** A registered memory region on some node. */
 struct MemoryRegion
 {
@@ -38,7 +40,9 @@ struct MemoryRegion
     bool
     covers(Addr addr, std::size_t size) const
     {
-        return addr >= base && addr + size <= base + length;
+        // Subtraction-only bounds check: `addr + size` can wrap for
+        // addresses near the top of the 64-bit space and falsely pass.
+        return addr >= base && size <= length && addr - base <= length - size;
     }
 };
 
@@ -80,6 +84,13 @@ class Fabric
     Tick nodeDelay(NodeId node) const;
     bool nodeDown(NodeId node) const;
 
+    /**
+     * Plug a fault model into the fabric; every verb consults it.
+     * Pass nullptr to detach. The fabric does not own the injector.
+     */
+    void setFaultInjector(FaultInjector *injector);
+    FaultInjector *faultInjector() const { return injector_; }
+
     std::uint64_t bytesTransferred() const { return bytesMoved_; }
     std::uint64_t opsExecuted() const { return opsExecuted_; }
 
@@ -96,6 +107,7 @@ class Fabric
     std::unordered_map<std::uint32_t, MemoryRegion> regions_;
     std::unordered_map<NodeId, Tick> delays_;
     std::unordered_map<NodeId, bool> down_;
+    FaultInjector *injector_ = nullptr;
     std::uint32_t nextKey_ = 1;
     std::uint64_t bytesMoved_ = 0;
     std::uint64_t opsExecuted_ = 0;

@@ -1,0 +1,79 @@
+#include "net/fault_injector.h"
+
+#include "net/fabric.h"
+
+namespace kona {
+
+FaultDecision
+FaultInjector::decide(NodeId node, RdmaOpcode opcode, std::size_t length)
+{
+    FaultDecision decision;
+    auto it = profiles_.find(node);
+    if (it == profiles_.end())
+        return decision;
+    const NodeFaultProfile &profile = it->second;
+    std::uint64_t op = opCounts_[node]++;
+
+    // Scheduled (deterministic) faults first: permanent death, link
+    // flap windows, error bursts. They key off the op index so a
+    // scenario like "flap node 2 every 500 ops" replays exactly.
+    if (profile.failAtOp != 0 && op + 1 >= profile.failAtOp) {
+        if (fabric_ != nullptr)
+            fabric_->setNodeDown(node, true);
+        decision.status = WcStatus::Timeout;
+        decision.extraLatencyNs = profile.timeoutNs;
+        timeouts_.add();
+        return decision;
+    }
+    if (profile.flapPeriodOps != 0 && profile.flapDownOps != 0 &&
+        op % profile.flapPeriodOps < profile.flapDownOps) {
+        decision.status = WcStatus::Timeout;
+        decision.extraLatencyNs = profile.timeoutNs;
+        timeouts_.add();
+        return decision;
+    }
+    if (profile.burstPeriodOps != 0 && profile.burstLength != 0 &&
+        op % profile.burstPeriodOps < profile.burstLength) {
+        decision.status = WcStatus::Dropped;
+        drops_.add();
+        return decision;
+    }
+
+    // Probabilistic faults, drawn from the injector's own seeded RNG.
+    if (profile.dropProbability > 0.0 &&
+        rng_.chance(profile.dropProbability)) {
+        decision.status = WcStatus::Dropped;
+        drops_.add();
+        return decision;
+    }
+    if (profile.corruptProbability > 0.0 && length > 0 &&
+        rng_.chance(profile.corruptProbability)) {
+        corrupt_.add();
+        if (opcode == RdmaOpcode::Read) {
+            // The transport's ICRC catches corrupted responses; the
+            // issuer sees a drop, never the bad bytes.
+            decision.status = WcStatus::Dropped;
+            return decision;
+        }
+        decision.corruptPayload = true;
+        decision.corruptOffset =
+            static_cast<std::size_t>(rng_.below(length));
+        decision.corruptMask =
+            static_cast<std::uint8_t>(1u << rng_.below(8));
+    }
+    if (profile.spikeProbability > 0.0 &&
+        rng_.chance(profile.spikeProbability)) {
+        decision.extraLatencyNs += profile.spikeNs;
+        spikes_.add();
+    }
+    return decision;
+}
+
+std::uint64_t
+FaultInjector::opsSeen(NodeId node) const
+{
+    auto it = opCounts_.find(node);
+    return it == opCounts_.end() ? 0 : it->second;
+}
+
+} // namespace kona

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * FaultInjector: a deterministic, seed-driven fault model for the
+ * simulated fabric (§4.5's reliability concerns made testable).
+ *
+ * The binary up/down switch of Fabric::setNodeDown only exercises one
+ * failure shape. Real disaggregated racks also see partial failures:
+ * dropped packets, transient error bursts, tail-latency spikes,
+ * payload corruption past the transport's checks, and links that flap.
+ * The injector scripts all of these per node so fault workloads are
+ * reproducible from a seed:
+ *
+ *   FaultInjector fi(seed);
+ *   fi.profile(2).flapPeriodOps = 500;   // flap node 2 every 500 ops
+ *   fi.profile(2).flapDownOps = 20;      // ...down for 20 ops each time
+ *   fi.profile(3).dropProbability = 0.02;
+ *   fabric.setFaultInjector(&fi);
+ *
+ * Every verb QueuePair executes consults the injector once per work
+ * request, so mid-chain failure of linked batches falls out naturally:
+ * earlier WRs of the chain have landed, later ones never execute.
+ *
+ * Corruption semantics mirror real RDMA: corrupted *reads* and wire-
+ * corrupted packets are caught by the transport's ICRC and surface as
+ * WcStatus::Dropped (data never applied); corrupted *writes* model
+ * end-host DMA corruption — the payload lands with a flipped bit and
+ * the completion still reports Success. Only an end-to-end check (the
+ * CL log's CRC32) can catch those.
+ */
+
+#ifndef KONA_NET_FAULT_INJECTOR_H
+#define KONA_NET_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/queue_pair.h"
+
+namespace kona {
+
+class Fabric;
+
+/** Per-node scripted fault profile. All fields default to "no fault". */
+struct NodeFaultProfile
+{
+    /** Probability an op is silently dropped (WcStatus::Dropped). */
+    double dropProbability = 0.0;
+
+    /** Probability of payload corruption. Writes land with one bit
+     *  flipped (Success status); reads are caught by the transport
+     *  and surface as Dropped. */
+    double corruptProbability = 0.0;
+
+    /** Probability of a tail-latency spike of @ref spikeNs. */
+    double spikeProbability = 0.0;
+    Tick spikeNs = 200'000;             ///< +200us on the tail
+
+    /** Simulated time a timed-out op holds the issuer hostage. */
+    Tick timeoutNs = 1'000'000;
+
+    /** Link flapping: every @ref flapPeriodOps ops on this node the
+     *  link goes down for the next @ref flapDownOps ops (Timeout). */
+    std::uint64_t flapPeriodOps = 0;
+    std::uint64_t flapDownOps = 0;
+
+    /** Transient error bursts: every @ref burstPeriodOps ops, the next
+     *  @ref burstLength ops are dropped back to back. */
+    std::uint64_t burstPeriodOps = 0;
+    std::uint64_t burstLength = 0;
+
+    /** Permanent failure: at op number @ref failAtOp the node dies for
+     *  good (the injector marks it down on the fabric). 0 = never. */
+    std::uint64_t failAtOp = 0;
+};
+
+/** What the injector decided for one work request. */
+struct FaultDecision
+{
+    WcStatus status = WcStatus::Success;
+    Tick extraLatencyNs = 0;       ///< added to the op's completion time
+    bool corruptPayload = false;   ///< flip a payload bit after landing
+    std::size_t corruptOffset = 0; ///< byte to corrupt (< wr.length)
+    std::uint8_t corruptMask = 0;  ///< XOR mask for the corrupted byte
+};
+
+/** Deterministic per-node fault model plugged into the Fabric. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed = 0xfa17ULL) : rng_(seed)
+    {}
+
+    /** Mutable fault profile of @p node (created on first use). */
+    NodeFaultProfile &profile(NodeId node) { return profiles_[node]; }
+
+    /** Called by Fabric::setFaultInjector. */
+    void bind(Fabric *fabric) { fabric_ = fabric; }
+
+    /**
+     * Decide the fate of one work request against @p node. Advances
+     * the node's op counter (flap/burst/fail schedules key off it).
+     */
+    FaultDecision decide(NodeId node, RdmaOpcode opcode,
+                         std::size_t length);
+
+    std::uint64_t opsSeen(NodeId node) const;
+
+    std::uint64_t dropsInjected() const { return drops_.value(); }
+    std::uint64_t timeoutsInjected() const { return timeouts_.value(); }
+    std::uint64_t corruptionsInjected() const { return corrupt_.value(); }
+    std::uint64_t spikesInjected() const { return spikes_.value(); }
+
+  private:
+    Rng rng_;
+    Fabric *fabric_ = nullptr;
+    std::unordered_map<NodeId, NodeFaultProfile> profiles_;
+    std::unordered_map<NodeId, std::uint64_t> opCounts_;
+
+    Counter drops_;
+    Counter timeouts_;
+    Counter corrupt_;
+    Counter spikes_;
+};
+
+} // namespace kona
+
+#endif // KONA_NET_FAULT_INJECTOR_H

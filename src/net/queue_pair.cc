@@ -1,6 +1,7 @@
 #include "net/queue_pair.h"
 
 #include "common/logging.h"
+#include "net/fault_injector.h"
 
 namespace kona {
 
@@ -59,6 +60,21 @@ QueuePair::executeOne(const WorkRequest &wr, bool linked)
         fabric_.nodeDelay(remoteNode_));
 }
 
+void
+QueuePair::applyCorruption(const WorkRequest &wr, const FaultDecision &fd)
+{
+    // End-host DMA corruption: the write completed "successfully" but
+    // one payload bit flipped on its way into remote memory. Only an
+    // end-to-end check (the CL log's CRC) can see this.
+    KONA_ASSERT(fd.corruptOffset < wr.length, "corrupt offset past end");
+    BackingStore &remote = fabric_.nodeStore(remoteNode_);
+    std::uint8_t byte = 0;
+    Addr target = wr.remoteAddr + fd.corruptOffset;
+    remote.read(target, &byte, 1);
+    byte ^= fd.corruptMask;
+    remote.write(target, &byte, 1);
+}
+
 bool
 QueuePair::post(const WorkRequest &wr, SimClock &clock)
 {
@@ -66,8 +82,19 @@ QueuePair::post(const WorkRequest &wr, SimClock &clock)
         cq_.push({wr.wrId, WcStatus::RemoteUnreachable, clock.now()});
         return false;
     }
+    FaultDecision fd;
+    if (FaultInjector *fi = fabric_.faultInjector())
+        fd = fi->decide(remoteNode_, wr.opcode, wr.length);
+    if (fd.status != WcStatus::Success) {
+        // Dropped/timed-out ops never touch remote memory; the issuer
+        // eats the injected delay (e.g. a retransmission timer).
+        cq_.push({wr.wrId, fd.status, clock.now() + fd.extraLatencyNs});
+        return false;
+    }
     double cost = executeOne(wr, /*linked=*/false);
-    Tick done = clock.now() + static_cast<Tick>(cost);
+    if (fd.corruptPayload)
+        applyCorruption(wr, fd);
+    Tick done = clock.now() + static_cast<Tick>(cost) + fd.extraLatencyNs;
     if (wr.signaled)
         cq_.push({wr.wrId, WcStatus::Success, done});
     return true;
@@ -86,13 +113,30 @@ QueuePair::postLinked(std::span<const WorkRequest> wrs, SimClock &clock)
     // The first WR of a chain pays the full doorbell; subsequent linked
     // WRs pay only the marginal cost. Ops within a chain pipeline, so
     // completion time accumulates their costs serially on the wire.
+    FaultInjector *fi = fabric_.faultInjector();
     double total = 0.0;
+    Tick extra = 0;
     bool first = true;
     for (const WorkRequest &wr : wrs) {
+        FaultDecision fd;
+        if (fi != nullptr)
+            fd = fi->decide(remoteNode_, wr.opcode, wr.length);
+        extra += fd.extraLatencyNs;
+        if (fd.status != WcStatus::Success) {
+            // Mid-chain failure: earlier WRs of the chain have already
+            // landed; this WR and everything linked after it never
+            // execute. The error CQE carries the failing WR's id so the
+            // issuer can tell where the chain broke.
+            cq_.push({wr.wrId, fd.status,
+                      clock.now() + static_cast<Tick>(total) + extra});
+            return false;
+        }
         total += executeOne(wr, /*linked=*/!first);
+        if (fd.corruptPayload)
+            applyCorruption(wr, fd);
         first = false;
     }
-    Tick done = clock.now() + static_cast<Tick>(total);
+    Tick done = clock.now() + static_cast<Tick>(total) + extra;
     for (const WorkRequest &wr : wrs) {
         if (wr.signaled)
             cq_.push({wr.wrId, WcStatus::Success, done});

@@ -40,7 +40,13 @@ struct WorkRequest
 };
 
 /** Completion status. */
-enum class WcStatus : std::uint8_t { Success, RemoteUnreachable };
+enum class WcStatus : std::uint8_t
+{
+    Success,
+    RemoteUnreachable, ///< node marked down; op never left the NIC
+    Timeout,           ///< link unresponsive; issuer waited out a timer
+    Dropped,           ///< op lost in flight (or failed the ICRC check)
+};
 
 /** A completion entry. */
 struct WorkCompletion
@@ -101,6 +107,10 @@ class QueuePair
   private:
     /** Execute the data movement; returns transfer cost in ns. */
     double executeOne(const WorkRequest &wr, bool linked);
+
+    /** Flip the injector-chosen bit of a landed write's payload. */
+    void applyCorruption(const WorkRequest &wr,
+                         const struct FaultDecision &fd);
 
     Fabric &fabric_;
     NodeId localNode_;

@@ -1,0 +1,23 @@
+#include "net/retry_policy.h"
+
+namespace kona {
+
+Tick
+RetryState::backoff(SimClock &clock)
+{
+    double jitter = 1.0 + policy_.jitterFraction * rng_.uniform();
+    Tick charged = static_cast<Tick>(
+        static_cast<double>(nextBackoffNs_) * jitter);
+    clock.advance(charged);
+    spentNs_ += charged;
+    ++attempts_;
+
+    double grown = static_cast<double>(nextBackoffNs_) *
+                   policy_.backoffMultiplier;
+    nextBackoffNs_ = static_cast<Tick>(grown);
+    if (nextBackoffNs_ > policy_.maxBackoffNs)
+        nextBackoffNs_ = policy_.maxBackoffNs;
+    return charged;
+}
+
+} // namespace kona

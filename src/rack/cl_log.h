@@ -13,6 +13,13 @@
  * remote address of the first line. Aggregating runs (even from
  * different pages) into one buffer lets the eviction path issue a
  * single large RDMA write instead of many small ones.
+ *
+ * Every record carries a CRC32 over its address, line count and
+ * payload. RDMA's ICRC only protects the wire; corruption introduced by
+ * the end hosts' DMA engines (or anything between the checksummed hops)
+ * is invisible to the transport. The memory node verifies each record
+ * before applying any of a log's lines and NAKs the whole log on a
+ * mismatch, at which point the eviction path retransmits it.
  */
 
 #ifndef KONA_RACK_CL_LOG_H
@@ -22,24 +29,43 @@
 #include <cstring>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "common/types.h"
 
 namespace kona {
 
-/** Header of one CL-log record. */
+/** Header of one CL-log record. 16 bytes on the wire. */
 struct ClLogEntryHeader
 {
     Addr remoteAddr;          ///< home of the first line in the run
     std::uint32_t lineCount;  ///< number of contiguous lines following
+    std::uint32_t crc = 0;    ///< CRC32 over addr, lineCount and payload
 };
+
+/** CRC32 of one record: covers the addressing fields and the payload. */
+inline std::uint32_t
+clLogRecordCrc(Addr remoteAddr, std::uint32_t lineCount,
+               const std::uint8_t *payload)
+{
+    std::uint32_t c = crc32(&remoteAddr, sizeof(remoteAddr));
+    c = crc32(&lineCount, sizeof(lineCount), c);
+    return crc32(payload,
+                 static_cast<std::size_t>(lineCount) * cacheLineSize, c);
+}
 
 /** Builder/parser for CL logs in a caller-provided byte buffer. */
 class ClLogWriter
 {
   public:
-    explicit ClLogWriter(std::vector<std::uint8_t> &buffer)
-        : buffer_(buffer)
+    /**
+     * @param buffer Destination byte buffer (cleared on construction).
+     * @param maxBytes Reject appends that would grow the log past this
+     *                 size; 0 means unbounded.
+     */
+    explicit ClLogWriter(std::vector<std::uint8_t> &buffer,
+                         std::size_t maxBytes = 0)
+        : buffer_(buffer), maxBytes_(maxBytes)
     {
         buffer_.clear();
     }
@@ -47,32 +73,46 @@ class ClLogWriter
     /**
      * Append a run of @p lineCount contiguous cache-lines whose bytes
      * are at @p lines (host memory), homed at @p remoteAddr.
+     * @return false (buffer untouched) if the record would push the log
+     *         past the configured maximum size.
      */
-    void
+    bool
     appendRun(Addr remoteAddr, const std::uint8_t *lines,
               std::uint32_t lineCount)
     {
         KONA_ASSERT(lineCount > 0, "empty CL-log run");
-        ClLogEntryHeader header{remoteAddr, lineCount};
+        std::size_t payloadBytes =
+            static_cast<std::size_t>(lineCount) * cacheLineSize;
         std::size_t off = buffer_.size();
-        buffer_.resize(off + sizeof(header) +
-                       static_cast<std::size_t>(lineCount) *
-                           cacheLineSize);
+        if (maxBytes_ != 0 &&
+            off + sizeof(ClLogEntryHeader) + payloadBytes > maxBytes_) {
+            ++rejected_;
+            return false;
+        }
+        ClLogEntryHeader header{remoteAddr, lineCount,
+                                clLogRecordCrc(remoteAddr, lineCount,
+                                               lines)};
+        buffer_.resize(off + sizeof(header) + payloadBytes);
         std::memcpy(buffer_.data() + off, &header, sizeof(header));
         std::memcpy(buffer_.data() + off + sizeof(header), lines,
-                    static_cast<std::size_t>(lineCount) * cacheLineSize);
+                    payloadBytes);
         ++runs_;
         lines_ += lineCount;
+        return true;
     }
 
     std::size_t sizeBytes() const { return buffer_.size(); }
+    std::size_t maxBytes() const { return maxBytes_; }
     std::uint32_t runs() const { return runs_; }
     std::uint64_t lines() const { return lines_; }
+    std::uint32_t rejectedRuns() const { return rejected_; }
 
   private:
     std::vector<std::uint8_t> &buffer_;
+    std::size_t maxBytes_;
     std::uint32_t runs_ = 0;
     std::uint64_t lines_ = 0;
+    std::uint32_t rejected_ = 0;
 };
 
 /** Iterates the records of a serialized CL log. */
@@ -89,17 +129,36 @@ class ClLogReader
     ClLogEntryHeader
     next(const std::uint8_t *&payload)
     {
-        KONA_ASSERT(offset_ + sizeof(ClLogEntryHeader) <= size_,
-                    "truncated CL log header");
         ClLogEntryHeader header;
+        KONA_ASSERT(tryNext(header, payload), "truncated CL log record");
+        return header;
+    }
+
+    /**
+     * Non-throwing variant for logs that may be corrupt: a flipped bit
+     * in a header can make lineCount nonsense, so a receiver must be
+     * able to reject the log instead of dying on it.
+     * @return false (no state consumed) if the remaining bytes cannot
+     *         hold a structurally valid record.
+     */
+    bool
+    tryNext(ClLogEntryHeader &header, const std::uint8_t *&payload)
+    {
+        if (offset_ + sizeof(ClLogEntryHeader) > size_)
+            return false;
         std::memcpy(&header, data_ + offset_, sizeof(header));
-        offset_ += sizeof(header);
         std::size_t bytes =
             static_cast<std::size_t>(header.lineCount) * cacheLineSize;
-        KONA_ASSERT(offset_ + bytes <= size_, "truncated CL log payload");
+        if (header.lineCount == 0 ||
+            bytes / cacheLineSize != header.lineCount ||
+            offset_ + sizeof(header) + bytes < offset_ ||
+            offset_ + sizeof(header) + bytes > size_) {
+            return false;
+        }
+        offset_ += sizeof(header);
         payload = data_ + offset_;
         offset_ += bytes;
-        return header;
+        return true;
     }
 
   private:

@@ -1,5 +1,8 @@
 #include "rack/controller.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace kona {
@@ -22,21 +25,26 @@ void
 Controller::removeNode(NodeId node)
 {
     KONA_ASSERT(nodes_.erase(node) == 1, "unknown node ", node);
+    health_.erase(node);
+    consecFailures_.erase(node);
 }
 
-SlabGrant
-Controller::allocateSlab()
+std::optional<SlabGrant>
+Controller::allocateSlabAvoiding(const std::vector<NodeId> &avoid)
 {
     MemoryNode *best = nullptr;
     for (auto &[id, node] : nodes_) {
+        if (health(id) != NodeHealth::Healthy)
+            continue;
+        if (std::find(avoid.begin(), avoid.end(), id) != avoid.end())
+            continue;
         if (node->bytesFree() < slabSize_)
             continue;
         if (best == nullptr || node->bytesFree() > best->bytesFree())
             best = node;
     }
     if (best == nullptr)
-        fatal("rack out of disaggregated memory (", nodes_.size(),
-              " nodes, need ", slabSize_, " bytes)");
+        return std::nullopt;
 
     auto offset = best->allocateSlab(slabSize_);
     KONA_ASSERT(offset.has_value(), "node free-space accounting broke");
@@ -50,9 +58,23 @@ Controller::allocateSlab()
     return grant;
 }
 
+SlabGrant
+Controller::allocateSlab()
+{
+    auto grant = allocateSlabAvoiding({});
+    if (!grant.has_value())
+        fatal("rack out of disaggregated memory (", nodes_.size(),
+              " nodes, need ", slabSize_, " bytes)");
+    return *grant;
+}
+
 void
 Controller::freeSlab(const SlabGrant &grant)
 {
+    // A failed node took its slabs' backing with it; there is nothing
+    // left to return to the pool.
+    if (health(grant.where.node) == NodeHealth::Failed)
+        return;
     auto it = nodes_.find(grant.where.node);
     KONA_ASSERT(it != nodes_.end(), "slab frees to unknown node ",
                 grant.where.node);
@@ -69,12 +91,218 @@ Controller::node(NodeId id) const
 }
 
 std::size_t
+Controller::healthyNodeCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, node] : nodes_)
+        n += health(id) == NodeHealth::Healthy ? 1 : 0;
+    return n;
+}
+
+std::size_t
 Controller::totalFree() const
 {
     std::size_t total = 0;
-    for (const auto &[id, node] : nodes_)
-        total += node->bytesFree();
+    for (const auto &[id, node] : nodes_) {
+        if (health(id) != NodeHealth::Failed)
+            total += node->bytesFree();
+    }
     return total;
+}
+
+void
+Controller::reportOpFailure(NodeId node)
+{
+    if (health(node) == NodeHealth::Failed)
+        return;
+    if (++consecFailures_[node] >= failureThreshold_)
+        markFailed(node);
+}
+
+void
+Controller::reportOpSuccess(NodeId node)
+{
+    consecFailures_[node] = 0;
+}
+
+void
+Controller::markFailed(NodeId node)
+{
+    if (health(node) == NodeHealth::Failed)
+        return;
+    health_[node] = NodeHealth::Failed;
+    consecFailures_[node] = 0;
+    newlyFailed_.push_back(node);
+    ++nodesFailed_;
+    warn("controller: memory node ", node, " declared failed");
+}
+
+void
+Controller::drainNode(NodeId node)
+{
+    KONA_ASSERT(nodes_.count(node) == 1, "unknown node ", node);
+    KONA_ASSERT(health(node) != NodeHealth::Failed,
+                "cannot drain an already-failed node");
+    health_[node] = NodeHealth::Draining;
+    inform("controller: draining memory node ", node);
+}
+
+NodeHealth
+Controller::health(NodeId node) const
+{
+    auto it = health_.find(node);
+    return it == health_.end() ? NodeHealth::Healthy : it->second;
+}
+
+std::vector<NodeId>
+Controller::takeNewlyFailed()
+{
+    return std::exchange(newlyFailed_, {});
+}
+
+RebuildReport
+Controller::rebuildReplicas(NodeId lost,
+                            std::vector<PlacementRef> &placements)
+{
+    markFailed(lost);
+    RebuildReport report = migrate(lost, /*sourceAlive=*/false,
+                                   placements);
+    inform("controller: rebuild after node ", lost, " loss: ",
+           report.slabsRebuilt, " rebuilt, ", report.primariesPromoted,
+           " promoted, ", report.slabsLost, " lost, ",
+           report.slabsUnrebuilt, " unrebuilt");
+    return report;
+}
+
+RebuildReport
+Controller::evacuateNode(NodeId node,
+                         std::vector<PlacementRef> &placements)
+{
+    if (health(node) == NodeHealth::Healthy)
+        drainNode(node);
+    KONA_ASSERT(health(node) == NodeHealth::Draining,
+                "evacuating a node that is not draining");
+    RebuildReport report = migrate(node, /*sourceAlive=*/true,
+                                   placements);
+    inform("controller: evacuated node ", node, ": ",
+           report.slabsRebuilt, " slabs migrated, ",
+           report.slabsUnrebuilt, " stuck");
+    return report;
+}
+
+RebuildReport
+Controller::migrate(NodeId from, bool sourceAlive,
+                    std::vector<PlacementRef> &placements)
+{
+    RebuildReport report;
+    for (PlacementRef &p : placements) {
+        KONA_ASSERT(p.primary != nullptr && p.replicas != nullptr,
+                    "placement ref without grants");
+        std::vector<SlabGrant *> copies;
+        copies.push_back(p.primary);
+        for (SlabGrant &r : *p.replicas)
+            copies.push_back(&r);
+
+        auto onFrom = [from](const SlabGrant *g) {
+            return g->where.node == from;
+        };
+        if (std::none_of(copies.begin(), copies.end(), onFrom))
+            continue;
+
+        // If the primary died with the node, a surviving replica takes
+        // over as primary before anything is copied.
+        if (onFrom(p.primary) && !sourceAlive) {
+            SlabGrant *survivor = nullptr;
+            for (SlabGrant &r : *p.replicas) {
+                if (r.where.node != from &&
+                    health(r.where.node) != NodeHealth::Failed) {
+                    survivor = &r;
+                    break;
+                }
+            }
+            if (survivor == nullptr) {
+                // Every copy died with the node: the data is gone.
+                report.slabsScanned += 1;
+                report.slabsLost += 1;
+                slabsLost_ += 1;
+                warn("slab ", p.primary->slab,
+                     " lost with node ", from, ": no surviving copy");
+                continue;
+            }
+            std::swap(*p.primary, *survivor);
+            report.primariesPromoted += 1;
+        }
+
+        for (SlabGrant *g : copies) {
+            if (!onFrom(g))
+                continue;
+            report.slabsScanned += 1;
+
+            // Source of truth for the new copy: the grant itself when
+            // the node is merely draining, else any surviving copy.
+            const SlabGrant *source = nullptr;
+            if (sourceAlive) {
+                source = g;
+            } else {
+                for (SlabGrant *s : copies) {
+                    if (s != g && s->where.node != from &&
+                        health(s->where.node) != NodeHealth::Failed) {
+                        source = s;
+                        break;
+                    }
+                }
+            }
+            if (source == nullptr) {
+                report.slabsLost += 1;
+                slabsLost_ += 1;
+                continue;
+            }
+
+            // Never co-locate two copies of the same slab.
+            std::vector<NodeId> occupied{from};
+            for (SlabGrant *s : copies) {
+                if (s != g)
+                    occupied.push_back(s->where.node);
+            }
+            rehomeCopy(*g, *source, sourceAlive, occupied, report);
+        }
+    }
+    return report;
+}
+
+bool
+Controller::rehomeCopy(SlabGrant &grant, const SlabGrant &source,
+                       bool sourceAlive,
+                       const std::vector<NodeId> &occupied,
+                       RebuildReport &report)
+{
+    auto replacement = allocateSlabAvoiding(occupied);
+    if (!replacement.has_value()) {
+        report.slabsUnrebuilt += 1;
+        warn("no healthy node has room to re-home slab ", grant.slab,
+             "; redundancy stays degraded");
+        return false;
+    }
+
+    // Control-plane copy between the nodes' stores; the simulation does
+    // not charge application time for background rebuild traffic.
+    std::vector<std::uint8_t> bytes(grant.size);
+    node(source.where.node).store().read(source.where.offset,
+                                         bytes.data(), bytes.size());
+    node(replacement->where.node).store().write(replacement->where.offset,
+                                                bytes.data(),
+                                                bytes.size());
+    if (sourceAlive)
+        node(grant.where.node).freeSlab(grant.where.offset);
+
+    replacement->slab = grant.slab;  // identity follows the data
+    replacement->size = grant.size;
+    grant = *replacement;
+    report.slabsRebuilt += 1;
+    report.bytesCopied += bytes.size();
+    slabsRebuilt_ += 1;
+    bytesCopied_ += bytes.size();
+    return true;
 }
 
 } // namespace kona

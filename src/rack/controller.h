@@ -3,11 +3,20 @@
  * Controller: the centralized rack controller of §4.1. Memory nodes
  * register the pools they expose; compute-node Resource Managers ask
  * it for coarse-grained slabs off the application's critical path.
+ *
+ * The controller is also the rack's health authority (§4.5): compute
+ * nodes report per-op outcomes, a run of consecutive failures marks a
+ * node Failed, and rebuildReplicas() restores the configured redundancy
+ * by re-replicating every slab the dead node held from its surviving
+ * copies onto healthy nodes. Draining supports graceful decommission:
+ * a Draining node takes no new slabs while evacuateNode() migrates its
+ * existing ones away.
  */
 
 #ifndef KONA_RACK_CONTROLLER_H
 #define KONA_RACK_CONTROLLER_H
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -25,12 +34,46 @@ struct SlabGrant
     std::uint32_t regionKey = 0; ///< RDMA key covering the slab
 };
 
+/** Controller-side view of a memory node's availability. */
+enum class NodeHealth : std::uint8_t
+{
+    Healthy,  ///< taking traffic and new slabs
+    Draining, ///< serving existing slabs; no new placements
+    Failed,   ///< declared dead; data must be rebuilt elsewhere
+};
+
+/**
+ * One translation entry's placement, lent to the controller for
+ * rebuild/evacuation. The pointers alias the owner's (e.g.
+ * RemoteTranslation's) live grants so the controller can rewrite
+ * placements in place without the rack layer knowing about the FPGA.
+ */
+struct PlacementRef
+{
+    SlabGrant *primary = nullptr;
+    std::vector<SlabGrant> *replicas = nullptr;
+};
+
+/** Outcome of one rebuild or evacuation sweep. */
+struct RebuildReport
+{
+    std::uint64_t slabsScanned = 0;   ///< copies found on the lost node
+    std::uint64_t slabsRebuilt = 0;   ///< replacement copies created
+    std::uint64_t slabsLost = 0;      ///< no surviving copy existed
+    std::uint64_t slabsUnrebuilt = 0; ///< survivors exist, no room to copy
+    std::uint64_t primariesPromoted = 0; ///< replicas taking over primary
+    std::uint64_t bytesCopied = 0;
+};
+
 /** Centralized slab allocator over the registered memory nodes. */
 class Controller
 {
   public:
     /** Default slab granularity; the paper uses large slabs. */
     static constexpr std::size_t defaultSlabSize = 4 * MiB;
+
+    /** Consecutive op failures before a node is declared Failed. */
+    static constexpr std::uint32_t defaultFailureThreshold = 5;
 
     explicit Controller(std::size_t slabSize = defaultSlabSize);
 
@@ -41,12 +84,20 @@ class Controller
     void removeNode(NodeId node);
 
     /**
-     * Allocate one slab, preferring the node with the most free space
-     * (simple balancing). Fatal when the rack is out of memory.
+     * Allocate one slab, preferring the healthy node with the most free
+     * space (simple balancing). Fatal when the rack is out of memory.
      */
     SlabGrant allocateSlab();
 
-    /** Return a slab to its node. */
+    /**
+     * Like allocateSlab but skips nodes in @p avoid (so a rebuilt copy
+     * never lands next to another copy of the same data); returns
+     * nullopt instead of dying when no eligible node has room.
+     */
+    std::optional<SlabGrant>
+    allocateSlabAvoiding(const std::vector<NodeId> &avoid);
+
+    /** Return a slab to its node. No-op if the node has failed. */
     void freeSlab(const SlabGrant &grant);
 
     /** The registered memory node @p id (fatal if unknown). */
@@ -54,16 +105,80 @@ class Controller
 
     std::size_t slabSize() const { return slabSize_; }
     std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t healthyNodeCount() const;
     std::uint64_t slabsAllocated() const { return slabsAllocated_; }
 
-    /** Total free bytes across all registered nodes. */
+    /** Total free bytes across all healthy registered nodes. */
     std::size_t totalFree() const;
 
+    // --- failure detection ------------------------------------------
+
+    /** A compute node saw an op against @p node fail (drop/timeout). */
+    void reportOpFailure(NodeId node);
+
+    /** A compute node saw an op against @p node succeed. */
+    void reportOpSuccess(NodeId node);
+
+    /** Declare @p node dead immediately (e.g. fabric says it's down). */
+    void markFailed(NodeId node);
+
+    /** Stop new placements on @p node ahead of decommission. */
+    void drainNode(NodeId node);
+
+    NodeHealth health(NodeId node) const;
+
+    /** Nodes newly declared Failed since the last call (clears them). */
+    std::vector<NodeId> takeNewlyFailed();
+
+    void setFailureThreshold(std::uint32_t n) { failureThreshold_ = n; }
+
+    // --- self-healing -----------------------------------------------
+
+    /**
+     * Restore redundancy after @p lost failed permanently: for every
+     * placement with a copy on the lost node, promote a surviving
+     * replica to primary if the primary died, then create replacement
+     * copies on healthy nodes (avoiding nodes that already hold a copy
+     * of the same slab), copying the bytes from a survivor.
+     */
+    RebuildReport rebuildReplicas(NodeId lost,
+                                  std::vector<PlacementRef> &placements);
+
+    /**
+     * Graceful decommission: migrate every copy held by the (live,
+     * Draining) node @p node onto other healthy nodes, freeing the
+     * originals, so the node can be removed without data loss.
+     */
+    RebuildReport evacuateNode(NodeId node,
+                               std::vector<PlacementRef> &placements);
+
+    std::uint64_t nodesFailed() const { return nodesFailed_; }
+    std::uint64_t slabsRebuilt() const { return slabsRebuilt_; }
+    std::uint64_t slabsLost() const { return slabsLost_; }
+    std::uint64_t bytesCopied() const { return bytesCopied_; }
+
   private:
+    RebuildReport migrate(NodeId from, bool sourceAlive,
+                          std::vector<PlacementRef> &placements);
+
+    /** Re-home one dead/draining copy; true on success. */
+    bool rehomeCopy(SlabGrant &grant, const SlabGrant &source,
+                    bool sourceAlive,
+                    const std::vector<NodeId> &occupied,
+                    RebuildReport &report);
+
     std::size_t slabSize_;
     std::unordered_map<NodeId, MemoryNode *> nodes_;
+    std::unordered_map<NodeId, NodeHealth> health_;
+    std::unordered_map<NodeId, std::uint32_t> consecFailures_;
+    std::vector<NodeId> newlyFailed_;
+    std::uint32_t failureThreshold_ = defaultFailureThreshold;
     SlabId nextSlab_ = 1;
     std::uint64_t slabsAllocated_ = 0;
+    std::uint64_t nodesFailed_ = 0;
+    std::uint64_t slabsRebuilt_ = 0;
+    std::uint64_t slabsLost_ = 0;
+    std::uint64_t bytesCopied_ = 0;
 };
 
 } // namespace kona

@@ -41,8 +41,32 @@ MemoryNode::receiveLog(Addr logOffset, std::size_t logBytes)
     std::vector<std::uint8_t> log(logBytes);
     store_->read(logRegion_.base + logOffset, log.data(), logBytes);
 
-    ClLogReader reader(log.data(), log.size());
     const LatencyConfig &lat = fabric_.latency();
+    stats.unpackNs += lat.logCrcPerKbNs *
+                      static_cast<double>(logBytes) / 1024.0;
+
+    // Pass 1: verify every record before applying anything. A corrupt
+    // header can also destroy the framing of everything after it, so a
+    // partially-applied log is never acceptable — NAK the whole thing
+    // and let the sender retransmit.
+    ClLogReader verify(log.data(), log.size());
+    while (!verify.atEnd()) {
+        ClLogEntryHeader header;
+        const std::uint8_t *payload = nullptr;
+        if (!verify.tryNext(header, payload) ||
+            clLogRecordCrc(header.remoteAddr, header.lineCount,
+                           payload) != header.crc) {
+            stats.ok = false;
+            stats.corruptRecords += 1;
+            logsRejected_ += 1;
+            warn("memory node ", id_, ": NAK corrupt CL log (",
+                 logBytes, " bytes)");
+            return stats;
+        }
+    }
+
+    // Pass 2: the log checks out; distribute the lines home.
+    ClLogReader reader(log.data(), log.size());
     while (!reader.atEnd()) {
         const std::uint8_t *payload = nullptr;
         ClLogEntryHeader header = reader.next(payload);

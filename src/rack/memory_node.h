@@ -23,9 +23,11 @@ namespace kona {
 /** Result of unpacking one CL log on the memory node. */
 struct LogReceiptStats
 {
+    bool ok = true;         ///< false = log NAKed, no line was applied
     std::uint64_t runs = 0;
     std::uint64_t lines = 0;
-    double unpackNs = 0.0;  ///< receiver-thread time to distribute lines
+    std::uint64_t corruptRecords = 0;  ///< CRC or framing failures seen
+    double unpackNs = 0.0;  ///< receiver-thread time to verify+distribute
 };
 
 /** A memory server in the rack. */
@@ -64,10 +66,16 @@ class MemoryNode
      * RDMA-wrote into [logRegion().base + logOffset, +logBytes) and
      * write every line to its home address. Models the receiver
      * thread's per-line cost.
+     *
+     * Integrity: every record's CRC32 is verified BEFORE any line of
+     * the log is applied. A mismatch (or unparseable framing) NAKs the
+     * whole log — stats.ok is false, remote memory is untouched, and
+     * the sender is expected to retransmit.
      */
     LogReceiptStats receiveLog(Addr logOffset, std::size_t logBytes);
 
     std::uint64_t linesReceived() const { return linesReceived_; }
+    std::uint64_t logsRejected() const { return logsRejected_; }
 
   private:
     Fabric &fabric_;
@@ -77,6 +85,7 @@ class MemoryNode
     MemoryRegion slabRegion_;
     MemoryRegion logRegion_;
     std::uint64_t linesReceived_ = 0;
+    std::uint64_t logsRejected_ = 0;
 };
 
 } // namespace kona

@@ -210,7 +210,7 @@ TEST(Integration, WaitRetryPolicySurvivesTransientOutage)
     Rack rack;
     KonaConfig cfg = smallKona();
     cfg.failurePolicy = FailurePolicy::WaitRetry;
-    cfg.retryBackoffNs = 50000;
+    cfg.retry.initialBackoffNs = 50000;
     KonaRuntime runtime(rack.fabric, rack.controller, 0, cfg);
     Addr a = runtime.allocate(4 * pageSize, pageSize);
     runtime.store<std::uint64_t>(a, 42);
@@ -238,8 +238,8 @@ TEST(Integration, WaitRetryEscalatesAfterMaxRetries)
     Rack rack;
     KonaConfig cfg = smallKona();
     cfg.failurePolicy = FailurePolicy::WaitRetry;
-    cfg.retryBackoffNs = 1000;
-    cfg.maxRetries = 5;
+    cfg.retry.initialBackoffNs = 1000;
+    cfg.retry.maxAttempts = 5;
     KonaRuntime runtime(rack.fabric, rack.controller, 0, cfg);
     Addr a = runtime.allocate(pageSize, pageSize);
     for (auto &node : rack.nodes)
