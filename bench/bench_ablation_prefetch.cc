@@ -63,9 +63,10 @@ scan(bool prefetch, bool sequential)
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
 
     bench::section("Ablation: next-page prefetch from remote memory "
@@ -99,5 +100,14 @@ main()
                 "critical path); random access gains little. A "
                 "fault-based runtime cannot do this at all — the "
                 "prefetcher never crosses a page fault.\n");
+    bench::recordResult("ablation_prefetch.seq_speedup",
+                        static_cast<double>(seqOff.appNs) /
+                            static_cast<double>(seqOn.appNs));
+    bench::recordResult("ablation_prefetch.rand_speedup",
+                        static_cast<double>(rndOff.appNs) /
+                            static_cast<double>(rndOn.appNs));
+    bench::recordResult("ablation_prefetch.seq_prefetches",
+                        static_cast<double>(seqOn.prefetches));
+    bench::flushExports();
     return 0;
 }

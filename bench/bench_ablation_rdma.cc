@@ -210,4 +210,18 @@ BENCHMARK(BM_ReplicationCost)->Arg(0)->Arg(1)->Arg(2);
 } // namespace
 } // namespace kona
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): the export flags must come out of argv
+// before benchmark::Initialize, which rejects arguments it does not
+// recognize.
+int
+main(int argc, char **argv)
+{
+    kona::bench::parseExportFlags(argc, argv);
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    kona::bench::flushExports();
+    return 0;
+}

@@ -69,9 +69,10 @@ speedup(const std::string &name, double *overheadPct = nullptr)
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
     bench::section("Figure 10: speedup of cache-line tracking vs "
                    "4KB write-protection (percent)");
@@ -85,6 +86,9 @@ main()
                                  ? &redisOverhead : nullptr);
         bench::row(paper.name,
                    {bench::fmt(pct, 1), bench::fmt(paper.speedupPct, 0)});
+        bench::recordResult(std::string("fig10.") + paper.name +
+                                ".speedup_pct",
+                            pct);
         if (pct > worst) {
             worst = pct;
             worstName = paper.name;
@@ -102,5 +106,8 @@ main()
                 "time, redis-rand): %.0f%% (paper: the emulated "
                 "server ran at 60%% lower throughput)\n",
                 redisOverhead);
+    bench::recordResult("fig10.redis_rand_tracker_overhead_pct",
+                        redisOverhead);
+    bench::flushExports();
     return 0;
 }

@@ -181,6 +181,15 @@ sweep(const char *title, bool contiguous,
         clLog.push_back(bench::fmt(gCl / gVm));
         page4kIdeal.push_back(bench::fmt(g4kIdeal / gVm));
         clIdeal.push_back(bench::fmt(gClIdeal / gVm));
+
+        std::string prefix = std::string("fig11.") +
+                             (contiguous ? "contiguous." : "alternate.") +
+                             std::to_string(n) + "_lines";
+        bench::recordResult(prefix + ".cl_log_over_vm", gCl / gVm);
+        bench::recordResult(prefix + ".ideal_4k_over_vm",
+                            g4kIdeal / gVm);
+        bench::recordResult(prefix + ".ideal_cl_over_vm",
+                            gClIdeal / gVm);
     }
     bench::row("Kona's CL log", clLog, 24, 8);
     bench::row("4KB no-copy [ideal]", page4kIdeal, 24, 8);
@@ -214,9 +223,10 @@ breakdownTable()
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
     sweep("Figure 11a: goodput relative to Kona-VM — contiguous "
           "dirty lines",
@@ -230,5 +240,6 @@ main()
                 "discontiguous lines; 4KB no-copy ~1.5X everywhere; "
                 "breakdown dominated by Copy with 15-20%% RDMA and "
                 "Bitmap.\n");
+    bench::flushExports();
     return 0;
 }

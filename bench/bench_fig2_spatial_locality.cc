@@ -51,9 +51,10 @@ printCdf(const std::string &label, const IntDistribution &dist)
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
     bench::section("Figure 2: CDF of accessed cache-lines per page "
                    "(Redis)");
@@ -77,5 +78,10 @@ main()
                 "(paper: 1-8); Seq fraction of fully-written pages = "
                 "%.2f (paper: large).\n",
                 randMedian, seqFullFrac);
+    bench::recordResult("fig2.rand_write_median_lines_per_page",
+                        randMedian);
+    bench::recordResult("fig2.seq_full_page_write_fraction",
+                        seqFullFrac);
+    bench::flushExports();
     return 0;
 }

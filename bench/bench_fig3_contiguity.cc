@@ -52,9 +52,10 @@ printCdf(const std::string &label, const IntDistribution &dist)
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
     bench::section("Figure 3: CDF of contiguous accessed-line segment "
                    "lengths (Redis)");
@@ -68,10 +69,17 @@ main()
     printCdf("reads (seq)", seq.segmentLengths(AccessType::Read));
     printCdf("writes (seq)", seq.segmentLengths(AccessType::Write));
 
+    double randShort = rand.segmentLengths(AccessType::Write).cdfAt(4);
+    double seqPageTail =
+        1.0 - seq.segmentLengths(AccessType::Write).cdfAt(63);
     std::printf("\nShape: for Rand, >=90%% of write segments should "
                 "be <= 4 lines: measured %.2f. For Seq, a page-length "
                 "tail should exist: P(len = 64) = %.2f.\n",
-                rand.segmentLengths(AccessType::Write).cdfAt(4),
-                1.0 - seq.segmentLengths(AccessType::Write).cdfAt(63));
+                randShort, seqPageTail);
+    bench::recordResult("fig3.rand_write_segments_le4_fraction",
+                        randShort);
+    bench::recordResult("fig3.seq_page_length_segment_fraction",
+                        seqPageTail);
+    bench::flushExports();
     return 0;
 }

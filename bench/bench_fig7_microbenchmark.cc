@@ -106,9 +106,10 @@ toMs(Tick ns)
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
     bench::section("Figure 7: Kona vs Kona-VM microbenchmark "
                    "(1 RW cache-line per page; time in ms, "
@@ -148,5 +149,16 @@ main()
                 konaVm[0] / kona[0], konaVm[1] / kona[1],
                 konaVm[2] / kona[2], vmNe[0] / konaNe[0],
                 vmNoWp[0] / konaNe[0]);
+    const unsigned threadCols[] = {1, 2, 4};
+    for (std::size_t i = 0; i < 3; ++i) {
+        std::string t = std::to_string(threadCols[i]) + "t.ms";
+        bench::recordResult("fig7.kona." + t, kona[i]);
+        bench::recordResult("fig7.kona_vm." + t, konaVm[i]);
+        bench::recordResult("fig7.kona_noevict." + t, konaNe[i]);
+        bench::recordResult("fig7.kona_vm_noevict." + t, vmNe[i]);
+        bench::recordResult("fig7.kona_vm_nowp." + t, vmNoWp[i]);
+    }
+    bench::recordResult("fig7.vm_over_kona_1t", konaVm[0] / kona[0]);
+    bench::flushExports();
     return 0;
 }

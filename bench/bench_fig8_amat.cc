@@ -126,6 +126,12 @@ amatVsCacheSize(const std::string &name, const LatencyConfig &lat)
                 "NUMA overhead vs Kona-main = %.0f%%\n",
                 lego25 / kona25, infini25 / kona25,
                 (kona25 / main25 - 1.0) * 100.0);
+    bench::recordResult("fig8." + name + ".kona_amat_25pct_ns",
+                        kona25);
+    bench::recordResult("fig8." + name + ".legoos_over_kona_25pct",
+                        lego25 / kona25);
+    bench::recordResult("fig8." + name + ".infiniswap_over_kona_25pct",
+                        infini25 / kona25);
 }
 
 void
@@ -204,9 +210,10 @@ associativityAblation(const LatencyConfig &lat)
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
     LatencyConfig lat;
     amatVsCacheSize("redis-rand", lat);
@@ -214,5 +221,6 @@ main()
     amatVsCacheSize("graph-coloring", lat);
     blockSizeSweep(lat);
     associativityAblation(lat);
+    bench::flushExports();
     return 0;
 }

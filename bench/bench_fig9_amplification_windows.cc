@@ -70,9 +70,10 @@ printSeries(const std::string &name,
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
     bench::section("Figure 9: per-window 4KB vs cache-line dirty "
                    "amplification (KTracker)");
@@ -88,5 +89,8 @@ main()
     std::printf("\nmean ratio: redis-rand %.1fX (paper 2-10X), "
                 "redis-seq %.1fX (paper ~2X)\n", randMean, seqMean);
     std::printf("Shape: rand >> seq; both > 1.\n");
+    bench::recordResult("fig9.redis_rand_mean_amp_ratio", randMean);
+    bench::recordResult("fig9.redis_seq_mean_amp_ratio", seqMean);
+    bench::flushExports();
     return 0;
 }

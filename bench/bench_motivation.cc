@@ -149,32 +149,45 @@ redisThroughput(double localFraction, VmPersonality personality,
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
+
+    Tick rdma4k = raw4kRdma();
+    Tick konaFetch = konaColdFetch();
+    Tick legoFetch = coldFetch(VmPersonality::LegoOs);
+    Tick konaVmFetch = coldFetch(VmPersonality::KonaVm);
+    Tick infiniFetch = coldFetch(VmPersonality::Infiniswap);
+    Tick infiniEvict = vmEvictionLatency(VmPersonality::Infiniswap);
+    bench::recordResult("motivation.rdma_4k_write_ns",
+                        static_cast<double>(rdma4k));
+    bench::recordResult("motivation.kona_line_fetch_ns",
+                        static_cast<double>(konaFetch));
+    bench::recordResult("motivation.legoos_fetch_ns",
+                        static_cast<double>(legoFetch));
+    bench::recordResult("motivation.kona_vm_fetch_ns",
+                        static_cast<double>(konaVmFetch));
+    bench::recordResult("motivation.infiniswap_fetch_ns",
+                        static_cast<double>(infiniFetch));
+    bench::recordResult("motivation.infiniswap_eviction_ns",
+                        static_cast<double>(infiniEvict));
 
     bench::section("Motivation (§2.1): remote access latencies (us)");
     bench::row("operation", {"measured", "paper"});
     bench::row("RDMA 4KB write",
-               {bench::fmt(raw4kRdma() / 1e3, 1), "~3"});
+               {bench::fmt(rdma4k / 1e3, 1), "~3"});
     bench::row("Kona line fetch",
-               {bench::fmt(konaColdFetch() / 1e3, 1), "~3"});
+               {bench::fmt(konaFetch / 1e3, 1), "~3"});
     bench::row("LegoOS fetch",
-               {bench::fmt(coldFetch(VmPersonality::LegoOs) / 1e3, 1),
-                "~10"});
+               {bench::fmt(legoFetch / 1e3, 1), "~10"});
     bench::row("Kona-VM fetch",
-               {bench::fmt(coldFetch(VmPersonality::KonaVm) / 1e3, 1),
-                "~10"});
+               {bench::fmt(konaVmFetch / 1e3, 1), "~10"});
     bench::row("Infiniswap fetch",
-               {bench::fmt(coldFetch(VmPersonality::Infiniswap) / 1e3,
-                           1),
-                "~40"});
+               {bench::fmt(infiniFetch / 1e3, 1), "~40"});
     bench::row("Infiniswap eviction",
-               {bench::fmt(
-                    vmEvictionLatency(VmPersonality::Infiniswap) /
-                        1e3, 1),
-                ">32"});
+               {bench::fmt(infiniEvict / 1e3, 1), ">32"});
 
     bench::section("Motivation (§2.1): Redis throughput vs local "
                    "memory fraction (Infiniswap)");
@@ -190,6 +203,10 @@ main()
                 bench::fmt(tput[1] / 1e3, 0),
                 bench::fmt(tput[2] / 1e3, 0),
                 bench::fmt(tput[3] / 1e3, 0)});
+    bench::recordResult("motivation.redis_tput_local100_ops", tput[0]);
+    bench::recordResult("motivation.redis_tput_local75_ops", tput[1]);
+    bench::recordResult("motivation.redis_tput_local50_ops", tput[2]);
+    bench::recordResult("motivation.redis_tput_local25_ops", tput[3]);
     std::printf("throughput drop at 25%% remote (75%% local): %.0f%% "
                 "(paper: >60%% when 25%% of data is remote)\n",
                 (1.0 - tput[1] / tput[0]) * 100.0);
@@ -214,5 +231,10 @@ main()
                 "~60%% faster end-to-end; our model counts only "
                 "memory-system time, so the gap is larger)\n",
                 (vmTput / infiniTput - 1.0) * 100.0);
+    bench::recordResult("motivation.kona_tput_local90_ops", konaTput);
+    bench::recordResult("motivation.kona_vm_tput_local90_ops", vmTput);
+    bench::recordResult("motivation.infiniswap_tput_local90_ops",
+                        infiniTput);
+    bench::flushExports();
     return 0;
 }

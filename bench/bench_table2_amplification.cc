@@ -72,6 +72,12 @@ runOne(const PaperRow &paper)
     double footprintMb = static_cast<double>(
         workload->footprintBytes()) / (1024.0 * 1024.0);
 
+    std::string prefix = std::string("table2.") + paper.name;
+    bench::recordResult(prefix + ".footprint_mb", footprintMb);
+    bench::recordResult(prefix + ".amp4k", mean.amp4k);
+    bench::recordResult(prefix + ".amp2m", mean.amp2m);
+    bench::recordResult(prefix + ".amp_line", mean.ampLine);
+
     bench::row(paper.name,
                {bench::fmt(footprintMb, 0), bench::fmt(mean.amp4k),
                 bench::fmt(mean.amp2m, 0), bench::fmt(mean.ampLine),
@@ -83,9 +89,10 @@ runOne(const PaperRow &paper)
 } // namespace kona
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace kona;
+    bench::parseExportFlags(argc, argv);
     setQuietLogging(true);
     bench::section("Table 2: dirty data amplification by tracking "
                    "granularity (measured vs paper)");
@@ -95,5 +102,6 @@ main()
         runOne(paper);
     std::printf("\nShape checks: every 4KB amp > 2; 64B amp ~ 1; "
                 "redis-rand worst, redis-seq among the best.\n");
+    bench::flushExports();
     return 0;
 }

@@ -1,37 +1,168 @@
 /**
  * @file
  * Shared scaffolding for the experiment harnesses in bench/: a
- * standard simulated rack, workload environments, and fixed-width
- * table printing so each binary regenerates its paper table/figure as
- * plain text.
+ * standard simulated rack, workload environments, fixed-width table
+ * printing so each binary regenerates its paper table/figure as plain
+ * text, and the machine-readable export layer behind the common
+ * --metrics-json= / --trace-out= flags.
  */
 
 #ifndef KONA_BENCH_BENCH_UTIL_H
 #define KONA_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/kona_runtime.h"
 #include "core/vm_runtime.h"
 #include "mem/backing_store.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_session.h"
 #include "workloads/registry.h"
 
 namespace kona::bench {
+
+/** Export destinations from the command line (empty = disabled). */
+struct ExportOptions
+{
+    std::string metricsJson; ///< --metrics-json=PATH
+    std::string traceOut;    ///< --trace-out=PATH
+};
+
+inline ExportOptions &
+exportOptions()
+{
+    static ExportOptions opts;
+    return opts;
+}
+
+/**
+ * The registry every headline result and (when a bench passes its
+ * scope into a runtime) every component metric exports through.
+ */
+inline const std::shared_ptr<MetricRegistry> &
+exportRegistry()
+{
+    static std::shared_ptr<MetricRegistry> registry =
+        std::make_shared<MetricRegistry>();
+    return registry;
+}
+
+/** A scope on the export registry rooted at @p prefix. */
+inline MetricScope
+exportScope(const std::string &prefix = "")
+{
+    return MetricScope(exportRegistry(), prefix);
+}
+
+/**
+ * Strip --metrics-json= and --trace-out= out of argv, leaving every
+ * other argument in place. Call first thing in main, before any other
+ * argument parsing (including benchmark::Initialize, which rejects
+ * flags it does not know).
+ */
+inline void
+parseExportFlags(int &argc, char **argv)
+{
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        constexpr std::string_view metricsFlag = "--metrics-json=";
+        constexpr std::string_view traceFlag = "--trace-out=";
+        if (arg.substr(0, metricsFlag.size()) == metricsFlag)
+            exportOptions().metricsJson = arg.substr(metricsFlag.size());
+        else if (arg.substr(0, traceFlag.size()) == traceFlag)
+            exportOptions().traceOut = arg.substr(traceFlag.size());
+        else
+            argv[kept++] = argv[i];
+    }
+    for (int i = kept; i < argc; ++i)
+        argv[i] = nullptr;
+    argc = kept;
+}
+
+/**
+ * Record one headline experiment number as the gauge
+ * "result.<name>" in the export registry (e.g.
+ * "result.table2.redis-rand.amp4k").
+ */
+inline void
+recordResult(const std::string &name, double value)
+{
+    exportRegistry()->gauge("result." + name).set(value);
+}
+
+/**
+ * Turn on @p runtime's tracer when --trace-out= was given, with a
+ * ring large enough for a full bench run. Pair with
+ * writeTraceIfRequested() before the runtime dies.
+ */
+inline void
+enableTraceIfRequested(RemoteMemoryRuntime &runtime,
+                       std::size_t capacity = 1 << 20)
+{
+    if (exportOptions().traceOut.empty())
+        return;
+    TraceSession *trace = runtime.traceSession();
+    if (trace == nullptr)
+        return;
+    trace->setCapacity(capacity);
+    trace->enable();
+}
+
+/**
+ * Write @p runtime's trace to --trace-out= (no-op when the flag is
+ * absent or the runtime is uninstrumented). Call while the runtime is
+ * still alive; when several runtimes are traced the last write wins.
+ */
+inline void
+writeTraceIfRequested(RemoteMemoryRuntime &runtime)
+{
+    if (exportOptions().traceOut.empty())
+        return;
+    TraceSession *trace = runtime.traceSession();
+    if (trace == nullptr || !trace->enabled())
+        return;
+    trace->writeJsonFile(exportOptions().traceOut);
+}
+
+/**
+ * Write the export registry to --metrics-json= (no-op when the flag
+ * is absent). Call at the end of main, after every recordResult.
+ */
+inline void
+flushExports()
+{
+    const ExportOptions &opts = exportOptions();
+    if (opts.metricsJson.empty())
+        return;
+    std::ofstream os(opts.metricsJson);
+    if (!os) {
+        warn("cannot open ", opts.metricsJson, " for metrics export");
+        return;
+    }
+    exportRegistry()->writeJson(os);
+}
 
 /** A rack with @p nodeCount memory nodes of @p nodeSize bytes each. */
 struct Rack
 {
     explicit Rack(std::size_t nodeCount = 3,
                   std::size_t nodeSize = 512 * MiB,
-                  std::size_t slabSize = 1 * MiB)
-        : controller(slabSize)
+                  std::size_t slabSize = 1 * MiB,
+                  MetricScope scope = {})
+        : fabric(LatencyConfig{}, scope.sub("fabric")),
+          controller(slabSize, scope.sub("rack"))
     {
         for (NodeId id = 1; id <= nodeCount; ++id) {
             nodes.push_back(std::make_unique<MemoryNode>(
-                fabric, id, nodeSize));
+                fabric, id, nodeSize, 4 * MiB,
+                scope.sub("rack.node" + std::to_string(id))));
             controller.registerNode(*nodes.back());
         }
     }

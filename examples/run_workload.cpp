@@ -7,6 +7,7 @@
  *
  * Usage:
  *   run_workload [workload] [runtime] [local%] [ops]
+ *                [--metrics-json=PATH] [--trace-out=PATH]
  *
  *   workload:  redis-rand | redis-seq | linear-regression |
  *              histogram | pagerank | graph-coloring |
@@ -17,18 +18,31 @@
  *   local%:    local cache as a percent of the footprint (default 50)
  *   ops:       operations to run (default 4x the workload's window)
  *
+ *   --metrics-json=PATH  write every metric of the whole stack
+ *                        (fabric, rack, nodes, runtime) as one JSON
+ *                        registry dump
+ *   --trace-out=PATH     record sim-time spans of the miss and
+ *                        eviction paths and write Chrome trace-event
+ *                        JSON (open in Perfetto / chrome://tracing)
+ *
  * Examples:
  *   ./build/examples/run_workload pagerank kona 25
  *   ./build/examples/run_workload voltdb-tpcc infiniswap 50 20000
+ *   ./build/examples/run_workload redis-rand kona 50 \
+ *       --metrics-json=metrics.json --trace-out=miss.trace.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string_view>
 
 #include "core/kona_runtime.h"
 #include "core/vm_runtime.h"
 #include "mem/backing_store.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_session.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -57,12 +71,36 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: run_workload [workload] [runtime] [local%%] "
-                 "[ops]\n  workloads:");
+                 "[ops] [--metrics-json=PATH] [--trace-out=PATH]\n"
+                 "  workloads:");
     for (const std::string &name : table2WorkloadNames())
         std::fprintf(stderr, " %s", name.c_str());
     std::fprintf(stderr,
                  "\n  runtimes: kona kona-vm legoos infiniswap local\n");
     std::exit(2);
+}
+
+/** Strip --metrics-json=/--trace-out= from argv (positional args
+ *  are parsed by index, so the flags must come out first). */
+void
+parseExportFlags(int &argc, char **argv, std::string &metricsJson,
+                 std::string &traceOut)
+{
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        constexpr std::string_view metricsFlag = "--metrics-json=";
+        constexpr std::string_view traceFlag = "--trace-out=";
+        if (arg.substr(0, metricsFlag.size()) == metricsFlag)
+            metricsJson = arg.substr(metricsFlag.size());
+        else if (arg.substr(0, traceFlag.size()) == traceFlag)
+            traceOut = arg.substr(traceFlag.size());
+        else
+            argv[kept++] = argv[i];
+    }
+    for (int i = kept; i < argc; ++i)
+        argv[i] = nullptr;
+    argc = kept;
 }
 
 } // namespace
@@ -72,6 +110,9 @@ main(int argc, char **argv)
 {
     using namespace kona;
     setQuietLogging(true);
+
+    std::string metricsJson, traceOut;
+    parseExportFlags(argc, argv, metricsJson, traceOut);
 
     std::string workloadName = argc > 1 ? argv[1] : "redis-rand";
     std::string runtimeName = argc > 2 ? argv[2] : "kona";
@@ -91,13 +132,20 @@ main(int argc, char **argv)
         footprint * static_cast<std::size_t>(localPct) / 100,
         64 * pageSize);
 
+    // One registry for the whole stack: the fabric, the rack and the
+    // runtime all register into it, so --metrics-json= dumps a single
+    // unified namespace ("fabric.*", "rack.*", "kona.*" / "vm.*").
+    auto registry = std::make_shared<MetricRegistry>();
+
     // Rack: three memory nodes sized generously.
-    Fabric fabric;
-    Controller controller(1 * MiB);
+    Fabric fabric(LatencyConfig{}, MetricScope(registry, "fabric"));
+    Controller controller(1 * MiB, MetricScope(registry, "rack"));
     std::vector<std::unique_ptr<MemoryNode>> nodes;
     for (NodeId id = 1; id <= 3; ++id) {
         nodes.push_back(std::make_unique<MemoryNode>(
-            fabric, id, 1024 * MiB));
+            fabric, id, 1024 * MiB, 4 * MiB,
+            MetricScope(registry,
+                        "rack.node" + std::to_string(id))));
         controller.registerNode(*nodes.back());
     }
 
@@ -111,8 +159,9 @@ main(int argc, char **argv)
         cfg.fpga.vfmemSize = 2048 * MiB;
         cfg.fpga.fmemSize = alignUp(localBytes, 4 * pageSize);
         cfg.hierarchy = HierarchyConfig::scaled();
-        runtime = std::make_unique<KonaRuntime>(fabric, controller, 0,
-                                                cfg);
+        runtime = std::make_unique<KonaRuntime>(
+            fabric, controller, 0, cfg,
+            MetricScope(registry, "kona"));
     } else if (runtimeName == "kona-vm" || runtimeName == "legoos" ||
                runtimeName == "infiniswap") {
         VmConfig cfg;
@@ -122,10 +171,18 @@ main(int argc, char **argv)
                                           : VmPersonality::KonaVm;
         cfg.localCachePages = localBytes / pageSize;
         cfg.hierarchy = HierarchyConfig::scaled();
-        runtime = std::make_unique<VmRuntime>(fabric, controller, 0,
-                                              cfg);
+        runtime = std::make_unique<VmRuntime>(
+            fabric, controller, 0, cfg, MetricScope(registry, "vm"));
     } else if (runtimeName != "local") {
         usage();
+    }
+
+    if (runtime != nullptr && !traceOut.empty()) {
+        TraceSession *trace = runtime->traceSession();
+        if (trace != nullptr) {
+            trace->setCapacity(1 << 20);   // fit a full run
+            trace->enable();
+        }
     }
 
     if (runtime != nullptr) {
@@ -192,6 +249,34 @@ main(int argc, char **argv)
                         stats.dirtyLinesWritten),
                     static_cast<double>(stats.evictionBytesOnWire) /
                         1e6);
+    }
+
+    if (!metricsJson.empty()) {
+        // Headline run facts ride along with the component metrics.
+        registry->gauge("run.operations")
+            .set(static_cast<double>(executed));
+        registry->gauge("run.sim_ns").set(static_cast<double>(ns));
+        registry->gauge("run.footprint_bytes")
+            .set(static_cast<double>(footprint));
+        registry->gauge("run.local_bytes")
+            .set(static_cast<double>(localBytes));
+        std::ofstream os(metricsJson);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s for metrics export\n",
+                         metricsJson.c_str());
+            return 1;
+        }
+        registry->writeJson(os);
+        std::printf("metrics    : %s\n", metricsJson.c_str());
+    }
+    if (runtime != nullptr && !traceOut.empty() &&
+        runtime->traceSession() != nullptr) {
+        if (!runtime->traceSession()->writeJsonFile(traceOut))
+            return 1;
+        std::printf("trace      : %s (%zu events, %llu dropped)\n",
+                    traceOut.c_str(), runtime->traceSession()->size(),
+                    static_cast<unsigned long long>(
+                        runtime->traceSession()->dropped()));
     }
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "cache/hierarchy.h"
 
+#include <cctype>
+
 #include "common/logging.h"
 
 namespace kona {
@@ -16,13 +18,32 @@ HierarchyConfig::scaled()
     return cfg;
 }
 
-CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+namespace {
+
+/** Registry-friendly scope segment for a level name ("L1d" -> "l1d"). */
+std::string
+levelScopeName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
+                               MetricScope scope)
+    : scope_(std::move(scope)),
+      memRequests_(scope_.counter("mem_requests")),
+      memWritebacks_(scope_.counter("mem_writebacks"))
 {
     KONA_ASSERT(!config.levels.empty(), "hierarchy needs >= 1 level");
     for (const CacheConfig &level : config.levels) {
         KONA_ASSERT(level.blockSize == cacheLineSize,
                     "CPU cache levels must use 64B lines");
-        levels_.push_back(std::make_unique<SetAssocCache>(level));
+        levels_.push_back(std::make_unique<SetAssocCache>(
+            level, scope_.sub(levelScopeName(level.name))));
     }
 }
 

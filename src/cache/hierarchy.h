@@ -57,7 +57,11 @@ struct HierarchyConfig
 class CacheHierarchy
 {
   public:
-    explicit CacheHierarchy(const HierarchyConfig &config = {});
+    /** @param scope Telemetry scope; each level registers under
+     *         "<scope>.<level-name>" and the hierarchy itself registers
+     *         "mem_requests"/"mem_writebacks". */
+    explicit CacheHierarchy(const HierarchyConfig &config = {},
+                            MetricScope scope = {});
 
     /** Attach the memory-side observer (may be null). */
     void setListener(MemorySideListener *listener)
@@ -113,10 +117,11 @@ class CacheHierarchy
     /** Push a dirty victim of level @p from downwards. */
     void propagateWriteback(std::size_t from, Addr blockAddr);
 
+    MetricScope scope_;
     std::vector<std::unique_ptr<SetAssocCache>> levels_;
     MemorySideListener *listener_ = nullptr;
-    Counter memRequests_;
-    Counter memWritebacks_;
+    Counter &memRequests_;
+    Counter &memWritebacks_;
 };
 
 } // namespace kona

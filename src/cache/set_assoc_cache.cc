@@ -6,7 +6,12 @@
 
 namespace kona {
 
-SetAssocCache::SetAssocCache(const CacheConfig &config) : config_(config)
+SetAssocCache::SetAssocCache(const CacheConfig &config,
+                             MetricScope scope)
+    : config_(config), scope_(std::move(scope)),
+      hits_(scope_.counter("hits")),
+      misses_(scope_.counter("misses")),
+      writebacks_(scope_.counter("writebacks"))
 {
     KONA_ASSERT(config.blockSize > 0 &&
                     (config.blockSize & (config.blockSize - 1)) == 0,

@@ -22,6 +22,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "telemetry/metric_registry.h"
 
 namespace kona {
 
@@ -48,7 +49,10 @@ enum class CacheOutcome : std::uint8_t { Hit, Miss };
 class SetAssocCache
 {
   public:
-    explicit SetAssocCache(const CacheConfig &config);
+    /** @param scope Telemetry scope this cache registers "hits",
+     *         "misses" and "writebacks" under (private when omitted). */
+    explicit SetAssocCache(const CacheConfig &config,
+                           MetricScope scope = {});
 
     /**
      * Access the block containing @p addr.
@@ -109,11 +113,12 @@ class SetAssocCache
     }
 
     CacheConfig config_;
+    MetricScope scope_;
     std::size_t numSets_;
     std::vector<Set> sets_;
-    Counter hits_;
-    Counter misses_;
-    Counter writebacks_;
+    Counter &hits_;
+    Counter &misses_;
+    Counter &writebacks_;
 };
 
 } // namespace kona

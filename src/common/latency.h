@@ -38,7 +38,7 @@ struct LatencyConfig
     double rdmaLinkedOpNs = 150.0;     ///< marginal cost of a linked WR
     double rdmaPipelinedPerKbNs = 80.0; ///< wire time per KB (~100Gbps)
     double rdmaCompletionNs = 250.0;   ///< polling a signaled completion
-    double rdmaInlineThreshold = 220;  ///< bytes; inline send cutoff
+    std::uint32_t rdmaInlineThreshold = 220; ///< bytes; inline cutoff
 
     // Local data movement (AVX-accelerated memcpy to RDMA buffers).
     double copyPerKbNs = 30.0;

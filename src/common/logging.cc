@@ -1,14 +1,54 @@
 #include "common/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace kona {
 namespace detail {
 
 namespace {
+
 std::mutex emitMutex;
 bool quiet = false;
+void (*crashHook)() = nullptr;
+
+/** Severity ranks; a message prints when its rank <= the level rank. */
+enum Rank : int
+{
+    RankQuiet = 0,   ///< only fatal/panic
+    RankWarn = 1,
+    RankInfo = 2,
+    RankDebug = 3,
+};
+
+int
+rankOf(const char *level)
+{
+    if (std::strcmp(level, "debug") == 0)
+        return RankDebug;
+    if (std::strcmp(level, "info") == 0)
+        return RankInfo;
+    if (std::strcmp(level, "warn") == 0)
+        return RankWarn;
+    if (std::strcmp(level, "quiet") == 0)
+        return RankQuiet;
+    return -1;
+}
+
+int &
+levelRank()
+{
+    // Initialized from the environment once; setLogLevel overrides.
+    static int rank = [] {
+        const char *env = std::getenv("KONA_LOG_LEVEL");
+        int r = env != nullptr ? rankOf(env) : -1;
+        return r >= 0 ? r : static_cast<int>(RankInfo);
+    }();
+    return rank;
+}
+
 } // namespace
 
 void
@@ -17,7 +57,23 @@ emit(const char *level, const std::string &msg)
     std::lock_guard<std::mutex> guard(emitMutex);
     if (quiet)
         return;
+    // fatal/panic always print; other levels honor KONA_LOG_LEVEL.
+    int rank = rankOf(level);
+    if (rank >= 0 && rank > levelRank())
+        return;
     std::fprintf(stderr, "kona: %s: %s\n", level, msg.c_str());
+}
+
+void
+notifyCrash()
+{
+    // Re-entrancy guard: a hook that itself panics must not recurse.
+    static thread_local bool dumping = false;
+    if (crashHook == nullptr || dumping)
+        return;
+    dumping = true;
+    crashHook();
+    dumping = false;
 }
 
 } // namespace detail
@@ -27,6 +83,20 @@ void
 setQuietLogging(bool on)
 {
     detail::quiet = on;
+}
+
+void
+setLogLevel(const std::string &level)
+{
+    int rank = detail::rankOf(level.c_str());
+    if (rank >= 0)
+        detail::levelRank() = rank;
+}
+
+void
+setCrashHook(void (*hook)())
+{
+    detail::crashHook = hook;
 }
 
 } // namespace kona

@@ -38,6 +38,9 @@ namespace detail {
 
 void emit(const char *level, const std::string &msg);
 
+/** Run the crash hook (flight-recorder dumps) before throwing. */
+void notifyCrash();
+
 template <typename... Args>
 std::string
 format(Args &&...args)
@@ -57,6 +60,14 @@ inform(Args &&...args)
     detail::emit("info", detail::format(std::forward<Args>(args)...));
 }
 
+/** Verbose diagnostics, printed only under KONA_LOG_LEVEL=debug. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::emit("debug", detail::format(std::forward<Args>(args)...));
+}
+
 /** Report a condition that might indicate a problem but is survivable. */
 template <typename... Args>
 void
@@ -72,6 +83,7 @@ fatal(Args &&...args)
 {
     std::string msg = detail::format(std::forward<Args>(args)...);
     detail::emit("fatal", msg);
+    detail::notifyCrash();
     throw FatalError(msg);
 }
 
@@ -82,11 +94,28 @@ panic(Args &&...args)
 {
     std::string msg = detail::format(std::forward<Args>(args)...);
     detail::emit("panic", msg);
+    detail::notifyCrash();
     throw PanicError(msg);
 }
 
 /** Silence inform/warn output (benches use this to keep tables clean). */
 void setQuietLogging(bool on);
+
+/**
+ * Minimum level emit() prints: "quiet" (only fatal/panic), "warn",
+ * "info" (the default) or "debug". Initialized from the KONA_LOG_LEVEL
+ * environment variable on first use; telemetry-heavy runs and CI set
+ * KONA_LOG_LEVEL=quiet to silence inform() chatter. Unknown strings
+ * are ignored.
+ */
+void setLogLevel(const std::string &level);
+
+/**
+ * Hook invoked by fatal()/panic() before the exception is thrown.
+ * TraceSession installs a hook that dumps every flight recorder with a
+ * configured crash-dump path. Pass nullptr to uninstall.
+ */
+void setCrashHook(void (*hook)());
 
 /** panic() unless @p cond holds. Cheap enough to keep in release builds. */
 #define KONA_ASSERT(cond, ...)                                            \

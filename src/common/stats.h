@@ -87,7 +87,9 @@ class WindowedSeries
      *  The paper drops the teardown window from the reported averages. */
     double trimmedMean(std::size_t skipFront, std::size_t skipBack) const;
 
+    /** Smallest window value; 0 when the series is empty. */
     double min() const;
+    /** Largest window value; 0 when the series is empty. */
     double max() const;
 
   private:

@@ -43,9 +43,18 @@ runsOf(std::uint64_t mask)
 EvictionHandler::EvictionHandler(Fabric &fabric, CoherentFpga &fpga,
                                  CacheHierarchy &hierarchy,
                                  Controller &controller,
-                                 EvictionMode mode)
+                                 EvictionMode mode, MetricScope scope)
     : fabric_(fabric), fpga_(fpga), hierarchy_(hierarchy),
-      controller_(controller), mode_(mode)
+      controller_(controller), mode_(mode), scope_(std::move(scope)),
+      pagesEvicted_(scope_.counter("pages_evicted")),
+      silent_(scope_.counter("silent_evictions")),
+      lines_(scope_.counter("dirty_lines_written")),
+      wireBytes_(scope_.counter("bytes_on_wire")),
+      retries_(scope_.counter("retry_backoffs")),
+      retransmits_(scope_.counter("log_retransmits")),
+      naks_(scope_.counter("checksum_naks")),
+      retryBackoffNs_(scope_.histogram("retry_backoff_ns")),
+      batchNs_(scope_.histogram("batch_ns"))
 {
 }
 
@@ -74,6 +83,10 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
 
     const LatencyConfig &lat = fpga_.latency();
 
+    Span batchSpan(trace_, clock, "evict_batch", "evict", traceLane_);
+    batchSpan.arg("pages", vpns.size());
+    Tick batchStart = clock.now();
+
     // Phase 1: snoop CPU caches and read the dirty masks. Clean pages
     // drop silently; remote memory already holds their bytes.
     struct DirtyPage
@@ -82,23 +95,30 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
         std::uint64_t mask;
     };
     std::vector<DirtyPage> dirty;
-    for (Addr vpn : vpns) {
-        if (!fpga_.pageResident(vpn))
-            continue;
-        hierarchy_.snoopPage(vpn);
-        clock.advance(static_cast<Tick>(lat.bitmapScanPerPageNs));
-        breakdown_.bitmapNs += lat.bitmapScanPerPageNs;
-        std::uint64_t mask = fpga_.dirtyMask(vpn);
-        if (mask == 0) {
-            fpga_.dropPage(vpn);
-            silent_.add();
-            pagesEvicted_.add();
-        } else {
-            dirty.push_back({vpn, mask});
+    {
+        Span scan(trace_, clock, "bitmap_scan", "evict", traceLane_);
+        for (Addr vpn : vpns) {
+            if (!fpga_.pageResident(vpn))
+                continue;
+            hierarchy_.snoopPage(vpn);
+            clock.advance(static_cast<Tick>(lat.bitmapScanPerPageNs));
+            breakdown_.bitmapNs += lat.bitmapScanPerPageNs;
+            std::uint64_t mask = fpga_.dirtyMask(vpn);
+            if (mask == 0) {
+                fpga_.dropPage(vpn);
+                silent_.add();
+                pagesEvicted_.add();
+            } else {
+                dirty.push_back({vpn, mask});
+            }
         }
+        scan.arg("dirty_pages", dirty.size());
     }
-    if (dirty.empty())
+    batchSpan.arg("dirty_pages", dirty.size());
+    if (dirty.empty()) {
+        batchNs_.record(static_cast<double>(clock.now() - batchStart));
         return;
+    }
 
     // Phase 2: build one payload per destination node. The registered-
     // buffer copy is paid once per run (or page); replicas reuse the
@@ -114,6 +134,7 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
     std::map<NodeId, NodePayload> perNode;
     std::map<Addr, std::vector<NodeId>> homesOf;
 
+    Span packSpan(trace_, clock, "pack", "evict", traceLane_);
     double copyCost = 0.0;
     for (const DirtyPage &page : dirty) {
         const std::uint8_t *frame = fpga_.framePointer(page.vpn);
@@ -180,6 +201,8 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
     }
     clock.advance(static_cast<Tick>(copyCost));
     breakdown_.copyNs += copyCost;
+    packSpan.arg("nodes", perNode.size());
+    packSpan.end();
 
     // Phase 3: ship every node's payload in parallel; the batch
     // completes when the slowest destination acks.
@@ -188,6 +211,20 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
     double maxRdma = 0.0;
     double maxAck = 0.0;
     std::vector<NodeId> reached;
+
+    bool tracing = trace_ != nullptr && trace_->enabled();
+    auto record = [this](const char *name, Tick ts, Tick dur,
+                         std::uint32_t tid,
+                         std::vector<TraceArg> args) {
+        TraceEvent ev;
+        ev.name = name;
+        ev.cat = "evict";
+        ev.ts = ts;
+        ev.dur = dur;
+        ev.tid = tid;
+        ev.args = std::move(args);
+        trace_->record(std::move(ev));
+    };
 
     for (auto &[nodeId, payload] : perNode) {
         if (fabric_.nodeDown(nodeId)) {
@@ -201,6 +238,7 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
         if (mode_ == EvictionMode::ClLog) {
             QueuePair &qp = fpga_.qpTo(nodeId);
             RetryState retry(retryPolicy_, retrySeed_++);
+            retry.bindTelemetry(&retries_, &retryBackoffNs_);
             bool shipped = false;
             std::uint64_t sends = 0;
             while (true) {
@@ -212,6 +250,7 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
                 wr.remoteAddr = node.logRegion().base;
                 wr.length = payload.log.size();
                 ++sends;
+                Tick wireStart = branch.now();
                 if (!qp.post(wr, branch)) {
                     // Dropped or timed out: the log never landed.
                     fpga_.poller().waitOne(fpga_.cq(), branch);
@@ -219,26 +258,49 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
                     if (fabric_.nodeDown(nodeId) || !retry.shouldRetry())
                         break;
                     retry.backoff(branch);
-                    retries_.add();
                     continue;
                 }
                 fpga_.poller().waitOne(fpga_.cq(), branch);
+                if (tracing) {
+                    record("wire", wireStart, branch.now() - wireStart,
+                           traceLane_,
+                           {{"node", std::to_string(nodeId), false},
+                            {"bytes",
+                             std::to_string(payload.log.size()), false},
+                            {"send", std::to_string(sends), false}});
+                }
                 double rdmaPart = static_cast<double>(branch.now() -
                                                       start);
                 // The Cache-line Log Receiver verifies every record's
                 // CRC before distributing; a NAK means the payload was
                 // corrupted past the transport's checks — retransmit.
+                Tick unpackStart = branch.now();
                 LogReceiptStats receipt =
                     node.receiveLog(0, payload.log.size());
                 branch.advance(static_cast<Tick>(receipt.unpackNs +
                                                  lat.ackNs));
+                if (tracing) {
+                    Tick unpackDur =
+                        static_cast<Tick>(receipt.unpackNs);
+                    record("unpack", unpackStart, unpackDur,
+                           traceNodeThread(nodeId),
+                           {{"lines", std::to_string(receipt.lines),
+                             false},
+                            {"runs", std::to_string(receipt.runs),
+                             false},
+                            {"ok", receipt.ok ? "true" : "false",
+                             true}});
+                    record("ack", unpackStart + unpackDur,
+                           branch.now() - (unpackStart + unpackDur),
+                           traceLane_,
+                           {{"node", std::to_string(nodeId), false}});
+                }
                 wireBytes_.add(payload.log.size());
                 if (!receipt.ok) {
                     naks_.add();
                     if (!retry.shouldRetry())
                         break;
                     retry.backoff(branch);
-                    retries_.add();
                     continue;
                 }
                 controller_.reportOpSuccess(nodeId);
@@ -258,6 +320,7 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
             payload.chain.back().signaled = true;
             QueuePair &qp = fpga_.qpTo(nodeId);
             RetryState retry(retryPolicy_, retrySeed_++);
+            retry.bindTelemetry(&retries_, &retryBackoffNs_);
             bool shipped = false;
             std::uint64_t sends = 0;
             while (true) {
@@ -265,16 +328,25 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
                 // are idempotent writes, so replaying the entire chain
                 // after backoff is safe.
                 ++sends;
+                Tick wireStart = branch.now();
                 if (!qp.postLinked(payload.chain, branch)) {
                     fpga_.poller().waitOne(fpga_.cq(), branch);
                     controller_.reportOpFailure(nodeId);
                     if (fabric_.nodeDown(nodeId) || !retry.shouldRetry())
                         break;
                     retry.backoff(branch);
-                    retries_.add();
                     continue;
                 }
                 fpga_.poller().waitOne(fpga_.cq(), branch);
+                if (tracing) {
+                    record("wire", wireStart, branch.now() - wireStart,
+                           traceLane_,
+                           {{"node", std::to_string(nodeId), false},
+                            {"bytes",
+                             std::to_string(payload.chain.size() *
+                                            pageSize), false},
+                            {"send", std::to_string(sends), false}});
+                }
                 controller_.reportOpSuccess(nodeId);
                 maxRdma = std::max(maxRdma,
                                    static_cast<double>(branch.now() -
@@ -312,6 +384,7 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
         fpga_.dropPage(page.vpn);
         pagesEvicted_.add();
     }
+    batchNs_.record(static_cast<double>(clock.now() - batchStart));
 }
 
 void
@@ -325,7 +398,11 @@ EvictionHandler::pump(SimClock &backgroundClock, std::size_t freeWays)
     vpns.reserve(victims.size());
     for (const FMemCache::Victim &victim : victims)
         vpns.push_back(victim.vfmemPage);
+    // Background work renders on its own trace lane.
+    std::uint32_t prevLane = traceLane_;
+    traceLane_ = traceBackgroundThread;
     evictBatch(vpns, backgroundClock);
+    traceLane_ = prevLane;
 }
 
 } // namespace kona

@@ -23,6 +23,8 @@
 #include "fpga/coherent_fpga.h"
 #include "net/retry_policy.h"
 #include "rack/controller.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_session.h"
 
 namespace kona {
 
@@ -48,9 +50,10 @@ struct EvictionBreakdown
 class EvictionHandler
 {
   public:
+    /** @param scope Telemetry scope for the eviction counters. */
     EvictionHandler(Fabric &fabric, CoherentFpga &fpga,
                     CacheHierarchy &hierarchy, Controller &controller,
-                    EvictionMode mode);
+                    EvictionMode mode, MetricScope scope = {});
 
     /**
      * Evict VFMem page @p vpn: snoop CPU caches, write dirty lines (or
@@ -92,24 +95,32 @@ class EvictionHandler
     const EvictionBreakdown &breakdown() const { return breakdown_; }
     void resetBreakdown() { breakdown_ = {}; }
 
+    /** Attach a span tracer to the eviction path (nullptr detaches). */
+    void setTraceSession(TraceSession *trace) { trace_ = trace; }
+
   private:
     Fabric &fabric_;
     CoherentFpga &fpga_;
     CacheHierarchy &hierarchy_;
     Controller &controller_;
     EvictionMode mode_;
+    MetricScope scope_;
     RetryPolicy retryPolicy_;
 
     std::uint64_t nextWrId_ = 0x10000000;
     std::uint64_t retrySeed_ = 0x5eedULL;
 
-    Counter pagesEvicted_;
-    Counter silent_;
-    Counter lines_;
-    Counter wireBytes_;
-    Counter retries_;
-    Counter retransmits_;
-    Counter naks_;
+    TraceSession *trace_ = nullptr;
+    std::uint32_t traceLane_ = traceAppThread;
+    Counter &pagesEvicted_;
+    Counter &silent_;
+    Counter &lines_;
+    Counter &wireBytes_;
+    Counter &retries_;
+    Counter &retransmits_;
+    Counter &naks_;
+    LatencyHistogram &retryBackoffNs_;
+    LatencyHistogram &batchNs_;
     EvictionBreakdown breakdown_;
 };
 

@@ -5,15 +5,26 @@
 namespace kona {
 
 KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
-                         NodeId computeNode, const KonaConfig &config)
+                         NodeId computeNode, const KonaConfig &config,
+                         MetricScope scope)
     : fabric_(fabric), controller_(controller), config_(config),
-      fpga_(fabric, computeNode, config.fpga),
-      hierarchy_(config.hierarchy),
+      scope_(std::move(scope)),
+      fpga_(fabric, computeNode, config.fpga, scope_.sub("fpga")),
+      hierarchy_(config.hierarchy, scope_.sub("hierarchy")),
       evictor_(fabric, fpga_, hierarchy_, controller,
-               config.evictionMode),
-      vfmemCursor_(config.fpga.vfmemBase)
+               config.evictionMode, scope_.sub("evict")),
+      vfmemCursor_(config.fpga.vfmemBase),
+      reads_(scope_.counter("reads")),
+      writes_(scope_.counter("writes")),
+      bytesRead_(scope_.counter("bytes_read")),
+      bytesWritten_(scope_.counter("bytes_written")),
+      outageRetries_(scope_.counter("outage_retries")),
+      rebuildPromotions_(scope_.counter("rebuild_promotions")),
+      outageBackoffNs_(scope_.histogram("outage_backoff_ns"))
 {
     hierarchy_.setListener(&fpga_);
+    fpga_.setTraceSession(&trace_);
+    evictor_.setTraceSession(&trace_);
     fpga_.setEvictionCallback(
         [this](const FMemCache::Victim &victim, SimClock &clock) {
             evictor_.evictPage(victim.vfmemPage, clock);
@@ -125,10 +136,14 @@ KonaRuntime::simulateAccess(Addr addr, std::size_t size,
         }
         appClock_.advance(static_cast<Tick>(
             levelLatencyNs_[hierarchy_.numLevels()]));
+        Span miss(&trace_, appClock_, "miss", "miss");
+        miss.arg("addr", line);
+        miss.arg("bytes", static_cast<std::uint64_t>(cacheLineSize));
         ServeStatus status = fpga_.serveLine(line, type, appClock_);
         if (status != ServeStatus::RemoteUnavailable)
             continue;
         RetryState retry(config_.retry, retrySeed_++);
+        retry.bindTelemetry(&outageRetries_, &outageBackoffNs_);
         while (status == ServeStatus::RemoteUnavailable) {
             // The fill never happened: roll the line back out of the
             // simulated caches so a retry misses to memory again.
@@ -141,7 +156,6 @@ KonaRuntime::simulateAccess(Addr addr, std::size_t size,
             }
             // §4.5: report the failure and wait for the outage to
             // resolve, then retry the fetch.
-            outageRetries_.add();
             std::size_t attempt = retry.attempts();
             retry.backoff(appClock_);
             if (outageObserver_)
@@ -153,6 +167,7 @@ KonaRuntime::simulateAccess(Addr addr, std::size_t size,
             hierarchy_.accessOne(line, type);
             status = fpga_.serveLine(line, type, appClock_);
         }
+        miss.arg("retries", retry.attempts());
     }
 }
 
@@ -257,9 +272,9 @@ KonaRuntime::stats() const
     s.silentEvictions = evictor_.silentEvictions();
     s.dirtyLinesWritten = evictor_.dirtyLinesWritten();
     s.evictionBytesOnWire = evictor_.bytesOnWire();
-    s.retries = outageRetries_.value() + evictor_.retryBackoffs();
-    s.retransmits = evictor_.logRetransmits();
-    s.replicaPromotions = fpga_.replicaPromotions() + rebuildPromotions_;
+    s.retries = totalRetries();
+    s.retransmits = totalRetransmits();
+    s.replicaPromotions = totalPromotions();
     return s;
 }
 
@@ -290,7 +305,7 @@ KonaRuntime::recoverFromNodeFailure(NodeId node)
     fabric_.setNodeDown(node, true);
     auto placements = collectPlacements();
     RebuildReport report = controller_.rebuildReplicas(node, placements);
-    rebuildPromotions_ += report.primariesPromoted;
+    rebuildPromotions_.add(report.primariesPromoted);
     degraded_ = report.slabsLost > 0 || report.slabsUnrebuilt > 0;
     if (report.slabsLost > 0) {
         warn("node ", node, " loss destroyed ", report.slabsLost,
@@ -319,10 +334,10 @@ ReliabilityStats
 KonaRuntime::reliability() const
 {
     ReliabilityStats r;
-    r.retries = outageRetries_.value() + evictor_.retryBackoffs();
-    r.retransmits = evictor_.logRetransmits();
+    r.retries = totalRetries();
+    r.retransmits = totalRetransmits();
     r.checksumFailures = evictor_.checksumNaks();
-    r.replicaPromotions = fpga_.replicaPromotions() + rebuildPromotions_;
+    r.replicaPromotions = totalPromotions();
     r.nodesFailed = controller_.nodesFailed();
     r.slabsRebuilt = controller_.slabsRebuilt();
     r.slabsLost = controller_.slabsLost();

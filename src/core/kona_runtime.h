@@ -34,6 +34,8 @@
 #include "mem/region_allocator.h"
 #include "net/retry_policy.h"
 #include "rack/controller.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_session.h"
 
 namespace kona {
 
@@ -76,8 +78,14 @@ struct KonaConfig
 class KonaRuntime : public RemoteMemoryRuntime
 {
   public:
+    /**
+     * @param scope Telemetry scope; subsystems register under
+     *         "<scope>.fpga", "<scope>.hierarchy", "<scope>.evict",
+     *         the runtime's own counters directly under "<scope>".
+     */
     KonaRuntime(Fabric &fabric, Controller &controller,
-                NodeId computeNode, const KonaConfig &config = {});
+                NodeId computeNode, const KonaConfig &config = {},
+                MetricScope scope = {});
 
     // MemoryInterface
     void read(Addr addr, void *buf, std::size_t size) override;
@@ -140,7 +148,31 @@ class KonaRuntime : public RemoteMemoryRuntime
     /** Fault-tolerance counters across all of this runtime's paths. */
     ReliabilityStats reliability() const;
 
+    /** The registry all of this runtime's metrics live in. */
+    const std::shared_ptr<MetricRegistry> &metrics() const
+    {
+        return scope_.registry();
+    }
+
+    TraceSession *traceSession() override { return &trace_; }
+
   private:
+    // Single source for the counters RuntimeStats and ReliabilityStats
+    // both report; the two snapshots can never diverge.
+    std::uint64_t
+    totalRetries() const
+    {
+        return outageRetries_.value() + evictor_.retryBackoffs();
+    }
+    std::uint64_t totalRetransmits() const
+    {
+        return evictor_.logRetransmits();
+    }
+    std::uint64_t
+    totalPromotions() const
+    {
+        return fpga_.replicaPromotions() + rebuildPromotions_.value();
+    }
     /** Simulate the hierarchy + FPGA path for one access. */
     void simulateAccess(Addr addr, std::size_t size, AccessType type);
 
@@ -162,6 +194,8 @@ class KonaRuntime : public RemoteMemoryRuntime
     Fabric &fabric_;
     Controller &controller_;
     KonaConfig config_;
+    MetricScope scope_;
+    TraceSession trace_;
     CoherentFpga fpga_;
     CacheHierarchy hierarchy_;
     EvictionHandler evictor_;
@@ -174,7 +208,6 @@ class KonaRuntime : public RemoteMemoryRuntime
     SimClock backgroundClock_;
     std::size_t accessesSincePump_ = 0;
     std::uint64_t retrySeed_ = 0x4b6fULL;
-    std::uint64_t rebuildPromotions_ = 0;
     bool degraded_ = false;
 
     /** Cumulative latency of a hit at each level, then memory entry. */
@@ -182,11 +215,13 @@ class KonaRuntime : public RemoteMemoryRuntime
 
     std::function<void(std::size_t)> outageObserver_;
 
-    Counter reads_;
-    Counter writes_;
-    Counter bytesRead_;
-    Counter bytesWritten_;
-    Counter outageRetries_;
+    Counter &reads_;
+    Counter &writes_;
+    Counter &bytesRead_;
+    Counter &bytesWritten_;
+    Counter &outageRetries_;
+    Counter &rebuildPromotions_;
+    LatencyHistogram &outageBackoffNs_;
 };
 
 } // namespace kona

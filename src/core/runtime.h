@@ -21,6 +21,8 @@
 
 namespace kona {
 
+class TraceSession;
+
 /** Cross-runtime statistics snapshot. */
 struct RuntimeStats
 {
@@ -81,6 +83,12 @@ class RemoteMemoryRuntime : public MemoryInterface
     virtual RuntimeStats stats() const = 0;
 
     virtual std::string name() const = 0;
+
+    /**
+     * The runtime's span tracer (enable() it to start recording);
+     * nullptr when the runtime is not instrumented.
+     */
+    virtual TraceSession *traceSession() { return nullptr; }
 };
 
 } // namespace kona

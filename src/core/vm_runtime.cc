@@ -5,13 +5,28 @@
 namespace kona {
 
 VmRuntime::VmRuntime(Fabric &fabric, Controller &controller,
-                     NodeId computeNode, const VmConfig &config)
+                     NodeId computeNode, const VmConfig &config,
+                     MetricScope scope)
     : fabric_(fabric), controller_(controller),
       computeNode_(computeNode), config_(config),
-      hierarchy_(config.hierarchy),
+      scope_(std::move(scope)),
+      hierarchy_(config.hierarchy, scope_.sub("hierarchy")),
       cmem_(config.windowBase + config.windowSize),
       windowCursor_(config.windowBase), poller_(fabric.latency()),
-      rdmaBuffer_(pageSize)
+      rdmaBuffer_(pageSize),
+      reads_(scope_.counter("reads")),
+      writes_(scope_.counter("writes")),
+      bytesRead_(scope_.counter("bytes_read")),
+      bytesWritten_(scope_.counter("bytes_written")),
+      majorFaults_(scope_.counter("major_faults")),
+      minorFaults_(scope_.counter("minor_faults")),
+      tlbShootdowns_(scope_.counter("tlb_shootdowns")),
+      pagesEvicted_(scope_.counter("pages_evicted")),
+      silentEvictions_(scope_.counter("silent_evictions")),
+      wireBytes_(scope_.counter("bytes_on_wire")),
+      retries_(scope_.counter("fault_retries")),
+      promotions_(scope_.counter("replica_promotions")),
+      majorFaultNs_(scope_.histogram("major_fault_ns"))
 {
     KONA_ASSERT(config.localCachePages > 0, "empty local cache");
 
@@ -47,7 +62,9 @@ VmRuntime::qpTo(NodeId node)
     if (it == qps_.end()) {
         it = qps_.emplace(node,
                           std::make_unique<QueuePair>(
-                              fabric_, computeNode_, node, cq_)).first;
+                              fabric_, computeNode_, node, cq_,
+                              scope_.sub("qp" + std::to_string(node))))
+                 .first;
     }
     return *it->second;
 }
@@ -123,6 +140,9 @@ void
 VmRuntime::majorFault(Addr vpn)
 {
     majorFaults_.add();
+    Span span(&trace_, appClock_, "major_fault", "fault");
+    span.arg("vpn", vpn);
+    Tick faultStart = appClock_.now();
     const LatencyConfig &lat = fabric_.latency();
 
     // Make room first (the fault handler needs a free local frame).
@@ -142,6 +162,7 @@ VmRuntime::majorFault(Addr vpn)
     // a transient drop should not reshuffle the placement.
     SimClock scratch;
     RetryState retry(config_.retry, retrySeed_++);
+    retry.bindTelemetry(&retries_, nullptr);
     bool fetched = false;
     while (!fetched) {
         auto copies = translation_.translateAll(vpn * pageSize);
@@ -184,7 +205,6 @@ VmRuntime::majorFault(Addr vpn)
             fatal("remote memory unreachable for page ", vpn,
                   ": every copy is down or failing");
         }
-        retries_.add();
         retry.backoff(appClock_);
     }
     cmem_.write(vpn * pageSize, rdmaBuffer_.data(), pageSize);
@@ -198,12 +218,17 @@ VmRuntime::majorFault(Addr vpn)
 
     lruList_.push_front(vpn);
     lruMap_[vpn] = lruList_.begin();
+    span.arg("retries", retry.attempts());
+    majorFaultNs_.record(static_cast<double>(appClock_.now() -
+                                             faultStart));
 }
 
 void
 VmRuntime::minorFault(Addr vpn)
 {
     minorFaults_.add();
+    Span span(&trace_, appClock_, "minor_fault", "fault");
+    span.arg("vpn", vpn);
     const LatencyConfig &lat = fabric_.latency();
     // Kona-VM resolves write-protect faults through userfaultfd,
     // which costs a user-space round trip; the kernel-path baselines
@@ -323,6 +348,12 @@ VmRuntime::evictOne()
 void
 VmRuntime::writebackPage(Addr vpn, SimClock &clock)
 {
+    std::uint32_t lane = &clock == &backgroundClock_
+                             ? traceBackgroundThread
+                             : traceAppThread;
+    Span span(&trace_, clock, "writeback_page", "evict", lane);
+    span.arg("vpn", vpn);
+    span.arg("bytes", static_cast<std::uint64_t>(pageSize));
     const LatencyConfig &lat = fabric_.latency();
 
     // Copy the page into the RDMA-registered buffer (the cost Fig 11's
@@ -336,6 +367,7 @@ VmRuntime::writebackPage(Addr vpn, SimClock &clock)
     // misbehaving, back off and retry rather than dying on a transient
     // outage. Idempotent page writes make the replay safe.
     RetryState retry(config_.retry, retrySeed_++);
+    retry.bindTelemetry(&retries_, nullptr);
     Tick maxEnd = clock.now();
     for (;;) {
         auto copies = translation_.translateAll(vpn * pageSize);
@@ -371,7 +403,6 @@ VmRuntime::writebackPage(Addr vpn, SimClock &clock)
             break;
         if (!retry.shouldRetry())
             fatal("page writeback failed: all replicas unreachable");
-        retries_.add();
         retry.backoff(clock);
     }
     clock.advanceTo(maxEnd);

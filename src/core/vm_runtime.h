@@ -36,6 +36,8 @@
 #include "net/queue_pair.h"
 #include "net/retry_policy.h"
 #include "rack/controller.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_session.h"
 
 namespace kona {
 
@@ -70,8 +72,10 @@ struct VmConfig
 class VmRuntime : public RemoteMemoryRuntime
 {
   public:
+    /** @param scope Telemetry scope; the CPU hierarchy registers under
+     *         "<scope>.hierarchy", QPs under "<scope>.qp<node>". */
     VmRuntime(Fabric &fabric, Controller &controller, NodeId computeNode,
-              const VmConfig &config = {});
+              const VmConfig &config = {}, MetricScope scope = {});
 
     // MemoryInterface
     void read(Addr addr, void *buf, std::size_t size) override;
@@ -95,6 +99,8 @@ class VmRuntime : public RemoteMemoryRuntime
     {
         return promotions_.value();
     }
+
+    TraceSession *traceSession() override { return &trace_; }
 
   private:
     /** Fault/translate until the access to @p vpn is permitted. */
@@ -129,6 +135,8 @@ class VmRuntime : public RemoteMemoryRuntime
     Controller &controller_;
     NodeId computeNode_;
     VmConfig config_;
+    MetricScope scope_;
+    TraceSession trace_;
 
     CacheHierarchy hierarchy_;
     PageTable pageTable_;
@@ -152,18 +160,19 @@ class VmRuntime : public RemoteMemoryRuntime
     SimClock backgroundClock_;
     std::array<double, 8> levelLatencyNs_{};
 
-    Counter reads_;
-    Counter writes_;
-    Counter bytesRead_;
-    Counter bytesWritten_;
-    Counter majorFaults_;
-    Counter minorFaults_;
-    Counter tlbShootdowns_;
-    Counter pagesEvicted_;
-    Counter silentEvictions_;
-    Counter wireBytes_;
-    Counter retries_;
-    Counter promotions_;
+    Counter &reads_;
+    Counter &writes_;
+    Counter &bytesRead_;
+    Counter &bytesWritten_;
+    Counter &majorFaults_;
+    Counter &minorFaults_;
+    Counter &tlbShootdowns_;
+    Counter &pagesEvicted_;
+    Counter &silentEvictions_;
+    Counter &wireBytes_;
+    Counter &retries_;
+    Counter &promotions_;
+    LatencyHistogram &majorFaultNs_;
     std::uint64_t nextWrId_ = 0x20000000;
     std::uint64_t retrySeed_ = 0x76edULL;
 };

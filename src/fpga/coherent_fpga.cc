@@ -7,10 +7,18 @@
 namespace kona {
 
 CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
-                           const FpgaConfig &config)
+                           const FpgaConfig &config, MetricScope scope)
     : fabric_(fabric), computeNode_(computeNode), config_(config),
-      fmem_(config.fmemSize, config.fmemAssociativity),
-      fmemStore_(config.fmemSize), poller_(fabric.latency())
+      scope_(std::move(scope)),
+      fmem_(config.fmemSize, config.fmemAssociativity,
+            scope_.sub("fmem")),
+      fmemStore_(config.fmemSize), poller_(fabric.latency()),
+      remoteFetches_(scope_.counter("remote_fetches")),
+      writebacksObserved_(scope_.counter("writebacks_observed")),
+      prefetches_(scope_.counter("prefetches")),
+      fetchFailures_(scope_.counter("fetch_failures")),
+      promotions_(scope_.counter("replica_promotions")),
+      fetchNs_(scope_.histogram("fetch_ns"))
 {
     KONA_ASSERT(config.vfmemSize % pageSize == 0,
                 "VFMem window must be page aligned");
@@ -27,7 +35,9 @@ CoherentFpga::qpTo(NodeId node)
     if (it == qps_.end()) {
         it = qps_.emplace(node,
                           std::make_unique<QueuePair>(
-                              fabric_, computeNode_, node, cq_)).first;
+                              fabric_, computeNode_, node, cq_,
+                              scope_.sub("qp" + std::to_string(node))))
+                 .first;
     }
     return *it->second;
 }
@@ -38,6 +48,8 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
     (void)type;
     KONA_ASSERT(inVFMem(lineAddr), "serveLine outside VFMem: ",
                 lineAddr);
+    Span span(trace_, clock, "serve_line", "fpga");
+    span.arg("addr", lineAddr);
     const LatencyConfig &lat = fabric_.latency();
     clock.advance(static_cast<Tick>(lat.vfmemDirectoryNs));
 
@@ -48,6 +60,7 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
         // while hitting in FMem (a fault-based runtime cannot: the
         // prefetcher never crosses a page fault, §4.4).
         maybePrefetch(vpn);
+        span.arg("outcome", "fmem_hit");
         return ServeStatus::FMemHit;
     }
 
@@ -61,16 +74,21 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
             // Eviction failed (all replicas unreachable); the fetch
             // cannot proceed without a frame.
             fetchFailures_.add();
+            span.arg("outcome", "unavailable");
             return ServeStatus::RemoteUnavailable;
         }
     }
 
+    Tick fetchStart = clock.now();
     if (!fetchPage(vpn, clock)) {
         fetchFailures_.add();
+        span.arg("outcome", "unavailable");
         return ServeStatus::RemoteUnavailable;
     }
+    fetchNs_.record(static_cast<double>(clock.now() - fetchStart));
     clock.advance(static_cast<Tick>(lat.fmemNs));
     maybePrefetch(vpn);
+    span.arg("outcome", "remote_fetch");
     return ServeStatus::RemoteFetch;
 }
 
@@ -86,6 +104,14 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
 {
     Addr vfmemAddr = vpn * pageSize;
     std::array<std::uint8_t, pageSize> staging;
+
+    // Prefetches run on the background clock; put their spans on the
+    // background lane so the app-critical-path lane stays truthful.
+    std::uint32_t lane = &clock == &backgroundClock_
+                             ? traceBackgroundThread
+                             : traceAppThread;
+    Span span(trace_, clock, "fetch_page", "fpga", lane);
+    span.arg("vpn", vpn);
 
     auto locations = translation_.translateAll(vfmemAddr);
     bool fetched = false;
@@ -105,6 +131,9 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
         wr.remoteKey = loc.regionKey;
         wr.remoteAddr = loc.addr;
         wr.length = pageSize;
+        Span rdma(trace_, clock, "rdma_read", "net", lane);
+        rdma.arg("node", loc.node);
+        rdma.arg("bytes", wr.length);
         if (!qpTo(loc.node).post(wr, clock)) {
             poller_.waitOne(cq_, clock);   // consume the error CQE
             reportHealth(loc.node, false);

@@ -36,6 +36,8 @@
 #include "mem/backing_store.h"
 #include "mem/dirty_bitmap.h"
 #include "net/queue_pair.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/trace_session.h"
 
 namespace kona {
 
@@ -65,9 +67,11 @@ class CoherentFpga : public MemorySideListener
      * @param fabric The rack network.
      * @param computeNode This host's node id on the fabric.
      * @param config Geometry and features.
+     * @param scope Telemetry scope; the FMem tag store registers under
+     *              "<scope>.fmem", QPs under "<scope>.qp<node>".
      */
     CoherentFpga(Fabric &fabric, NodeId computeNode,
-                 const FpgaConfig &config);
+                 const FpgaConfig &config, MetricScope scope = {});
 
     const FpgaConfig &config() const { return config_; }
 
@@ -182,6 +186,9 @@ class CoherentFpga : public MemorySideListener
     /** Background (off-critical-path) simulated time spent. */
     Tick backgroundTime() const { return backgroundClock_.now(); }
 
+    /** Attach a span tracer to the fetch path (nullptr detaches). */
+    void setTraceSession(TraceSession *trace) { trace_ = trace; }
+
   private:
     /**
      * Bring VFMem page @p vpn into FMem. Assumes a free way exists.
@@ -196,6 +203,7 @@ class CoherentFpga : public MemorySideListener
     Fabric &fabric_;
     NodeId computeNode_;
     FpgaConfig config_;
+    MetricScope scope_;
     FMemCache fmem_;
     BackingStore fmemStore_;
     RemoteTranslation translation_;
@@ -208,11 +216,13 @@ class CoherentFpga : public MemorySideListener
     std::unordered_map<NodeId, std::unique_ptr<QueuePair>> qps_;
 
     SimClock backgroundClock_;
-    Counter remoteFetches_;
-    Counter writebacksObserved_;
-    Counter prefetches_;
-    Counter fetchFailures_;
-    Counter promotions_;
+    TraceSession *trace_ = nullptr;
+    Counter &remoteFetches_;
+    Counter &writebacksObserved_;
+    Counter &prefetches_;
+    Counter &fetchFailures_;
+    Counter &promotions_;
+    LatencyHistogram &fetchNs_;
     std::uint64_t nextWrId_ = 1;
 };
 

@@ -6,8 +6,10 @@
 
 namespace kona {
 
-FMemCache::FMemCache(std::size_t sizeBytes, std::size_t associativity)
-    : assoc_(associativity)
+FMemCache::FMemCache(std::size_t sizeBytes, std::size_t associativity,
+                     MetricScope scope)
+    : scope_(std::move(scope)), assoc_(associativity),
+      hits_(scope_.counter("hits")), misses_(scope_.counter("misses"))
 {
     KONA_ASSERT(assoc_ > 0, "FMem needs >= 1 way");
     KONA_ASSERT(sizeBytes % (assoc_ * pageSize) == 0,

@@ -18,6 +18,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "telemetry/metric_registry.h"
 
 namespace kona {
 
@@ -36,8 +37,10 @@ class FMemCache
      * @param sizeBytes Total FMem capacity (must be a multiple of
      *                  associativity * pageSize).
      * @param associativity Ways per set (the paper uses 4).
+     * @param scope Telemetry scope for "hits"/"misses".
      */
-    FMemCache(std::size_t sizeBytes, std::size_t associativity = 4);
+    FMemCache(std::size_t sizeBytes, std::size_t associativity = 4,
+              MetricScope scope = {});
 
     /** Look up VFMem page @p vpn; refreshes LRU on hit. */
     std::optional<std::size_t> lookup(Addr vpn);
@@ -95,6 +98,7 @@ class FMemCache
 
     std::size_t setOf(Addr vpn) const { return vpn % numSets_; }
 
+    MetricScope scope_;
     std::size_t assoc_;
     std::size_t numSets_;
     std::size_t frames_;
@@ -102,8 +106,8 @@ class FMemCache
     std::vector<Set> sets_;
     /** Per-set free frame slots. */
     std::vector<std::vector<std::size_t>> freeFrames_;
-    Counter hits_;
-    Counter misses_;
+    Counter &hits_;
+    Counter &misses_;
 };
 
 } // namespace kona

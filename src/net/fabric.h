@@ -24,6 +24,7 @@
 #include "common/logging.h"
 #include "common/types.h"
 #include "mem/backing_store.h"
+#include "telemetry/metric_registry.h"
 
 namespace kona {
 
@@ -50,8 +51,12 @@ struct MemoryRegion
 class Fabric
 {
   public:
-    explicit Fabric(const LatencyConfig &latency = {})
-        : latency_(latency)
+    /** @param scope Telemetry scope for "bytes_moved"/"ops_executed". */
+    explicit Fabric(const LatencyConfig &latency = {},
+                    MetricScope scope = {})
+        : latency_(latency), scope_(std::move(scope)),
+          bytesMoved_(scope_.counter("bytes_moved")),
+          opsExecuted_(scope_.counter("ops_executed"))
     {}
 
     /** Attach @p store as the physical memory of node @p node. */
@@ -91,26 +96,27 @@ class Fabric
     void setFaultInjector(FaultInjector *injector);
     FaultInjector *faultInjector() const { return injector_; }
 
-    std::uint64_t bytesTransferred() const { return bytesMoved_; }
-    std::uint64_t opsExecuted() const { return opsExecuted_; }
+    std::uint64_t bytesTransferred() const { return bytesMoved_.value(); }
+    std::uint64_t opsExecuted() const { return opsExecuted_.value(); }
 
     /** Internal accounting hooks used by QueuePair. */
     void accountTransfer(std::uint64_t bytes)
     {
-        bytesMoved_ += bytes;
-        ++opsExecuted_;
+        bytesMoved_.add(bytes);
+        opsExecuted_.add();
     }
 
   private:
     LatencyConfig latency_;
+    MetricScope scope_;
     std::unordered_map<NodeId, BackingStore *> stores_;
     std::unordered_map<std::uint32_t, MemoryRegion> regions_;
     std::unordered_map<NodeId, Tick> delays_;
     std::unordered_map<NodeId, bool> down_;
     FaultInjector *injector_ = nullptr;
     std::uint32_t nextKey_ = 1;
-    std::uint64_t bytesMoved_ = 0;
-    std::uint64_t opsExecuted_ = 0;
+    Counter &bytesMoved_;
+    Counter &opsExecuted_;
 };
 
 } // namespace kona

@@ -38,6 +38,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "net/queue_pair.h"
+#include "telemetry/metric_registry.h"
 
 namespace kona {
 
@@ -90,7 +91,14 @@ struct FaultDecision
 class FaultInjector
 {
   public:
-    explicit FaultInjector(std::uint64_t seed = 0xfa17ULL) : rng_(seed)
+    /** @param scope Telemetry scope for the injected-fault counters. */
+    explicit FaultInjector(std::uint64_t seed = 0xfa17ULL,
+                           MetricScope scope = {})
+        : rng_(seed), scope_(std::move(scope)),
+          drops_(scope_.counter("drops_injected")),
+          timeouts_(scope_.counter("timeouts_injected")),
+          corrupt_(scope_.counter("corruptions_injected")),
+          spikes_(scope_.counter("spikes_injected"))
     {}
 
     /** Mutable fault profile of @p node (created on first use). */
@@ -115,14 +123,15 @@ class FaultInjector
 
   private:
     Rng rng_;
+    MetricScope scope_;
     Fabric *fabric_ = nullptr;
     std::unordered_map<NodeId, NodeFaultProfile> profiles_;
     std::unordered_map<NodeId, std::uint64_t> opCounts_;
 
-    Counter drops_;
-    Counter timeouts_;
-    Counter corrupt_;
-    Counter spikes_;
+    Counter &drops_;
+    Counter &timeouts_;
+    Counter &corrupt_;
+    Counter &spikes_;
 };
 
 } // namespace kona

@@ -15,9 +15,11 @@ CompletionQueue::pop()
 }
 
 QueuePair::QueuePair(Fabric &fabric, NodeId localNode, NodeId remoteNode,
-                     CompletionQueue &cq)
+                     CompletionQueue &cq, MetricScope scope)
     : fabric_(fabric), localNode_(localNode), remoteNode_(remoteNode),
-      cq_(cq)
+      cq_(cq), scope_(std::move(scope)),
+      postedOps_(scope_.counter("posted_ops")),
+      postedBytes_(scope_.counter("posted_bytes"))
 {
     KONA_ASSERT(fabric.hasNode(remoteNode), "QP to unknown node ",
                 remoteNode);
@@ -42,8 +44,8 @@ QueuePair::executeOne(const WorkRequest &wr, bool linked)
         remote.read(wr.remoteAddr, wr.localBuf, wr.length);
     }
     fabric_.accountTransfer(wr.length);
-    postedOps_++;
-    postedBytes_ += wr.length;
+    postedOps_.add();
+    postedBytes_.add(wr.length);
 
     const LatencyConfig &lat = fabric_.latency();
     double base = linked ? lat.rdmaLinkedOpNs : lat.rdmaBaseNs;

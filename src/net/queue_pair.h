@@ -80,8 +80,9 @@ class CompletionQueue
 class QueuePair
 {
   public:
+    /** @param scope Telemetry scope for "posted_ops"/"posted_bytes". */
     QueuePair(Fabric &fabric, NodeId localNode, NodeId remoteNode,
-              CompletionQueue &cq);
+              CompletionQueue &cq, MetricScope scope = {});
 
     /**
      * Post a single work request.
@@ -101,8 +102,8 @@ class QueuePair
 
     NodeId remoteNode() const { return remoteNode_; }
 
-    std::uint64_t postedOps() const { return postedOps_; }
-    std::uint64_t postedBytes() const { return postedBytes_; }
+    std::uint64_t postedOps() const { return postedOps_.value(); }
+    std::uint64_t postedBytes() const { return postedBytes_.value(); }
 
   private:
     /** Execute the data movement; returns transfer cost in ns. */
@@ -116,8 +117,9 @@ class QueuePair
     NodeId localNode_;
     NodeId remoteNode_;
     CompletionQueue &cq_;
-    std::uint64_t postedOps_ = 0;
-    std::uint64_t postedBytes_ = 0;
+    MetricScope scope_;
+    Counter &postedOps_;
+    Counter &postedBytes_;
 };
 
 /**

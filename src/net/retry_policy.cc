@@ -11,6 +11,10 @@ RetryState::backoff(SimClock &clock)
     clock.advance(charged);
     spentNs_ += charged;
     ++attempts_;
+    if (retriesCounter_ != nullptr)
+        retriesCounter_->add();
+    if (backoffHist_ != nullptr)
+        backoffHist_->record(static_cast<double>(charged));
 
     double grown = static_cast<double>(nextBackoffNs_) *
                    policy_.backoffMultiplier;

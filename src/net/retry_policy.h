@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "common/sim_clock.h"
 #include "common/types.h"
+#include "telemetry/metric_registry.h"
 
 namespace kona {
 
@@ -58,6 +59,17 @@ class RetryState
         return true;
     }
 
+    /**
+     * Attach telemetry sinks; every backoff() bumps @p retries and
+     * records the charged wait in @p backoffNs. Either may be null.
+     */
+    void
+    bindTelemetry(Counter *retries, LatencyHistogram *backoffNs)
+    {
+        retriesCounter_ = retries;
+        backoffHist_ = backoffNs;
+    }
+
     /** Charge the next backoff to @p clock and advance the schedule.
      *  @return The backoff charged, in ns. */
     Tick backoff(SimClock &clock);
@@ -71,6 +83,8 @@ class RetryState
     Tick nextBackoffNs_;
     std::size_t attempts_ = 0;
     Tick spentNs_ = 0;
+    Counter *retriesCounter_ = nullptr;
+    LatencyHistogram *backoffHist_ = nullptr;
 };
 
 } // namespace kona

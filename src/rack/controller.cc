@@ -7,7 +7,13 @@
 
 namespace kona {
 
-Controller::Controller(std::size_t slabSize) : slabSize_(slabSize)
+Controller::Controller(std::size_t slabSize, MetricScope scope)
+    : slabSize_(slabSize), scope_(std::move(scope)),
+      slabsAllocated_(scope_.counter("slabs_allocated")),
+      nodesFailed_(scope_.counter("nodes_failed")),
+      slabsRebuilt_(scope_.counter("slabs_rebuilt")),
+      slabsLost_(scope_.counter("slabs_lost")),
+      bytesCopied_(scope_.counter("bytes_copied"))
 {
     KONA_ASSERT(slabSize >= pageSize && slabSize % pageSize == 0,
                 "slab size must be a positive multiple of the page size");
@@ -54,7 +60,7 @@ Controller::allocateSlabAvoiding(const std::vector<NodeId> &avoid)
     grant.where = {best->id(), *offset};
     grant.size = slabSize_;
     grant.regionKey = best->slabRegion().key;
-    ++slabsAllocated_;
+    slabsAllocated_.add();
     return grant;
 }
 
@@ -133,7 +139,7 @@ Controller::markFailed(NodeId node)
     health_[node] = NodeHealth::Failed;
     consecFailures_[node] = 0;
     newlyFailed_.push_back(node);
-    ++nodesFailed_;
+    nodesFailed_.add();
     warn("controller: memory node ", node, " declared failed");
 }
 
@@ -224,7 +230,7 @@ Controller::migrate(NodeId from, bool sourceAlive,
                 // Every copy died with the node: the data is gone.
                 report.slabsScanned += 1;
                 report.slabsLost += 1;
-                slabsLost_ += 1;
+                slabsLost_.add();
                 warn("slab ", p.primary->slab,
                      " lost with node ", from, ": no surviving copy");
                 continue;
@@ -254,7 +260,7 @@ Controller::migrate(NodeId from, bool sourceAlive,
             }
             if (source == nullptr) {
                 report.slabsLost += 1;
-                slabsLost_ += 1;
+                slabsLost_.add();
                 continue;
             }
 
@@ -300,8 +306,8 @@ Controller::rehomeCopy(SlabGrant &grant, const SlabGrant &source,
     grant = *replacement;
     report.slabsRebuilt += 1;
     report.bytesCopied += bytes.size();
-    slabsRebuilt_ += 1;
-    bytesCopied_ += bytes.size();
+    slabsRebuilt_.add();
+    bytesCopied_.add(bytes.size());
     return true;
 }
 

@@ -22,6 +22,7 @@
 
 #include "common/types.h"
 #include "rack/memory_node.h"
+#include "telemetry/metric_registry.h"
 
 namespace kona {
 
@@ -75,7 +76,9 @@ class Controller
     /** Consecutive op failures before a node is declared Failed. */
     static constexpr std::uint32_t defaultFailureThreshold = 5;
 
-    explicit Controller(std::size_t slabSize = defaultSlabSize);
+    /** @param scope Telemetry scope for the allocation/heal counters. */
+    explicit Controller(std::size_t slabSize = defaultSlabSize,
+                        MetricScope scope = {});
 
     /** A memory node exposes its pool to applications. */
     void registerNode(MemoryNode &node);
@@ -106,7 +109,10 @@ class Controller
     std::size_t slabSize() const { return slabSize_; }
     std::size_t nodeCount() const { return nodes_.size(); }
     std::size_t healthyNodeCount() const;
-    std::uint64_t slabsAllocated() const { return slabsAllocated_; }
+    std::uint64_t slabsAllocated() const
+    {
+        return slabsAllocated_.value();
+    }
 
     /** Total free bytes across all healthy registered nodes. */
     std::size_t totalFree() const;
@@ -152,10 +158,10 @@ class Controller
     RebuildReport evacuateNode(NodeId node,
                                std::vector<PlacementRef> &placements);
 
-    std::uint64_t nodesFailed() const { return nodesFailed_; }
-    std::uint64_t slabsRebuilt() const { return slabsRebuilt_; }
-    std::uint64_t slabsLost() const { return slabsLost_; }
-    std::uint64_t bytesCopied() const { return bytesCopied_; }
+    std::uint64_t nodesFailed() const { return nodesFailed_.value(); }
+    std::uint64_t slabsRebuilt() const { return slabsRebuilt_.value(); }
+    std::uint64_t slabsLost() const { return slabsLost_.value(); }
+    std::uint64_t bytesCopied() const { return bytesCopied_.value(); }
 
   private:
     RebuildReport migrate(NodeId from, bool sourceAlive,
@@ -168,17 +174,18 @@ class Controller
                     RebuildReport &report);
 
     std::size_t slabSize_;
+    MetricScope scope_;
     std::unordered_map<NodeId, MemoryNode *> nodes_;
     std::unordered_map<NodeId, NodeHealth> health_;
     std::unordered_map<NodeId, std::uint32_t> consecFailures_;
     std::vector<NodeId> newlyFailed_;
     std::uint32_t failureThreshold_ = defaultFailureThreshold;
     SlabId nextSlab_ = 1;
-    std::uint64_t slabsAllocated_ = 0;
-    std::uint64_t nodesFailed_ = 0;
-    std::uint64_t slabsRebuilt_ = 0;
-    std::uint64_t slabsLost_ = 0;
-    std::uint64_t bytesCopied_ = 0;
+    Counter &slabsAllocated_;
+    Counter &nodesFailed_;
+    Counter &slabsRebuilt_;
+    Counter &slabsLost_;
+    Counter &bytesCopied_;
 };
 
 } // namespace kona

@@ -5,10 +5,13 @@
 namespace kona {
 
 MemoryNode::MemoryNode(Fabric &fabric, NodeId id, std::size_t capacity,
-                       std::size_t logArea)
-    : fabric_(fabric), id_(id),
+                       std::size_t logArea, MetricScope scope)
+    : fabric_(fabric), id_(id), scope_(std::move(scope)),
       store_(std::make_unique<BackingStore>(capacity)),
-      slabs_(logArea, capacity - logArea)
+      slabs_(logArea, capacity - logArea),
+      linesReceived_(scope_.counter("lines_received")),
+      logsRejected_(scope_.counter("logs_rejected")),
+      unpackNs_(scope_.histogram("unpack_ns"))
 {
     KONA_ASSERT(capacity > logArea,
                 "memory node smaller than its log area");
@@ -58,7 +61,7 @@ MemoryNode::receiveLog(Addr logOffset, std::size_t logBytes)
                            payload) != header.crc) {
             stats.ok = false;
             stats.corruptRecords += 1;
-            logsRejected_ += 1;
+            logsRejected_.add();
             warn("memory node ", id_, ": NAK corrupt CL log (",
                  logBytes, " bytes)");
             return stats;
@@ -77,7 +80,8 @@ MemoryNode::receiveLog(Addr logOffset, std::size_t logBytes)
         stats.lines += header.lineCount;
         stats.unpackNs += lat.logUnpackPerLineNs * header.lineCount;
     }
-    linesReceived_ += stats.lines;
+    linesReceived_.add(stats.lines);
+    unpackNs_.record(stats.unpackNs);
     return stats;
 }
 

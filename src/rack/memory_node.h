@@ -17,6 +17,7 @@
 #include "mem/region_allocator.h"
 #include "net/fabric.h"
 #include "rack/cl_log.h"
+#include "telemetry/metric_registry.h"
 
 namespace kona {
 
@@ -39,9 +40,11 @@ class MemoryNode
      * @param id Node identifier (must be unique on the fabric).
      * @param capacity DRAM capacity in bytes.
      * @param logArea Bytes reserved at offset 0 for incoming CL logs.
+     * @param scope Telemetry scope for the receiver counters and the
+     *              per-log "unpack_ns" histogram.
      */
     MemoryNode(Fabric &fabric, NodeId id, std::size_t capacity,
-               std::size_t logArea = 4 * MiB);
+               std::size_t logArea = 4 * MiB, MetricScope scope = {});
 
     NodeId id() const { return id_; }
     std::size_t capacity() const { return store_->capacity(); }
@@ -74,18 +77,20 @@ class MemoryNode
      */
     LogReceiptStats receiveLog(Addr logOffset, std::size_t logBytes);
 
-    std::uint64_t linesReceived() const { return linesReceived_; }
-    std::uint64_t logsRejected() const { return logsRejected_; }
+    std::uint64_t linesReceived() const { return linesReceived_.value(); }
+    std::uint64_t logsRejected() const { return logsRejected_.value(); }
 
   private:
     Fabric &fabric_;
     NodeId id_;
+    MetricScope scope_;
     std::unique_ptr<BackingStore> store_;
     RegionAllocator slabs_;
     MemoryRegion slabRegion_;
     MemoryRegion logRegion_;
-    std::uint64_t linesReceived_ = 0;
-    std::uint64_t logsRejected_ = 0;
+    Counter &linesReceived_;
+    Counter &logsRejected_;
+    LatencyHistogram &unpackNs_;
 };
 
 } // namespace kona

@@ -1,0 +1,204 @@
+#include "telemetry/metric_registry.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace kona {
+
+void
+LatencyHistogram::record(double ns)
+{
+    if (ns < 0.0)
+        ns = 0.0;
+    if (count_ == 0) {
+        min_ = ns;
+        max_ = ns;
+    } else {
+        min_ = std::min(min_, ns);
+        max_ = std::max(max_, ns);
+    }
+    auto n = static_cast<std::uint64_t>(ns);
+    std::size_t idx = static_cast<std::size_t>(std::bit_width(n));
+    if (idx >= numBuckets)
+        idx = numBuckets - 1;
+    ++buckets_[idx];
+    ++count_;
+    sum_ += ns;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(count_);
+}
+
+double
+LatencyHistogram::quantile(double q) const
+{
+    if (count_ == 0 || q <= 0.0)
+        return 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        running += buckets_[i];
+        if (running >= target) {
+            // Bucket i covers [2^(i-1), 2^i): report its upper bound,
+            // clamped to the exact observed extremes.
+            double ub = i >= 63 ? max_
+                                : static_cast<double>((1ULL << i) - 1);
+            return std::min(std::max(ub, min_), max_);
+        }
+    }
+    return max_;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+std::uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    const Counter *c = findCounter(name);
+    return c == nullptr ? 0 : c->value();
+}
+
+const Counter *
+MetricRegistry::findCounter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge *
+MetricRegistry::findGauge(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LatencyHistogram *
+MetricRegistry::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Print a double as JSON (finite; NaN/inf degrade to 0). */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+MetricRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": ";
+        jsonNumber(os, g->value());
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"count\": " << h->count() << ", \"mean\": ";
+        jsonNumber(os, h->mean());
+        os << ", \"p50\": ";
+        jsonNumber(os, h->p50());
+        os << ", \"p95\": ";
+        jsonNumber(os, h->p95());
+        os << ", \"p99\": ";
+        jsonNumber(os, h->p99());
+        os << ", \"max\": ";
+        jsonNumber(os, h->maxValue());
+        os << "}";
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+std::string
+MetricRegistry::toJson() const
+{
+    std::ostringstream oss;
+    writeJson(oss);
+    return oss.str();
+}
+
+} // namespace kona

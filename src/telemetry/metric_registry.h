@@ -1,0 +1,208 @@
+/**
+ * @file
+ * MetricRegistry: the one place every component's counters, gauges and
+ * latency histograms live.
+ *
+ * The paper's argument is a sequence of nanosecond breakdowns (Figs
+ * 2/3/7-11, Table 2); reproducing it requires decomposable telemetry,
+ * not private struct fields scattered across components. Components
+ * register named metrics through a hierarchically-scoped MetricScope
+ * ("kona.fpga.remote_fetches"); the legacy *Stats snapshot structs are
+ * assembled as views over the same registry storage, so the two can
+ * never diverge.
+ *
+ * Metrics are get-or-create by full dotted name: asking twice for the
+ * same name returns the same object with a stable address, which is
+ * how two code paths deliberately share one counter (e.g. the runtime
+ * retry totals feeding both RuntimeStats and ReliabilityStats).
+ */
+
+#ifndef KONA_TELEMETRY_METRIC_REGISTRY_H
+#define KONA_TELEMETRY_METRIC_REGISTRY_H
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/stats.h"
+
+namespace kona {
+
+/** A settable scalar (doubles as an accumulating sum for breakdowns). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    void add(double d) { value_ += d; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Log-bucketed latency histogram: values in nanoseconds fall into
+ * power-of-two buckets, so quantiles are exact to within one octave
+ * while recording stays O(1) with a fixed 64-slot footprint.
+ *
+ * quantile(q) returns the upper bound of the bucket holding the q-th
+ * sample, clamped to the exact observed maximum — a conservative
+ * (never-understated) estimate, which is the right bias for tail
+ * latency reporting.
+ */
+class LatencyHistogram
+{
+  public:
+    void record(double ns);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double maxValue() const { return count_ == 0 ? 0.0 : max_; }
+    double minValue() const { return count_ == 0 ? 0.0 : min_; }
+
+    /** Conservative quantile for q in (0, 1]; 0 when empty. */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    /** Samples in bucket @p i, covering values in [2^(i-1), 2^i). */
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return i < numBuckets ? buckets_[i] : 0;
+    }
+
+    static constexpr std::size_t numBuckets = 64;
+
+  private:
+    std::uint64_t buckets_[numBuckets] = {};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Registry of named metrics. Names are dotted paths; see MetricScope. */
+class MetricRegistry
+{
+  public:
+    /** Get-or-create the counter/gauge/histogram named @p name. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    LatencyHistogram &histogram(const std::string &name);
+
+    /** Value of counter @p name, or 0 when never registered. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Lookup without creating; nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const LatencyHistogram *findHistogram(const std::string &name) const;
+
+    std::size_t size() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    const std::map<std::string, std::unique_ptr<Counter>> &
+    counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, std::unique_ptr<Gauge>> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::map<std::string, std::unique_ptr<LatencyHistogram>> &
+    histograms() const
+    {
+        return histograms_;
+    }
+
+    /**
+     * Machine-readable export: one JSON object with "counters",
+     * "gauges" and "histograms" sections, names sorted, histograms
+     * summarized as count/mean/p50/p95/p99/max.
+     */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/**
+ * A (registry, prefix) pair components register their metrics through.
+ * scope.sub("fpga").counter("remote_fetches") registers the counter
+ * "<prefix>.fpga.remote_fetches".
+ *
+ * A default-constructed scope owns a fresh private registry, so
+ * components built standalone (unit tests, ad-hoc tools) need no
+ * wiring; passing one shared registry through the scopes of a whole
+ * stack is what produces a unified export.
+ */
+class MetricScope
+{
+  public:
+    /** A scope over a fresh private registry, empty prefix. */
+    MetricScope() : registry_(std::make_shared<MetricRegistry>()) {}
+
+    MetricScope(std::shared_ptr<MetricRegistry> registry,
+                std::string prefix = "")
+        : registry_(std::move(registry)), prefix_(std::move(prefix))
+    {}
+
+    /** Child scope: prefix extended with ".name". */
+    MetricScope sub(std::string_view name) const
+    {
+        return MetricScope(registry_, qualify(name));
+    }
+
+    /** The full dotted name of @p name under this scope. */
+    std::string qualify(std::string_view name) const
+    {
+        if (prefix_.empty())
+            return std::string(name);
+        std::string full = prefix_;
+        full += '.';
+        full += name;
+        return full;
+    }
+
+    Counter &counter(std::string_view name) const
+    {
+        return registry_->counter(qualify(name));
+    }
+    Gauge &gauge(std::string_view name) const
+    {
+        return registry_->gauge(qualify(name));
+    }
+    LatencyHistogram &histogram(std::string_view name) const
+    {
+        return registry_->histogram(qualify(name));
+    }
+
+    const std::shared_ptr<MetricRegistry> &registry() const
+    {
+        return registry_;
+    }
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    std::shared_ptr<MetricRegistry> registry_;
+    std::string prefix_;
+};
+
+/** Escape @p s for inclusion in a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+} // namespace kona
+
+#endif // KONA_TELEMETRY_METRIC_REGISTRY_H

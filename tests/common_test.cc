@@ -66,6 +66,47 @@ TEST(Logging, AssertMacro)
     EXPECT_THROW(KONA_ASSERT(1 + 1 == 3, "broken"), PanicError);
 }
 
+TEST(Logging, LogLevelFiltersBySeverity)
+{
+    using ::testing::internal::CaptureStderr;
+    using ::testing::internal::GetCapturedStderr;
+
+    // "warn" suppresses info/debug but keeps warnings.
+    setLogLevel("warn");
+    CaptureStderr();
+    inform("info suppressed");
+    debugLog("debug suppressed");
+    warn("warning kept");
+    std::string out = GetCapturedStderr();
+    EXPECT_EQ(out.find("suppressed"), std::string::npos);
+    EXPECT_NE(out.find("warning kept"), std::string::npos);
+
+    // "debug" lets verbose diagnostics through.
+    setLogLevel("debug");
+    CaptureStderr();
+    debugLog("verbose line");
+    EXPECT_NE(GetCapturedStderr().find("verbose line"),
+              std::string::npos);
+
+    // Unknown strings are ignored: the level stays "debug".
+    setLogLevel("bogus");
+    CaptureStderr();
+    debugLog("still verbose");
+    EXPECT_NE(GetCapturedStderr().find("still verbose"),
+              std::string::npos);
+
+    // "quiet" silences everything except fatal/panic.
+    setLogLevel("quiet");
+    CaptureStderr();
+    warn("warning suppressed");
+    EXPECT_THROW(panic("panic always prints"), PanicError);
+    out = GetCapturedStderr();
+    EXPECT_EQ(out.find("warning suppressed"), std::string::npos);
+    EXPECT_NE(out.find("panic always prints"), std::string::npos);
+
+    setLogLevel("info");   // restore the default for other tests
+}
+
 TEST(SimClock, AdvanceAndAdvanceTo)
 {
     SimClock clock;
@@ -177,6 +218,23 @@ TEST(IntDistribution, Quantiles)
     EXPECT_EQ(dist.quantile(1.0), 100u);
 }
 
+TEST(IntDistribution, QuantileEdgeCases)
+{
+    IntDistribution dist;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        dist.record(v);
+    // A vanishingly small q still selects the smallest sample, and
+    // q = 1.0 is the exact maximum.
+    EXPECT_EQ(dist.quantile(0.0001), 1u);
+    EXPECT_EQ(dist.quantile(1.0), 100u);
+    // Out-of-range q and empty distributions are caller bugs.
+    EXPECT_THROW(dist.quantile(0.0), PanicError);
+    EXPECT_THROW(dist.quantile(1.5), PanicError);
+    EXPECT_THROW(dist.quantile(-0.5), PanicError);
+    IntDistribution empty;
+    EXPECT_THROW(empty.quantile(0.5), PanicError);
+}
+
 TEST(IntDistribution, CdfPointsMonotone)
 {
     IntDistribution dist;
@@ -203,6 +261,13 @@ TEST(WindowedSeries, MeansAndTrim)
     EXPECT_DOUBLE_EQ(series.trimmedMean(1, 1), 2.0);
     EXPECT_DOUBLE_EQ(series.min(), 2.0);
     EXPECT_DOUBLE_EQ(series.max(), 30.0);
+}
+
+TEST(WindowedSeries, EmptySeriesMinMaxAreZero)
+{
+    WindowedSeries series;
+    EXPECT_DOUBLE_EQ(series.min(), 0.0);
+    EXPECT_DOUBLE_EQ(series.max(), 0.0);
 }
 
 TEST(Stats, GeometricMean)
