@@ -21,6 +21,7 @@
 #include "core/kona_runtime.h"
 #include "core/vm_runtime.h"
 #include "mem/backing_store.h"
+#include "prefetch/prefetcher.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_session.h"
 #include "workloads/registry.h"
@@ -30,8 +31,9 @@ namespace kona::bench {
 /** Export destinations from the command line (empty = disabled). */
 struct ExportOptions
 {
-    std::string metricsJson; ///< --metrics-json=PATH
-    std::string traceOut;    ///< --trace-out=PATH
+    std::string metricsJson;     ///< --metrics-json=PATH
+    std::string traceOut;        ///< --trace-out=PATH
+    std::string prefetchPolicy;  ///< --prefetch=policy[:depth]
 };
 
 inline ExportOptions &
@@ -61,10 +63,11 @@ exportScope(const std::string &prefix = "")
 }
 
 /**
- * Strip --metrics-json= and --trace-out= out of argv, leaving every
- * other argument in place. Call first thing in main, before any other
- * argument parsing (including benchmark::Initialize, which rejects
- * flags it does not know).
+ * Strip --metrics-json=, --trace-out= and --prefetch= out of argv,
+ * leaving every other argument in place. Call first thing in main,
+ * before any other argument parsing (including benchmark::Initialize,
+ * which rejects flags it does not know). A bad --prefetch= spec is
+ * fatal() here rather than deep inside a runtime constructor.
  */
 inline void
 parseExportFlags(int &argc, char **argv)
@@ -74,12 +77,21 @@ parseExportFlags(int &argc, char **argv)
         std::string_view arg = argv[i];
         constexpr std::string_view metricsFlag = "--metrics-json=";
         constexpr std::string_view traceFlag = "--trace-out=";
-        if (arg.substr(0, metricsFlag.size()) == metricsFlag)
+        constexpr std::string_view prefetchFlag = "--prefetch=";
+        if (arg.substr(0, metricsFlag.size()) == metricsFlag) {
             exportOptions().metricsJson = arg.substr(metricsFlag.size());
-        else if (arg.substr(0, traceFlag.size()) == traceFlag)
+        } else if (arg.substr(0, traceFlag.size()) == traceFlag) {
             exportOptions().traceOut = arg.substr(traceFlag.size());
-        else
+        } else if (arg.substr(0, prefetchFlag.size()) == prefetchFlag) {
+            std::string spec(arg.substr(prefetchFlag.size()));
+            if (!knownPrefetchPolicy(spec))
+                fatal("bad --prefetch= policy \"", spec,
+                      "\"; known: off next[:d] stride[:d] corr[:d] "
+                      "adaptive[:d]");
+            exportOptions().prefetchPolicy = spec;
+        } else {
             argv[kept++] = argv[i];
+        }
     }
     for (int i = kept; i < argc; ++i)
         argv[i] = nullptr;

@@ -7,6 +7,7 @@
  *
  * Usage:
  *   run_workload [workload] [runtime] [local%] [ops]
+ *                [--prefetch=POLICY[:depth]]
  *                [--metrics-json=PATH] [--trace-out=PATH]
  *
  *   workload:  redis-rand | redis-seq | linear-regression |
@@ -18,6 +19,10 @@
  *   local%:    local cache as a percent of the footprint (default 50)
  *   ops:       operations to run (default 4x the workload's window)
  *
+ *   --prefetch=POLICY    FPGA prefetch policy (kona runtime only):
+ *                        off | next[:d] | stride[:d] | corr[:d] |
+ *                        adaptive[:d]; accuracy/coverage counters
+ *                        appear under kona.fpga.prefetch.*
  *   --metrics-json=PATH  write every metric of the whole stack
  *                        (fabric, rack, nodes, runtime) as one JSON
  *                        registry dump
@@ -28,6 +33,7 @@
  * Examples:
  *   ./build/examples/run_workload pagerank kona 25
  *   ./build/examples/run_workload voltdb-tpcc infiniswap 50 20000
+ *   ./build/examples/run_workload redis-seq kona 25 --prefetch=stride:4
  *   ./build/examples/run_workload redis-rand kona 50 \
  *       --metrics-json=metrics.json --trace-out=miss.trace.json
  */
@@ -41,6 +47,7 @@
 #include "core/kona_runtime.h"
 #include "core/vm_runtime.h"
 #include "mem/backing_store.h"
+#include "prefetch/prefetcher.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_session.h"
 #include "workloads/registry.h"
@@ -71,30 +78,39 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: run_workload [workload] [runtime] [local%%] "
-                 "[ops] [--metrics-json=PATH] [--trace-out=PATH]\n"
+                 "[ops] [--prefetch=POLICY[:depth]] "
+                 "[--metrics-json=PATH] [--trace-out=PATH]\n"
                  "  workloads:");
     for (const std::string &name : table2WorkloadNames())
         std::fprintf(stderr, " %s", name.c_str());
     std::fprintf(stderr,
-                 "\n  runtimes: kona kona-vm legoos infiniswap local\n");
+                 "\n  runtimes: kona kona-vm legoos infiniswap local\n"
+                 "  prefetch policies (kona):");
+    for (const std::string &name : prefetchPolicyNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
     std::exit(2);
 }
 
-/** Strip --metrics-json=/--trace-out= from argv (positional args
- *  are parsed by index, so the flags must come out first). */
+/** Strip --metrics-json=/--trace-out=/--prefetch= from argv
+ *  (positional args are parsed by index, so the flags must come out
+ *  first). */
 void
 parseExportFlags(int &argc, char **argv, std::string &metricsJson,
-                 std::string &traceOut)
+                 std::string &traceOut, std::string &prefetch)
 {
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
         std::string_view arg = argv[i];
         constexpr std::string_view metricsFlag = "--metrics-json=";
         constexpr std::string_view traceFlag = "--trace-out=";
+        constexpr std::string_view prefetchFlag = "--prefetch=";
         if (arg.substr(0, metricsFlag.size()) == metricsFlag)
             metricsJson = arg.substr(metricsFlag.size());
         else if (arg.substr(0, traceFlag.size()) == traceFlag)
             traceOut = arg.substr(traceFlag.size());
+        else if (arg.substr(0, prefetchFlag.size()) == prefetchFlag)
+            prefetch = arg.substr(prefetchFlag.size());
         else
             argv[kept++] = argv[i];
     }
@@ -111,8 +127,9 @@ main(int argc, char **argv)
     using namespace kona;
     setQuietLogging(true);
 
-    std::string metricsJson, traceOut;
-    parseExportFlags(argc, argv, metricsJson, traceOut);
+    std::string metricsJson, traceOut, prefetchPolicy;
+    parseExportFlags(argc, argv, metricsJson, traceOut,
+                     prefetchPolicy);
 
     std::string workloadName = argc > 1 ? argv[1] : "redis-rand";
     std::string runtimeName = argc > 2 ? argv[2] : "kona";
@@ -126,6 +143,17 @@ main(int argc, char **argv)
         known |= name == workloadName;
     if (!known || localPct < 1 || localPct > 100)
         usage();
+    if (!prefetchPolicy.empty() &&
+        !knownPrefetchPolicy(prefetchPolicy)) {
+        std::fprintf(stderr, "unknown --prefetch= policy: %s\n",
+                     prefetchPolicy.c_str());
+        usage();
+    }
+    if (!prefetchPolicy.empty() && runtimeName != "kona") {
+        std::fprintf(stderr, "--prefetch= only applies to the kona "
+                             "runtime (the FPGA owns the prefetcher); "
+                             "ignoring\n");
+    }
 
     std::size_t footprint = dryFootprint(workloadName);
     std::size_t localBytes = std::max<std::size_t>(
@@ -154,14 +182,19 @@ main(int argc, char **argv)
     std::unique_ptr<RegionAllocator> localHeap;
     std::unique_ptr<WorkloadContext> context;
 
+    KonaRuntime *kona = nullptr;
     if (runtimeName == "kona") {
         KonaConfig cfg;
         cfg.fpga.vfmemSize = 2048 * MiB;
         cfg.fpga.fmemSize = alignUp(localBytes, 4 * pageSize);
+        if (!prefetchPolicy.empty())
+            cfg.fpga.prefetchPolicy = prefetchPolicy;
         cfg.hierarchy = HierarchyConfig::scaled();
-        runtime = std::make_unique<KonaRuntime>(
+        auto owned = std::make_unique<KonaRuntime>(
             fabric, controller, 0, cfg,
             MetricScope(registry, "kona"));
+        kona = owned.get();
+        runtime = std::move(owned);
     } else if (runtimeName == "kona-vm" || runtimeName == "legoos" ||
                runtimeName == "infiniswap") {
         VmConfig cfg;
@@ -249,6 +282,16 @@ main(int argc, char **argv)
                         stats.dirtyLinesWritten),
                     static_cast<double>(stats.evictionBytesOnWire) /
                         1e6);
+        if (kona != nullptr && kona->fpga().prefetcher() != nullptr) {
+            PrefetchStats ps = kona->fpga().prefetchStats();
+            std::printf("prefetch   : %s — %llu issued, %llu useful, "
+                        "%llu wasted (%.0f%% accuracy)\n",
+                        kona->fpga().prefetcher()->name().c_str(),
+                        static_cast<unsigned long long>(ps.issued),
+                        static_cast<unsigned long long>(ps.useful),
+                        static_cast<unsigned long long>(ps.wasted),
+                        100.0 * ps.accuracy());
+        }
     }
 
     if (!metricsJson.empty()) {

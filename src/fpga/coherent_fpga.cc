@@ -6,6 +6,26 @@
 
 namespace kona {
 
+namespace {
+
+/**
+ * Resolve the effective policy spec: the deprecated prefetchNextPage
+ * bool keeps meaning "next:1" while prefetchPolicy stays at "off", so
+ * pre-policy configs and benches behave unchanged.
+ */
+std::string
+effectivePrefetchPolicy(const FpgaConfig &config)
+{
+    if ((config.prefetchPolicy.empty() ||
+         config.prefetchPolicy == "off") &&
+        config.prefetchNextPage) {
+        return "next:1";
+    }
+    return config.prefetchPolicy;
+}
+
+} // namespace
+
 CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
                            const FpgaConfig &config, MetricScope scope)
     : fabric_(fabric), computeNode_(computeNode), config_(config),
@@ -13,12 +33,29 @@ CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
       fmem_(config.fmemSize, config.fmemAssociativity,
             scope_.sub("fmem")),
       fmemStore_(config.fmemSize), poller_(fabric.latency()),
+      prefetcher_(makePrefetcher(effectivePrefetchPolicy(config))),
+      prefetchQueue_(config.prefetchQueueCapacity),
+      prefetchCredits_(config.prefetchCreditRefillNs,
+                       config.prefetchCreditBurst),
       remoteFetches_(scope_.counter("remote_fetches")),
+      demandFetches_(scope_.counter("demand_fetches")),
       writebacksObserved_(scope_.counter("writebacks_observed")),
-      prefetches_(scope_.counter("prefetches")),
       fetchFailures_(scope_.counter("fetch_failures")),
       promotions_(scope_.counter("replica_promotions")),
-      fetchNs_(scope_.histogram("fetch_ns"))
+      prefetchPredicted_(scope_.counter("prefetch.predicted")),
+      prefetchIssued_(scope_.counter("prefetch.issued")),
+      prefetchUseful_(scope_.counter("prefetch.useful")),
+      prefetchWasted_(scope_.counter("prefetch.wasted")),
+      prefetchDroppedNoCredit_(
+          scope_.counter("prefetch.dropped_no_credit")),
+      prefetchDroppedNodeDown_(
+          scope_.counter("prefetch.dropped_node_down")),
+      prefetchDroppedSetFull_(
+          scope_.counter("prefetch.dropped_set_full")),
+      prefetchDroppedQueueFull_(
+          scope_.counter("prefetch.dropped_queue_full")),
+      fetchNs_(scope_.histogram("fetch_ns")),
+      prefetchLeadNs_(scope_.histogram("prefetch.lead_ns"))
 {
     KONA_ASSERT(config.vfmemSize % pageSize == 0,
                 "VFMem window must be page aligned");
@@ -56,10 +93,11 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
     Addr vpn = pageNumber(lineAddr);
     if (fmem_.lookup(vpn).has_value()) {
         clock.advance(static_cast<Tick>(lat.fmemNs));
-        // Streaming accesses keep the prefetcher one page ahead even
-        // while hitting in FMem (a fault-based runtime cannot: the
+        noteDemandTouch(vpn, clock);
+        // Streaming accesses keep the prefetcher running even while
+        // hitting in FMem (a fault-based runtime cannot: the
         // prefetcher never crosses a page fault, §4.4).
-        maybePrefetch(vpn);
+        maybePrefetch(vpn, /*demandMiss=*/false, clock);
         span.arg("outcome", "fmem_hit");
         return ServeStatus::FMemHit;
     }
@@ -87,9 +125,26 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
     }
     fetchNs_.record(static_cast<double>(clock.now() - fetchStart));
     clock.advance(static_cast<Tick>(lat.fmemNs));
-    maybePrefetch(vpn);
+    maybePrefetch(vpn, /*demandMiss=*/true, clock);
     span.arg("outcome", "remote_fetch");
     return ServeStatus::RemoteFetch;
+}
+
+void
+CoherentFpga::noteDemandTouch(Addr vpn, SimClock &clock)
+{
+    auto issueTick = fmem_.clearPrefetched(vpn);
+    if (!issueTick.has_value())
+        return;
+    prefetchUseful_.add();
+    // Lead time from issue to first touch; the issue tick came off the
+    // same demand-side clock, so the difference is well defined.
+    Tick now = clock.now();
+    prefetchLeadNs_.record(
+        now >= *issueTick ? static_cast<double>(now - *issueTick)
+                          : 0.0);
+    if (prefetcher_)
+        prefetcher_->onPrefetchUseful(vpn);
 }
 
 void
@@ -100,10 +155,12 @@ CoherentFpga::reportHealth(NodeId node, bool ok)
 }
 
 bool
-CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
+CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
+                        Tick issueTick)
 {
     Addr vfmemAddr = vpn * pageSize;
     std::array<std::uint8_t, pageSize> staging;
+    bool prefetch = intent == FetchIntent::Prefetch;
 
     // Prefetches run on the background clock; put their spans on the
     // background lane so the app-critical-path lane stays truthful.
@@ -112,12 +169,24 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
                              : traceAppThread;
     Span span(trace_, clock, "fetch_page", "fpga", lane);
     span.arg("vpn", vpn);
+    if (prefetch)
+        span.arg("intent", "prefetch");
 
-    auto locations = translation_.translateAll(vfmemAddr);
+    // A speculative fetch reads the primary only and gives up
+    // silently: it must not mutate replica ordering, feed the failure
+    // detector, or log warnings — failover belongs to demand misses.
+    auto locations = prefetch
+                         ? std::vector<RemoteLocation>{
+                               translation_.translate(vfmemAddr)}
+                         : translation_.translateAll(vfmemAddr);
     bool fetched = false;
     for (std::size_t i = 0; i < locations.size(); ++i) {
         const RemoteLocation &loc = locations[i];
         if (fabric_.nodeDown(loc.node)) {
+            if (prefetch) {
+                prefetchDroppedNodeDown_.add();
+                continue;
+            }
             // Skipping a down node is itself evidence for the failure
             // detector; without it a dead primary would never attract
             // op reports at all.
@@ -136,24 +205,36 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
         rdma.arg("bytes", wr.length);
         if (!qpTo(loc.node).post(wr, clock)) {
             poller_.waitOne(cq_, clock);   // consume the error CQE
+            if (prefetch) {
+                // The primary was reachable but the op failed; the
+                // speculation still gives up without leaving a trace
+                // beyond its drop counter.
+                prefetchDroppedNodeDown_.add();
+                continue;
+            }
             reportHealth(loc.node, false);
             continue;
         }
         poller_.waitOne(cq_, clock);
-        reportHealth(loc.node, true);
-        if (i > 0) {
-            // Promote the replica we read from only when every earlier
-            // copy sits on a node that is actually down (§4.5). A
-            // transient drop should not reshuffle the placement — the
-            // caller's retry gives the primary another chance instead.
-            bool earlierAllDown = true;
-            for (std::size_t j = 0; j < i; ++j)
-                earlierAllDown &= fabric_.nodeDown(locations[j].node);
-            if (earlierAllDown) {
-                translation_.promoteReplica(vfmemAddr, i - 1);
-                promotions_.add();
-                warn("failed over VFMem page ", vpn, " to node ",
-                     loc.node);
+        if (!prefetch) {
+            reportHealth(loc.node, true);
+            if (i > 0) {
+                // Promote the replica we read from only when every
+                // earlier copy sits on a node that is actually down
+                // (§4.5). A transient drop should not reshuffle the
+                // placement — the caller's retry gives the primary
+                // another chance instead.
+                bool earlierAllDown = true;
+                for (std::size_t j = 0; j < i; ++j) {
+                    earlierAllDown &=
+                        fabric_.nodeDown(locations[j].node);
+                }
+                if (earlierAllDown) {
+                    translation_.promoteReplica(vfmemAddr, i - 1);
+                    promotions_.add();
+                    warn("failed over VFMem page ", vpn, " to node ",
+                         loc.node);
+                }
             }
         }
         fetched = true;
@@ -162,26 +243,63 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock)
     if (!fetched)
         return false;
 
-    std::size_t frame = fmem_.insert(vpn);
+    std::size_t frame = fmem_.insert(vpn, prefetch, issueTick);
     fmemStore_.write(static_cast<Addr>(frame) * pageSize, staging.data(),
                      pageSize);
     remoteFetches_.add();
+    if (!prefetch)
+        demandFetches_.add();
     return true;
 }
 
 void
-CoherentFpga::maybePrefetch(Addr vpn)
+CoherentFpga::maybePrefetch(Addr vpn, bool demandMiss, SimClock &clock)
 {
-    if (!config_.prefetchNextPage)
+    if (!prefetcher_)
         return;
-    Addr next = vpn + 1;
-    Addr nextAddr = next * pageSize;
-    if (!inVFMem(nextAddr) || !translation_.mapped(nextAddr))
-        return;
-    if (fmem_.contains(next) || fmem_.victimFor(next).has_value())
-        return;   // resident already, or the set is full: skip
-    if (fetchPage(next, backgroundClock_))
-        prefetches_.add();
+    // Whatever the budget could not cover before this access missed
+    // its window; a late prefetch is worse than none.
+    prefetchDroppedNoCredit_.add(prefetchQueue_.clear());
+
+    candidateBuf_.clear();
+    prefetcher_->observe(vpn, demandMiss, candidateBuf_);
+    prefetchPredicted_.add(candidateBuf_.size());
+    for (Addr c : candidateBuf_) {
+        Addr addr = c * pageSize;
+        if (!inVFMem(addr) || !translation_.mapped(addr))
+            continue;
+        if (fmem_.contains(c) || prefetchQueue_.contains(c))
+            continue;
+        if (!prefetchQueue_.push(c))
+            prefetchDroppedQueueFull_.add();
+    }
+
+    prefetchCredits_.advanceTo(clock.now());
+    std::size_t issued = 0;
+    while (!prefetchQueue_.empty()) {
+        Addr c = prefetchQueue_.front();
+        if (fmem_.contains(c)) {
+            prefetchQueue_.pop();   // raced with an earlier issue
+            continue;
+        }
+        if (fmem_.victimFor(c).has_value()) {
+            // Speculation never evicts: the set is full, give up.
+            prefetchQueue_.pop();
+            prefetchDroppedSetFull_.add();
+            continue;
+        }
+        if (!prefetchCredits_.tryConsume())
+            break;   // out of budget; leftovers are dropped next time
+        prefetchQueue_.pop();
+        if (fetchPage(c, backgroundClock_, FetchIntent::Prefetch,
+                      clock.now())) {
+            ++issued;
+        }
+    }
+    if (issued > 0) {
+        prefetchIssued_.add(issued);
+        prefetcher_->onPrefetchIssued(issued);
+    }
 }
 
 void
@@ -244,7 +362,29 @@ CoherentFpga::writeBytes(Addr vfmemAddr, const void *buf,
 void
 CoherentFpga::dropPage(Addr vpn)
 {
+    // A page leaving FMem with its prefetch tag intact was never
+    // demand-touched: the speculation was wasted bandwidth.
+    if (fmem_.isPrefetched(vpn)) {
+        prefetchWasted_.add();
+        if (prefetcher_)
+            prefetcher_->onPrefetchWasted(vpn);
+    }
     fmem_.remove(vpn);
+}
+
+PrefetchStats
+CoherentFpga::prefetchStats() const
+{
+    PrefetchStats s;
+    s.predicted = prefetchPredicted_.value();
+    s.issued = prefetchIssued_.value();
+    s.useful = prefetchUseful_.value();
+    s.wasted = prefetchWasted_.value();
+    s.droppedNoCredit = prefetchDroppedNoCredit_.value();
+    s.droppedNodeDown = prefetchDroppedNodeDown_.value();
+    s.droppedSetFull = prefetchDroppedSetFull_.value();
+    s.droppedQueueFull = prefetchDroppedQueueFull_.value();
+    return s;
 }
 
 std::uint8_t *

@@ -36,6 +36,8 @@
 #include "mem/backing_store.h"
 #include "mem/dirty_bitmap.h"
 #include "net/queue_pair.h"
+#include "prefetch/prefetch_queue.h"
+#include "prefetch/prefetcher.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_session.h"
 
@@ -48,7 +50,50 @@ struct FpgaConfig
     std::size_t vfmemSize = 1 * GiB;      ///< size of the fake window
     std::size_t fmemSize = 64 * MiB;      ///< FPGA-attached DRAM cache
     std::size_t fmemAssociativity = 4;
-    bool prefetchNextPage = false;        ///< fetch page+1 in background
+
+    /**
+     * Prefetch policy spec "policy[:depth]": off, next, stride, corr,
+     * adaptive (see src/prefetch/prefetcher.h). Replaces the old
+     * hardcoded next-page bool.
+     */
+    std::string prefetchPolicy = "off";
+
+    /**
+     * @deprecated Back-compat alias for prefetchPolicy = "next:1";
+     * honored only while prefetchPolicy is "off". New code should set
+     * prefetchPolicy directly.
+     */
+    bool prefetchNextPage = false;
+
+    /** Candidates staged per access before the credit gate. */
+    std::size_t prefetchQueueCapacity = 32;
+    /** Simulated ns of fabric time that earn one prefetch credit. */
+    double prefetchCreditRefillNs = 200.0;
+    /** Credit bucket capacity (burst ceiling). */
+    std::size_t prefetchCreditBurst = 64;
+};
+
+/** Snapshot of the prefetch engine's accuracy/coverage counters. */
+struct PrefetchStats
+{
+    std::uint64_t predicted = 0;        ///< candidates proposed
+    std::uint64_t issued = 0;           ///< fetches actually launched
+    std::uint64_t useful = 0;           ///< first-touched by demand
+    std::uint64_t wasted = 0;           ///< evicted untouched
+    std::uint64_t droppedNoCredit = 0;  ///< starved by the budget
+    std::uint64_t droppedNodeDown = 0;  ///< primary unreachable
+    std::uint64_t droppedSetFull = 0;   ///< no free way, no eviction
+    std::uint64_t droppedQueueFull = 0; ///< staging overflow
+
+    /** useful / issued (1.0 when nothing issued yet). */
+    double
+    accuracy() const
+    {
+        return issued == 0
+                   ? 1.0
+                   : static_cast<double>(useful) /
+                         static_cast<double>(issued);
+    }
 };
 
 /** Outcome of serving a line request. */
@@ -174,14 +219,22 @@ class CoherentFpga : public MemorySideListener
 
     // Statistics.
     std::uint64_t remoteFetches() const { return remoteFetches_.value(); }
+    /** Remote fetches on the critical path (excludes prefetches). */
+    std::uint64_t demandFetches() const { return demandFetches_.value(); }
     std::uint64_t fmemHits() const { return fmem_.hits(); }
     std::uint64_t writebacksObserved() const
     {
         return writebacksObserved_.value();
     }
-    std::uint64_t prefetches() const { return prefetches_.value(); }
+    std::uint64_t prefetches() const { return prefetchIssued_.value(); }
     std::uint64_t fetchFailures() const { return fetchFailures_.value(); }
     std::uint64_t replicaPromotions() const { return promotions_.value(); }
+
+    /** Accuracy/coverage counters of the prefetch engine. */
+    PrefetchStats prefetchStats() const;
+
+    /** The active predictor (nullptr when prefetching is off). */
+    Prefetcher *prefetcher() { return prefetcher_.get(); }
 
     /** Background (off-critical-path) simulated time spent. */
     Tick backgroundTime() const { return backgroundClock_.now(); }
@@ -190,13 +243,36 @@ class CoherentFpga : public MemorySideListener
     void setTraceSession(TraceSession *trace) { trace_ = trace; }
 
   private:
+    /** Who a page fetch is for; controls failover and accounting. */
+    enum class FetchIntent : std::uint8_t
+    {
+        Demand,    ///< critical path: full replica failover + health
+        Prefetch,  ///< speculative: primary only, silent on failure
+    };
+
     /**
      * Bring VFMem page @p vpn into FMem. Assumes a free way exists.
-     * @return false when the memory node is unreachable.
+     * Demand fetches walk the replica failover path and feed the
+     * failure detector; prefetch fetches read the primary only and
+     * give up silently (a speculation must not mutate replica
+     * ordering or spam warnings). @p issueTick stamps prefetched
+     * frames for timeliness attribution.
+     * @return false when the page could not be fetched.
      */
-    bool fetchPage(Addr vpn, SimClock &clock);
+    bool fetchPage(Addr vpn, SimClock &clock,
+                   FetchIntent intent = FetchIntent::Demand,
+                   Tick issueTick = 0);
 
-    void maybePrefetch(Addr vpn);
+    /**
+     * Run the prefetch engine off one access: feed the predictor,
+     * stage its candidates, and issue as many as the credit budget
+     * covers on the background clock. @p clock is the demand-side
+     * clock whose time refills credits and stamps issue ticks.
+     */
+    void maybePrefetch(Addr vpn, bool demandMiss, SimClock &clock);
+
+    /** First-touch attribution of a resident page (useful prefetch). */
+    void noteDemandTouch(Addr vpn, SimClock &clock);
 
     void reportHealth(NodeId node, bool ok);
 
@@ -217,12 +293,29 @@ class CoherentFpga : public MemorySideListener
 
     SimClock backgroundClock_;
     TraceSession *trace_ = nullptr;
+
+    // Prefetch engine: predictor (policy), staging queue, bandwidth
+    // budget. Demand fetches never consult the credit bucket.
+    std::unique_ptr<Prefetcher> prefetcher_;
+    PrefetchQueue prefetchQueue_;
+    CreditBucket prefetchCredits_;
+    std::vector<Addr> candidateBuf_;
+
     Counter &remoteFetches_;
+    Counter &demandFetches_;
     Counter &writebacksObserved_;
-    Counter &prefetches_;
     Counter &fetchFailures_;
     Counter &promotions_;
+    Counter &prefetchPredicted_;
+    Counter &prefetchIssued_;
+    Counter &prefetchUseful_;
+    Counter &prefetchWasted_;
+    Counter &prefetchDroppedNoCredit_;
+    Counter &prefetchDroppedNodeDown_;
+    Counter &prefetchDroppedSetFull_;
+    Counter &prefetchDroppedQueueFull_;
     LatencyHistogram &fetchNs_;
+    LatencyHistogram &prefetchLeadNs_;
     std::uint64_t nextWrId_ = 1;
 };
 

@@ -63,7 +63,7 @@ FMemCache::frameOf(Addr vpn) const
 }
 
 std::size_t
-FMemCache::insert(Addr vpn)
+FMemCache::insert(Addr vpn, bool prefetched, Tick tick)
 {
     std::size_t si = setOf(vpn);
     Set &set = sets_[si];
@@ -72,9 +72,35 @@ FMemCache::insert(Addr vpn)
                 "insert into a full set; evict the victim first");
     std::size_t frame = freeFrames_[si].back();
     freeFrames_[si].pop_back();
-    set.push_front({vpn, frame});
+    set.push_front({vpn, frame, prefetched, tick});
     ++resident_;
     return frame;
+}
+
+std::optional<Tick>
+FMemCache::clearPrefetched(Addr vpn)
+{
+    Set &set = sets_[setOf(vpn)];
+    for (Way &way : set) {
+        if (way.vpn == vpn) {
+            if (!way.prefetched)
+                return std::nullopt;
+            way.prefetched = false;
+            return way.prefetchTick;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+FMemCache::isPrefetched(Addr vpn) const
+{
+    const Set &set = sets_[setOf(vpn)];
+    for (const Way &way : set) {
+        if (way.vpn == vpn)
+            return way.prefetched;
+    }
+    return false;
 }
 
 std::optional<FMemCache::Victim>

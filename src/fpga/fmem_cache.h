@@ -54,8 +54,22 @@ class FMemCache
     /**
      * Insert @p vpn into its set, which must have a free way (evict
      * first if victimFor() returns a victim). Returns the frame.
+     * @p prefetched tags the frame as speculatively filled (with the
+     * issuing sim time @p tick) so the first demand touch can be
+     * attributed as a useful prefetch.
      */
-    std::size_t insert(Addr vpn);
+    std::size_t insert(Addr vpn, bool prefetched = false,
+                       Tick tick = 0);
+
+    /**
+     * First-touch attribution: if @p vpn is resident and still carries
+     * its prefetch tag, clear the tag and return the issue tick;
+     * nullopt when absent or demand-fetched.
+     */
+    std::optional<Tick> clearPrefetched(Addr vpn);
+
+    /** Whether @p vpn is resident with its prefetch tag still set. */
+    bool isPrefetched(Addr vpn) const;
 
     /**
      * The LRU victim that must leave before @p vpn can be inserted;
@@ -92,6 +106,8 @@ class FMemCache
     {
         Addr vpn;
         std::size_t frame;
+        bool prefetched = false;   ///< speculative fill, untouched yet
+        Tick prefetchTick = 0;     ///< sim time the prefetch was issued
     };
     /** LRU-ordered occupied ways, front = most recent. */
     using Set = std::list<Way>;

@@ -1,0 +1,99 @@
+#include "prefetch/adaptive_prefetcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kona {
+
+AdaptivePrefetcher::AdaptivePrefetcher(AdaptiveConfig config,
+                                       StrideConfig stride,
+                                       CorrelationConfig correlation)
+    : config_(config), stride_(stride), correlation_(correlation),
+      degree_(config.maxDegree)
+{
+    KONA_ASSERT(config_.maxDegree > 0,
+                "adaptive prefetcher needs maxDegree >= 1");
+    KONA_ASSERT(config_.windowIssues > 0, "window must be non-empty");
+}
+
+std::string
+AdaptivePrefetcher::name() const
+{
+    return "adaptive:" + std::to_string(config_.maxDegree);
+}
+
+void
+AdaptivePrefetcher::observe(Addr vpn, bool demandMiss,
+                            std::vector<Addr> &out)
+{
+    // Both inner policies always observe: a throttled predictor that
+    // stops learning can never recover.
+    scratch_.clear();
+    stride_.observe(vpn, demandMiss, scratch_);
+    correlation_.observe(vpn, demandMiss, scratch_);
+
+    std::size_t allow = degree_;
+    if (allow == 0) {
+        // Fully throttled: one probe every probePeriod accesses, and
+        // only when the predictors actually have something to say.
+        ++accessesSinceProbe_;
+        if (scratch_.empty() ||
+            accessesSinceProbe_ < config_.probePeriod) {
+            return;
+        }
+        accessesSinceProbe_ = 0;
+        allow = 1;
+    }
+
+    std::size_t taken = 0;
+    for (Addr c : scratch_) {
+        if (std::find(out.end() - static_cast<std::ptrdiff_t>(taken),
+                      out.end(), c) != out.end()) {
+            continue;   // stride and correlation agreed; dedup
+        }
+        out.push_back(c);
+        if (++taken >= allow)
+            break;
+    }
+}
+
+void
+AdaptivePrefetcher::onPrefetchIssued(std::size_t n)
+{
+    issued_ += n;
+    if (issued_ - windowStartIssued_ >= config_.windowIssues)
+        rotateWindow();
+}
+
+void
+AdaptivePrefetcher::onPrefetchUseful(Addr vpn)
+{
+    (void)vpn;
+    ++useful_;
+}
+
+void
+AdaptivePrefetcher::rotateWindow()
+{
+    double windowIssued =
+        static_cast<double>(issued_ - windowStartIssued_);
+    double windowUseful =
+        static_cast<double>(useful_ - windowStartUseful_);
+    // Useful feedback lags issue, so a window can observe more useful
+    // touches than it issued prefetches; clamp to a true ratio.
+    double acc = std::min(windowUseful / windowIssued, 1.0);
+    accuracy_ = 0.5 * (accuracy_ + acc);
+    if (accuracy_ >= config_.highAccuracy)
+        degree_ = config_.maxDegree;
+    else if (accuracy_ >= config_.midAccuracy)
+        degree_ = std::max<std::size_t>(config_.maxDegree / 2, 1);
+    else if (accuracy_ >= config_.lowAccuracy)
+        degree_ = 1;
+    else
+        degree_ = 0;
+    windowStartIssued_ = issued_;
+    windowStartUseful_ = useful_;
+}
+
+} // namespace kona

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * AdaptivePrefetcher: feedback-directed composite (à la Srinath et
+ * al., FDP). It runs a stride and a correlation predictor side by
+ * side — both always observe, so learning continues even while
+ * throttled — and bounds how many of their candidates are proposed by
+ * a degree derived from measured accuracy: the engine's
+ * useful/issued feedback is folded into an EWMA over windows of
+ * issued prefetches, and the degree steps between maxDegree and zero
+ * as accuracy crosses the high/mid/low thresholds. While fully
+ * throttled, a single probe prefetch is allowed every probePeriod
+ * accesses so a returning regular pattern can re-earn its bandwidth.
+ */
+
+#ifndef KONA_PREFETCH_ADAPTIVE_PREFETCHER_H
+#define KONA_PREFETCH_ADAPTIVE_PREFETCHER_H
+
+#include "prefetch/correlation_prefetcher.h"
+#include "prefetch/prefetcher.h"
+#include "prefetch/stride_prefetcher.h"
+
+namespace kona {
+
+/** Throttle schedule of the adaptive policy. */
+struct AdaptiveConfig
+{
+    std::size_t maxDegree = 4;     ///< degree at full accuracy
+    std::size_t windowIssues = 32; ///< issued prefetches per window
+    std::size_t probePeriod = 32;  ///< accesses between probes at 0
+    double highAccuracy = 0.50;    ///< >= this: maxDegree
+    double midAccuracy = 0.25;     ///< >= this: maxDegree/2
+    double lowAccuracy = 0.10;     ///< >= this: 1; below: 0
+};
+
+/** Accuracy-throttled stride + correlation composite. */
+class AdaptivePrefetcher : public Prefetcher
+{
+  public:
+    explicit AdaptivePrefetcher(AdaptiveConfig config = {},
+                                StrideConfig stride = {},
+                                CorrelationConfig correlation = {});
+
+    std::string name() const override;
+    void observe(Addr vpn, bool demandMiss,
+                 std::vector<Addr> &out) override;
+    void onPrefetchIssued(std::size_t n) override;
+    void onPrefetchUseful(Addr vpn) override;
+
+    /** The current throttled degree (0 = fully throttled). */
+    std::size_t currentDegree() const { return degree_; }
+
+    /** EWMA accuracy over completed windows. */
+    double accuracy() const { return accuracy_; }
+
+    std::uint64_t issuedTotal() const { return issued_; }
+    std::uint64_t usefulTotal() const { return useful_; }
+
+  private:
+    void rotateWindow();
+
+    AdaptiveConfig config_;
+    StridePrefetcher stride_;
+    CorrelationPrefetcher correlation_;
+    std::vector<Addr> scratch_;
+
+    std::size_t degree_;
+    double accuracy_ = 1.0;   ///< optimistic start: probe at full degree
+    std::uint64_t issued_ = 0;
+    std::uint64_t useful_ = 0;
+    std::uint64_t windowStartIssued_ = 0;
+    std::uint64_t windowStartUseful_ = 0;
+    std::uint64_t accessesSinceProbe_ = 0;
+};
+
+} // namespace kona
+
+#endif // KONA_PREFETCH_ADAPTIVE_PREFETCHER_H

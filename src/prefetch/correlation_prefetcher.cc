@@ -1,0 +1,104 @@
+#include "prefetch/correlation_prefetcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kona {
+
+CorrelationPrefetcher::CorrelationPrefetcher(CorrelationConfig config)
+    : config_(config)
+{
+    KONA_ASSERT(config_.degree > 0,
+                "correlation prefetcher needs degree >= 1");
+    KONA_ASSERT(config_.successorsPerEntry > 0, "need >= 1 successor way");
+    KONA_ASSERT(config_.maxEntries > 0, "Markov table needs capacity");
+}
+
+std::string
+CorrelationPrefetcher::name() const
+{
+    return "corr:" + std::to_string(config_.degree);
+}
+
+void
+CorrelationPrefetcher::record(Addr from, Addr to)
+{
+    auto it = table_.find(from);
+    if (it == table_.end()) {
+        if (table_.size() >= config_.maxEntries) {
+            table_.erase(fifo_.front());
+            fifo_.pop_front();
+        }
+        fifo_.push_back(from);
+        it = table_.emplace(from, Entry{}).first;
+    }
+    Entry &e = it->second;
+    for (Successor &s : e.succ) {
+        if (s.vpn == to) {
+            ++s.count;
+            return;
+        }
+    }
+    if (e.succ.size() < config_.successorsPerEntry) {
+        e.succ.push_back({to, 1});
+        return;
+    }
+    // Replace the weakest way; a new successor must displace history.
+    auto weakest = std::min_element(
+        e.succ.begin(), e.succ.end(),
+        [](const Successor &a, const Successor &b) {
+            return a.count < b.count;
+        });
+    *weakest = {to, 1};
+}
+
+const CorrelationPrefetcher::Successor *
+CorrelationPrefetcher::bestSuccessor(Addr vpn) const
+{
+    auto it = table_.find(vpn);
+    if (it == table_.end())
+        return nullptr;
+    const Successor *best = nullptr;
+    for (const Successor &s : it->second.succ) {
+        if (s.count >= config_.confirmCount &&
+            (best == nullptr || s.count > best->count)) {
+            best = &s;
+        }
+    }
+    return best;
+}
+
+void
+CorrelationPrefetcher::observe(Addr vpn, bool demandMiss,
+                               std::vector<Addr> &out)
+{
+    (void)demandMiss;
+    if (lastVpn_ != invalidAddr && lastVpn_ != vpn)
+        record(lastVpn_, vpn);
+    lastVpn_ = vpn;
+
+    Addr cur = vpn;
+    for (std::size_t k = 0; k < config_.degree; ++k) {
+        const Successor *best = bestSuccessor(cur);
+        if (best == nullptr)
+            break;
+        out.push_back(best->vpn);
+        cur = best->vpn;
+    }
+}
+
+std::uint32_t
+CorrelationPrefetcher::transitionCount(Addr from, Addr to) const
+{
+    auto it = table_.find(from);
+    if (it == table_.end())
+        return 0;
+    for (const Successor &s : it->second.succ) {
+        if (s.vpn == to)
+            return s.count;
+    }
+    return 0;
+}
+
+} // namespace kona

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CorrelationPrefetcher: a Markov table of page→successor transitions
+ * with per-successor confidence counters — the classic answer to
+ * pointer-chasing patterns a stride detector cannot see. Graph
+ * traversals revisit the same edges, so the second lap over a
+ * structure confirms the transitions the first lap recorded and later
+ * laps are prefetched.
+ *
+ * Each table entry keeps up to successorsPerEntry successors with hit
+ * counts (min-count replacement). A successor predicts only once its
+ * count reaches confirmCount; predictions chain — the best successor
+ * of the best successor — up to `degree` pages deep.
+ */
+
+#ifndef KONA_PREFETCH_CORRELATION_PREFETCHER_H
+#define KONA_PREFETCH_CORRELATION_PREFETCHER_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace kona {
+
+/** Capacity and confidence thresholds of the Markov table. */
+struct CorrelationConfig
+{
+    std::size_t degree = 2;              ///< prediction chain depth
+    std::size_t successorsPerEntry = 4;  ///< ways per table entry
+    std::uint32_t confirmCount = 2;      ///< observations to predict
+    std::size_t maxEntries = 1 << 16;    ///< table capacity (FIFO)
+};
+
+/** Markov page-successor predictor. */
+class CorrelationPrefetcher : public Prefetcher
+{
+  public:
+    explicit CorrelationPrefetcher(CorrelationConfig config = {});
+
+    std::string name() const override;
+    void observe(Addr vpn, bool demandMiss,
+                 std::vector<Addr> &out) override;
+
+    /** Observed count of the transition @p from -> @p to (0 if none). */
+    std::uint32_t transitionCount(Addr from, Addr to) const;
+
+    const CorrelationConfig &config() const { return config_; }
+    std::size_t tableSize() const { return table_.size(); }
+
+  private:
+    struct Successor
+    {
+        Addr vpn;
+        std::uint32_t count;
+    };
+    struct Entry
+    {
+        std::vector<Successor> succ;
+    };
+
+    void record(Addr from, Addr to);
+    const Successor *bestSuccessor(Addr vpn) const;
+
+    CorrelationConfig config_;
+    std::unordered_map<Addr, Entry> table_;
+    std::deque<Addr> fifo_;   ///< insertion order, for capacity eviction
+    Addr lastVpn_ = invalidAddr;
+};
+
+} // namespace kona
+
+#endif // KONA_PREFETCH_CORRELATION_PREFETCHER_H

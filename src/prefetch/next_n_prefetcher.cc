@@ -1,0 +1,27 @@
+#include "prefetch/next_n_prefetcher.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+NextNPrefetcher::NextNPrefetcher(std::size_t depth) : depth_(depth)
+{
+    KONA_ASSERT(depth_ > 0, "next-N prefetcher needs depth >= 1");
+}
+
+std::string
+NextNPrefetcher::name() const
+{
+    return "next:" + std::to_string(depth_);
+}
+
+void
+NextNPrefetcher::observe(Addr vpn, bool demandMiss,
+                         std::vector<Addr> &out)
+{
+    (void)demandMiss;
+    for (std::size_t k = 1; k <= depth_; ++k)
+        out.push_back(vpn + k);
+}
+
+} // namespace kona

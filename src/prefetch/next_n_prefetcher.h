@@ -1,0 +1,35 @@
+/**
+ * @file
+ * NextNPrefetcher: the paper's fixed next-page scheme, generalized to
+ * a configurable depth. On every access to page P it proposes
+ * P+1..P+depth — simple, stateless, and exactly right for streaming
+ * scans; pure waste on anything else (which is what the accuracy
+ * telemetry and AdaptivePrefetcher exist to show).
+ */
+
+#ifndef KONA_PREFETCH_NEXT_N_PREFETCHER_H
+#define KONA_PREFETCH_NEXT_N_PREFETCHER_H
+
+#include "prefetch/prefetcher.h"
+
+namespace kona {
+
+/** Sequential next-N-pages predictor. */
+class NextNPrefetcher : public Prefetcher
+{
+  public:
+    explicit NextNPrefetcher(std::size_t depth = 1);
+
+    std::string name() const override;
+    void observe(Addr vpn, bool demandMiss,
+                 std::vector<Addr> &out) override;
+
+    std::size_t depth() const { return depth_; }
+
+  private:
+    std::size_t depth_;
+};
+
+} // namespace kona
+
+#endif // KONA_PREFETCH_NEXT_N_PREFETCHER_H

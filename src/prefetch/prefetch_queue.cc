@@ -1,0 +1,70 @@
+#include "prefetch/prefetch_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kona {
+
+CreditBucket::CreditBucket(double refillNs, std::size_t burst)
+    : refillNs_(refillNs), burst_(burst), credits_(burst)
+{
+    KONA_ASSERT(refillNs_ > 0.0, "credit refill period must be > 0");
+    KONA_ASSERT(burst_ > 0, "credit burst must be > 0");
+}
+
+void
+CreditBucket::advanceTo(Tick now)
+{
+    if (now <= lastRefill_)
+        return;
+    carryNs_ += static_cast<double>(now - lastRefill_);
+    lastRefill_ = now;
+    auto earned = static_cast<std::size_t>(carryNs_ / refillNs_);
+    carryNs_ -= static_cast<double>(earned) * refillNs_;
+    credits_ = std::min(burst_, credits_ + earned);
+    if (credits_ == burst_)
+        carryNs_ = 0.0;   // a full bucket banks nothing extra
+}
+
+bool
+CreditBucket::tryConsume()
+{
+    if (credits_ == 0)
+        return false;
+    --credits_;
+    return true;
+}
+
+PrefetchQueue::PrefetchQueue(std::size_t capacity) : capacity_(capacity)
+{
+    KONA_ASSERT(capacity_ > 0, "prefetch queue needs capacity >= 1");
+}
+
+bool
+PrefetchQueue::push(Addr vpn)
+{
+    if (q_.size() >= capacity_ || !members_.insert(vpn).second)
+        return false;
+    q_.push_back(vpn);
+    return true;
+}
+
+void
+PrefetchQueue::pop()
+{
+    KONA_ASSERT(!q_.empty(), "pop of empty prefetch queue");
+    members_.erase(q_.front());
+    q_.pop_front();
+}
+
+std::size_t
+PrefetchQueue::clear()
+{
+    std::size_t n = q_.size();
+    q_.clear();
+    members_.clear();
+    return n;
+}
+
+} // namespace kona

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The operational half of the prefetch engine: a CreditBucket
+ * modelling the fabric bandwidth budget speculative traffic may
+ * consume, and a PrefetchQueue staging the predictor's candidates of
+ * the current access.
+ *
+ * Credits refill with simulated time (one credit per refillNs, up to
+ * a burst ceiling) and every issued prefetch consumes one. Demand
+ * fetches never touch the bucket — they always preempt: in the
+ * cost-accounting model a demand fetch proceeds immediately on the
+ * critical-path clock, while prefetches only spend whatever credit
+ * the budget has accumulated. Candidates that the budget could not
+ * cover before the next access are dropped (and counted), not issued
+ * late: a stale prefetch is the definition of bad timeliness.
+ */
+
+#ifndef KONA_PREFETCH_PREFETCH_QUEUE_H
+#define KONA_PREFETCH_PREFETCH_QUEUE_H
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace kona {
+
+/** Token bucket refilled by simulated time. Starts full. */
+class CreditBucket
+{
+  public:
+    /**
+     * @param refillNs Simulated ns per credit earned.
+     * @param burst Bucket capacity (max credits banked).
+     */
+    CreditBucket(double refillNs, std::size_t burst);
+
+    /** Refill for sim time up to @p now (monotonic; regressions are
+     *  ignored so independent clocks cannot mint credits). */
+    void advanceTo(Tick now);
+
+    /** Spend one credit; false when the bucket is empty. */
+    bool tryConsume();
+
+    std::size_t available() const { return credits_; }
+    std::size_t burst() const { return burst_; }
+
+  private:
+    double refillNs_;
+    std::size_t burst_;
+    std::size_t credits_;
+    Tick lastRefill_ = 0;
+    double carryNs_ = 0.0;   ///< sub-credit remainder between refills
+};
+
+/** FIFO of candidate pages with dedup and a capacity bound. */
+class PrefetchQueue
+{
+  public:
+    explicit PrefetchQueue(std::size_t capacity = 32);
+
+    /** Stage @p vpn; false when full or already staged. */
+    bool push(Addr vpn);
+
+    /** Whether @p vpn is already staged. */
+    bool contains(Addr vpn) const { return members_.count(vpn) != 0; }
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    Addr front() const { return q_.front(); }
+    void pop();
+
+    /** Drop everything staged; returns how many were dropped. */
+    std::size_t clear();
+
+  private:
+    std::size_t capacity_;
+    std::deque<Addr> q_;
+    std::unordered_set<Addr> members_;
+};
+
+} // namespace kona
+
+#endif // KONA_PREFETCH_PREFETCH_QUEUE_H

@@ -1,0 +1,104 @@
+#include "prefetch/prefetcher.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "prefetch/adaptive_prefetcher.h"
+#include "prefetch/correlation_prefetcher.h"
+#include "prefetch/next_n_prefetcher.h"
+#include "prefetch/stride_prefetcher.h"
+
+namespace kona {
+
+namespace {
+
+struct ParsedSpec
+{
+    std::string policy;
+    std::size_t depth = 0;   ///< 0 = policy default
+    bool valid = false;
+};
+
+ParsedSpec
+parseSpec(const std::string &spec)
+{
+    ParsedSpec parsed;
+    std::string::size_type colon = spec.find(':');
+    parsed.policy = spec.substr(0, colon);
+    parsed.valid = true;
+    if (colon == std::string::npos)
+        return parsed;
+    std::string depth = spec.substr(colon + 1);
+    if (depth.empty() ||
+        depth.find_first_not_of("0123456789") != std::string::npos) {
+        parsed.valid = false;
+        return parsed;
+    }
+    parsed.depth = static_cast<std::size_t>(
+        std::strtoull(depth.c_str(), nullptr, 10));
+    parsed.valid = parsed.depth > 0;
+    return parsed;
+}
+
+} // namespace
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &spec)
+{
+    ParsedSpec p = parseSpec(spec);
+    if (!p.valid)
+        fatal("bad prefetch spec \"", spec,
+              "\": expected policy[:depth] with depth >= 1");
+    if (p.policy.empty() || p.policy == "off" || p.policy == "none") {
+        if (p.depth != 0)
+            fatal("prefetch policy \"", p.policy,
+                  "\" takes no depth argument");
+        return nullptr;
+    }
+    if (p.policy == "next")
+        return std::make_unique<NextNPrefetcher>(
+            p.depth != 0 ? p.depth : 1);
+    if (p.policy == "stride") {
+        StrideConfig cfg;
+        if (p.depth != 0)
+            cfg.degree = p.depth;
+        return std::make_unique<StridePrefetcher>(cfg);
+    }
+    if (p.policy == "corr" || p.policy == "correlation") {
+        CorrelationConfig cfg;
+        if (p.depth != 0)
+            cfg.degree = p.depth;
+        return std::make_unique<CorrelationPrefetcher>(cfg);
+    }
+    if (p.policy == "adaptive") {
+        AdaptiveConfig cfg;
+        if (p.depth != 0)
+            cfg.maxDegree = p.depth;
+        return std::make_unique<AdaptivePrefetcher>(cfg);
+    }
+    fatal("unknown prefetch policy \"", p.policy, "\"; known: off next "
+          "stride corr adaptive");
+}
+
+bool
+knownPrefetchPolicy(const std::string &spec)
+{
+    ParsedSpec p = parseSpec(spec);
+    if (!p.valid)
+        return false;
+    if (p.policy.empty() || p.policy == "off" || p.policy == "none")
+        return p.depth == 0;
+    return p.policy == "next" || p.policy == "stride" ||
+           p.policy == "corr" || p.policy == "correlation" ||
+           p.policy == "adaptive";
+}
+
+const std::vector<std::string> &
+prefetchPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "off", "next", "stride", "corr", "adaptive"};
+    return names;
+}
+
+} // namespace kona

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Prefetcher: the prediction half of the FPGA's prefetch engine
+ * (§4.4). The paper's hardware fetches page+1 off the critical path;
+ * this subsystem generalizes that into pluggable policies fed by the
+ * FPGA's page-granular access stream (every serveLine, hit or miss).
+ *
+ * A predictor is pure policy: it observes accesses and proposes
+ * candidate pages. Everything operational — filtering against the
+ * translation map and residency, the bandwidth-credit budget, issue,
+ * and useful/wasted attribution — lives in CoherentFpga's prefetch
+ * engine, which feeds the outcome back through the onPrefetch*()
+ * hooks so feedback-directed policies (AdaptivePrefetcher) can
+ * throttle themselves.
+ *
+ * Policies are named by a spec string "policy[:depth]":
+ *   off | none        no prefetching (makePrefetcher returns nullptr)
+ *   next[:d]          NextNPrefetcher, d pages ahead (default 1)
+ *   stride[:d]        StridePrefetcher, degree d (default 4)
+ *   corr[:d]          CorrelationPrefetcher, chain depth d (default 2)
+ *   adaptive[:d]      AdaptivePrefetcher, max degree d (default 4)
+ */
+
+#ifndef KONA_PREFETCH_PREFETCHER_H
+#define KONA_PREFETCH_PREFETCHER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kona {
+
+/** A prefetch prediction policy over the VFMem page access stream. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Human-readable policy name ("stride:4"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Observe one page-granular access and append candidate pages to
+     * prefetch to @p out, best first. @p demandMiss tells whether the
+     * access missed FMem (a remote demand fetch) or hit.
+     */
+    virtual void observe(Addr vpn, bool demandMiss,
+                         std::vector<Addr> &out) = 0;
+
+    /** Feedback: @p n of the proposed candidates were actually issued. */
+    virtual void onPrefetchIssued(std::size_t n) { (void)n; }
+
+    /** Feedback: a prefetched page got its first demand touch. */
+    virtual void onPrefetchUseful(Addr vpn) { (void)vpn; }
+
+    /** Feedback: a prefetched page was evicted untouched. */
+    virtual void onPrefetchWasted(Addr vpn) { (void)vpn; }
+};
+
+/**
+ * Build the predictor described by @p spec ("policy[:depth]", see the
+ * file comment). Returns nullptr for "off"/"none"/"". Unknown policy
+ * names or a zero depth are fatal().
+ */
+std::unique_ptr<Prefetcher> makePrefetcher(const std::string &spec);
+
+/** Whether @p spec parses (including "off"); for CLI validation. */
+bool knownPrefetchPolicy(const std::string &spec);
+
+/** The policy names, for usage strings. */
+const std::vector<std::string> &prefetchPolicyNames();
+
+} // namespace kona
+
+#endif // KONA_PREFETCH_PREFETCHER_H

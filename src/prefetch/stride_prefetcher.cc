@@ -1,0 +1,75 @@
+#include "prefetch/stride_prefetcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kona {
+
+StridePrefetcher::StridePrefetcher(StrideConfig config)
+    : config_(config)
+{
+    KONA_ASSERT(config_.degree > 0, "stride prefetcher needs degree >= 1");
+    KONA_ASSERT(config_.confirmThreshold >= 1, "confirm threshold >= 1");
+    KONA_ASSERT(config_.maxRegions > 0, "stride table needs capacity");
+}
+
+std::string
+StridePrefetcher::name() const
+{
+    return "stride:" + std::to_string(config_.degree);
+}
+
+void
+StridePrefetcher::observe(Addr vpn, bool demandMiss,
+                          std::vector<Addr> &out)
+{
+    (void)demandMiss;
+    Addr region = regionOf(vpn);
+    auto it = table_.find(region);
+    if (it == table_.end()) {
+        if (table_.size() >= config_.maxRegions) {
+            table_.erase(fifo_.front());
+            fifo_.pop_front();
+        }
+        fifo_.push_back(region);
+        it = table_.emplace(region, Entry{}).first;
+        it->second.lastVpn = vpn;
+        return;
+    }
+
+    Entry &e = it->second;
+    std::int64_t delta = static_cast<std::int64_t>(vpn) -
+                         static_cast<std::int64_t>(e.lastVpn);
+    if (delta == 0)
+        return;   // same page again: the intra-page line stream
+    e.lastVpn = vpn;
+    if (delta == e.stride) {
+        e.confidence = std::min(e.confidence + 1, config_.confidenceMax);
+    } else if (--e.confidence <= 0) {
+        e.stride = delta;
+        e.confidence = 1;
+    }
+    if (e.confidence < config_.confirmThreshold)
+        return;
+    for (std::size_t k = 1; k <= config_.degree; ++k) {
+        std::int64_t next = static_cast<std::int64_t>(vpn) +
+                            e.stride * static_cast<std::int64_t>(k);
+        if (next < 0)
+            break;   // negative stride ran off the address space
+        out.push_back(static_cast<Addr>(next));
+    }
+}
+
+std::optional<std::int64_t>
+StridePrefetcher::strideOf(Addr vpn) const
+{
+    auto it = table_.find(regionOf(vpn));
+    if (it == table_.end() ||
+        it->second.confidence < config_.confirmThreshold) {
+        return std::nullopt;
+    }
+    return it->second.stride;
+}
+
+} // namespace kona

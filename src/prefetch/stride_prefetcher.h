@@ -1,0 +1,73 @@
+/**
+ * @file
+ * StridePrefetcher: per-region constant-stride detection.
+ *
+ * VFMem is partitioned into regions of 2^regionPageBits pages; each
+ * region keeps the last page touched, the last observed delta, and a
+ * saturating confidence counter. Two consecutive identical non-zero
+ * deltas (confidence >= confirmThreshold) confirm a stride — positive
+ * or negative — and the predictor proposes vpn + stride*k for
+ * k = 1..degree. Repeated touches of the same page (the per-line miss
+ * stream inside one page) are ignored so intra-page traffic cannot
+ * destroy a detected inter-page stride.
+ */
+
+#ifndef KONA_PREFETCH_STRIDE_PREFETCHER_H
+#define KONA_PREFETCH_STRIDE_PREFETCHER_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "prefetch/prefetcher.h"
+
+namespace kona {
+
+/** Geometry and thresholds of the stride table. */
+struct StrideConfig
+{
+    std::size_t degree = 4;         ///< pages proposed per confirmation
+    unsigned regionPageBits = 8;    ///< region = vpn >> bits (1MiB)
+    int confirmThreshold = 2;       ///< confidence needed to predict
+    int confidenceMax = 4;          ///< saturation ceiling
+    std::size_t maxRegions = 4096;  ///< table capacity (FIFO eviction)
+};
+
+/** Per-region delta-table stride predictor. */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(StrideConfig config = {});
+
+    std::string name() const override;
+    void observe(Addr vpn, bool demandMiss,
+                 std::vector<Addr> &out) override;
+
+    /** The confirmed stride of @p vpn's region; nullopt when none. */
+    std::optional<std::int64_t> strideOf(Addr vpn) const;
+
+    const StrideConfig &config() const { return config_; }
+    std::size_t tableSize() const { return table_.size(); }
+
+  private:
+    struct Entry
+    {
+        Addr lastVpn = 0;
+        std::int64_t stride = 0;
+        int confidence = 0;
+    };
+
+    Addr regionOf(Addr vpn) const
+    {
+        return vpn >> config_.regionPageBits;
+    }
+
+    StrideConfig config_;
+    std::unordered_map<Addr, Entry> table_;
+    std::deque<Addr> fifo_;   ///< insertion order, for capacity eviction
+};
+
+} // namespace kona
+
+#endif // KONA_PREFETCH_STRIDE_PREFETCHER_H
