@@ -132,9 +132,9 @@ BM_EvictionModes(benchmark::State &state)
     cfg.fpga.vfmemSize = 64 * MiB;
     cfg.fpga.fmemSize = 8 * MiB;
     cfg.hierarchy = HierarchyConfig::scaled();
-    cfg.evictionMode = clLog ? EvictionMode::ClLog
+    cfg.evict.mode = clLog ? EvictionMode::ClLog
                              : EvictionMode::FullPage;
-    cfg.evictionPumpPeriod = ~std::size_t(0);
+    cfg.evict.pumpPeriod = ~std::size_t(0);
     KonaRuntime runtime(fabric, controller, 0, cfg);
     constexpr std::size_t pages = 512;
     Addr region = runtime.allocate(pages * pageSize, pageSize);
@@ -182,7 +182,7 @@ BM_ReplicationCost(benchmark::State &state)
     cfg.fpga.fmemSize = 8 * MiB;
     cfg.hierarchy = HierarchyConfig::scaled();
     cfg.replicationFactor = replicas;
-    cfg.evictionPumpPeriod = ~std::size_t(0);
+    cfg.evict.pumpPeriod = ~std::size_t(0);
     KonaRuntime runtime(fabric, controller, 0, cfg);
     constexpr std::size_t pages = 256;
     Addr region = runtime.allocate(pages * pageSize, pageSize);

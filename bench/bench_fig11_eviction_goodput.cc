@@ -53,7 +53,8 @@ struct EvictResult
 };
 
 EvictResult
-konaEvict(EvictionMode mode, const std::vector<unsigned> &lines)
+konaEvict(EvictionMode mode, const std::vector<unsigned> &lines,
+          std::size_t depth = 1)
 {
     Fabric fabric;
     Controller controller(1 * MiB);
@@ -63,8 +64,9 @@ konaEvict(EvictionMode mode, const std::vector<unsigned> &lines)
     cfg.fpga.vfmemSize = 64 * MiB;
     cfg.fpga.fmemSize = 8 * MiB;   // whole region fits: no churn
     cfg.hierarchy = HierarchyConfig::scaled();
-    cfg.evictionMode = mode;
-    cfg.evictionPumpPeriod = ~std::size_t(0);   // manual eviction only
+    cfg.evict.mode = mode;
+    cfg.evict.pipelineDepth = depth;
+    cfg.evict.pumpPeriod = ~std::size_t(0);   // manual eviction only
     KonaRuntime runtime(fabric, controller, 0, cfg);
 
     Addr region = runtime.allocate(regionPages * pageSize, pageSize);
@@ -202,8 +204,9 @@ breakdownTable()
     bench::section("Figure 11c: CL log eviction time breakdown "
                     "(contiguous lines)");
     bench::row("N lines",
-               {"bitmap%", "copy%", "rdma%", "ack%", "total ms"}, 24,
-               10);
+               {"bitmap%", "copy%", "rdma%", "unpack%", "wait%",
+                "total ms"},
+               24, 10);
     for (unsigned n : {1u, 8u, 64u}) {
         EvictResult cl = konaEvict(EvictionMode::ClLog,
                                    contiguousLines(n));
@@ -213,9 +216,36 @@ breakdownTable()
                    {bench::fmt(bd.bitmapNs / total * 100, 0),
                     bench::fmt(bd.copyNs / total * 100, 0),
                     bench::fmt(bd.rdmaNs / total * 100, 0),
-                    bench::fmt(bd.ackNs / total * 100, 0),
+                    bench::fmt(bd.unpackNs / total * 100, 0),
+                    bench::fmt(bd.waitNs / total * 100, 0),
                     bench::fmt(total / 1e6, 2)},
                    24, 10);
+    }
+}
+
+void
+depthSweep()
+{
+    bench::section("Pipelined eviction: goodput vs pipeline depth "
+                   "(dirty-heavy, 64 lines/page)");
+    bench::row("depth", {"goodput GB/s", "vs depth 1", "total ms"},
+               24, 14);
+    auto lines = contiguousLines(64);
+    double base = 0.0;
+    for (std::size_t depth : {1u, 2u, 4u, 8u}) {
+        EvictResult r = konaEvict(EvictionMode::ClLog, lines, depth);
+        double goodput = static_cast<double>(r.dirtyBytes) / r.ns;
+        if (depth == 1)
+            base = goodput;
+        double speedup = goodput / base;
+        bench::row(std::to_string(depth),
+                   {bench::fmt(goodput, 2), bench::fmt(speedup, 2),
+                    bench::fmt(r.ns / 1e6, 2)},
+                   24, 14);
+        std::string prefix =
+            "fig11.depth." + std::to_string(depth);
+        bench::recordResult(prefix + ".goodput_gbps", goodput);
+        bench::recordResult(prefix + ".speedup_over_depth1", speedup);
     }
 }
 
@@ -235,6 +265,7 @@ main(int argc, char **argv)
           "dirty lines",
           false, {1, 2, 4, 8, 12, 16, 32});
     breakdownTable();
+    depthSweep();
     std::printf("\nShape: CL log 4-5X at 1-4 contiguous lines, 2-3X "
                 "at 2-4 alternate; crossover vs 4KB beyond ~16 "
                 "discontiguous lines; 4KB no-copy ~1.5X everywhere; "

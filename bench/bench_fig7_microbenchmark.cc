@@ -55,7 +55,7 @@ runKonaThread(unsigned threads, bool evict)
     cfg.fpga.fmemSize = evict ? regionPerThread / 2
                               : 2 * regionPerThread;
     cfg.hierarchy = HierarchyConfig::scaled();
-    cfg.evictionPumpPeriod = 64;
+    cfg.evict.pumpPeriod = 64;
     KonaRuntime runtime(fabric, controller, 0, cfg);
 
     WorkloadContext context = bench::runtimeContext(runtime);

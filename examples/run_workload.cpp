@@ -7,7 +7,7 @@
  *
  * Usage:
  *   run_workload [workload] [runtime] [local%] [ops]
- *                [--prefetch=POLICY[:depth]]
+ *                [--prefetch=POLICY[:depth]] [--evict-depth=N]
  *                [--metrics-json=PATH] [--trace-out=PATH]
  *
  *   workload:  redis-rand | redis-seq | linear-regression |
@@ -23,6 +23,10 @@
  *                        off | next[:d] | stride[:d] | corr[:d] |
  *                        adaptive[:d]; accuracy/coverage counters
  *                        appear under kona.fpga.prefetch.*
+ *   --evict-depth=N      eviction pipeline depth (kona runtime only):
+ *                        ring slots per memory node's log landing
+ *                        area = in-flight eviction batches per node;
+ *                        1 (default) is fully synchronous
  *   --metrics-json=PATH  write every metric of the whole stack
  *                        (fabric, rack, nodes, runtime) as one JSON
  *                        registry dump
@@ -78,7 +82,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: run_workload [workload] [runtime] [local%%] "
-                 "[ops] [--prefetch=POLICY[:depth]] "
+                 "[ops] [--prefetch=POLICY[:depth]] [--evict-depth=N] "
                  "[--metrics-json=PATH] [--trace-out=PATH]\n"
                  "  workloads:");
     for (const std::string &name : table2WorkloadNames())
@@ -97,7 +101,8 @@ usage()
  *  first). */
 void
 parseExportFlags(int &argc, char **argv, std::string &metricsJson,
-                 std::string &traceOut, std::string &prefetch)
+                 std::string &traceOut, std::string &prefetch,
+                 std::size_t &evictDepth)
 {
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
@@ -105,13 +110,20 @@ parseExportFlags(int &argc, char **argv, std::string &metricsJson,
         constexpr std::string_view metricsFlag = "--metrics-json=";
         constexpr std::string_view traceFlag = "--trace-out=";
         constexpr std::string_view prefetchFlag = "--prefetch=";
+        constexpr std::string_view depthFlag = "--evict-depth=";
         if (arg.substr(0, metricsFlag.size()) == metricsFlag)
             metricsJson = arg.substr(metricsFlag.size());
         else if (arg.substr(0, traceFlag.size()) == traceFlag)
             traceOut = arg.substr(traceFlag.size());
         else if (arg.substr(0, prefetchFlag.size()) == prefetchFlag)
             prefetch = arg.substr(prefetchFlag.size());
-        else
+        else if (arg.substr(0, depthFlag.size()) == depthFlag) {
+            int depth = std::atoi(
+                std::string(arg.substr(depthFlag.size())).c_str());
+            if (depth < 1)
+                usage();
+            evictDepth = static_cast<std::size_t>(depth);
+        } else
             argv[kept++] = argv[i];
     }
     for (int i = kept; i < argc; ++i)
@@ -128,8 +140,9 @@ main(int argc, char **argv)
     setQuietLogging(true);
 
     std::string metricsJson, traceOut, prefetchPolicy;
+    std::size_t evictDepth = 1;
     parseExportFlags(argc, argv, metricsJson, traceOut,
-                     prefetchPolicy);
+                     prefetchPolicy, evictDepth);
 
     std::string workloadName = argc > 1 ? argv[1] : "redis-rand";
     std::string runtimeName = argc > 2 ? argv[2] : "kona";
@@ -153,6 +166,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--prefetch= only applies to the kona "
                              "runtime (the FPGA owns the prefetcher); "
                              "ignoring\n");
+    }
+    if (evictDepth != 1 && runtimeName != "kona") {
+        std::fprintf(stderr, "--evict-depth= only applies to the kona "
+                             "runtime (the eviction engine owns the "
+                             "pipeline); ignoring\n");
     }
 
     std::size_t footprint = dryFootprint(workloadName);
@@ -189,6 +207,7 @@ main(int argc, char **argv)
         cfg.fpga.fmemSize = alignUp(localBytes, 4 * pageSize);
         if (!prefetchPolicy.empty())
             cfg.fpga.prefetchPolicy = prefetchPolicy;
+        cfg.evict.pipelineDepth = evictDepth;
         cfg.hierarchy = HierarchyConfig::scaled();
         auto owned = std::make_unique<KonaRuntime>(
             fabric, controller, 0, cfg,

@@ -1,9 +1,8 @@
 #include "core/eviction_handler.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
-#include <map>
-#include <memory>
 
 #include "common/logging.h"
 #include "rack/cl_log.h"
@@ -43,9 +42,12 @@ runsOf(std::uint64_t mask)
 EvictionHandler::EvictionHandler(Fabric &fabric, CoherentFpga &fpga,
                                  CacheHierarchy &hierarchy,
                                  Controller &controller,
-                                 EvictionMode mode, MetricScope scope)
+                                 EvictionConfig config, MetricScope scope)
     : fabric_(fabric), fpga_(fpga), hierarchy_(hierarchy),
-      controller_(controller), mode_(mode), scope_(std::move(scope)),
+      controller_(controller), config_(config), scope_(std::move(scope)),
+      retryPolicy_(config.retry.value_or(RetryPolicy{})),
+      poller_(fabric.latency()),
+      trace_(config.trace),
       pagesEvicted_(scope_.counter("pages_evicted")),
       silent_(scope_.counter("silent_evictions")),
       lines_(scope_.counter("dirty_lines_written")),
@@ -53,51 +55,152 @@ EvictionHandler::EvictionHandler(Fabric &fabric, CoherentFpga &fpga,
       retries_(scope_.counter("retry_backoffs")),
       retransmits_(scope_.counter("log_retransmits")),
       naks_(scope_.counter("checksum_naks")),
+      ringStalls_(scope_.counter("stall_ring_full")),
+      refetches_(scope_.counter("refetch_inflight")),
+      conflictStalls_(scope_.counter("stall_page_conflict")),
+      inflight_(scope_.gauge("inflight")),
       retryBackoffNs_(scope_.histogram("retry_backoff_ns")),
       batchNs_(scope_.histogram("batch_ns"))
 {
+    KONA_ASSERT(config_.pipelineDepth > 0,
+                "pipelineDepth must be >= 1");
+}
+
+EvictionHandler::NodeRing &
+EvictionHandler::ringFor(NodeId node)
+{
+    auto [it, inserted] = rings_.try_emplace(node);
+    if (inserted) {
+        NodeRing &ring = it->second;
+        ring.slots = std::max<std::size_t>(1, config_.pipelineDepth);
+        ring.slotBytes =
+            controller_.node(node).logSlotBytes(ring.slots);
+        ring.owner.assign(ring.slots, 0);
+    }
+    return it->second;
+}
+
+QueuePair &
+EvictionHandler::qpTo(NodeId node)
+{
+    auto it = qps_.find(node);
+    if (it == qps_.end()) {
+        it = qps_.emplace(node,
+                          std::make_unique<QueuePair>(
+                              fabric_, fpga_.nodeId(), node, cq_,
+                              scope_.sub("qp" + std::to_string(node))))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::size_t
+EvictionHandler::batchPageLimit() const
+{
+    // Bound one shipment so a worst-case (fully dirty, maximally
+    // fragmented) batch still fits one ring slot of every node's log
+    // landing area. FullPage mode bypasses the landing area and keeps
+    // the historical cap.
+    std::size_t limit = 256;
+    if (config_.mode != EvictionMode::ClLog)
+        return limit;
+    std::size_t depth = std::max<std::size_t>(1, config_.pipelineDepth);
+    for (NodeId id : controller_.nodeIds()) {
+        std::size_t slotBytes =
+            controller_.node(id).logSlotBytes(depth);
+        limit = std::min(
+            limit, std::max<std::size_t>(
+                       1, slotBytes / clLogWorstBytesPerPage));
+    }
+    return limit;
 }
 
 void
-EvictionHandler::evictPage(Addr vpn, SimClock &clock)
+EvictionHandler::record(const char *name, Tick ts, Tick dur,
+                        std::uint32_t tid, std::vector<TraceArg> args)
 {
-    evictBatch({vpn}, clock);
+    TraceEvent ev;
+    ev.name = name;
+    ev.cat = "evict";
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.tid = tid;
+    ev.args = std::move(args);
+    trace_->record(std::move(ev));
 }
 
 void
-EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
-                            SimClock &clock)
+EvictionHandler::waitUntil(SimClock &clock, Tick until)
 {
-    // Bound one shipment so a worst-case (fully dirty) batch still
-    // fits in the memory nodes' log landing areas.
-    constexpr std::size_t batchLimit = 256;
-    if (vpns.size() > batchLimit) {
-        for (std::size_t i = 0; i < vpns.size(); i += batchLimit) {
-            std::vector<Addr> chunk(
-                vpns.begin() + i,
-                vpns.begin() + std::min(i + batchLimit, vpns.size()));
-            evictBatch(chunk, clock);
-        }
+    if (until <= clock.now())
         return;
+    breakdown_.waitNs += static_cast<double>(until - clock.now());
+    clock.advanceTo(until);
+}
+
+void
+EvictionHandler::awaitPageIdle(Addr vpn, SimClock &clock)
+{
+    while (true) {
+        reapCq();
+        finalizeDue(clock.now());
+        auto it = inflightPage_.find(vpn);
+        if (it == inflightPage_.end())
+            return;
+        std::uint64_t batchId = it->second;
+        conflictStalls_.add();
+        auto next = earliestDoneAt([batchId](const Shipment &s) {
+            return s.batchId == batchId;
+        });
+        KONA_ASSERT(next.has_value(),
+                    "in-flight page ", vpn, " has no live shipment");
+        waitUntil(clock, *next);
+    }
+}
+
+BatchTicket
+EvictionHandler::submit(const EvictionRequest &req, SimClock &clock)
+{
+    if (req.vpns.empty())
+        return {};
+
+    // Chunk so a worst-case batch fits one landing-area ring slot on
+    // every node; the ticket of the last chunk is returned (drain()
+    // remains the barrier covering all of them).
+    std::size_t limit = batchPageLimit();
+    if (req.vpns.size() > limit) {
+        BatchTicket last;
+        for (std::size_t i = 0; i < req.vpns.size(); i += limit) {
+            EvictionRequest chunk;
+            chunk.vpns.assign(
+                req.vpns.begin() + static_cast<std::ptrdiff_t>(i),
+                req.vpns.begin() + static_cast<std::ptrdiff_t>(
+                                       std::min(i + limit,
+                                                req.vpns.size())));
+            last = submit(chunk, clock);
+        }
+        return last;
     }
 
     const LatencyConfig &lat = fpga_.latency();
 
-    Span batchSpan(trace_, clock, "evict_batch", "evict", traceLane_);
-    batchSpan.arg("pages", vpns.size());
-    Tick batchStart = clock.now();
+    // Fence conflicts first: a page already on the wire must land (or
+    // fail) before this batch may pack a fresh snapshot of it.
+    for (Addr vpn : req.vpns)
+        awaitPageIdle(vpn, clock);
+
+    std::uint64_t batchId = nextBatchId_++;
+    Batch &batch = batches_[batchId];
+    batch.id = batchId;
+    batch.start = clock.now();
+    batch.requested = req.vpns.size();
+    batch.lane = traceLane_;
 
     // Phase 1: snoop CPU caches and read the dirty masks. Clean pages
     // drop silently; remote memory already holds their bytes.
-    struct DirtyPage
-    {
-        Addr vpn;
-        std::uint64_t mask;
-    };
-    std::vector<DirtyPage> dirty;
     {
         Span scan(trace_, clock, "bitmap_scan", "evict", traceLane_);
-        for (Addr vpn : vpns) {
+        for (Addr vpn : req.vpns) {
             if (!fpga_.pageResident(vpn))
                 continue;
             hierarchy_.snoopPage(vpn);
@@ -109,40 +212,43 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
                 silent_.add();
                 pagesEvicted_.add();
             } else {
-                dirty.push_back({vpn, mask});
+                batch.pages.push_back({vpn, mask});
             }
         }
-        scan.arg("dirty_pages", dirty.size());
+        scan.arg("dirty_pages", batch.pages.size());
     }
-    batchSpan.arg("dirty_pages", dirty.size());
-    if (dirty.empty()) {
-        batchNs_.record(static_cast<double>(clock.now() - batchStart));
-        return;
+    if (batch.pages.empty()) {
+        batch.open = false;
+        batch.lastDone = clock.now();
+        finalizeBatch(batch);
+        batches_.erase(batchId);
+        return {batchId};
     }
 
     // Phase 2: build one payload per destination node. The registered-
     // buffer copy is paid once per run (or page); replicas reuse the
-    // aggregated bytes.
+    // aggregated bytes. Packing captures a snapshot: the dirty mask is
+    // cleared here and the page fenced, so a write while the log is in
+    // flight re-dirties it and finalize re-queues the page.
     struct NodePayload
     {
-        std::vector<std::uint8_t> log;      ///< ClLog mode
+        std::vector<std::uint8_t> log;       ///< ClLog mode
         std::unique_ptr<ClLogWriter> writer; ///< builds + checksums log
-        std::vector<WorkRequest> chain;     ///< FullPage mode
+        std::vector<WorkRequest> chain;      ///< FullPage mode
         std::vector<std::unique_ptr<std::vector<std::uint8_t>>>
-            pageCopies;                     ///< FullPage staging
+            pageCopies;                      ///< FullPage staging
     };
     std::map<NodeId, NodePayload> perNode;
-    std::map<Addr, std::vector<NodeId>> homesOf;
 
     Span packSpan(trace_, clock, "pack", "evict", traceLane_);
     double copyCost = 0.0;
-    for (const DirtyPage &page : dirty) {
+    for (const PackedPage &page : batch.pages) {
         const std::uint8_t *frame = fpga_.framePointer(page.vpn);
         auto copies = fpga_.translation().translateAll(page.vpn *
                                                        pageSize);
         std::vector<LineRun> runs = runsOf(page.mask);
 
-        if (mode_ == EvictionMode::ClLog) {
+        if (config_.mode == EvictionMode::ClLog) {
             // Gathering a page's dirty lines costs one page lookup,
             // a little work per contiguous run, and the byte copy
             // (the hardware prefetcher streams within runs).
@@ -161,15 +267,15 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
         }
 
         for (const RemoteLocation &loc : copies) {
-            homesOf[page.vpn].push_back(loc.node);
+            batch.homes[page.vpn].push_back(loc.node);
             NodePayload &payload = perNode[loc.node];
-            if (mode_ == EvictionMode::ClLog) {
+            if (config_.mode == EvictionMode::ClLog) {
                 if (!payload.writer) {
-                    // Cap the log at the node's landing area so an
-                    // oversized shipment is rejected at append time.
+                    // Cap the log at one ring slot so an oversized
+                    // shipment is rejected at append time.
                     payload.writer = std::make_unique<ClLogWriter>(
                         payload.log,
-                        controller_.node(loc.node).logRegion().length);
+                        ringFor(loc.node).slotBytes);
                 }
                 for (const LineRun &run : runs) {
                     bool fits = payload.writer->appendRun(
@@ -180,8 +286,10 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
                         run.count);
                     if (!fits)
                         fatal("CL log batch for node ", loc.node,
-                              " exceeds its landing area (",
-                              payload.writer->maxBytes(), " bytes)");
+                              " exceeds its landing-area ring slot (",
+                              payload.writer->maxBytes(),
+                              " bytes at pipelineDepth ",
+                              config_.pipelineDepth, ")");
                 }
             } else {
                 payload.pageCopies.push_back(
@@ -198,193 +306,350 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
                 payload.chain.push_back(wr);
             }
         }
+
+        // Snapshot taken: further writes re-dirty the mask and the
+        // fence keeps the frame out of victim selection until finalize.
+        fpga_.clearDirty(page.vpn);
+        fpga_.setEvictionInFlight(page.vpn, true);
+        inflightPage_[page.vpn] = batchId;
     }
     clock.advance(static_cast<Tick>(copyCost));
     breakdown_.copyNs += copyCost;
     packSpan.arg("nodes", perNode.size());
     packSpan.end();
 
-    // Phase 3: ship every node's payload in parallel; the batch
-    // completes when the slowest destination acks.
-    Tick start = clock.now();
-    Tick maxEnd = start;
-    double maxRdma = 0.0;
-    double maxAck = 0.0;
-    std::vector<NodeId> reached;
-
-    bool tracing = trace_ != nullptr && trace_->enabled();
-    auto record = [this](const char *name, Tick ts, Tick dur,
-                         std::uint32_t tid,
-                         std::vector<TraceArg> args) {
-        TraceEvent ev;
-        ev.name = name;
-        ev.cat = "evict";
-        ev.ts = ts;
-        ev.dur = dur;
-        ev.tid = tid;
-        ev.args = std::move(args);
-        trace_->record(std::move(ev));
-    };
-
+    // Phase 3: post one shipment per destination node into its ring
+    // slot. Only slot acquisition can block the caller (counted); the
+    // wire, unpack and ack proceed on each shipment's own timeline.
     for (auto &[nodeId, payload] : perNode) {
         if (fabric_.nodeDown(nodeId)) {
             controller_.reportOpFailure(nodeId);
             continue;
         }
-        MemoryNode &node = controller_.node(nodeId);
-        SimClock branch;
-        branch.advanceTo(start);
 
-        if (mode_ == EvictionMode::ClLog) {
-            QueuePair &qp = fpga_.qpTo(nodeId);
-            RetryState retry(retryPolicy_, retrySeed_++);
-            retry.bindTelemetry(&retries_, &retryBackoffNs_);
-            bool shipped = false;
-            std::uint64_t sends = 0;
-            while (true) {
-                WorkRequest wr;
-                wr.wrId = nextWrId_++;
-                wr.opcode = RdmaOpcode::Write;
-                wr.localBuf = payload.log.data();
-                wr.remoteKey = node.logRegion().key;
-                wr.remoteAddr = node.logRegion().base;
-                wr.length = payload.log.size();
-                ++sends;
-                Tick wireStart = branch.now();
-                if (!qp.post(wr, branch)) {
-                    // Dropped or timed out: the log never landed.
-                    fpga_.poller().waitOne(fpga_.cq(), branch);
-                    controller_.reportOpFailure(nodeId);
-                    if (fabric_.nodeDown(nodeId) || !retry.shouldRetry())
-                        break;
-                    retry.backoff(branch);
-                    continue;
-                }
-                fpga_.poller().waitOne(fpga_.cq(), branch);
-                if (tracing) {
-                    record("wire", wireStart, branch.now() - wireStart,
-                           traceLane_,
-                           {{"node", std::to_string(nodeId), false},
-                            {"bytes",
-                             std::to_string(payload.log.size()), false},
-                            {"send", std::to_string(sends), false}});
-                }
-                double rdmaPart = static_cast<double>(branch.now() -
-                                                      start);
-                // The Cache-line Log Receiver verifies every record's
-                // CRC before distributing; a NAK means the payload was
-                // corrupted past the transport's checks — retransmit.
-                Tick unpackStart = branch.now();
-                LogReceiptStats receipt =
-                    node.receiveLog(0, payload.log.size());
-                branch.advance(static_cast<Tick>(receipt.unpackNs +
-                                                 lat.ackNs));
-                if (tracing) {
-                    Tick unpackDur =
-                        static_cast<Tick>(receipt.unpackNs);
-                    record("unpack", unpackStart, unpackDur,
-                           traceNodeThread(nodeId),
-                           {{"lines", std::to_string(receipt.lines),
-                             false},
-                            {"runs", std::to_string(receipt.runs),
-                             false},
-                            {"ok", receipt.ok ? "true" : "false",
-                             true}});
-                    record("ack", unpackStart + unpackDur,
-                           branch.now() - (unpackStart + unpackDur),
-                           traceLane_,
-                           {{"node", std::to_string(nodeId), false}});
-                }
-                wireBytes_.add(payload.log.size());
-                if (!receipt.ok) {
-                    naks_.add();
-                    if (!retry.shouldRetry())
-                        break;
-                    retry.backoff(branch);
-                    continue;
-                }
-                controller_.reportOpSuccess(nodeId);
-                maxAck = std::max(maxAck,
-                                  static_cast<double>(branch.now() -
-                                                      start) - rdmaPart);
-                maxRdma = std::max(maxRdma, rdmaPart);
-                shipped = true;
-                break;
+        NodeRing &ring = ringFor(nodeId);
+        auto freeSlot = [&ring]() -> int {
+            for (std::size_t i = 0; i < ring.slots; ++i) {
+                if (ring.owner[i] == 0)
+                    return static_cast<int>(i);
             }
-            retransmits_.add(sends - 1);
-            if (!shipped)
-                continue;
-        } else {
-            if (payload.chain.empty())
-                continue;
-            payload.chain.back().signaled = true;
-            QueuePair &qp = fpga_.qpTo(nodeId);
-            RetryState retry(retryPolicy_, retrySeed_++);
-            retry.bindTelemetry(&retries_, &retryBackoffNs_);
-            bool shipped = false;
-            std::uint64_t sends = 0;
-            while (true) {
-                // A mid-chain failure fails the whole doorbell; pages
-                // are idempotent writes, so replaying the entire chain
-                // after backoff is safe.
-                ++sends;
-                Tick wireStart = branch.now();
-                if (!qp.postLinked(payload.chain, branch)) {
-                    fpga_.poller().waitOne(fpga_.cq(), branch);
-                    controller_.reportOpFailure(nodeId);
-                    if (fabric_.nodeDown(nodeId) || !retry.shouldRetry())
-                        break;
-                    retry.backoff(branch);
-                    continue;
-                }
-                fpga_.poller().waitOne(fpga_.cq(), branch);
-                if (tracing) {
-                    record("wire", wireStart, branch.now() - wireStart,
-                           traceLane_,
-                           {{"node", std::to_string(nodeId), false},
-                            {"bytes",
-                             std::to_string(payload.chain.size() *
-                                            pageSize), false},
-                            {"send", std::to_string(sends), false}});
-                }
-                controller_.reportOpSuccess(nodeId);
-                maxRdma = std::max(maxRdma,
-                                   static_cast<double>(branch.now() -
-                                                       start));
-                wireBytes_.add(payload.chain.size() * pageSize);
-                shipped = true;
-                break;
-            }
-            retransmits_.add(sends - 1);
-            if (!shipped)
-                continue;
+            return -1;
+        };
+        int slot = freeSlot();
+        while (slot < 0) {
+            // Backpressure: every slot holds an in-flight log. Fall
+            // back to blocking on the oldest completion on this node.
+            ringStalls_.add();
+            auto next = earliestDoneAt([nodeId](const Shipment &s) {
+                return s.node == nodeId;
+            });
+            KONA_ASSERT(next.has_value(),
+                        "full ring with no live shipment on node ",
+                        nodeId);
+            waitUntil(clock, *next);
+            finalizeDue(clock.now());
+            slot = freeSlot();
         }
-        reached.push_back(nodeId);
-        maxEnd = std::max(maxEnd, branch.now());
+
+        Shipment &s =
+            shipments_.emplace_back(retryPolicy_, retrySeed_++);
+        s.id = nextShipmentId_++;
+        s.batchId = batchId;
+        s.node = nodeId;
+        s.slot = static_cast<std::size_t>(slot);
+        s.clLog = config_.mode == EvictionMode::ClLog;
+        if (s.clLog) {
+            s.log = std::move(payload.log);
+        } else {
+            if (payload.chain.empty()) {
+                shipments_.pop_back();
+                continue;
+            }
+            payload.chain.back().signaled = true;
+            s.chain = std::move(payload.chain);
+            s.pageCopies = std::move(payload.pageCopies);
+        }
+        s.retry.bindTelemetry(&retries_, &retryBackoffNs_);
+        ring.owner[s.slot] = s.id;
+        s.timeline.advanceTo(clock.now());
+        postShipment(s);
+        ++batch.outstanding;
+        inflight_.set(static_cast<double>(shipments_.size()));
+        reapCq();
     }
 
-    clock.advanceTo(maxEnd);
-    breakdown_.rdmaNs += maxRdma;
-    breakdown_.ackNs += maxAck;
+    batch.open = false;
+    if (batch.outstanding == 0) {
+        batch.lastDone = std::max(batch.lastDone, clock.now());
+        finalizeBatch(batch);
+        batches_.erase(batchId);
+    }
+    return {batchId};
+}
 
-    // Phase 4: drop every page whose data reached at least one copy.
-    for (const DirtyPage &page : dirty) {
+void
+EvictionHandler::postShipment(Shipment &s)
+{
+    NodeRing &ring = ringFor(s.node);
+    MemoryNode &node = controller_.node(s.node);
+    // One link per node: a shipment's wire time starts only when the
+    // previous transfer to that node has left the NIC.
+    s.timeline.advanceTo(ring.wireFreeAt);
+    s.wireStart = s.timeline.now();
+    ++s.sends;
+    if (s.clLog) {
+        WorkRequest wr;
+        wr.wrId = nextWrId_++;
+        wr.opcode = RdmaOpcode::Write;
+        wr.localBuf = s.log.data();
+        wr.remoteKey = node.logRegion().key;
+        wr.remoteAddr = node.logRegion().base +
+                        static_cast<Addr>(s.slot) * ring.slotBytes;
+        wr.length = s.log.size();
+        wrOwner_[wr.wrId] = &s;
+        PostResult posted = qpTo(s.node).post(wr, s.timeline);
+        KONA_ASSERT(posted.cqesPushed == 1,
+                    "eviction post must push exactly one CQE");
+    } else {
+        for (const WorkRequest &wr : s.chain)
+            wrOwner_[wr.wrId] = &s;
+        PostResult posted = qpTo(s.node).postLinked(s.chain,
+                                                    s.timeline);
+        KONA_ASSERT(posted.cqesPushed == 1,
+                    "eviction doorbell must push exactly one CQE");
+    }
+}
+
+void
+EvictionHandler::reapCq()
+{
+    while (!cq_.empty())
+        handleCompletion(cq_.pop());
+}
+
+void
+EvictionHandler::handleCompletion(const WorkCompletion &wc)
+{
+    auto owner = wrOwner_.find(wc.wrId);
+    KONA_ASSERT(owner != wrOwner_.end(),
+                "eviction CQE for unknown work request ", wc.wrId);
+    Shipment &s = *owner->second;
+    wrOwner_.erase(owner);
+
+    const LatencyConfig &lat = fpga_.latency();
+    NodeRing &ring = ringFor(s.node);
+    std::uint32_t lane = batches_.at(s.batchId).lane;
+    poller_.complete(wc, s.timeline);
+    ring.wireFreeAt = std::max(ring.wireFreeAt, wc.completeAt);
+    breakdown_.rdmaNs +=
+        static_cast<double>(s.timeline.now() - s.wireStart);
+
+    if (wc.status != WcStatus::Success) {
+        // Dropped or timed out: the payload never landed.
+        controller_.reportOpFailure(s.node);
+        if (fabric_.nodeDown(s.node) || !s.retry.shouldRetry()) {
+            settleShipment(s, false);
+            return;
+        }
+        s.retry.backoff(s.timeline);
+        postShipment(s);
+        return;
+    }
+
+    std::size_t bytes =
+        s.clLog ? s.log.size() : s.chain.size() * pageSize;
+    if (tracing()) {
+        record("wire", s.wireStart, s.timeline.now() - s.wireStart,
+               lane,
+               {{"node", std::to_string(s.node), false},
+                {"bytes", std::to_string(bytes), false},
+                {"send", std::to_string(s.sends), false}});
+    }
+
+    if (!s.clLog) {
+        wireBytes_.add(bytes);
+        controller_.reportOpSuccess(s.node);
+        settleShipment(s, true);
+        return;
+    }
+
+    // The Cache-line Log Receiver verifies every record's CRC before
+    // distributing; a NAK means the payload was corrupted past the
+    // transport's checks — retransmit the slot. One receiver thread
+    // per node serializes unpacks (recvFreeAt).
+    MemoryNode &node = controller_.node(s.node);
+    Tick unpackStart = std::max(s.timeline.now(), ring.recvFreeAt);
+    LogReceiptStats receipt = node.receiveLog(
+        static_cast<Addr>(s.slot) * ring.slotBytes, s.log.size());
+    Tick unpackDur = static_cast<Tick>(receipt.unpackNs);
+    ring.recvFreeAt = unpackStart + unpackDur;
+    s.timeline.advanceTo(ring.recvFreeAt);
+    breakdown_.unpackNs += receipt.unpackNs;
+    Tick ackStart = s.timeline.now();
+    s.timeline.advance(static_cast<Tick>(lat.ackNs));
+    if (tracing()) {
+        record("unpack", unpackStart, unpackDur,
+               traceNodeThread(s.node),
+               {{"lines", std::to_string(receipt.lines), false},
+                {"runs", std::to_string(receipt.runs), false},
+                {"ok", receipt.ok ? "true" : "false", true}});
+        record("ack", ackStart, s.timeline.now() - ackStart, lane,
+               {{"node", std::to_string(s.node), false}});
+    }
+    wireBytes_.add(s.log.size());
+    if (!receipt.ok) {
+        naks_.add();
+        if (!s.retry.shouldRetry()) {
+            settleShipment(s, false);
+            return;
+        }
+        s.retry.backoff(s.timeline);
+        postShipment(s);
+        return;
+    }
+    controller_.reportOpSuccess(s.node);
+    settleShipment(s, true);
+}
+
+void
+EvictionHandler::settleShipment(Shipment &s, bool succeeded)
+{
+    s.acked = true;
+    s.succeeded = succeeded;
+    s.doneAt = s.timeline.now();
+    retransmits_.add(s.sends - 1);
+}
+
+std::size_t
+EvictionHandler::finalizeDue(Tick now)
+{
+    std::size_t batchesFinalized = 0;
+    for (auto it = shipments_.begin(); it != shipments_.end();) {
+        Shipment &s = *it;
+        if (!s.acked || s.doneAt > now) {
+            ++it;
+            continue;
+        }
+        NodeRing &ring = ringFor(s.node);
+        if (ring.owner[s.slot] == s.id)
+            ring.owner[s.slot] = 0;
+        // Unsignaled chain WRs never produce CQEs; purge their
+        // ownership entries before the shipment dies.
+        for (const WorkRequest &wr : s.chain)
+            wrOwner_.erase(wr.wrId);
+        Batch &batch = batches_.at(s.batchId);
+        if (s.succeeded)
+            batch.reached.push_back(s.node);
+        batch.lastDone = std::max(batch.lastDone, s.doneAt);
+        --batch.outstanding;
+        bool batchDone = batch.outstanding == 0 && !batch.open;
+        std::uint64_t batchId = s.batchId;
+        it = shipments_.erase(it);
+        inflight_.set(static_cast<double>(shipments_.size()));
+        if (batchDone) {
+            finalizeBatch(batches_.at(batchId));
+            batches_.erase(batchId);
+            ++batchesFinalized;
+        }
+    }
+    return batchesFinalized;
+}
+
+void
+EvictionHandler::finalizeBatch(Batch &batch)
+{
+    // Drop every page whose data reached at least one copy; restore
+    // the packed mask of pages that reached none (their lines must
+    // ship again later); re-queue pages written while in flight.
+    for (const PackedPage &page : batch.pages) {
+        fpga_.setEvictionInFlight(page.vpn, false);
+        inflightPage_.erase(page.vpn);
         bool safe = false;
-        for (NodeId home : homesOf[page.vpn]) {
-            for (NodeId ok : reached)
+        for (NodeId home : batch.homes[page.vpn]) {
+            for (NodeId ok : batch.reached)
                 safe |= home == ok;
         }
         if (!safe) {
             warn("eviction of page ", page.vpn,
                  " failed: all replicas down; keeping it resident");
+            fpga_.orDirtyMask(page.vpn, page.mask);
+            continue;
+        }
+        if (fpga_.dirtyMask(page.vpn) != 0) {
+            // Fenced write landed while the log was on the wire: the
+            // shipped snapshot is stale for those lines. Keep the page
+            // resident and re-queue it instead of losing the write.
+            refetches_.add();
+            requeue_.insert(page.vpn);
             continue;
         }
         lines_.add(std::popcount(page.mask));
-        fpga_.clearDirty(page.vpn);
         fpga_.dropPage(page.vpn);
         pagesEvicted_.add();
     }
-    batchNs_.record(static_cast<double>(clock.now() - batchStart));
+    Tick end = std::max(batch.lastDone, batch.start);
+    batchNs_.record(static_cast<double>(end - batch.start));
+    if (tracing()) {
+        record("evict_batch", batch.start, end - batch.start,
+               batch.lane,
+               {{"pages", std::to_string(batch.requested), false},
+                {"dirty_pages", std::to_string(batch.pages.size()),
+                 false}});
+    }
+}
+
+std::size_t
+EvictionHandler::poll(const SimClock &clock)
+{
+    reapCq();
+    return finalizeDue(clock.now());
+}
+
+void
+EvictionHandler::drain(SimClock &clock)
+{
+    while (true) {
+        reapCq();
+        finalizeDue(clock.now());
+        if (shipments_.empty()) {
+            if (requeue_.empty())
+                return;
+            // Pages re-dirtied while in flight go around again until
+            // the engine is quiescent.
+            EvictionRequest again;
+            again.vpns.assign(requeue_.begin(), requeue_.end());
+            requeue_.clear();
+            submit(again, clock);
+            continue;
+        }
+        auto next =
+            earliestDoneAt([](const Shipment &) { return true; });
+        KONA_ASSERT(next.has_value(), "unreaped eviction shipment");
+        waitUntil(clock, *next);
+        finalizeDue(clock.now());
+    }
+}
+
+bool
+EvictionHandler::complete(BatchTicket ticket) const
+{
+    return ticket.valid() && batches_.find(ticket.id) == batches_.end();
+}
+
+void
+EvictionHandler::evictPage(Addr vpn, SimClock &clock)
+{
+    evictBatch({vpn}, clock);
+}
+
+void
+EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
+                            SimClock &clock)
+{
+    EvictionRequest req;
+    req.vpns = vpns;
+    submit(req, clock);
+    drain(clock);
 }
 
 void

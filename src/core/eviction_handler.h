@@ -13,11 +13,29 @@
  *  - ClLog: dirty lines aggregated into a log (Kona proper);
  *  - FullPage: whole-page RDMA writes (what Kona-VM is forced to do),
  *    linked into one chain per destination node.
+ *
+ * The engine is a pipelined, request-oriented design: submit() packs a
+ * batch and posts one shipment per destination node into a ring of
+ * landing-area slots (pipelineDepth slots per node), then returns —
+ * batch k+1 packs while k and k-1 are on the wire or being unpacked.
+ * poll() reaps finished shipments without blocking; drain() blocks
+ * until everything (including NAK retransmits and re-dirtied requeues)
+ * has landed. evictPage()/evictBatch() remain as synchronous wrappers
+ * (submit + drain), so pipelineDepth = 1 reproduces the historical
+ * fully synchronous behaviour exactly. Pages stay resident and fenced
+ * in the FPGA while their log is in flight; a write to a fenced page
+ * re-dirties it and the engine re-queues it rather than losing lines.
  */
 
 #ifndef KONA_CORE_EVICTION_HANDLER_H
 #define KONA_CORE_EVICTION_HANDLER_H
 
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "fpga/coherent_fpga.h"
@@ -31,19 +49,77 @@ namespace kona {
 /** Eviction data-movement granularity. */
 enum class EvictionMode : std::uint8_t { ClLog, FullPage };
 
-/** Time breakdown of the eviction path (Fig 11c). */
+/**
+ * Static configuration of the eviction engine. Replaces the old
+ * post-construction setters (setMode/setRetryPolicy/setTraceSession);
+ * embed in KonaConfig as `evict`.
+ */
+struct EvictionConfig
+{
+    /** Data-movement granularity. */
+    EvictionMode mode = EvictionMode::ClLog;
+
+    /**
+     * Ring slots carved out of each memory node's log landing area =
+     * in-flight shipments allowed per node. 1 reproduces the fully
+     * synchronous engine; larger depths overlap packing with wire and
+     * receiver-unpack time.
+     */
+    std::size_t pipelineDepth = 1;
+
+    /** Accesses between background eviction pumps. */
+    std::size_t pumpPeriod = 256;
+
+    /** Free ways per FMem set the background pump maintains. */
+    std::size_t freeWays = 1;
+
+    /**
+     * Retry discipline for shipping payloads (drops, NAKs). nullopt
+     * inherits KonaConfig::retry when embedded there (a default-
+     * constructed policy otherwise).
+     */
+    std::optional<RetryPolicy> retry;
+
+    /** Span tracer for the eviction path (KonaRuntime wires its own). */
+    TraceSession *trace = nullptr;
+};
+
+/**
+ * Time breakdown of the eviction path (Fig 11c). The components
+ * overlap once pipelineDepth > 1 (wire/unpack of batch k run under the
+ * pack of batch k+1), so totalNs() can exceed the wall-clock time the
+ * sender was actually blocked; waitNs alone is the sender-side stall.
+ */
 struct EvictionBreakdown
 {
     double bitmapNs = 0.0;   ///< scanning dirty masks
     double copyNs = 0.0;     ///< copying lines into the RDMA buffer
-    double rdmaNs = 0.0;     ///< posting + wire time
-    double ackNs = 0.0;      ///< receiver unpack + ack wait
+    double rdmaNs = 0.0;     ///< posting + wire time (sum of shipments)
+    double unpackNs = 0.0;   ///< receiver-thread verify + distribute
+    double waitNs = 0.0;     ///< sender blocked (ring full, drain, ack)
 
     double
     totalNs() const
     {
-        return bitmapNs + copyNs + rdmaNs + ackNs;
+        return bitmapNs + copyNs + rdmaNs + unpackNs + waitNs;
     }
+};
+
+/** A batch of pages handed to submit(). */
+struct EvictionRequest
+{
+    std::vector<Addr> vpns;   ///< VFMem page numbers to evict
+};
+
+/**
+ * Handle to one submitted batch. submit() on an oversized request
+ * chunks internally and returns the last chunk's ticket; drain() is
+ * the completion barrier that covers every outstanding batch.
+ */
+struct BatchTicket
+{
+    std::uint64_t id = 0;
+    bool valid() const { return id != 0; }
 };
 
 /** Kona's eviction engine. */
@@ -53,18 +129,50 @@ class EvictionHandler
     /** @param scope Telemetry scope for the eviction counters. */
     EvictionHandler(Fabric &fabric, CoherentFpga &fpga,
                     CacheHierarchy &hierarchy, Controller &controller,
-                    EvictionMode mode, MetricScope scope = {});
+                    EvictionConfig config = {}, MetricScope scope = {});
+
+    // --- asynchronous request API ------------------------------------
+
+    /**
+     * Pack @p req and post one shipment per destination node, blocking
+     * only while a needed ring slot is busy (counted in
+     * ringFullStalls) or a requested page's previous shipment is still
+     * in flight. Only scan + pack cost is charged to @p clock; wire,
+     * unpack and ack time accrue on the shipments' own timelines.
+     */
+    BatchTicket submit(const EvictionRequest &req, SimClock &clock);
+
+    /**
+     * Reap finished shipments without blocking: finalize every batch
+     * whose last shipment completed at or before @p clock's now.
+     * @return Batches finalized by this call.
+     */
+    std::size_t poll(const SimClock &clock);
+
+    /**
+     * Block until every in-flight shipment acked (advancing @p clock
+     * to each completion; the waits are charged to waitNs) and every
+     * page re-dirtied while in flight has been re-submitted and
+     * landed.
+     */
+    void drain(SimClock &clock);
+
+    /** Whether @p ticket's batch has been finalized. */
+    bool complete(BatchTicket ticket) const;
+
+    // --- synchronous wrappers ----------------------------------------
 
     /**
      * Evict VFMem page @p vpn: snoop CPU caches, write dirty lines (or
      * the full page) to every remote copy, drop the page from FMem.
-     * All critical-path cost is charged to @p clock.
+     * Synchronous wrapper: submit + drain.
      */
     void evictPage(Addr vpn, SimClock &clock);
 
     /**
      * Evict a batch of pages together: one CL log (or one linked WR
-     * chain) per destination node, one ack per node.
+     * chain) per destination node, one ack per node. Synchronous
+     * wrapper: submit + drain.
      */
     void evictBatch(const std::vector<Addr> &vpns, SimClock &clock);
 
@@ -75,15 +183,35 @@ class EvictionHandler
      */
     void pump(SimClock &backgroundClock, std::size_t freeWays = 1);
 
-    EvictionMode mode() const { return mode_; }
-    void setMode(EvictionMode mode) { mode_ = mode; }
+    // --- configuration ------------------------------------------------
 
-    /** Retry discipline for shipping payloads (drops, NAKs). */
-    void setRetryPolicy(const RetryPolicy &policy)
+    const EvictionConfig &evictionConfig() const { return config_; }
+    EvictionMode mode() const { return config_.mode; }
+    std::size_t pipelineDepth() const { return config_.pipelineDepth; }
+    const RetryPolicy &retryPolicy() const { return retryPolicy_; }
+
+    /** @deprecated Set EvictionConfig::mode at construction instead. */
+    [[deprecated("set EvictionConfig::mode instead")]] void
+    setMode(EvictionMode mode)
+    {
+        config_.mode = mode;
+    }
+
+    /** @deprecated Set EvictionConfig::retry at construction instead. */
+    [[deprecated("set EvictionConfig::retry instead")]] void
+    setRetryPolicy(const RetryPolicy &policy)
     {
         retryPolicy_ = policy;
     }
-    const RetryPolicy &retryPolicy() const { return retryPolicy_; }
+
+    /** @deprecated Set EvictionConfig::trace at construction instead. */
+    [[deprecated("set EvictionConfig::trace instead")]] void
+    setTraceSession(TraceSession *trace)
+    {
+        trace_ = trace;
+    }
+
+    // --- statistics ---------------------------------------------------
 
     std::uint64_t pagesEvicted() const { return pagesEvicted_.value(); }
     std::uint64_t silentEvictions() const { return silent_.value(); }
@@ -92,22 +220,150 @@ class EvictionHandler
     std::uint64_t retryBackoffs() const { return retries_.value(); }
     std::uint64_t logRetransmits() const { return retransmits_.value(); }
     std::uint64_t checksumNaks() const { return naks_.value(); }
+    /** Times submit() blocked because a node's slot ring was full. */
+    std::uint64_t ringFullStalls() const { return ringStalls_.value(); }
+    /** Pages re-queued because they were written while in flight. */
+    std::uint64_t inflightRefetches() const { return refetches_.value(); }
+    /** Times submit() waited for a page's previous shipment. */
+    std::uint64_t pageConflictStalls() const
+    {
+        return conflictStalls_.value();
+    }
+    /** Shipments currently on the wire or awaiting finalize. */
+    std::size_t inflightShipments() const { return shipments_.size(); }
     const EvictionBreakdown &breakdown() const { return breakdown_; }
     void resetBreakdown() { breakdown_ = {}; }
 
-    /** Attach a span tracer to the eviction path (nullptr detaches). */
-    void setTraceSession(TraceSession *trace) { trace_ = trace; }
-
   private:
+    /** One page's packed contribution to an in-flight batch. */
+    struct PackedPage
+    {
+        Addr vpn;
+        std::uint64_t mask;   ///< dirty mask captured (and cleared) at pack
+    };
+
+    /** An in-flight batch: pages + the shipments carrying them. */
+    struct Batch
+    {
+        std::uint64_t id = 0;
+        std::vector<PackedPage> pages;
+        std::map<Addr, std::vector<NodeId>> homes;
+        std::vector<NodeId> reached;   ///< nodes whose shipment landed
+        std::size_t outstanding = 0;   ///< unfinalized shipments
+        bool open = true;              ///< submit() still posting
+        Tick start = 0;
+        Tick lastDone = 0;
+        std::size_t requested = 0;     ///< pages asked (trace arg)
+        std::uint32_t lane = traceAppThread;
+    };
+
+    /** One payload on the wire to one node (one ring slot). */
+    struct Shipment
+    {
+        Shipment(const RetryPolicy &policy, std::uint64_t seed)
+            : retry(policy, seed)
+        {}
+
+        std::uint64_t id = 0;
+        std::uint64_t batchId = 0;
+        NodeId node = 0;
+        std::size_t slot = 0;
+        bool clLog = true;
+        std::vector<std::uint8_t> log;        ///< ClLog payload
+        std::vector<WorkRequest> chain;       ///< FullPage doorbell
+        std::vector<std::unique_ptr<std::vector<std::uint8_t>>>
+            pageCopies;                       ///< FullPage staging
+        SimClock timeline;    ///< this shipment's logical thread
+        RetryState retry;
+        std::uint64_t sends = 0;
+        Tick wireStart = 0;
+        Tick doneAt = 0;      ///< ack time (valid once acked)
+        bool acked = false;   ///< outcome decided, awaiting finalize
+        bool succeeded = false;
+    };
+
+    /** Per-node landing-area ring + serialization points. */
+    struct NodeRing
+    {
+        std::size_t slots = 1;
+        std::size_t slotBytes = 0;
+        std::vector<std::uint64_t> owner;   ///< shipment id, 0 = free
+        Tick wireFreeAt = 0;   ///< the node's link frees up
+        Tick recvFreeAt = 0;   ///< the node's receiver thread frees up
+    };
+
+    NodeRing &ringFor(NodeId node);
+    QueuePair &qpTo(NodeId node);
+
+    /** Largest batch whose worst-case log fits every node's ring slot. */
+    std::size_t batchPageLimit() const;
+
+    /** Post (or re-post) @p s's payload on its own timeline. */
+    void postShipment(Shipment &s);
+
+    /** Consume every pending CQE, deciding shipment outcomes. */
+    void reapCq();
+
+    /** Route one CQE to its shipment (wire done / retransmit / fail). */
+    void handleCompletion(const WorkCompletion &wc);
+
+    /** Terminal outcome for @p s; finalize happens at its doneAt. */
+    void settleShipment(Shipment &s, bool succeeded);
+
+    /** Finalize every acked shipment with doneAt <= @p now. */
+    std::size_t finalizeDue(Tick now);
+
+    /** Drop/keep/requeue the pages of a fully-acked batch. */
+    void finalizeBatch(Batch &batch);
+
+    /** Earliest doneAt among in-flight shipments passing @p pred. */
+    template <typename Pred>
+    std::optional<Tick>
+    earliestDoneAt(Pred pred) const
+    {
+        std::optional<Tick> best;
+        for (const Shipment &s : shipments_) {
+            if (!pred(s))
+                continue;
+            if (!best.has_value() || s.doneAt < *best)
+                best = s.doneAt;
+        }
+        return best;
+    }
+
+    /** Advance @p clock to @p until, charging the wait to waitNs. */
+    void waitUntil(SimClock &clock, Tick until);
+
+    /** Block until no in-flight shipment still covers @p vpn. */
+    void awaitPageIdle(Addr vpn, SimClock &clock);
+
+    /** Record a manual trace event (explicit ts/dur, any lane). */
+    void record(const char *name, Tick ts, Tick dur, std::uint32_t tid,
+                std::vector<TraceArg> args);
+    bool tracing() const { return trace_ != nullptr && trace_->enabled(); }
+
     Fabric &fabric_;
     CoherentFpga &fpga_;
     CacheHierarchy &hierarchy_;
     Controller &controller_;
-    EvictionMode mode_;
+    EvictionConfig config_;
     MetricScope scope_;
     RetryPolicy retryPolicy_;
 
+    CompletionQueue cq_;
+    Poller poller_;
+    std::map<NodeId, std::unique_ptr<QueuePair>> qps_;
+    std::map<NodeId, NodeRing> rings_;
+
+    std::list<Shipment> shipments_;
+    std::unordered_map<std::uint64_t, Shipment *> wrOwner_;
+    std::map<std::uint64_t, Batch> batches_;
+    std::unordered_map<Addr, std::uint64_t> inflightPage_;
+    std::set<Addr> requeue_;   ///< re-dirtied while in flight
+
     std::uint64_t nextWrId_ = 0x10000000;
+    std::uint64_t nextBatchId_ = 1;
+    std::uint64_t nextShipmentId_ = 1;
     std::uint64_t retrySeed_ = 0x5eedULL;
 
     TraceSession *trace_ = nullptr;
@@ -119,6 +375,10 @@ class EvictionHandler
     Counter &retries_;
     Counter &retransmits_;
     Counter &naks_;
+    Counter &ringStalls_;
+    Counter &refetches_;
+    Counter &conflictStalls_;
+    Gauge &inflight_;
     LatencyHistogram &retryBackoffNs_;
     LatencyHistogram &batchNs_;
     EvictionBreakdown breakdown_;

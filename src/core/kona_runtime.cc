@@ -4,6 +4,25 @@
 
 namespace kona {
 
+namespace {
+
+/**
+ * Resolve the eviction engine's config from the runtime's: inherit the
+ * shared retry policy when none was set, and always wire the runtime's
+ * own trace session.
+ */
+EvictionConfig
+resolvedEvictionConfig(const KonaConfig &config, TraceSession &trace)
+{
+    EvictionConfig evict = config.evict;
+    if (!evict.retry.has_value())
+        evict.retry = config.retry;
+    evict.trace = &trace;
+    return evict;
+}
+
+} // namespace
+
 KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
                          NodeId computeNode, const KonaConfig &config,
                          MetricScope scope)
@@ -12,7 +31,8 @@ KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
       fpga_(fabric, computeNode, config.fpga, scope_.sub("fpga")),
       hierarchy_(config.hierarchy, scope_.sub("hierarchy")),
       evictor_(fabric, fpga_, hierarchy_, controller,
-               config.evictionMode, scope_.sub("evict")),
+               resolvedEvictionConfig(config, trace_),
+               scope_.sub("evict")),
       vfmemCursor_(config.fpga.vfmemBase),
       reads_(scope_.counter("reads")),
       writes_(scope_.counter("writes")),
@@ -24,12 +44,10 @@ KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
 {
     hierarchy_.setListener(&fpga_);
     fpga_.setTraceSession(&trace_);
-    evictor_.setTraceSession(&trace_);
     fpga_.setEvictionCallback(
         [this](const FMemCache::Victim &victim, SimClock &clock) {
             evictor_.evictPage(victim.vfmemPage, clock);
         });
-    evictor_.setRetryPolicy(config_.retry);
     // Every fetch-path observation feeds the Controller's failure
     // detector; enough consecutive failures declare the node dead and
     // checkRackHealth() triggers the rebuild.
@@ -213,9 +231,9 @@ KonaRuntime::read(Addr addr, void *buf, std::size_t size)
     reads_.add();
     bytesRead_.add(size);
 
-    if (++accessesSincePump_ >= config_.evictionPumpPeriod) {
+    if (++accessesSincePump_ >= config_.evict.pumpPeriod) {
         accessesSincePump_ = 0;
-        evictor_.pump(backgroundClock_, config_.evictionFreeWays);
+        evictor_.pump(backgroundClock_, config_.evict.freeWays);
     }
 }
 
@@ -236,9 +254,9 @@ KonaRuntime::write(Addr addr, const void *buf, std::size_t size)
     // they drain, so the mask is a superset-correct union.
     fpga_.markDirtyRange(addr, size);
 
-    if (++accessesSincePump_ >= config_.evictionPumpPeriod) {
+    if (++accessesSincePump_ >= config_.evict.pumpPeriod) {
         accessesSincePump_ = 0;
-        evictor_.pump(backgroundClock_, config_.evictionFreeWays);
+        evictor_.pump(backgroundClock_, config_.evict.freeWays);
     }
 }
 

@@ -64,14 +64,12 @@ struct KonaConfig
     /** Extra remote copies per slab (§4.5 replication; 0 = none). */
     std::size_t replicationFactor = 0;
 
-    /** Eviction data-movement granularity. */
-    EvictionMode evictionMode = EvictionMode::ClLog;
-
-    /** Accesses between background eviction pumps. */
-    std::size_t evictionPumpPeriod = 256;
-
-    /** Free ways per FMem set the background pump maintains. */
-    std::size_t evictionFreeWays = 1;
+    /**
+     * Eviction engine configuration (mode, pipeline depth, pump
+     * cadence). Leave evict.retry unset to inherit `retry` above;
+     * evict.trace is overridden with the runtime's own session.
+     */
+    EvictionConfig evict;
 };
 
 /** The Kona software runtime. */

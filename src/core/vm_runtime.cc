@@ -179,8 +179,9 @@ VmRuntime::majorFault(Addr vpn)
             wr.remoteKey = loc.regionKey;
             wr.remoteAddr = loc.addr;
             wr.length = pageSize;
-            if (!qpTo(loc.node).post(wr, scratch)) {
-                poller_.waitOne(cq_, scratch);
+            PostResult posted = qpTo(loc.node).post(wr, scratch);
+            if (!posted.ok()) {
+                poller_.drain(cq_, scratch, posted.cqesPushed);
                 controller_.reportOpFailure(loc.node);
                 continue;
             }
@@ -388,8 +389,9 @@ VmRuntime::writebackPage(Addr vpn, SimClock &clock)
             wr.remoteKey = loc.regionKey;
             wr.remoteAddr = loc.addr;
             wr.length = pageSize;
-            if (!qpTo(loc.node).post(wr, branch)) {
-                poller_.waitOne(cq_, branch);
+            PostResult posted = qpTo(loc.node).post(wr, branch);
+            if (!posted.ok()) {
+                poller_.drain(cq_, branch, posted.cqesPushed);
                 controller_.reportOpFailure(loc.node);
                 continue;
             }

@@ -203,8 +203,10 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
         Span rdma(trace_, clock, "rdma_read", "net", lane);
         rdma.arg("node", loc.node);
         rdma.arg("bytes", wr.length);
-        if (!qpTo(loc.node).post(wr, clock)) {
-            poller_.waitOne(cq_, clock);   // consume the error CQE
+        PostResult posted = qpTo(loc.node).post(wr, clock);
+        if (!posted.ok()) {
+            // Consume exactly the error CQEs this doorbell pushed.
+            poller_.drain(cq_, clock, posted.cqesPushed);
             if (prefetch) {
                 // The primary was reachable but the op failed; the
                 // speculation still gives up without leaving a trace

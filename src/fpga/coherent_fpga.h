@@ -172,10 +172,34 @@ class CoherentFpga : public MemorySideListener
     /** Clear tracking state for @p vpn (after writeback). */
     void clearDirty(Addr vpn) { dirtyLines_.clearPage(vpn); }
 
+    /**
+     * Restore a previously packed dirty mask (failed eviction
+     * shipment): OR the lines back so they ship again next time.
+     */
+    void orDirtyMask(Addr vpn, std::uint64_t mask)
+    {
+        dirtyLines_.orMask(vpn, mask);
+    }
+
     /** Mark lines dirty directly (used when emulating via snapshots). */
     void markDirtyRange(Addr vfmemAddr, std::size_t size)
     {
         dirtyLines_.markRange(vfmemAddr, size);
+    }
+
+    /**
+     * Fence of the pipelined eviction engine: a fenced page's frame
+     * stays resident (and out of victim selection) while its CL log is
+     * on the wire; writes to it simply re-dirty the mask and the engine
+     * re-queues the page instead of losing lines.
+     */
+    void setEvictionInFlight(Addr vpn, bool inFlight)
+    {
+        fmem_.setEvictionInFlight(vpn, inFlight);
+    }
+    bool evictionInFlight(Addr vpn) const
+    {
+        return fmem_.evictionInFlight(vpn);
     }
 
     /**
@@ -209,6 +233,9 @@ class CoherentFpga : public MemorySideListener
     QueuePair &qpTo(NodeId node);
     CompletionQueue &cq() { return cq_; }
     Poller &poller() { return poller_; }
+
+    /** This compute host's id on the fabric. */
+    NodeId nodeId() const { return computeNode_; }
 
     /** The fabric's latency table. */
     const LatencyConfig &latency() const { return fabric_.latency(); }

@@ -103,12 +103,42 @@ FMemCache::isPrefetched(Addr vpn) const
     return false;
 }
 
+void
+FMemCache::setEvictionInFlight(Addr vpn, bool inFlight)
+{
+    Set &set = sets_[setOf(vpn)];
+    for (Way &way : set) {
+        if (way.vpn == vpn) {
+            way.evicting = inFlight;
+            return;
+        }
+    }
+}
+
+bool
+FMemCache::evictionInFlight(Addr vpn) const
+{
+    const Set &set = sets_[setOf(vpn)];
+    for (const Way &way : set) {
+        if (way.vpn == vpn)
+            return way.evicting;
+    }
+    return false;
+}
+
 std::optional<FMemCache::Victim>
 FMemCache::victimFor(Addr vpn) const
 {
     std::size_t si = setOf(vpn);
     if (!freeFrames_[si].empty())
         return std::nullopt;
+    // Walk LRU -> MRU for the oldest way not already being shipped;
+    // only a fully fenced set hands back an in-flight victim (the
+    // eviction engine then stalls on that shipment's completion).
+    for (auto it = sets_[si].rbegin(); it != sets_[si].rend(); ++it) {
+        if (!it->evicting)
+            return Victim{it->vpn, it->frame};
+    }
     const Way &lru = sets_[si].back();
     return Victim{lru.vpn, lru.frame};
 }
@@ -138,11 +168,14 @@ FMemCache::overOccupiedVictims(std::size_t freeWays) const
         if (free >= freeWays)
             continue;
         std::size_t need = freeWays - free;
-        // Walk the set from LRU (back) forward.
-        auto it = sets_[si].rbegin();
-        for (std::size_t i = 0; i < need && it != sets_[si].rend();
-             ++i, ++it) {
+        // Walk the set from LRU (back) forward, skipping ways whose
+        // eviction is already in flight (they will free up on ack).
+        for (auto it = sets_[si].rbegin();
+             need > 0 && it != sets_[si].rend(); ++it) {
+            if (it->evicting)
+                continue;
             victims.push_back({it->vpn, it->frame});
+            --need;
         }
     }
     return victims;

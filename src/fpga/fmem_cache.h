@@ -72,8 +72,21 @@ class FMemCache
     bool isPrefetched(Addr vpn) const;
 
     /**
+     * Fence (or unfence) a resident page whose eviction shipment is in
+     * flight. Fenced pages are skipped by victim selection so the
+     * eviction engine never races itself; a write to a fenced page is
+     * legal and simply re-dirties it. No-op when @p vpn is absent.
+     */
+    void setEvictionInFlight(Addr vpn, bool inFlight);
+
+    /** Whether @p vpn is resident with an eviction shipment in flight. */
+    bool evictionInFlight(Addr vpn) const;
+
+    /**
      * The LRU victim that must leave before @p vpn can be inserted;
-     * nullopt when the set has a free way.
+     * nullopt when the set has a free way. Prefers the least-recent way
+     * whose eviction is NOT already in flight; falls back to the plain
+     * LRU way only when the whole set is fenced.
      */
     std::optional<Victim> victimFor(Addr vpn) const;
 
@@ -108,6 +121,7 @@ class FMemCache
         std::size_t frame;
         bool prefetched = false;   ///< speculative fill, untouched yet
         Tick prefetchTick = 0;     ///< sim time the prefetch was issued
+        bool evicting = false;     ///< eviction shipment in flight
     };
     /** LRU-ordered occupied ways, front = most recent. */
     using Set = std::list<Way>;

@@ -58,6 +58,19 @@ class DirtyLineBitmap
         return static_cast<unsigned>(std::popcount(pageMask(pn)));
     }
 
+    /**
+     * OR @p mask back into page @p pn's mask. The pipelined eviction
+     * path clears a page's mask when it packs the lines into a CL log;
+     * if the shipment later fails terminally, the packed mask is
+     * restored here so those lines are not silently lost.
+     */
+    void
+    orMask(Addr pn, std::uint64_t mask)
+    {
+        if (mask != 0)
+            masks_[pn] |= mask;
+    }
+
     /** Forget page @p pn (after writeback). Returns old mask. */
     std::uint64_t
     clearPage(Addr pn)

@@ -77,12 +77,12 @@ QueuePair::applyCorruption(const WorkRequest &wr, const FaultDecision &fd)
     remote.write(target, &byte, 1);
 }
 
-bool
+PostResult
 QueuePair::post(const WorkRequest &wr, SimClock &clock)
 {
     if (fabric_.nodeDown(remoteNode_)) {
         cq_.push({wr.wrId, WcStatus::RemoteUnreachable, clock.now()});
-        return false;
+        return {WcStatus::RemoteUnreachable, 1};
     }
     FaultDecision fd;
     if (FaultInjector *fi = fabric_.faultInjector())
@@ -91,7 +91,7 @@ QueuePair::post(const WorkRequest &wr, SimClock &clock)
         // Dropped/timed-out ops never touch remote memory; the issuer
         // eats the injected delay (e.g. a retransmission timer).
         cq_.push({wr.wrId, fd.status, clock.now() + fd.extraLatencyNs});
-        return false;
+        return {fd.status, 1};
     }
     double cost = executeOne(wr, /*linked=*/false);
     if (fd.corruptPayload)
@@ -99,18 +99,18 @@ QueuePair::post(const WorkRequest &wr, SimClock &clock)
     Tick done = clock.now() + static_cast<Tick>(cost) + fd.extraLatencyNs;
     if (wr.signaled)
         cq_.push({wr.wrId, WcStatus::Success, done});
-    return true;
+    return {WcStatus::Success, wr.signaled ? std::size_t(1) : 0};
 }
 
-bool
+PostResult
 QueuePair::postLinked(std::span<const WorkRequest> wrs, SimClock &clock)
 {
     if (wrs.empty())
-        return true;
+        return {WcStatus::Success, 0};
     if (fabric_.nodeDown(remoteNode_)) {
         cq_.push({wrs.back().wrId, WcStatus::RemoteUnreachable,
                   clock.now()});
-        return false;
+        return {WcStatus::RemoteUnreachable, 1};
     }
     // The first WR of a chain pays the full doorbell; subsequent linked
     // WRs pay only the marginal cost. Ops within a chain pipeline, so
@@ -131,7 +131,7 @@ QueuePair::postLinked(std::span<const WorkRequest> wrs, SimClock &clock)
             // issuer can tell where the chain broke.
             cq_.push({wr.wrId, fd.status,
                       clock.now() + static_cast<Tick>(total) + extra});
-            return false;
+            return {fd.status, 1};
         }
         total += executeOne(wr, /*linked=*/!first);
         if (fd.corruptPayload)
@@ -139,11 +139,14 @@ QueuePair::postLinked(std::span<const WorkRequest> wrs, SimClock &clock)
         first = false;
     }
     Tick done = clock.now() + static_cast<Tick>(total) + extra;
+    std::size_t pushed = 0;
     for (const WorkRequest &wr : wrs) {
-        if (wr.signaled)
+        if (wr.signaled) {
             cq_.push({wr.wrId, WcStatus::Success, done});
+            ++pushed;
+        }
     }
-    return true;
+    return {WcStatus::Success, pushed};
 }
 
 WorkCompletion
@@ -152,9 +155,15 @@ Poller::waitOne(CompletionQueue &cq, SimClock &clock)
     KONA_ASSERT(!cq.empty(),
                 "waitOne on an empty CQ: nothing in flight");
     WorkCompletion wc = cq.pop();
+    complete(wc, clock);
+    return wc;
+}
+
+void
+Poller::complete(const WorkCompletion &wc, SimClock &clock)
+{
     clock.advanceTo(wc.completeAt);
     clock.advance(static_cast<Tick>(latency_.rdmaCompletionNs));
-    return wc;
 }
 
 std::vector<WorkCompletion>

@@ -56,6 +56,21 @@ struct WorkCompletion
     Tick completeAt = 0;   ///< simulated time the CQE became visible
 };
 
+/**
+ * Outcome of a post/postLinked doorbell. cqesPushed tells the caller
+ * exactly how many CQEs this doorbell put on the CQ (success CQEs for
+ * signaled WRs, or the one error CQE of a failed post), so error paths
+ * no longer have to infer how much to drain.
+ */
+struct PostResult
+{
+    WcStatus status = WcStatus::Success;
+    std::size_t cqesPushed = 0;
+
+    bool ok() const { return status == WcStatus::Success; }
+    explicit operator bool() const { return ok(); }
+};
+
 /** Completion queue: CQEs in completion order. */
 class CompletionQueue
 {
@@ -89,16 +104,20 @@ class QueuePair
      * @param clock The issuing thread's clock; only the posting overhead
      *              is charged synchronously, the transfer completes at
      *              the CQE timestamp.
-     * @return false if the remote node is down (an error CQE is pushed).
+     * @return A failed status if the op never landed (node down, drop,
+     *         timeout); an error CQE is pushed and counted in
+     *         cqesPushed so the caller can drain it.
      */
-    bool post(const WorkRequest &wr, SimClock &clock);
+    PostResult post(const WorkRequest &wr, SimClock &clock);
 
     /**
      * Post a chain of linked work requests as one doorbell. Only WRs
      * with signaled=true produce CQEs; the paper's eviction path signals
-     * only the last WR of a batch.
+     * only the last WR of a batch. A mid-chain failure pushes one error
+     * CQE carrying the failing WR's id.
      */
-    bool postLinked(std::span<const WorkRequest> wrs, SimClock &clock);
+    PostResult postLinked(std::span<const WorkRequest> wrs,
+                          SimClock &clock);
 
     NodeId remoteNode() const { return remoteNode_; }
 
@@ -136,6 +155,13 @@ class Poller
      * The clock is advanced to at least the CQE's completion time.
      */
     WorkCompletion waitOne(CompletionQueue &cq, SimClock &clock);
+
+    /**
+     * Charge the poll cost of an already-popped CQE to @p clock (the
+     * async eviction engine pops CQEs itself to route them to their
+     * in-flight shipments, then charges each shipment's own timeline).
+     */
+    void complete(const WorkCompletion &wc, SimClock &clock);
 
     /** Drain up to @p max CQEs without blocking semantics. */
     std::vector<WorkCompletion> drain(CompletionQueue &cq,

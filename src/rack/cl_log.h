@@ -43,6 +43,16 @@ struct ClLogEntryHeader
     std::uint32_t crc = 0;    ///< CRC32 over addr, lineCount and payload
 };
 
+/**
+ * Worst-case log bytes one 4 KiB page can contribute: a 64-bit dirty
+ * mask decomposes into at most 32 runs (alternating dirty/clean
+ * lines), each paying one header, plus at most the full page of line
+ * payload. Senders size batches against the landing-area ring slot
+ * with this bound so an append can never overflow the slot.
+ */
+inline constexpr std::size_t clLogWorstBytesPerPage =
+    (linesPerPage / 2) * sizeof(ClLogEntryHeader) + pageSize;
+
 /** CRC32 of one record: covers the addressing fields and the payload. */
 inline std::uint32_t
 clLogRecordCrc(Addr remoteAddr, std::uint32_t lineCount,

@@ -106,6 +106,9 @@ class Controller
     /** The registered memory node @p id (fatal if unknown). */
     MemoryNode &node(NodeId id) const;
 
+    /** Ids of every registered node (any health), unordered. */
+    std::vector<NodeId> nodeIds() const;
+
     std::size_t slabSize() const { return slabSize_; }
     std::size_t nodeCount() const { return nodes_.size(); }
     std::size_t healthyNodeCount() const;

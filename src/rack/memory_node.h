@@ -52,8 +52,26 @@ class MemoryNode
 
     /** RDMA registration of the whole slab area (one-time setup). */
     const MemoryRegion &slabRegion() const { return slabRegion_; }
-    /** RDMA registration of the log landing area. */
+
+    /**
+     * RDMA registration of the log landing area. The pipelined
+     * eviction engine carves this into a ring of equal slots (one
+     * in-flight CL log per slot); a sender with depth N writes slot
+     * k's log at logRegion().base + k * logSlotBytes(N) and calls
+     * receiveLog with the matching offset.
+     */
     const MemoryRegion &logRegion() const { return logRegion_; }
+
+    /** Bytes of one landing-area ring slot when carved into @p slots. */
+    std::size_t
+    logSlotBytes(std::size_t slots) const
+    {
+        KONA_ASSERT(slots > 0, "log ring needs >= 1 slot");
+        std::size_t bytes = logRegion_.length / slots;
+        KONA_ASSERT(bytes > 0, "log landing area too small for ", slots,
+                    " ring slots");
+        return bytes;
+    }
 
     /** Carve a slab of @p size bytes; nullopt when the pool is full. */
     std::optional<Addr> allocateSlab(std::size_t size);

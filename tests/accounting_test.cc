@@ -30,7 +30,7 @@ struct Stack
         cfg.fpga.vfmemSize = 32 * MiB;
         cfg.fpga.fmemSize = fmem;
         cfg.hierarchy = HierarchyConfig::scaled();
-        cfg.evictionPumpPeriod = ~std::size_t(0);
+        cfg.evict.pumpPeriod = ~std::size_t(0);
         return KonaRuntime(fabric, controller, 0, cfg);
     }
 

@@ -86,7 +86,7 @@ TEST_P(KonaDifferential, MatchesPlainMemory)
     cfg.fpga.vfmemSize = 16 * MiB;
     cfg.fpga.fmemSize = p.fmemKb * KiB;
     cfg.hierarchy = HierarchyConfig::scaled();
-    cfg.evictionMode = p.mode;
+    cfg.evict.mode = p.mode;
     cfg.replicationFactor = p.replicas;
     KonaRuntime runtime(fabric, controller, 0, cfg);
 

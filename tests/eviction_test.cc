@@ -20,11 +20,19 @@ class EvictionFixture : public ::testing::Test
     {
         node = std::make_unique<MemoryNode>(fabric, 5, 128 * MiB);
         controller.registerNode(*node);
+        rebuild({});
+    }
+
+    /** (Re)create the runtime with @p evict layered on the defaults. */
+    void
+    rebuild(EvictionConfig evict)
+    {
+        evict.pumpPeriod = ~std::size_t(0);   // manual only
         KonaConfig cfg;
         cfg.fpga.vfmemSize = 64 * MiB;
         cfg.fpga.fmemSize = 8 * MiB;
         cfg.hierarchy = HierarchyConfig::scaled();
-        cfg.evictionPumpPeriod = ~std::size_t(0);   // manual only
+        cfg.evict = evict;
         runtime = std::make_unique<KonaRuntime>(fabric, controller, 0,
                                                 cfg);
         region = runtime->allocate(512 * pageSize, pageSize);
@@ -144,7 +152,8 @@ TEST_F(EvictionFixture, BreakdownSumsToTotal)
     EXPECT_GT(bd.bitmapNs, 0.0);
     EXPECT_GT(bd.copyNs, 0.0);
     EXPECT_GT(bd.rdmaNs, 0.0);
-    EXPECT_GT(bd.ackNs, 0.0);
+    EXPECT_GT(bd.unpackNs, 0.0);
+    EXPECT_GT(bd.waitNs, 0.0);
     // The clock moved at least as much as the serial components.
     EXPECT_GE(static_cast<double>(clock.now()) + 1.0,
               bd.bitmapNs + bd.copyNs);
@@ -173,7 +182,9 @@ TEST_F(EvictionFixture, LargeBatchesAreChunked)
 
 TEST_F(EvictionFixture, FullPageModeShipsWholePages)
 {
-    handler().setMode(EvictionMode::FullPage);
+    EvictionConfig evict;
+    evict.mode = EvictionMode::FullPage;
+    rebuild(evict);
     dirtyPage(0, 1);
     dirtyPage(1, 1);
     runtime->hierarchy().flushAll();

@@ -256,8 +256,11 @@ TEST_F(FaultyNetFixture, DroppedWriteNeverLands)
     QueuePair qp(fabric, 0, 1, cq);
     SimClock clock;
     std::uint64_t magic = 0xfeedfacecafebeefULL;
-    EXPECT_FALSE(qp.post(makeWr(RdmaOpcode::Write, &magic, 4096,
-                                sizeof(magic)), clock));
+    PostResult posted = qp.post(makeWr(RdmaOpcode::Write, &magic, 4096,
+                                       sizeof(magic)), clock);
+    EXPECT_EQ(posted.status, WcStatus::Dropped);
+    // The failure CQE is always pushed, signaled or not.
+    EXPECT_EQ(posted.cqesPushed, 1u);
     WorkCompletion wc = poller.waitOne(cq, clock);
     EXPECT_EQ(wc.status, WcStatus::Dropped);
     std::uint64_t check = 0;
@@ -783,7 +786,7 @@ runScenario(const std::string &name, bool faulty)
     cfg.fpga.fmemSize = 512 * KiB;
     cfg.hierarchy = HierarchyConfig::scaled();
     cfg.replicationFactor = 1;
-    cfg.evictionMode = EvictionMode::ClLog;
+    cfg.evict.mode = EvictionMode::ClLog;
     cfg.failurePolicy = FailurePolicy::WaitRetry;
     KonaRuntime runtime(fabric, controller, 0, cfg);
 

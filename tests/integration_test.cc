@@ -288,7 +288,8 @@ TEST(Integration, EvictionBreakdownAccounted)
         runtime.evictionHandler().breakdown();
     EXPECT_GT(bd.copyNs, 0.0);
     EXPECT_GT(bd.rdmaNs, 0.0);
-    EXPECT_GT(bd.ackNs, 0.0);
+    EXPECT_GT(bd.unpackNs, 0.0);
+    EXPECT_GT(bd.waitNs, 0.0);
     EXPECT_GT(bd.bitmapNs, 0.0);
     EXPECT_GT(bd.totalNs(), bd.rdmaNs);
 }
@@ -301,7 +302,7 @@ TEST(Integration, BackgroundEvictionStaysOffCriticalPath)
     Rack rack;
     KonaConfig cfg = smallKona();
     cfg.fpga.fmemSize = 1 * MiB;
-    cfg.evictionPumpPeriod = 32;
+    cfg.evict.pumpPeriod = 32;
     KonaRuntime runtime(rack.fabric, rack.controller, 0, cfg);
     Addr a = runtime.allocate(8 * MiB, pageSize);
     for (Addr p = 0; p < 8 * MiB / pageSize; ++p)

@@ -275,7 +275,7 @@ TEST(KonaEvictionModes, ClLogMovesFarLessThanFullPage)
         cfg.fpga.vfmemSize = 16 * MiB;
         cfg.fpga.fmemSize = 1 * MiB;
         cfg.hierarchy = HierarchyConfig::scaled();
-        cfg.evictionMode = mode;
+        cfg.evict.mode = mode;
         KonaRuntime runtime(fabric, controller, 0, cfg);
         Addr a = runtime.allocate(4 * MiB, pageSize);
         // One dirty line per page (the worst case for pages).

@@ -59,7 +59,10 @@ TEST_F(NetFixture, WriteThenReadRoundTrip)
     for (auto &b : out)
         b = static_cast<std::uint8_t>(rng.next());
 
-    ASSERT_TRUE(qp.post(writeWr(out.data(), 8192, out.size()), clock));
+    PostResult wrote = qp.post(writeWr(out.data(), 8192, out.size()),
+                               clock);
+    ASSERT_EQ(wrote.status, WcStatus::Success);
+    ASSERT_EQ(wrote.cqesPushed, 1u);
     poller.waitOne(cq, clock);
 
     std::vector<std::uint8_t> in(4096, 0);
@@ -118,7 +121,10 @@ TEST_F(NetFixture, UnsignaledOpsProduceNoCqes)
         wr.signaled = i == 3;
         wrs.push_back(wr);
     }
-    qp.postLinked(wrs, clock);
+    PostResult posted = qp.postLinked(wrs, clock);
+    EXPECT_EQ(posted.status, WcStatus::Success);
+    // Only the signaled tail pushed a CQE.
+    EXPECT_EQ(posted.cqesPushed, 1u);
     EXPECT_EQ(cq.depth(), 1u);
     WorkCompletion wc = poller.waitOne(cq, clock);
     EXPECT_EQ(wc.wrId, wrs[3].wrId);
