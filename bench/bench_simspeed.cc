@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Wall-clock simulator-throughput benchmark. Unlike the paper-figure
+ * benches (which report *simulated* time), this one measures how fast
+ * the simulator itself executes — accesses per wall-clock second —
+ * driving seq/stride/random/graph mixes through the full stack:
+ * hierarchy -> FPGA -> fabric -> eviction.
+ *
+ * The seq/stride/random mixes span 32MB: larger than the modelled L3
+ * (8MB) but smaller than FMem (64MB), so their steady state is the
+ * LLC-miss -> FMem-hit path that dominates every experiment. The
+ * graph mix pointer-chases a 96MB cycle (> FMem), keeping the demand
+ * fetch + eviction machinery continuously busy.
+ *
+ * A global operator new/delete hook counts heap allocations inside
+ * each timed loop; the steady-state access path is required to be
+ * allocation-free (see DESIGN.md "Simulator performance").
+ * --strict-alloc turns any steady-state allocation on the resident
+ * mixes into a failure; CI runs with it.
+ *
+ * Flags: --quick (short CI preset), --strict-alloc,
+ *        --metrics-json=PATH (exports result.simspeed.*).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+
+// ---------------------------------------------------------------------
+// Allocation-counting hook. Every global new/delete funnels through
+// here; the bench diffs the counter around each timed loop.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    std::size_t a = static_cast<std::size_t>(align);
+    std::size_t rounded = (size + a - 1) / a * a;
+    if (void *p = std::aligned_alloc(a, rounded ? rounded : a))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return operator new(size, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace kona {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct MixResult
+{
+    std::string name;
+    std::uint64_t ops = 0;
+    double wallNs = 0;       ///< wall-clock ns for the timed loop
+    std::uint64_t allocs = 0;///< heap allocations inside the timed loop
+    Tick simNs = 0;          ///< simulated app-time advanced by the loop
+};
+
+double
+opsPerSec(const MixResult &r)
+{
+    return r.wallNs > 0 ? r.ops / (r.wallNs / 1e9) : 0.0;
+}
+
+double
+nsPerOp(const MixResult &r)
+{
+    return r.ops > 0 ? r.wallNs / static_cast<double>(r.ops) : 0.0;
+}
+
+double
+allocsPerOp(const MixResult &r)
+{
+    return r.ops > 0 ? r.allocs / static_cast<double>(r.ops) : 0.0;
+}
+
+/** A fresh Kona stack for one mix (prefetch off, trace off). */
+struct Stack
+{
+    Stack()
+    {
+        KonaConfig cfg;
+        // Defaults: 64MB FMem, 1GB VFMem, full-size hierarchy
+        // (32K/1M/8M). Keep them — the mixes are sized around them.
+        runtime = std::make_unique<KonaRuntime>(rack.fabric,
+                                                rack.controller, 0, cfg);
+    }
+
+    bench::Rack rack;
+    std::unique_ptr<KonaRuntime> runtime;
+};
+
+/**
+ * Touch every page of [base, base+span) so it is FMem-resident, and
+ * dirty one line per page so the dirty-bitmap entries (steady state
+ * for a mix that writes) exist before the timed loop starts.
+ */
+void
+warmSpan(KonaRuntime &rt, Addr base, std::size_t span)
+{
+    std::uint8_t page[pageSize];
+    std::uint64_t touch = 0;
+    for (std::size_t off = 0; off < span; off += pageSize) {
+        rt.read(base + off, page, pageSize);
+        rt.write(base + off, &touch, sizeof(touch));
+    }
+}
+
+/**
+ * Run one timed loop. @p body performs exactly @p ops accesses; the
+ * allocation counter and wall clock are diffed around it.
+ */
+template <typename Body>
+MixResult
+timed(const std::string &name, KonaRuntime &rt, std::uint64_t ops,
+      Body &&body)
+{
+    MixResult r;
+    r.name = name;
+    r.ops = ops;
+    Tick simStart = rt.appTime();
+    std::uint64_t allocStart =
+        gAllocCount.load(std::memory_order_relaxed);
+    Clock::time_point t0 = Clock::now();
+    body();
+    Clock::time_point t1 = Clock::now();
+    r.allocs =
+        gAllocCount.load(std::memory_order_relaxed) - allocStart;
+    r.wallNs = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    r.simNs = rt.appTime() - simStart;
+    return r;
+}
+
+/** Sequential 64B reads (1 write per 4 ops) over a 32MB span. */
+MixResult
+runSeq(std::uint64_t ops)
+{
+    Stack stack;
+    KonaRuntime &rt = *stack.runtime;
+    constexpr std::size_t span = 32 * MiB;
+    Addr base = rt.allocate(span, pageSize);
+    warmSpan(rt, base, span);
+
+    std::uint64_t buf = 0;
+    return timed("seq", rt, ops, [&] {
+        std::size_t off = 0;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            if ((i & 3) == 3)
+                rt.write(base + off, &buf, sizeof(buf));
+            else
+                rt.read(base + off, &buf, sizeof(buf));
+            off += cacheLineSize;
+            if (off >= span)
+                off = 0;
+        }
+    });
+}
+
+/** 1KB-stride 8B accesses (25% writes) over a 32MB span. */
+MixResult
+runStride(std::uint64_t ops)
+{
+    Stack stack;
+    KonaRuntime &rt = *stack.runtime;
+    constexpr std::size_t span = 32 * MiB;
+    constexpr std::size_t stride = 1024;
+    Addr base = rt.allocate(span, pageSize);
+    warmSpan(rt, base, span);
+
+    std::uint64_t buf = 0;
+    return timed("stride", rt, ops, [&] {
+        std::size_t off = 0;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            if ((i & 3) == 1)
+                rt.write(base + off, &buf, sizeof(buf));
+            else
+                rt.read(base + off, &buf, sizeof(buf));
+            off += stride;
+            if (off >= span)
+                off = (off + cacheLineSize) % stride;
+        }
+    });
+}
+
+/** Uniform-random 8B accesses (30% writes) over a 32MB span. */
+MixResult
+runRandom(std::uint64_t ops)
+{
+    Stack stack;
+    KonaRuntime &rt = *stack.runtime;
+    constexpr std::size_t span = 32 * MiB;
+    Addr base = rt.allocate(span, pageSize);
+    warmSpan(rt, base, span);
+
+    Rng rng(0x51eedull);
+    std::uint64_t buf = 0;
+    return timed("random", rt, ops, [&] {
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            Addr addr = base + rng.below(span / 8) * 8;
+            if (rng.chance(0.3))
+                rt.write(addr, &buf, sizeof(buf));
+            else
+                rt.read(addr, &buf, sizeof(buf));
+        }
+    });
+}
+
+/**
+ * Pointer-chase over a single 96MB permutation cycle (> FMem), so
+ * every few ops demand-fetch a page and the eviction pump runs
+ * continuously.
+ */
+MixResult
+runGraph(std::uint64_t ops)
+{
+    Stack stack;
+    KonaRuntime &rt = *stack.runtime;
+    constexpr std::size_t span = 96 * MiB;
+    constexpr std::size_t nodes = span / 8;
+    Addr base = rt.allocate(span, pageSize);
+
+    // Sattolo's algorithm: one cycle visiting every node.
+    std::vector<std::uint64_t> next(nodes);
+    for (std::size_t i = 0; i < nodes; ++i)
+        next[i] = i;
+    Rng rng(0x9a4full);
+    for (std::size_t i = nodes - 1; i > 0; --i) {
+        std::size_t j = rng.below(i);
+        std::swap(next[i], next[j]);
+    }
+    // Write the chase array page by page (setup, untimed).
+    for (std::size_t off = 0; off < span; off += pageSize)
+        rt.write(base + off, next.data() + off / 8, pageSize);
+
+    std::uint64_t idx = 0;
+    MixResult r = timed("graph", rt, ops, [&] {
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            std::uint64_t value = 0;
+            rt.read(base + idx * 8, &value, sizeof(value));
+            idx = value;
+        }
+    });
+    // Keep the compiler from dropping the chase.
+    if (idx >= nodes)
+        fatal("graph chase escaped the node array");
+    return r;
+}
+
+} // namespace
+} // namespace kona
+
+int
+main(int argc, char **argv)
+{
+    using namespace kona;
+    bench::parseExportFlags(argc, argv);
+    setQuietLogging(true);
+
+    bool quick = false;
+    bool strictAlloc = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--strict-alloc") == 0)
+            strictAlloc = true;
+        else
+            fatal("unknown flag \"", argv[i],
+                  "\"; known: --quick --strict-alloc "
+                  "--metrics-json=PATH");
+    }
+
+    std::uint64_t scale = quick ? 10 : 1;
+    MixResult results[] = {
+        runSeq(4'000'000 / scale),
+        runStride(2'000'000 / scale),
+        runRandom(2'000'000 / scale),
+        runGraph(200'000 / scale),
+    };
+
+    bench::section("Simulator throughput (wall clock, full Kona stack)");
+    bench::row("mix", {"accesses", "wall ms", "Macc/s", "ns/acc",
+                       "allocs/acc"});
+    bool residentAllocs = false;
+    for (const MixResult &r : results) {
+        bench::row(r.name,
+                   {bench::fmtInt(r.ops), bench::fmt(r.wallNs / 1e6, 1),
+                    bench::fmt(opsPerSec(r) / 1e6),
+                    bench::fmt(nsPerOp(r), 1),
+                    bench::fmt(allocsPerOp(r), 4)});
+        bench::recordResult("simspeed." + r.name + ".accesses_per_sec",
+                            opsPerSec(r));
+        bench::recordResult("simspeed." + r.name + ".ns_per_access",
+                            nsPerOp(r));
+        bench::recordResult("simspeed." + r.name + ".allocs_per_access",
+                            allocsPerOp(r));
+        if (r.name != "graph" && r.allocs != 0)
+            residentAllocs = true;
+    }
+    std::printf("\nResident mixes (seq/stride/random) must run "
+                "allocation-free in steady state;\nthe graph mix "
+                "demand-fetches and evicts, so its miss path may "
+                "allocate.\n");
+
+    bench::flushExports();
+
+    if (strictAlloc && residentAllocs) {
+        std::printf("FAIL: steady-state heap allocations detected on a "
+                    "resident mix (--strict-alloc)\n");
+        return 1;
+    }
+    return 0;
+}

@@ -68,15 +68,11 @@ int
 CacheHierarchy::accessOne(Addr lineAddr, AccessType type)
 {
     lineAddr = alignDown(lineAddr, cacheLineSize);
-    std::vector<CacheEviction> evictions;
+    CacheEviction ev;
     for (std::size_t i = 0; i < levels_.size(); ++i) {
-        evictions.clear();
-        CacheOutcome outcome = levels_[i]->access(lineAddr, type,
-                                                  evictions);
-        for (const CacheEviction &ev : evictions) {
-            if (ev.dirty)
-                propagateWriteback(i, ev.blockAddr);
-        }
+        CacheOutcome outcome = levels_[i]->access(lineAddr, type, ev);
+        if (ev.valid && ev.dirty)
+            propagateWriteback(i, ev.blockAddr);
         if (outcome == CacheOutcome::Hit) {
             // Inner-level hit: a write makes the line dirty there; the
             // writeback will propagate when it is evicted.
@@ -93,27 +89,35 @@ CacheHierarchy::accessOne(Addr lineAddr, AccessType type)
 void
 CacheHierarchy::propagateWriteback(std::size_t from, Addr blockAddr)
 {
-    std::size_t next = from + 1;
-    if (next >= levels_.size()) {
-        memWritebacks_.add();
-        if (listener_)
-            listener_->onWriteback(blockAddr);
-        return;
+    // Walk outward one level at a time: each fill displaces at most
+    // one victim, and only a dirty victim keeps propagating. Falling
+    // off the last level is a memory writeback.
+    CacheEviction ev;
+    for (std::size_t next = from + 1; next < levels_.size(); ++next) {
+        levels_[next]->fillDirty(blockAddr, ev);
+        if (!ev.valid || !ev.dirty)
+            return;
+        blockAddr = ev.blockAddr;
     }
-    std::vector<CacheEviction> evictions;
-    levels_[next]->fillDirty(blockAddr, evictions);
-    for (const CacheEviction &ev : evictions) {
-        if (ev.dirty)
-            propagateWriteback(next, ev.blockAddr);
-    }
+    memWritebacks_.add();
+    if (listener_)
+        listener_->onWriteback(blockAddr);
 }
 
 void
 CacheHierarchy::snoopLine(Addr addr)
 {
+    snoopLineLevels(addr, ~std::uint32_t{0});
+}
+
+void
+CacheHierarchy::snoopLineLevels(Addr addr, std::uint32_t levelMask)
+{
     bool dirtyAnywhere = false;
-    for (auto &level : levels_) {
-        auto dirty = level->invalidateBlock(addr);
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        if ((levelMask & (std::uint32_t{1} << i)) == 0)
+            continue;
+        auto dirty = levels_[i]->invalidateBlock(addr);
         if (dirty.has_value() && *dirty)
             dirtyAnywhere = true;
     }
@@ -134,9 +138,20 @@ CacheHierarchy::invalidateLine(Addr addr)
 void
 CacheHierarchy::snoopPage(Addr pn)
 {
+    // Batched early-out: probe each level once for the whole page and
+    // only walk the 64 lines through levels that hold something. On
+    // the eviction path most snooped pages are long gone from the CPU
+    // caches, so this usually returns after the probe.
+    std::uint32_t levelMask = 0;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        if (levels_[i]->holdsLineOfPage(pn))
+            levelMask |= std::uint32_t{1} << i;
+    }
+    if (levelMask == 0)
+        return;
     Addr base = pn * pageSize;
     for (unsigned line = 0; line < linesPerPage; ++line)
-        snoopLine(base + line * cacheLineSize);
+        snoopLineLevels(base + line * cacheLineSize, levelMask);
 }
 
 void
@@ -145,9 +160,9 @@ CacheHierarchy::flushAll()
     // Flush inner levels first so their dirty victims merge into outer
     // levels before those are flushed.
     for (std::size_t i = 0; i < levels_.size(); ++i) {
-        std::vector<CacheEviction> evictions;
-        levels_[i]->flushAll(evictions);
-        for (const CacheEviction &ev : evictions) {
+        flushScratch_.clear();
+        levels_[i]->flushAll(flushScratch_);
+        for (const CacheEviction &ev : flushScratch_) {
             if (ev.dirty)
                 propagateWriteback(i, ev.blockAddr);
         }

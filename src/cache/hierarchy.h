@@ -114,12 +114,16 @@ class CacheHierarchy
 
   private:
     void accessLine(Addr lineAddr, AccessType type);
-    /** Push a dirty victim of level @p from downwards. */
+    /** Push a dirty victim of level @p from downwards (iterative). */
     void propagateWriteback(std::size_t from, Addr blockAddr);
+    /** snoopLine restricted to levels whose bit is set in @p levelMask. */
+    void snoopLineLevels(Addr addr, std::uint32_t levelMask);
 
     MetricScope scope_;
     std::vector<std::unique_ptr<SetAssocCache>> levels_;
     MemorySideListener *listener_ = nullptr;
+    /** Reused by flushAll(); the per-access paths never allocate. */
+    std::vector<CacheEviction> flushScratch_;
     Counter &memRequests_;
     Counter &memWritebacks_;
 };

@@ -24,71 +24,111 @@ SetAssocCache::SetAssocCache(const CacheConfig &config,
     numSets_ = config.sizeBytes / (config.blockSize *
                                    config.associativity);
     KONA_ASSERT(numSets_ > 0, "cache too small for its geometry");
-    sets_.resize(numSets_);
+    ways_.resize(numSets_ * config.associativity);
+    used_.assign(numSets_, 0);
 }
 
 CacheOutcome
 SetAssocCache::access(Addr addr, AccessType type,
-                      std::vector<CacheEviction> &evictions)
+                      CacheEviction &eviction)
 {
     Addr blockNum = addr / config_.blockSize;
-    Set &set = sets_[setIndex(blockNum)];
+    std::size_t s = setIndex(blockNum);
+    Way *set = setBase(s);
+    std::size_t used = used_[s];
 
-    for (auto it = set.begin(); it != set.end(); ++it) {
-        if (it->tag == blockNum) {
+    for (std::size_t i = 0; i < used; ++i) {
+        if (set[i].tag == blockNum) {
+            Way hit = set[i];
             if (type == AccessType::Write)
-                it->dirty = true;
-            set.splice(set.begin(), set, it);
+                hit.dirty = true;
+            for (std::size_t j = i; j > 0; --j)
+                set[j] = set[j - 1];
+            set[0] = hit;
             hits_.add();
+            eviction.valid = false;
             return CacheOutcome::Hit;
         }
     }
 
     misses_.add();
-    if (set.size() >= config_.associativity) {
-        const Way &victim = set.back();
+    if (used >= config_.associativity) {
+        const Way &victim = set[config_.associativity - 1];
         if (victim.dirty)
             writebacks_.add();
-        evictions.push_back({victim.tag * config_.blockSize,
-                             victim.dirty});
-        set.pop_back();
+        eviction = {victim.tag * config_.blockSize, victim.dirty, true};
+        used = config_.associativity - 1;
+    } else {
+        eviction.valid = false;
+        used_[s] = static_cast<std::uint32_t>(used + 1);
     }
-    set.push_front({blockNum, type == AccessType::Write});
+    for (std::size_t j = used; j > 0; --j)
+        set[j] = set[j - 1];
+    set[0] = {blockNum, type == AccessType::Write};
     return CacheOutcome::Miss;
 }
 
 void
-SetAssocCache::fillDirty(Addr addr, std::vector<CacheEviction> &evictions)
+SetAssocCache::fillDirty(Addr addr, CacheEviction &eviction)
 {
     Addr blockNum = addr / config_.blockSize;
-    Set &set = sets_[setIndex(blockNum)];
+    std::size_t s = setIndex(blockNum);
+    Way *set = setBase(s);
+    std::size_t used = used_[s];
 
-    for (auto it = set.begin(); it != set.end(); ++it) {
-        if (it->tag == blockNum) {
-            it->dirty = true;
-            set.splice(set.begin(), set, it);
+    for (std::size_t i = 0; i < used; ++i) {
+        if (set[i].tag == blockNum) {
+            for (std::size_t j = i; j > 0; --j)
+                set[j] = set[j - 1];
+            set[0] = {blockNum, true};
+            eviction.valid = false;
             return;
         }
     }
-    if (set.size() >= config_.associativity) {
-        const Way &victim = set.back();
+    if (used >= config_.associativity) {
+        const Way &victim = set[config_.associativity - 1];
         if (victim.dirty)
             writebacks_.add();
-        evictions.push_back({victim.tag * config_.blockSize,
-                             victim.dirty});
-        set.pop_back();
+        eviction = {victim.tag * config_.blockSize, victim.dirty, true};
+        used = config_.associativity - 1;
+    } else {
+        eviction.valid = false;
+        used_[s] = static_cast<std::uint32_t>(used + 1);
     }
-    set.push_front({blockNum, true});
+    for (std::size_t j = used; j > 0; --j)
+        set[j] = set[j - 1];
+    set[0] = {blockNum, true};
 }
 
 bool
 SetAssocCache::contains(Addr addr) const
 {
     Addr blockNum = addr / config_.blockSize;
-    const Set &set = sets_[setIndex(blockNum)];
-    for (const Way &way : set) {
-        if (way.tag == blockNum)
+    std::size_t s = setIndex(blockNum);
+    const Way *set = setBase(s);
+    std::size_t used = used_[s];
+    for (std::size_t i = 0; i < used; ++i) {
+        if (set[i].tag == blockNum)
             return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::holdsLineOfPage(Addr pn) const
+{
+    Addr firstBlock = pn * pageSize / config_.blockSize;
+    std::size_t count = config_.blockSize < pageSize
+                            ? pageSize / config_.blockSize
+                            : 1;
+    for (std::size_t k = 0; k < count; ++k) {
+        Addr blockNum = firstBlock + k;
+        const Way *set = setBase(setIndex(blockNum));
+        std::size_t used = used_[setIndex(blockNum)];
+        for (std::size_t i = 0; i < used; ++i) {
+            if (set[i].tag == blockNum)
+                return true;
+        }
     }
     return false;
 }
@@ -97,11 +137,15 @@ std::optional<bool>
 SetAssocCache::invalidateBlock(Addr addr)
 {
     Addr blockNum = addr / config_.blockSize;
-    Set &set = sets_[setIndex(blockNum)];
-    for (auto it = set.begin(); it != set.end(); ++it) {
-        if (it->tag == blockNum) {
-            bool dirty = it->dirty;
-            set.erase(it);
+    std::size_t s = setIndex(blockNum);
+    Way *set = setBase(s);
+    std::size_t used = used_[s];
+    for (std::size_t i = 0; i < used; ++i) {
+        if (set[i].tag == blockNum) {
+            bool dirty = set[i].dirty;
+            for (std::size_t j = i; j + 1 < used; ++j)
+                set[j] = set[j + 1];
+            used_[s] = static_cast<std::uint32_t>(used - 1);
             return dirty;
         }
     }
@@ -111,28 +155,32 @@ SetAssocCache::invalidateBlock(Addr addr)
 void
 SetAssocCache::flushAll(std::vector<CacheEviction> &evictions)
 {
-    for (Set &set : sets_) {
-        for (const Way &way : set) {
-            if (way.dirty)
+    for (std::size_t s = 0; s < numSets_; ++s) {
+        const Way *set = setBase(s);
+        std::size_t used = used_[s];
+        for (std::size_t i = 0; i < used; ++i) {
+            if (set[i].dirty)
                 writebacks_.add();
-            evictions.push_back({way.tag * config_.blockSize, way.dirty});
+            evictions.push_back({set[i].tag * config_.blockSize,
+                                 set[i].dirty, true});
         }
-        set.clear();
+        used_[s] = 0;
     }
 }
 
 bool
 SetAssocCache::checkInvariants() const
 {
-    for (std::size_t i = 0; i < sets_.size(); ++i) {
-        const Set &set = sets_[i];
-        if (set.size() > config_.associativity)
+    for (std::size_t s = 0; s < numSets_; ++s) {
+        std::size_t used = used_[s];
+        if (used > config_.associativity)
             return false;
+        const Way *set = setBase(s);
         std::unordered_set<Addr> tags;
-        for (const Way &way : set) {
-            if (!tags.insert(way.tag).second)
+        for (std::size_t i = 0; i < used; ++i) {
+            if (!tags.insert(set[i].tag).second)
                 return false;      // duplicate tag in a set
-            if (setIndex(way.tag) != i)
+            if (setIndex(set[i].tag) != s)
                 return false;      // tag hashed to the wrong set
         }
     }

@@ -8,16 +8,21 @@
  *    writebacks are the coherence events the FPGA observes;
  *  - the FMem page cache on the FPGA (4KB blocks, 4-way), and the
  *    KCacheSim DRAM-cache level swept over block sizes in Fig 8d.
+ *
+ * Storage is a single flat array of numSets * associativity way
+ * slots. Each set owns a contiguous slice; its valid ways occupy a
+ * prefix of the slice in LRU order (slot 0 = MRU). With the small
+ * associativities we model (<= 16), a shift-down on hit beats the
+ * pointer chasing of a per-set std::list, and no access ever touches
+ * the heap. See DESIGN.md "Simulator performance".
  */
 
 #ifndef KONA_CACHE_SET_ASSOC_CACHE_H
 #define KONA_CACHE_SET_ASSOC_CACHE_H
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
@@ -35,11 +40,17 @@ struct CacheConfig
     std::size_t blockSize = cacheLineSize;
 };
 
-/** A block leaving the cache. */
+/**
+ * A block leaving the cache. Access paths produce at most one victim
+ * per operation (a hit evicts nothing; a fill replaces exactly one
+ * way), so the single-eviction out-param below is exhaustive — see
+ * DESIGN.md "Simulator performance" for why this is an invariant.
+ */
 struct CacheEviction
 {
     Addr blockAddr = 0;   ///< block-aligned address
     bool dirty = false;
+    bool valid = false;   ///< whether a victim was produced at all
 };
 
 /** Result of one access. */
@@ -56,20 +67,27 @@ class SetAssocCache
 
     /**
      * Access the block containing @p addr.
-     * On a miss the block is allocated; a victim, if any, is appended
-     * to @p evictions (at most one per access).
+     * On a miss the block is allocated; @p eviction reports the victim
+     * (eviction.valid == false when nothing was displaced).
      */
     CacheOutcome access(Addr addr, AccessType type,
-                        std::vector<CacheEviction> &evictions);
+                        CacheEviction &eviction);
 
     /**
      * Insert a block without an access (fill from a writeback arriving
-     * from an inner level); marks it dirty.
+     * from an inner level); marks it dirty. @p eviction as access().
      */
-    void fillDirty(Addr addr, std::vector<CacheEviction> &evictions);
+    void fillDirty(Addr addr, CacheEviction &eviction);
 
     /** Whether the block containing @p addr is cached (no side effects). */
     bool contains(Addr addr) const;
+
+    /**
+     * Whether any block overlapping 4KB page @p pn is cached (no side
+     * effects, no LRU update). Lets snoopPage() skip levels that hold
+     * nothing of the page.
+     */
+    bool holdsLineOfPage(Addr pn) const;
 
     /**
      * Remove the block containing @p addr (snoop / back-invalidate).
@@ -77,7 +95,7 @@ class SetAssocCache
      */
     std::optional<bool> invalidateBlock(Addr addr);
 
-    /** Evict everything; dirty victims go to @p evictions. */
+    /** Evict everything; victims go to @p evictions (cold path). */
     void flushAll(std::vector<CacheEviction> &evictions);
 
     const CacheConfig &config() const { return config_; }
@@ -95,7 +113,7 @@ class SetAssocCache
     }
     std::size_t numSets() const { return numSets_; }
 
-    /** LRU lists sized <= associativity; tags unique per set. */
+    /** Valid prefixes sized <= associativity; tags unique per set. */
     bool checkInvariants() const;
 
   private:
@@ -104,18 +122,26 @@ class SetAssocCache
         Addr tag;       ///< block number (addr / blockSize)
         bool dirty;
     };
-    /** One set: LRU-ordered ways, front = most recent. */
-    using Set = std::list<Way>;
 
     std::size_t setIndex(Addr blockNum) const
     {
         return static_cast<std::size_t>(blockNum % numSets_);
     }
 
+    /** Start of set @p s's slice in ways_. */
+    Way *setBase(std::size_t s) { return ways_.data() + s * config_.associativity; }
+    const Way *setBase(std::size_t s) const
+    {
+        return ways_.data() + s * config_.associativity;
+    }
+
     CacheConfig config_;
     MetricScope scope_;
     std::size_t numSets_;
-    std::vector<Set> sets_;
+    /** numSets * associativity slots; set s owns
+     *  [s*assoc, s*assoc + used_[s]) in LRU order, MRU first. */
+    std::vector<Way> ways_;
+    std::vector<std::uint32_t> used_;
     Counter &hits_;
     Counter &misses_;
     Counter &writebacks_;

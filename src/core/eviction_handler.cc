@@ -1,6 +1,7 @@
 #include "core/eviction_handler.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstring>
 
@@ -18,11 +19,14 @@ struct LineRun
     unsigned count;
 };
 
-/** Decompose a 64-bit dirty mask into contiguous runs. */
-std::vector<LineRun>
-runsOf(std::uint64_t mask)
+/** Fixed-size run scratch: 64 bits hold at most 32 distinct runs. */
+using LineRuns = std::array<LineRun, linesPerPage / 2>;
+
+/** Decompose a 64-bit dirty mask into contiguous runs (no heap). */
+std::size_t
+runsOf(std::uint64_t mask, LineRuns &runs)
 {
-    std::vector<LineRun> runs;
+    std::size_t count = 0;
     unsigned line = 0;
     while (line < linesPerPage) {
         if (((mask >> line) & 1ULL) == 0) {
@@ -32,9 +36,9 @@ runsOf(std::uint64_t mask)
         unsigned start = line;
         while (line < linesPerPage && ((mask >> line) & 1ULL))
             ++line;
-        runs.push_back({start, line - start});
+        runs[count++] = {start, line - start};
     }
-    return runs;
+    return count;
 }
 
 } // namespace
@@ -246,7 +250,8 @@ EvictionHandler::submit(const EvictionRequest &req, SimClock &clock)
         const std::uint8_t *frame = fpga_.framePointer(page.vpn);
         auto copies = fpga_.translation().translateAll(page.vpn *
                                                        pageSize);
-        std::vector<LineRun> runs = runsOf(page.mask);
+        LineRuns runs;
+        std::size_t runCount = runsOf(page.mask, runs);
 
         if (config_.mode == EvictionMode::ClLog) {
             // Gathering a page's dirty lines costs one page lookup,
@@ -256,7 +261,7 @@ EvictionHandler::submit(const EvictionRequest &req, SimClock &clock)
                 static_cast<std::uint64_t>(std::popcount(page.mask)) *
                 cacheLineSize;
             copyCost += lat.copySetupNs +
-                        static_cast<double>(runs.size()) *
+                        static_cast<double>(runCount) *
                             lat.copyPerRunNs +
                         static_cast<double>(bytes) * lat.copyPerKbNs /
                             1024.0;
@@ -277,7 +282,8 @@ EvictionHandler::submit(const EvictionRequest &req, SimClock &clock)
                         payload.log,
                         ringFor(loc.node).slotBytes);
                 }
-                for (const LineRun &run : runs) {
+                for (std::size_t r = 0; r < runCount; ++r) {
+                    const LineRun &run = runs[r];
                     bool fits = payload.writer->appendRun(
                         loc.addr + static_cast<Addr>(run.firstLine) *
                                        cacheLineSize,

@@ -311,6 +311,10 @@ KonaRuntime::collectPlacements()
 void
 KonaRuntime::checkRackHealth()
 {
+    // Fast path: this runs on every read()/write(), and rack failures
+    // are rare — skip the vector move when nothing was declared dead.
+    if (!controller_.hasNewlyFailed())
+        return;
     for (NodeId node : controller_.takeNewlyFailed())
         recoverFromNodeFailure(node);
 }

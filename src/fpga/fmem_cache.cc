@@ -17,23 +17,45 @@ FMemCache::FMemCache(std::size_t sizeBytes, std::size_t associativity,
     frames_ = sizeBytes / pageSize;
     numSets_ = frames_ / assoc_;
     KONA_ASSERT(numSets_ > 0, "FMem too small");
-    sets_.resize(numSets_);
-    freeFrames_.resize(numSets_);
+    ways_.resize(frames_);
+    used_.assign(numSets_, 0);
+    // Every slot starts invalid, parking one free frame. Descending
+    // order preserves the historical allocation order (the list-based
+    // store handed out the highest way first), so frame placement is
+    // bit-identical to the old implementation.
     for (std::size_t set = 0; set < numSets_; ++set) {
         for (std::size_t way = 0; way < assoc_; ++way)
-            freeFrames_[set].push_back(set * assoc_ + way);
+            setBase(set)[way].frame = set * assoc_ + (assoc_ - 1 - way);
     }
+}
+
+std::size_t
+FMemCache::findWay(Addr vpn) const
+{
+    std::size_t si = setOf(vpn);
+    const Way *set = setBase(si);
+    std::size_t used = used_[si];
+    for (std::size_t i = 0; i < used; ++i) {
+        if (set[i].vpn == vpn)
+            return i;
+    }
+    return npos;
 }
 
 std::optional<std::size_t>
 FMemCache::lookup(Addr vpn)
 {
-    Set &set = sets_[setOf(vpn)];
-    for (auto it = set.begin(); it != set.end(); ++it) {
-        if (it->vpn == vpn) {
-            set.splice(set.begin(), set, it);
+    std::size_t si = setOf(vpn);
+    Way *set = setBase(si);
+    std::size_t used = used_[si];
+    for (std::size_t i = 0; i < used; ++i) {
+        if (set[i].vpn == vpn) {
+            Way hit = set[i];
+            for (std::size_t j = i; j > 0; --j)
+                set[j] = set[j - 1];
+            set[0] = hit;
             hits_.add();
-            return it->frame;
+            return hit.frame;
         }
     }
     misses_.add();
@@ -43,36 +65,35 @@ FMemCache::lookup(Addr vpn)
 bool
 FMemCache::contains(Addr vpn) const
 {
-    const Set &set = sets_[setOf(vpn)];
-    for (const Way &way : set) {
-        if (way.vpn == vpn)
-            return true;
-    }
-    return false;
+    return findWay(vpn) != npos;
 }
 
 std::optional<std::size_t>
 FMemCache::frameOf(Addr vpn) const
 {
-    const Set &set = sets_[setOf(vpn)];
-    for (const Way &way : set) {
-        if (way.vpn == vpn)
-            return way.frame;
-    }
-    return std::nullopt;
+    std::size_t i = findWay(vpn);
+    if (i == npos)
+        return std::nullopt;
+    return setBase(setOf(vpn))[i].frame;
 }
 
 std::size_t
 FMemCache::insert(Addr vpn, bool prefetched, Tick tick)
 {
     std::size_t si = setOf(vpn);
-    Set &set = sets_[si];
-    KONA_ASSERT(!contains(vpn), "double insert of VFMem page ", vpn);
-    KONA_ASSERT(!freeFrames_[si].empty(),
+    Way *set = setBase(si);
+    std::size_t used = used_[si];
+    KONA_ASSERT(findWay(vpn) == npos, "double insert of VFMem page ",
+                vpn);
+    KONA_ASSERT(used < assoc_,
                 "insert into a full set; evict the victim first");
-    std::size_t frame = freeFrames_[si].back();
-    freeFrames_[si].pop_back();
-    set.push_front({vpn, frame, prefetched, tick});
+    // The first invalid slot parks the frame this page will use; it is
+    // about to be overwritten by the shift, so take it now.
+    std::size_t frame = set[used].frame;
+    for (std::size_t j = used; j > 0; --j)
+        set[j] = set[j - 1];
+    set[0] = {vpn, frame, prefetched, tick, false};
+    used_[si] = static_cast<std::uint32_t>(used + 1);
     ++resident_;
     return frame;
 }
@@ -80,104 +101,112 @@ FMemCache::insert(Addr vpn, bool prefetched, Tick tick)
 std::optional<Tick>
 FMemCache::clearPrefetched(Addr vpn)
 {
-    Set &set = sets_[setOf(vpn)];
-    for (Way &way : set) {
-        if (way.vpn == vpn) {
-            if (!way.prefetched)
-                return std::nullopt;
-            way.prefetched = false;
-            return way.prefetchTick;
-        }
-    }
-    return std::nullopt;
+    std::size_t i = findWay(vpn);
+    if (i == npos)
+        return std::nullopt;
+    Way &way = setBase(setOf(vpn))[i];
+    if (!way.prefetched)
+        return std::nullopt;
+    way.prefetched = false;
+    return way.prefetchTick;
 }
 
 bool
 FMemCache::isPrefetched(Addr vpn) const
 {
-    const Set &set = sets_[setOf(vpn)];
-    for (const Way &way : set) {
-        if (way.vpn == vpn)
-            return way.prefetched;
-    }
-    return false;
+    std::size_t i = findWay(vpn);
+    return i != npos && setBase(setOf(vpn))[i].prefetched;
 }
 
 void
 FMemCache::setEvictionInFlight(Addr vpn, bool inFlight)
 {
-    Set &set = sets_[setOf(vpn)];
-    for (Way &way : set) {
-        if (way.vpn == vpn) {
-            way.evicting = inFlight;
-            return;
-        }
-    }
+    std::size_t i = findWay(vpn);
+    if (i != npos)
+        setBase(setOf(vpn))[i].evicting = inFlight;
 }
 
 bool
 FMemCache::evictionInFlight(Addr vpn) const
 {
-    const Set &set = sets_[setOf(vpn)];
-    for (const Way &way : set) {
-        if (way.vpn == vpn)
-            return way.evicting;
-    }
-    return false;
+    std::size_t i = findWay(vpn);
+    return i != npos && setBase(setOf(vpn))[i].evicting;
 }
 
 std::optional<FMemCache::Victim>
 FMemCache::victimFor(Addr vpn) const
 {
     std::size_t si = setOf(vpn);
-    if (!freeFrames_[si].empty())
+    std::size_t used = used_[si];
+    if (used < assoc_)
         return std::nullopt;
     // Walk LRU -> MRU for the oldest way not already being shipped;
     // only a fully fenced set hands back an in-flight victim (the
     // eviction engine then stalls on that shipment's completion).
-    for (auto it = sets_[si].rbegin(); it != sets_[si].rend(); ++it) {
-        if (!it->evicting)
-            return Victim{it->vpn, it->frame};
+    const Way *set = setBase(si);
+    for (std::size_t i = used; i-- > 0;) {
+        if (!set[i].evicting)
+            return Victim{set[i].vpn, set[i].frame};
     }
-    const Way &lru = sets_[si].back();
+    const Way &lru = set[used - 1];
     return Victim{lru.vpn, lru.frame};
 }
 
 void
 FMemCache::remove(Addr vpn)
 {
+    std::size_t i = findWay(vpn);
+    if (i == npos)
+        panic("remove of non-resident VFMem page ", vpn);
     std::size_t si = setOf(vpn);
-    Set &set = sets_[si];
-    for (auto it = set.begin(); it != set.end(); ++it) {
-        if (it->vpn == vpn) {
-            freeFrames_[si].push_back(it->frame);
-            set.erase(it);
-            --resident_;
-            return;
-        }
+    Way *set = setBase(si);
+    std::size_t used = used_[si];
+    std::size_t frame = set[i].frame;
+    for (std::size_t j = i; j + 1 < used; ++j)
+        set[j] = set[j + 1];
+    // The newly invalid slot parks the freed frame.
+    set[used - 1].frame = frame;
+    used_[si] = static_cast<std::uint32_t>(used - 1);
+    --resident_;
+}
+
+std::size_t
+FMemCache::setVictims(std::size_t si, std::size_t freeWays,
+                      std::vector<Victim> *out) const
+{
+    std::size_t used = used_[si];
+    std::size_t free = assoc_ - used;
+    if (free >= freeWays)
+        return 0;
+    std::size_t need = freeWays - free;
+    // Walk the set from LRU (back of the prefix) forward, skipping
+    // ways whose eviction is already in flight (they free up on ack).
+    const Way *set = setBase(si);
+    std::size_t count = 0;
+    for (std::size_t i = used; count < need && i-- > 0;) {
+        if (set[i].evicting)
+            continue;
+        if (out != nullptr)
+            out->push_back({set[i].vpn, set[i].frame});
+        ++count;
     }
-    panic("remove of non-resident VFMem page ", vpn);
+    return count;
 }
 
 std::vector<FMemCache::Victim>
 FMemCache::overOccupiedVictims(std::size_t freeWays) const
 {
     std::vector<Victim> victims;
-    for (std::size_t si = 0; si < numSets_; ++si) {
-        std::size_t free = freeFrames_[si].size();
-        if (free >= freeWays)
-            continue;
-        std::size_t need = freeWays - free;
-        // Walk the set from LRU (back) forward, skipping ways whose
-        // eviction is already in flight (they will free up on ack).
-        for (auto it = sets_[si].rbegin();
-             need > 0 && it != sets_[si].rend(); ++it) {
-            if (it->evicting)
-                continue;
-            victims.push_back({it->vpn, it->frame});
-            --need;
-        }
-    }
+    // Count first: the common case (every set has room) must return
+    // without allocating, and the rest reserve exactly once.
+    std::size_t total = 0;
+    for (std::size_t si = 0; si < numSets_; ++si)
+        total += setVictims(si, freeWays, nullptr);
+    if (total == 0)
+        return victims;
+    victims.reserve(total);
+    for (std::size_t si = 0; si < numSets_; ++si)
+        setVictims(si, freeWays, &victims);
     return victims;
 }
 
@@ -186,9 +215,11 @@ FMemCache::residentPages() const
 {
     std::vector<Addr> pages;
     pages.reserve(resident_);
-    for (const Set &set : sets_) {
-        for (const Way &way : set)
-            pages.push_back(way.vpn);
+    for (std::size_t si = 0; si < numSets_; ++si) {
+        const Way *set = setBase(si);
+        std::size_t used = used_[si];
+        for (std::size_t i = 0; i < used; ++i)
+            pages.push_back(set[i].vpn);
     }
     return pages;
 }
@@ -199,24 +230,25 @@ FMemCache::checkInvariants() const
     std::unordered_set<std::size_t> seenFrames;
     std::size_t resident = 0;
     for (std::size_t si = 0; si < numSets_; ++si) {
-        const Set &set = sets_[si];
-        if (set.size() + freeFrames_[si].size() != assoc_)
+        std::size_t used = used_[si];
+        if (used > assoc_)
             return false;
+        const Way *set = setBase(si);
         std::unordered_set<Addr> tags;
-        for (const Way &way : set) {
-            if (setOf(way.vpn) != si)
+        for (std::size_t i = 0; i < assoc_; ++i) {
+            // Valid or parked, every slot's frame belongs to this set
+            // and appears exactly once across the whole store.
+            if (!seenFrames.insert(set[i].frame).second)
                 return false;
-            if (!tags.insert(way.vpn).second)
+            if (set[i].frame / assoc_ != si)
                 return false;
-            if (!seenFrames.insert(way.frame).second)
-                return false;
-            if (way.frame / assoc_ != si)
-                return false;
-            ++resident;
-        }
-        for (std::size_t frame : freeFrames_[si]) {
-            if (!seenFrames.insert(frame).second)
-                return false;
+            if (i < used) {
+                if (setOf(set[i].vpn) != si)
+                    return false;
+                if (!tags.insert(set[i].vpn).second)
+                    return false;
+                ++resident;
+            }
         }
     }
     return resident == resident_;

@@ -6,13 +6,20 @@
  * of VFMem with its block size equal to the page size. Frames are
  * fixed per (set, way) slot, so a page's bytes live at
  * frame * pageSize inside the FMem backing store.
+ *
+ * Storage is one flat array of numSets * associativity way slots
+ * (same layout as SetAssocCache — see DESIGN.md "Simulator
+ * performance"): set s owns slots [s*assoc, (s+1)*assoc); its
+ * resident ways occupy a prefix in LRU order (slot 0 = MRU). The
+ * invalid tail slots double as the set's free-frame list — each
+ * carries an unused frame number in its frame field — so lookup,
+ * insert and remove never touch the heap.
  */
 
 #ifndef KONA_FPGA_FMEM_CACHE_H
 #define KONA_FPGA_FMEM_CACHE_H
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <vector>
 
@@ -95,7 +102,9 @@ class FMemCache
 
     /**
      * Victims to evict so every set keeps >= @p freeWays free ways.
-     * Used by background eviction to stay ahead of fetches.
+     * Used by background eviction to stay ahead of fetches. Counts
+     * first and reserves exactly, so the common every-set-has-room
+     * case returns without touching the heap.
      */
     std::vector<Victim> overOccupiedVictims(std::size_t freeWays) const;
 
@@ -111,7 +120,7 @@ class FMemCache
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
 
-    /** Tag store consistency: frames unique, LRU lists well formed. */
+    /** Tag store consistency: frames unique, prefixes well formed. */
     bool checkInvariants() const;
 
   private:
@@ -123,19 +132,37 @@ class FMemCache
         Tick prefetchTick = 0;     ///< sim time the prefetch was issued
         bool evicting = false;     ///< eviction shipment in flight
     };
-    /** LRU-ordered occupied ways, front = most recent. */
-    using Set = std::list<Way>;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
     std::size_t setOf(Addr vpn) const { return vpn % numSets_; }
+
+    Way *setBase(std::size_t si) { return ways_.data() + si * assoc_; }
+    const Way *setBase(std::size_t si) const
+    {
+        return ways_.data() + si * assoc_;
+    }
+
+    /** Index of @p vpn within its set's valid prefix, or npos. */
+    std::size_t findWay(Addr vpn) const;
+
+    /**
+     * Collect (or just count, when @p out is null) the victims set
+     * @p si owes to keep @p freeWays ways free.
+     */
+    std::size_t setVictims(std::size_t si, std::size_t freeWays,
+                           std::vector<Victim> *out) const;
 
     MetricScope scope_;
     std::size_t assoc_;
     std::size_t numSets_;
     std::size_t frames_;
     std::size_t resident_ = 0;
-    std::vector<Set> sets_;
-    /** Per-set free frame slots. */
-    std::vector<std::vector<std::size_t>> freeFrames_;
+    /** numSets * assoc slots; set s's resident ways are the prefix
+     *  [s*assoc, s*assoc + used_[s]) in LRU order (MRU first); the
+     *  tail slots each park one free frame number. */
+    std::vector<Way> ways_;
+    std::vector<std::uint32_t> used_;
     Counter &hits_;
     Counter &misses_;
 };

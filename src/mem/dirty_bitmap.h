@@ -5,6 +5,13 @@
  * This is the data structure the coherent FPGA maintains from observed
  * writebacks (track-local-data) and the Eviction Handler scans to build
  * the CL log. One bit per 64-byte line, 64 lines per page.
+ *
+ * Two hot-path refinements (see DESIGN.md "Simulator performance"):
+ * the total dirty-line count is maintained incrementally (popcount
+ * deltas on every mutation) so totalDirtyLines()/totalDirtyBytes() —
+ * called on the eviction path and by telemetry export — are O(1); and
+ * a one-entry memo of the last page touched short-circuits the hash
+ * probe for the common run of writebacks landing in one page.
  */
 
 #ifndef KONA_MEM_DIRTY_BITMAP_H
@@ -28,23 +35,46 @@ class DirtyLineBitmap
     {
         if (size == 0)
             return;
-        Addr first = alignDown(addr, cacheLineSize);
-        Addr last = alignDown(addr + size - 1, cacheLineSize);
-        for (Addr line = first; line <= last; line += cacheLineSize)
-            markLine(line);
+        Addr firstLine = alignDown(addr, cacheLineSize) / cacheLineSize;
+        Addr lastLine =
+            alignDown(addr + size - 1, cacheLineSize) / cacheLineSize;
+        // One mask OR per page instead of one markLine per line.
+        for (Addr pn = firstLine / linesPerPage;
+             pn <= lastLine / linesPerPage; ++pn) {
+            Addr lo = pn == firstLine / linesPerPage
+                          ? firstLine % linesPerPage
+                          : 0;
+            Addr hi = pn == lastLine / linesPerPage
+                          ? lastLine % linesPerPage
+                          : linesPerPage - 1;
+            std::uint64_t mask = hi - lo == 63
+                                     ? ~std::uint64_t{0}
+                                     : ((std::uint64_t{1}
+                                         << (hi - lo + 1)) -
+                                        1)
+                                           << lo;
+            orMask(pn, mask);
+        }
     }
 
     /** Mark the single cache-line containing @p addr dirty. */
     void
     markLine(Addr addr)
     {
-        masks_[pageNumber(addr)] |= 1ULL << lineInPage(addr);
+        std::uint64_t *mask = maskFor(pageNumber(addr));
+        std::uint64_t bit = 1ULL << lineInPage(addr);
+        if ((*mask & bit) == 0) {
+            *mask |= bit;
+            ++dirtyLineCount_;
+        }
     }
 
     /** Dirty mask for page @p pn (0 if clean/untracked). */
     std::uint64_t
     pageMask(Addr pn) const
     {
+        if (memoPn_ == pn && memoMask_ != nullptr)
+            return *memoMask_;
         auto it = masks_.find(pn);
         return it == masks_.end() ? 0 : it->second;
     }
@@ -67,8 +97,12 @@ class DirtyLineBitmap
     void
     orMask(Addr pn, std::uint64_t mask)
     {
-        if (mask != 0)
-            masks_[pn] |= mask;
+        if (mask == 0)
+            return;
+        std::uint64_t *slot = maskFor(pn);
+        dirtyLineCount_ += static_cast<std::uint64_t>(
+            std::popcount(mask & ~*slot));
+        *slot |= mask;
     }
 
     /** Forget page @p pn (after writeback). Returns old mask. */
@@ -79,21 +113,26 @@ class DirtyLineBitmap
         if (it == masks_.end())
             return 0;
         std::uint64_t mask = it->second;
+        dirtyLineCount_ -=
+            static_cast<std::uint64_t>(std::popcount(mask));
+        // erase invalidates references into the map; drop the memo.
+        memoMask_ = nullptr;
+        memoPn_ = invalidAddr;
         masks_.erase(it);
         return mask;
     }
 
-    void clearAll() { masks_.clear(); }
-
-    /** Total dirty lines across all pages. */
-    std::uint64_t
-    totalDirtyLines() const
+    void
+    clearAll()
     {
-        std::uint64_t total = 0;
-        for (const auto &[pn, mask] : masks_)
-            total += std::popcount(mask);
-        return total;
+        masks_.clear();
+        dirtyLineCount_ = 0;
+        memoMask_ = nullptr;
+        memoPn_ = invalidAddr;
     }
+
+    /** Total dirty lines across all pages (O(1)). */
+    std::uint64_t totalDirtyLines() const { return dirtyLineCount_; }
 
     std::uint64_t totalDirtyBytes() const
     {
@@ -108,7 +147,25 @@ class DirtyLineBitmap
     }
 
   private:
+    /**
+     * Mutable mask slot for @p pn, creating it if needed. The memo is
+     * safe because unordered_map references survive insertions; only
+     * erase() (clearPage/clearAll) invalidates it, and both drop it.
+     */
+    std::uint64_t *
+    maskFor(Addr pn)
+    {
+        if (memoPn_ == pn && memoMask_ != nullptr)
+            return memoMask_;
+        memoPn_ = pn;
+        memoMask_ = &masks_[pn];
+        return memoMask_;
+    }
+
     std::unordered_map<Addr, std::uint64_t> masks_;
+    std::uint64_t dirtyLineCount_ = 0;
+    Addr memoPn_ = invalidAddr;
+    std::uint64_t *memoMask_ = nullptr;
 };
 
 /**

@@ -139,6 +139,9 @@ class Controller
     /** Nodes newly declared Failed since the last call (clears them). */
     std::vector<NodeId> takeNewlyFailed();
 
+    /** Whether takeNewlyFailed() would return anything (no copy). */
+    bool hasNewlyFailed() const { return !newlyFailed_.empty(); }
+
     void setFailureThreshold(std::uint32_t n) { failureThreshold_ = n; }
 
     // --- self-healing -----------------------------------------------

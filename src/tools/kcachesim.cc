@@ -86,10 +86,10 @@ KCacheSim::record(const AccessRecord &access)
         }
         ++llcMisses_;
         // The miss stream feeds every DRAM-cache variant in parallel.
+        CacheEviction scratch;
         for (std::size_t v = 0; v < dramCaches_.size(); ++v) {
-            scratchEvictions_.clear();
             CacheOutcome outcome = dramCaches_[v]->access(
-                line, access.type, scratchEvictions_);
+                line, access.type, scratch);
             if (outcome == CacheOutcome::Hit)
                 ++dramHits_[v];
         }

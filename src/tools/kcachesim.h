@@ -120,7 +120,6 @@ class KCacheSim : public TraceSink
     std::vector<std::uint64_t> cpuHits_;
     std::uint64_t llcMisses_ = 0;
     std::vector<std::uint64_t> dramHits_;
-    std::vector<CacheEviction> scratchEvictions_;
 };
 
 } // namespace kona

@@ -30,9 +30,10 @@ tinyCache(std::size_t sets, std::size_t ways,
 TEST(SetAssocCache, HitAfterMiss)
 {
     SetAssocCache cache(tinyCache(4, 2));
-    std::vector<CacheEviction> ev;
+    CacheEviction ev;
     EXPECT_EQ(cache.access(0, AccessType::Read, ev),
               CacheOutcome::Miss);
+    EXPECT_FALSE(ev.valid);
     EXPECT_EQ(cache.access(0, AccessType::Read, ev), CacheOutcome::Hit);
     EXPECT_EQ(cache.access(63, AccessType::Read, ev),
               CacheOutcome::Hit);   // same line
@@ -44,15 +45,14 @@ TEST(SetAssocCache, LruEvictionOrder)
 {
     // One set, two ways: the third distinct block evicts the LRU.
     SetAssocCache cache(tinyCache(1, 2));
-    std::vector<CacheEviction> ev;
+    CacheEviction ev;
     cache.access(0 * 64, AccessType::Read, ev);
     cache.access(1 * 64, AccessType::Read, ev);
     cache.access(0 * 64, AccessType::Read, ev);   // 0 is MRU
-    ev.clear();
     cache.access(2 * 64, AccessType::Read, ev);
-    ASSERT_EQ(ev.size(), 1u);
-    EXPECT_EQ(ev[0].blockAddr, 1u * 64);   // 1 was LRU
-    EXPECT_FALSE(ev[0].dirty);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.blockAddr, 1u * 64);   // 1 was LRU
+    EXPECT_FALSE(ev.dirty);
     EXPECT_TRUE(cache.contains(0));
     EXPECT_FALSE(cache.contains(64));
 }
@@ -60,31 +60,29 @@ TEST(SetAssocCache, LruEvictionOrder)
 TEST(SetAssocCache, DirtyVictimOnWrite)
 {
     SetAssocCache cache(tinyCache(1, 1));
-    std::vector<CacheEviction> ev;
+    CacheEviction ev;
     cache.access(0, AccessType::Write, ev);
-    ev.clear();
     cache.access(64, AccessType::Read, ev);
-    ASSERT_EQ(ev.size(), 1u);
-    EXPECT_TRUE(ev[0].dirty);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
     EXPECT_EQ(cache.writebacks(), 1u);
 }
 
 TEST(SetAssocCache, ReadThenWriteMarksDirty)
 {
     SetAssocCache cache(tinyCache(1, 1));
-    std::vector<CacheEviction> ev;
+    CacheEviction ev;
     cache.access(0, AccessType::Read, ev);
     cache.access(0, AccessType::Write, ev);   // hit, dirties the line
-    ev.clear();
     cache.access(64, AccessType::Read, ev);
-    ASSERT_EQ(ev.size(), 1u);
-    EXPECT_TRUE(ev[0].dirty);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
 }
 
 TEST(SetAssocCache, InvalidateReportsDirtiness)
 {
     SetAssocCache cache(tinyCache(2, 2));
-    std::vector<CacheEviction> ev;
+    CacheEviction ev;
     cache.access(0, AccessType::Write, ev);
     cache.access(128, AccessType::Read, ev);
     auto d0 = cache.invalidateBlock(0);
@@ -99,10 +97,10 @@ TEST(SetAssocCache, InvalidateReportsDirtiness)
 TEST(SetAssocCache, FillDirtyInsertsOrUpgrades)
 {
     SetAssocCache cache(tinyCache(1, 2));
-    std::vector<CacheEviction> ev;
+    CacheEviction ev;
     cache.fillDirty(0, ev);
     EXPECT_TRUE(cache.contains(0));
-    ev.clear();
+    EXPECT_FALSE(ev.valid);
     cache.access(64, AccessType::Read, ev);
     cache.fillDirty(64, ev);   // upgrade clean -> dirty
     auto d = cache.invalidateBlock(64);
@@ -114,7 +112,7 @@ TEST(SetAssocCache, LargeBlockGeometry)
 {
     // FMem-style: 4KB blocks, 4 ways.
     SetAssocCache cache(tinyCache(8, 4, pageSize));
-    std::vector<CacheEviction> ev;
+    CacheEviction ev;
     EXPECT_EQ(cache.access(100, AccessType::Read, ev),
               CacheOutcome::Miss);
     EXPECT_EQ(cache.access(pageSize - 1, AccessType::Read, ev),
@@ -123,18 +121,36 @@ TEST(SetAssocCache, LargeBlockGeometry)
               CacheOutcome::Miss);
 }
 
+TEST(SetAssocCache, HoldsLineOfPageProbe)
+{
+    // Full-size L2-like geometry: 1024 sets, so page 7's 64 lines map
+    // to 64 distinct sets.
+    SetAssocCache cache(tinyCache(1024, 16));
+    CacheEviction ev;
+    EXPECT_FALSE(cache.holdsLineOfPage(7));
+    cache.access(7 * pageSize + 9 * cacheLineSize, AccessType::Read,
+                 ev);
+    EXPECT_TRUE(cache.holdsLineOfPage(7));
+    EXPECT_FALSE(cache.holdsLineOfPage(6));
+    EXPECT_FALSE(cache.holdsLineOfPage(8));
+    cache.invalidateBlock(7 * pageSize + 9 * cacheLineSize);
+    EXPECT_FALSE(cache.holdsLineOfPage(7));
+    // Probing must not disturb LRU order or counters.
+    EXPECT_EQ(cache.accesses(), 1u);
+}
+
 TEST(SetAssocCache, FlushAllEmitsEverything)
 {
     SetAssocCache cache(tinyCache(2, 2));
-    std::vector<CacheEviction> ev;
+    CacheEviction ev;
     cache.access(0, AccessType::Write, ev);
     cache.access(64, AccessType::Read, ev);
     cache.access(128, AccessType::Write, ev);
-    ev.clear();
-    cache.flushAll(ev);
-    EXPECT_EQ(ev.size(), 3u);
+    std::vector<CacheEviction> flushed;
+    cache.flushAll(flushed);
+    EXPECT_EQ(flushed.size(), 3u);
     int dirty = 0;
-    for (const auto &e : ev)
+    for (const auto &e : flushed)
         dirty += e.dirty ? 1 : 0;
     EXPECT_EQ(dirty, 2);
     EXPECT_EQ(cache.contains(0), false);
@@ -165,17 +181,19 @@ TEST_P(CacheGeometryProperty, InvariantsUnderRandomTraffic)
     const Geometry &g = GetParam();
     SetAssocCache cache(tinyCache(g.sets, g.ways, g.block));
     Rng rng(99);
-    std::vector<CacheEviction> ev;
+    CacheEviction ev;
+    std::uint64_t victims = 0;
     for (int i = 0; i < 5000; ++i) {
         Addr addr = rng.below(g.sets * g.ways * g.block * 4);
         auto type = rng.chance(0.3) ? AccessType::Write
                                     : AccessType::Read;
-        ev.clear();
         cache.access(addr, type, ev);
-        EXPECT_LE(ev.size(), 1u);
+        if (ev.valid)
+            ++victims;
     }
     EXPECT_TRUE(cache.checkInvariants());
     EXPECT_EQ(cache.hits() + cache.misses(), 5000u);
+    EXPECT_LE(victims, cache.misses());
 }
 
 INSTANTIATE_TEST_SUITE_P(

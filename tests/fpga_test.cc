@@ -71,6 +71,46 @@ TEST(FMemCache, OverOccupiedVictims)
     EXPECT_EQ(victims.size(), 2u);
 }
 
+TEST(FMemCache, OverOccupiedVictimsSkipsFencedWays)
+{
+    FMemCache fmem(8 * pageSize, 4);   // 2 sets x 4 ways
+    for (Addr vpn : {0, 2, 4, 6})
+        fmem.insert(vpn);   // set 0 full, LRU order 6,4,2,0 (MRU first)
+    for (Addr vpn : {1, 3, 5, 7})
+        fmem.insert(vpn);   // set 1 full too
+
+    // Fence set 0's two LRU ways (0 and 2): background eviction must
+    // look past them and pick the next-oldest unfenced way.
+    fmem.setEvictionInFlight(0, true);
+    fmem.setEvictionInFlight(2, true);
+    auto victims = fmem.overOccupiedVictims(1);
+    ASSERT_EQ(victims.size(), 2u);   // one per full set
+    EXPECT_EQ(victims[0].vfmemPage, 4u);   // set 0: oldest unfenced
+    EXPECT_EQ(victims[1].vfmemPage, 1u);   // set 1: plain LRU
+
+    // Fence ALL of set 0: the pump gets nothing from that set (every
+    // candidate is already on its way out), and set 1 is unaffected.
+    fmem.setEvictionInFlight(4, true);
+    fmem.setEvictionInFlight(6, true);
+    victims = fmem.overOccupiedVictims(2);
+    ASSERT_EQ(victims.size(), 2u);
+    EXPECT_EQ(victims[0].vfmemPage, 1u);
+    EXPECT_EQ(victims[1].vfmemPage, 3u);
+
+    // Fence every way of every set: nothing to pump at all (and the
+    // count-first path returns an empty vector without reserving).
+    for (Addr vpn : {1, 3, 5, 7})
+        fmem.setEvictionInFlight(vpn, true);
+    EXPECT_TRUE(fmem.overOccupiedVictims(4).empty());
+
+    // Unfencing restores eligibility.
+    fmem.setEvictionInFlight(0, false);
+    victims = fmem.overOccupiedVictims(1);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0].vfmemPage, 0u);
+    EXPECT_TRUE(fmem.checkInvariants());
+}
+
 TEST(FMemCache, ResidentPagesEnumeration)
 {
     FMemCache fmem(16 * pageSize, 4);

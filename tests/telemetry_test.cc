@@ -279,6 +279,22 @@ TEST(LatencyHistogram, QuantilesAreConservativeWithinOneOctave)
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
 }
 
+TEST(LatencyHistogram, FirstSampleSetsBothMinAndMax)
+{
+    // Regression guard: a single recorded value must become both the
+    // min and the max, even when it is far above the initial bucket
+    // range — a first-sample init bug would leave minValue() at 0 (or
+    // the value at the stale sentinel) and the two would diverge.
+    LatencyHistogram h;
+    h.record(1.0e9);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.minValue(), 1.0e9);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 1.0e9);
+    EXPECT_DOUBLE_EQ(h.minValue(), h.maxValue());
+    EXPECT_DOUBLE_EQ(h.mean(), 1.0e9);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0e9);
+}
+
 TEST(LatencyHistogram, ZeroAndNegativeValues)
 {
     LatencyHistogram h;
