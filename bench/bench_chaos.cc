@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Chaos harness: runs every builtin chaos scenario across a seed
+ * sweep, reports per-scenario p99 AMAT and availability, and checks
+ * each run's final memory image against the scenario's fault-free
+ * oracle. Exports everything through --metrics-json= (CI publishes it
+ * as BENCH_chaos.json).
+ *
+ *   bench_chaos [--quick] [--soak] [--metrics-json=PATH]
+ *
+ * --quick: one seed per scenario (PR-gating CI).
+ * --soak: ten seeds per scenario (the scheduled soak job).
+ * Default: five seeds (the acceptance sweep).
+ *
+ * Exit status is non-zero when any run diverges from its oracle.
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "chaos/chaos_runner.h"
+
+using namespace kona;
+using namespace kona::bench;
+
+int
+main(int argc, char **argv)
+{
+    parseExportFlags(argc, argv);
+    std::size_t seedCount = 5;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            seedCount = 1;
+        else if (std::strcmp(argv[i], "--soak") == 0)
+            seedCount = 10;
+    }
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < seedCount; ++i)
+        seeds.push_back(0x5eedULL + 0x9e37ULL * i);
+
+    std::uint64_t mismatches = 0;
+    for (const ChaosScenario &scenario : builtinChaosScenarios()) {
+        section("chaos: " + scenario.name);
+        row("seed", {"p99 us", "mean us", "avail", "hedged", "oracle"});
+
+        // The oracle applies no events, so it is seed-independent:
+        // compute it once per scenario.
+        ChaosRunConfig oracleCfg;
+        oracleCfg.faultFree = true;
+        ChaosReport oracle = runChaosScenario(scenario, oracleCfg);
+
+        const std::string prefix = "chaos." + scenario.name;
+        double worstP99 = 0.0, worstAvail = 1.0;
+        std::uint64_t scenarioMismatches = 0;
+        for (std::uint64_t seed : seeds) {
+            ChaosRunConfig cfg;
+            cfg.seed = seed;
+            ChaosReport r = runChaosScenario(scenario, cfg);
+            bool match = r.image == oracle.image;
+            scenarioMismatches += match ? 0 : 1;
+            worstP99 = std::max(worstP99, r.p99OpNs);
+            worstAvail = std::min(worstAvail, r.availability);
+            row(fmtInt(seed),
+                {fmt(r.p99OpNs / 1000.0), fmt(r.meanOpNs / 1000.0),
+                 fmt(r.availability, 4), fmtInt(r.hedgedReads),
+                 match ? "ok" : "MISMATCH"});
+        }
+        mismatches += scenarioMismatches;
+        recordResult(prefix + ".p99_us", worstP99 / 1000.0);
+        recordResult(prefix + ".availability", worstAvail);
+        recordResult(prefix + ".oracle_ok",
+                     scenarioMismatches == 0 ? 1.0 : 0.0);
+    }
+    recordResult("chaos.seeds", static_cast<double>(seedCount));
+    recordResult("chaos.oracle_mismatches",
+                 static_cast<double>(mismatches));
+    flushExports();
+    if (mismatches > 0) {
+        std::printf("\n%llu oracle mismatch(es)\n",
+                    static_cast<unsigned long long>(mismatches));
+        return 1;
+    }
+    std::printf("\nall scenarios match their fault-free oracle\n");
+    return 0;
+}

@@ -9,6 +9,7 @@
  *   run_workload [workload] [runtime] [local%] [ops]
  *                [--prefetch=POLICY[:depth]] [--evict-depth=N]
  *                [--metrics-json=PATH] [--trace-out=PATH]
+ *                [--chaos=NAME|@FILE] [--chaos-seed=N]
  *
  *   workload:  redis-rand | redis-seq | linear-regression |
  *              histogram | pagerank | graph-coloring |
@@ -33,6 +34,17 @@
  *   --trace-out=PATH     record sim-time spans of the miss and
  *                        eviction paths and write Chrome trace-event
  *                        JSON (open in Perfetto / chrome://tracing)
+ *   --chaos=NAME|@FILE   run a scripted gray-failure scenario instead
+ *                        of the plain workload loop: a builtin name
+ *                        (slow-node, flapping, partial-partition,
+ *                        drain-under-load, hot-add-rebalance) or
+ *                        @path to a scenario file (format documented
+ *                        in src/chaos/chaos_scenario.h). Reports tail
+ *                        latency, availability, membership epochs and
+ *                        the content-oracle verdict.
+ *   --chaos-seed=N       fault-injector seed for --chaos (default
+ *                        0x5eed); the run is deterministic from
+ *                        (scenario, seed)
  *
  * Examples:
  *   ./build/examples/run_workload pagerank kona 25
@@ -46,8 +58,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string_view>
 
+#include "chaos/chaos_runner.h"
+#include "chaos/chaos_scenario.h"
 #include "core/kona_runtime.h"
 #include "core/vm_runtime.h"
 #include "mem/backing_store.h"
@@ -83,7 +98,8 @@ usage()
     std::fprintf(stderr,
                  "usage: run_workload [workload] [runtime] [local%%] "
                  "[ops] [--prefetch=POLICY[:depth]] [--evict-depth=N] "
-                 "[--metrics-json=PATH] [--trace-out=PATH]\n"
+                 "[--metrics-json=PATH] [--trace-out=PATH] "
+                 "[--chaos=NAME|@FILE] [--chaos-seed=N]\n"
                  "  workloads:");
     for (const std::string &name : table2WorkloadNames())
         std::fprintf(stderr, " %s", name.c_str());
@@ -92,8 +108,78 @@ usage()
                  "  prefetch policies (kona):");
     for (const std::string &name : prefetchPolicyNames())
         std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n  chaos scenarios:");
+    for (const ChaosScenario &sc : builtinChaosScenarios())
+        std::fprintf(stderr, " %s", sc.name.c_str());
     std::fprintf(stderr, "\n");
     std::exit(2);
+}
+
+/** Resolve --chaos= to a scenario: builtin by name, or @path. */
+ChaosScenario
+resolveChaosScenario(const std::string &spec)
+{
+    if (!spec.empty() && spec[0] == '@') {
+        std::ifstream is(spec.substr(1));
+        if (!is) {
+            std::fprintf(stderr, "cannot open chaos scenario file %s\n",
+                         spec.c_str() + 1);
+            std::exit(2);
+        }
+        std::ostringstream text;
+        text << is.rdbuf();
+        return parseChaosScenario(text.str());
+    }
+    for (const ChaosScenario &sc : builtinChaosScenarios()) {
+        if (sc.name == spec)
+            return sc;
+    }
+    std::fprintf(stderr, "unknown chaos scenario: %s\n", spec.c_str());
+    usage();
+}
+
+/** The --chaos= mode: one scripted run plus its fault-free oracle. */
+int
+runChaosMode(const std::string &spec, std::uint64_t seed)
+{
+    ChaosScenario scenario = resolveChaosScenario(spec);
+
+    ChaosRunConfig cfg;
+    cfg.seed = seed;
+    ChaosReport run = runChaosScenario(scenario, cfg);
+
+    ChaosRunConfig oracleCfg;
+    oracleCfg.faultFree = true;
+    ChaosReport oracle = runChaosScenario(scenario, oracleCfg);
+    bool match = run.image == oracle.image;
+
+    std::printf("scenario   : %s (workload %s, %zu nodes, seed "
+                "0x%llx)\n",
+                scenario.name.c_str(), scenario.workload.c_str(),
+                scenario.nodes,
+                static_cast<unsigned long long>(seed));
+    std::printf("operations : %llu\n",
+                static_cast<unsigned long long>(run.opsDone));
+    std::printf("latency    : mean %.1f us, p99 %.1f us\n",
+                run.meanOpNs / 1e3, run.p99OpNs / 1e3);
+    std::printf("available  : %.2f%% of ops within the %.0f us SLO\n",
+                100.0 * run.availability,
+                static_cast<double>(cfg.sloNs) / 1e3);
+    std::printf("membership : epoch %llu, %zu nodes at exit%s%s\n",
+                static_cast<unsigned long long>(run.membershipEpoch),
+                run.finalNodeCount, run.drained ? ", drained 1" : "",
+                run.hotAdded ? ", hot-added 1" : "");
+    std::printf("resilience : %llu hedged reads, %llu stale-copy "
+                "marks, %llu drain stalls\n",
+                static_cast<unsigned long long>(run.hedgedReads),
+                static_cast<unsigned long long>(run.staleCopyMarks),
+                static_cast<unsigned long long>(
+                    run.evacuateDrainStalls));
+    std::printf("oracle     : %s\n",
+                match ? "match (final memory byte-identical to the "
+                        "fault-free run)"
+                      : "MISMATCH — content diverged");
+    return match ? 0 : 1;
 }
 
 /** Strip --metrics-json=/--trace-out=/--prefetch= from argv
@@ -102,7 +188,8 @@ usage()
 void
 parseExportFlags(int &argc, char **argv, std::string &metricsJson,
                  std::string &traceOut, std::string &prefetch,
-                 std::size_t &evictDepth)
+                 std::size_t &evictDepth, std::string &chaos,
+                 std::uint64_t &chaosSeed)
 {
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
@@ -111,6 +198,8 @@ parseExportFlags(int &argc, char **argv, std::string &metricsJson,
         constexpr std::string_view traceFlag = "--trace-out=";
         constexpr std::string_view prefetchFlag = "--prefetch=";
         constexpr std::string_view depthFlag = "--evict-depth=";
+        constexpr std::string_view chaosFlag = "--chaos=";
+        constexpr std::string_view chaosSeedFlag = "--chaos-seed=";
         if (arg.substr(0, metricsFlag.size()) == metricsFlag)
             metricsJson = arg.substr(metricsFlag.size());
         else if (arg.substr(0, traceFlag.size()) == traceFlag)
@@ -123,7 +212,13 @@ parseExportFlags(int &argc, char **argv, std::string &metricsJson,
             if (depth < 1)
                 usage();
             evictDepth = static_cast<std::size_t>(depth);
-        } else
+        } else if (arg.substr(0, chaosFlag.size()) == chaosFlag)
+            chaos = arg.substr(chaosFlag.size());
+        else if (arg.substr(0, chaosSeedFlag.size()) == chaosSeedFlag)
+            chaosSeed = std::strtoull(
+                std::string(arg.substr(chaosSeedFlag.size())).c_str(),
+                nullptr, 0);
+        else
             argv[kept++] = argv[i];
     }
     for (int i = kept; i < argc; ++i)
@@ -139,10 +234,13 @@ main(int argc, char **argv)
     using namespace kona;
     setQuietLogging(true);
 
-    std::string metricsJson, traceOut, prefetchPolicy;
+    std::string metricsJson, traceOut, prefetchPolicy, chaos;
     std::size_t evictDepth = 1;
+    std::uint64_t chaosSeed = 0x5eedULL;
     parseExportFlags(argc, argv, metricsJson, traceOut,
-                     prefetchPolicy, evictDepth);
+                     prefetchPolicy, evictDepth, chaos, chaosSeed);
+    if (!chaos.empty())
+        return runChaosMode(chaos, chaosSeed);
 
     std::string workloadName = argc > 1 ? argv[1] : "redis-rand";
     std::string runtimeName = argc > 2 ? argv[2] : "kona";

@@ -62,6 +62,8 @@ EvictionHandler::EvictionHandler(Fabric &fabric, CoherentFpga &fpga,
       ringStalls_(scope_.counter("stall_ring_full")),
       refetches_(scope_.counter("refetch_inflight")),
       conflictStalls_(scope_.counter("stall_page_conflict")),
+      evacuateStalls_(scope_.counter("stall_evacuate_drain")),
+      staleMarks_(scope_.counter("evictions_stale_marked")),
       inflight_(scope_.gauge("inflight")),
       retryBackoffNs_(scope_.histogram("retry_backoff_ns")),
       batchNs_(scope_.histogram("batch_ns"))
@@ -210,7 +212,10 @@ EvictionHandler::submit(const EvictionRequest &req, SimClock &clock)
             hierarchy_.snoopPage(vpn);
             clock.advance(static_cast<Tick>(lat.bitmapScanPerPageNs));
             breakdown_.bitmapNs += lat.bitmapScanPerPageNs;
-            std::uint64_t mask = fpga_.dirtyMask(vpn);
+            // Stale lines ride along: a copy that missed an earlier
+            // shipment is freshened by the next eviction of the page.
+            std::uint64_t mask = fpga_.dirtyMask(vpn) |
+                                 fpga_.staleLines(vpn);
             if (mask == 0) {
                 fpga_.dropPage(vpn);
                 silent_.add();
@@ -451,9 +456,13 @@ EvictionHandler::handleCompletion(const WorkCompletion &wc)
         static_cast<double>(s.timeline.now() - s.wireStart);
 
     if (wc.status != WcStatus::Success) {
-        // Dropped or timed out: the payload never landed.
+        // Dropped or timed out: the payload never landed. A node the
+        // health scorer already quarantined gets one attempt per batch
+        // (so recovery evidence keeps flowing) but no retry storm —
+        // its missed copies are stale-marked at finalize instead.
         controller_.reportOpFailure(s.node);
-        if (fabric_.nodeDown(s.node) || !s.retry.shouldRetry()) {
+        if (fabric_.nodeDown(s.node) || !s.retry.shouldRetry() ||
+            controller_.health(s.node) == NodeHealth::Quarantined) {
             settleShipment(s, false);
             return;
         }
@@ -461,6 +470,12 @@ EvictionHandler::handleCompletion(const WorkCompletion &wc)
         postShipment(s);
         return;
     }
+
+    // The attempt's wire time is latency evidence for the gray-failure
+    // scorer: a straggler node that only ever receives evictions (its
+    // slabs hold no read-hot primaries) would otherwise never attract
+    // a latency sample and could not reach Suspect.
+    controller_.observeFetch(s.node, wc.completeAt - s.wireStart);
 
     std::size_t bytes =
         s.clLog ? s.log.size() : s.chain.size() * pageSize;
@@ -505,6 +520,7 @@ EvictionHandler::handleCompletion(const WorkCompletion &wc)
     wireBytes_.add(s.log.size());
     if (!receipt.ok) {
         naks_.add();
+        controller_.observeNak(s.node);
         if (!s.retry.shouldRetry()) {
             settleShipment(s, false);
             return;
@@ -572,8 +588,24 @@ EvictionHandler::finalizeBatch(Batch &batch)
         inflightPage_.erase(page.vpn);
         bool safe = false;
         for (NodeId home : batch.homes[page.vpn]) {
+            bool reached = false;
             for (NodeId ok : batch.reached)
-                safe |= home == ok;
+                reached |= home == ok;
+            if (reached) {
+                safe = true;
+                // The shipped mask included every previously-stale
+                // line of the page, so this copy is fresh again.
+                fpga_.clearStaleHome(page.vpn, home);
+            } else if (!fabric_.nodeDown(home) &&
+                       controller_.health(home) != NodeHealth::Failed) {
+                // A dead home is fine to miss: the rebuild re-copies
+                // it from a survivor. A *live* home that missed
+                // (retries exhausted against a gray-failing link) now
+                // holds stale bytes — mark the copy so reads skip it
+                // and the page's next eviction re-ships these lines.
+                fpga_.markStaleHome(page.vpn, home, page.mask);
+                staleMarks_.add();
+            }
         }
         if (!safe) {
             warn("eviction of page ", page.vpn,
@@ -631,6 +663,23 @@ EvictionHandler::drain(SimClock &clock)
         auto next =
             earliestDoneAt([](const Shipment &) { return true; });
         KONA_ASSERT(next.has_value(), "unreaped eviction shipment");
+        waitUntil(clock, *next);
+        finalizeDue(clock.now());
+    }
+}
+
+void
+EvictionHandler::drainNode(NodeId node, SimClock &clock)
+{
+    while (true) {
+        reapCq();
+        finalizeDue(clock.now());
+        auto next = earliestDoneAt([node](const Shipment &s) {
+            return s.node == node;
+        });
+        if (!next.has_value())
+            return;
+        evacuateStalls_.add();
         waitUntil(clock, *next);
         finalizeDue(clock.now());
     }

@@ -157,6 +157,17 @@ class EvictionHandler
      */
     void drain(SimClock &clock);
 
+    /**
+     * Targeted barrier: block until no in-flight shipment targets
+     * @p node. Required before evacuating/rebalancing away from a
+     * live node — an in-flight CL log addressed to the old placement
+     * must land before the Controller frees and rewrites it, or the
+     * late write lands on reused memory. Each wait is counted in
+     * evacuateDrainStalls(). Pages re-dirtied in flight stay queued
+     * (they re-ship against the rewritten placement later).
+     */
+    void drainNode(NodeId node, SimClock &clock);
+
     /** Whether @p ticket's batch has been finalized. */
     bool complete(BatchTicket ticket) const;
 
@@ -228,6 +239,20 @@ class EvictionHandler
     std::uint64_t pageConflictStalls() const
     {
         return conflictStalls_.value();
+    }
+    /** Times drainNode() had to wait out an in-flight shipment before
+     *  an evacuation/rebalance could safely rewrite placements. */
+    std::uint64_t evacuateDrainStalls() const
+    {
+        return evacuateStalls_.value();
+    }
+    /** Copies marked stale because a *live* home missed the shipment
+     *  (retries exhausted against a gray link). The page still drops —
+     *  at least one fresh copy landed — but reads skip the stale home
+     *  and the page's next eviction re-ships the missed lines. */
+    std::uint64_t staleCopyMarks() const
+    {
+        return staleMarks_.value();
     }
     /** Shipments currently on the wire or awaiting finalize. */
     std::size_t inflightShipments() const { return shipments_.size(); }
@@ -378,6 +403,8 @@ class EvictionHandler
     Counter &ringStalls_;
     Counter &refetches_;
     Counter &conflictStalls_;
+    Counter &evacuateStalls_;
+    Counter &staleMarks_;
     Gauge &inflight_;
     LatencyHistogram &retryBackoffNs_;
     LatencyHistogram &batchNs_;

@@ -49,13 +49,24 @@ KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
             evictor_.evictPage(victim.vfmemPage, clock);
         });
     // Every fetch-path observation feeds the Controller's failure
-    // detector; enough consecutive failures declare the node dead and
-    // checkRackHealth() triggers the rebuild.
-    fpga_.setHealthReporter([this](NodeId node, bool ok) {
-        if (ok)
+    // detector (fail-stop) and its EWMA health scorer (gray failure):
+    // enough consecutive failures declare the node dead and
+    // checkRackHealth() triggers the rebuild; a drifting latency or
+    // badness EWMA moves the node through Suspect/Quarantined instead.
+    fpga_.setHealthReporter([this](NodeId node, bool ok,
+                                   Tick latencyNs) {
+        if (ok) {
             controller_.reportOpSuccess(node);
-        else
+            controller_.observeFetch(node, latencyNs);
+        } else {
             controller_.reportOpFailure(node);
+        }
+    });
+    // Reads hedge away from nodes the membership state machine says
+    // to avoid (Suspect/Quarantined/Joining), even though the fabric
+    // still reaches them.
+    fpga_.setMembershipProbe([this](NodeId node) {
+        return controller_.avoidForReads(node);
     });
 
     // Cumulative hit latencies: a hit at level i pays every level
@@ -340,6 +351,13 @@ KonaRuntime::recoverFromNodeFailure(NodeId node)
 RebuildReport
 KonaRuntime::decommissionNode(NodeId node)
 {
+    // Stop new placements first, then wait out every in-flight CL-log
+    // shipment addressed to the node: evacuation frees and rewrites
+    // its slabs, and a log landing after the rewrite would scribble on
+    // reused memory (the evacuate x async-eviction race).
+    if (controller_.health(node) != NodeHealth::Draining)
+        controller_.drainNode(node);
+    evictor_.drainNode(node, backgroundClock_);
     auto placements = collectPlacements();
     RebuildReport report = controller_.evacuateNode(node, placements);
     if (report.slabsUnrebuilt == 0) {
@@ -349,6 +367,25 @@ KonaRuntime::decommissionNode(NodeId node)
         warn("node ", node, " still holds ", report.slabsUnrebuilt,
              " slab(s); decommission incomplete");
     }
+    return report;
+}
+
+RebuildReport
+KonaRuntime::hotAddNode(MemoryNode &node)
+{
+    // Register in the Joining state (no placements, no primary reads),
+    // quiesce the eviction engine — the rebalance migrates copies off
+    // arbitrary donors, so every in-flight shipment must land before
+    // placements move — then warm the newcomer with its fair share of
+    // existing copies and promote it to Healthy.
+    controller_.joinNode(node);
+    evictor_.drain(backgroundClock_);
+    auto placements = collectPlacements();
+    RebuildReport report =
+        controller_.rebalanceOnto(node.id(), placements);
+    controller_.completeJoin(node.id());
+    inform("node ", node.id(), " hot-added: ", report.slabsRebuilt,
+           " slab(s) rebalanced onto it");
     return report;
 }
 

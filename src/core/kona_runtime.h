@@ -135,10 +135,20 @@ class KonaRuntime : public RemoteMemoryRuntime
     RebuildReport recoverFromNodeFailure(NodeId node);
 
     /**
-     * Graceful decommission: drain @p node, migrate all of its slabs
-     * to other healthy nodes, and deregister it once empty.
+     * Graceful decommission: drain @p node (both new placements at the
+     * Controller and in-flight eviction shipments addressed to it),
+     * migrate all of its slabs to other healthy nodes, and deregister
+     * it once empty.
      */
     RebuildReport decommissionNode(NodeId node);
+
+    /**
+     * Elastic hot-add: register @p node as Joining, quiesce eviction,
+     * rebalance existing copies onto it until it carries its fair
+     * share, then promote it to Healthy so it starts taking placements
+     * and primary traffic.
+     */
+    RebuildReport hotAddNode(MemoryNode &node);
 
     /** True while the rack holds less redundancy than configured. */
     bool degraded() const { return degraded_; }

@@ -1,5 +1,6 @@
 #include "fpga/coherent_fpga.h"
 
+#include <algorithm>
 #include <array>
 
 #include "common/logging.h"
@@ -42,6 +43,10 @@ CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
       writebacksObserved_(scope_.counter("writebacks_observed")),
       fetchFailures_(scope_.counter("fetch_failures")),
       promotions_(scope_.counter("replica_promotions")),
+      hedgedReads_(scope_.counter("hedged_reads")),
+      prefetchReplicaFallback_(
+          scope_.counter("prefetch.replica_fallback")),
+      staleSkips_(scope_.counter("stale_home_skips")),
       prefetchPredicted_(scope_.counter("prefetch.predicted")),
       prefetchIssued_(scope_.counter("prefetch.issued")),
       prefetchUseful_(scope_.counter("prefetch.useful")),
@@ -148,10 +153,66 @@ CoherentFpga::noteDemandTouch(Addr vpn, SimClock &clock)
 }
 
 void
-CoherentFpga::reportHealth(NodeId node, bool ok)
+CoherentFpga::reportHealth(NodeId node, bool ok, Tick latencyNs)
 {
     if (healthReporter_)
-        healthReporter_(node, ok);
+        healthReporter_(node, ok, latencyNs);
+}
+
+void
+CoherentFpga::markStaleHome(Addr vpn, NodeId node, std::uint64_t mask)
+{
+    staleHomes_[vpn][node] |= mask;
+}
+
+void
+CoherentFpga::clearStaleHome(Addr vpn, NodeId node)
+{
+    auto it = staleHomes_.find(vpn);
+    if (it == staleHomes_.end())
+        return;
+    it->second.erase(node);
+    if (it->second.empty())
+        staleHomes_.erase(it);
+}
+
+std::uint64_t
+CoherentFpga::staleLines(Addr vpn) const
+{
+    auto it = staleHomes_.find(vpn);
+    if (it == staleHomes_.end())
+        return 0;
+    std::uint64_t mask = 0;
+    for (const auto &[node, lines] : it->second)
+        mask |= lines;
+    return mask;
+}
+
+bool
+CoherentFpga::homeStale(Addr vpn, NodeId node) const
+{
+    auto it = staleHomes_.find(vpn);
+    return it != staleHomes_.end() && it->second.count(node) > 0;
+}
+
+std::vector<std::size_t>
+CoherentFpga::fetchOrder(
+    const std::vector<RemoteLocation> &locations) const
+{
+    std::vector<std::size_t> order(locations.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    if (!membershipProbe_)
+        return order;
+    // Stable partition: preferred nodes first, original order within
+    // each class (so the primary still leads among healthy copies and
+    // promotion logic keyed on original indices stays meaningful).
+    std::stable_partition(order.begin(), order.end(),
+                          [this, &locations](std::size_t i) {
+                              return !membershipProbe_(
+                                  locations[i].node);
+                          });
+    return order;
 }
 
 bool
@@ -172,21 +233,26 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
     if (prefetch)
         span.arg("intent", "prefetch");
 
-    // A speculative fetch reads the primary only and gives up
-    // silently: it must not mutate replica ordering, feed the failure
-    // detector, or log warnings — failover belongs to demand misses.
-    auto locations = prefetch
-                         ? std::vector<RemoteLocation>{
-                               translation_.translate(vfmemAddr)}
-                         : translation_.translateAll(vfmemAddr);
+    // Both intents walk all copies, hedged away from nodes the
+    // membership probe says to avoid. A speculative fetch still never
+    // promotes, warns, or retries — but it does report failures (gray
+    // nodes must accumulate evidence even off the critical path) and
+    // falls back to a replica instead of giving up.
+    auto locations = translation_.translateAll(vfmemAddr);
+    std::vector<std::size_t> order = fetchOrder(locations);
     bool fetched = false;
-    for (std::size_t i = 0; i < locations.size(); ++i) {
+    std::size_t servedBy = 0;   ///< original index of the copy served
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        std::size_t i = order[k];
         const RemoteLocation &loc = locations[i];
+        if (homeStale(vpn, loc.node)) {
+            // This copy missed an eviction shipment; its bytes are
+            // stale until the next eviction freshens them. The node
+            // itself is fine, so no health evidence.
+            staleSkips_.add();
+            continue;
+        }
         if (fabric_.nodeDown(loc.node)) {
-            if (prefetch) {
-                prefetchDroppedNodeDown_.add();
-                continue;
-            }
             // Skipping a down node is itself evidence for the failure
             // detector; without it a dead primary would never attract
             // op reports at all.
@@ -203,47 +269,52 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
         Span rdma(trace_, clock, "rdma_read", "net", lane);
         rdma.arg("node", loc.node);
         rdma.arg("bytes", wr.length);
+        Tick opStart = clock.now();
         PostResult posted = qpTo(loc.node).post(wr, clock);
         if (!posted.ok()) {
             // Consume exactly the error CQEs this doorbell pushed.
             poller_.drain(cq_, clock, posted.cqesPushed);
-            if (prefetch) {
-                // The primary was reachable but the op failed; the
-                // speculation still gives up without leaving a trace
-                // beyond its drop counter.
-                prefetchDroppedNodeDown_.add();
-                continue;
-            }
             reportHealth(loc.node, false);
             continue;
         }
         poller_.waitOne(cq_, clock);
-        if (!prefetch) {
-            reportHealth(loc.node, true);
-            if (i > 0) {
-                // Promote the replica we read from only when every
-                // earlier copy sits on a node that is actually down
-                // (§4.5). A transient drop should not reshuffle the
-                // placement — the caller's retry gives the primary
-                // another chance instead.
-                bool earlierAllDown = true;
-                for (std::size_t j = 0; j < i; ++j) {
-                    earlierAllDown &=
-                        fabric_.nodeDown(locations[j].node);
-                }
-                if (earlierAllDown) {
-                    translation_.promoteReplica(vfmemAddr, i - 1);
-                    promotions_.add();
-                    warn("failed over VFMem page ", vpn, " to node ",
-                         loc.node);
-                }
+        reportHealth(loc.node, true, clock.now() - opStart);
+        if (!prefetch && i > 0) {
+            // Promote the replica we read from only when every
+            // earlier copy sits on a node that is actually down
+            // (§4.5). A transient drop or a hedge away from a merely
+            // Suspect primary must not reshuffle the placement — the
+            // primary gets another chance once it recovers.
+            bool earlierAllDown = true;
+            for (std::size_t j = 0; j < i; ++j)
+                earlierAllDown &= fabric_.nodeDown(locations[j].node);
+            if (earlierAllDown) {
+                translation_.promoteReplica(vfmemAddr, i - 1);
+                promotions_.add();
+                warn("failed over VFMem page ", vpn, " to node ",
+                     loc.node);
             }
         }
         fetched = true;
+        servedBy = i;
         break;
     }
-    if (!fetched)
+    if (!fetched) {
+        if (prefetch)
+            prefetchDroppedNodeDown_.add();
         return false;
+    }
+    if (servedBy != 0) {
+        if (prefetch)
+            prefetchReplicaFallback_.add();
+        else if (!fabric_.nodeDown(locations[0].node) &&
+                 membershipProbe_ &&
+                 membershipProbe_(locations[0].node)) {
+            // The primary was alive but its membership state said to
+            // avoid it: this read was hedged, not failed over.
+            hedgedReads_.add();
+        }
+    }
 
     std::size_t frame = fmem_.insert(vpn, prefetch, issueTick);
     fmemStore_.write(static_cast<Addr>(frame) * pageSize, staging.data(),

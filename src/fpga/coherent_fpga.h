@@ -220,13 +220,58 @@ class CoherentFpga : public MemorySideListener
 
     /**
      * Observer of per-node op outcomes on the fetch path. KonaRuntime
-     * wires this to the Controller's failure detector so that skipped
-     * or failing nodes accumulate evidence toward a Failed verdict.
+     * wires this to the Controller's failure detector and health
+     * scorer so that skipped or failing nodes accumulate evidence
+     * toward a Failed verdict and slow nodes toward Suspect.
+     * @p latencyNs is the observed op latency (0 on failure).
      */
-    using HealthReporter = std::function<void(NodeId, bool ok)>;
+    using HealthReporter =
+        std::function<void(NodeId, bool ok, Tick latencyNs)>;
     void setHealthReporter(HealthReporter reporter)
     {
         healthReporter_ = std::move(reporter);
+    }
+
+    /**
+     * Membership probe consulted per candidate location on the fetch
+     * path: return true when reads should prefer another replica over
+     * the node (Suspect/Quarantined/Joining). KonaRuntime wires this
+     * to Controller::avoidForReads; unset means no hedging.
+     */
+    using MembershipProbe = std::function<bool(NodeId)>;
+    void setMembershipProbe(MembershipProbe probe)
+    {
+        membershipProbe_ = std::move(probe);
+    }
+
+    // --- stale-copy tracking -----------------------------------------
+    //
+    // When an eviction shipment permanently fails against a *live*
+    // home (gray link, retries exhausted), the page is still dropped —
+    // at least one fresh copy landed — but the missed copy is stale
+    // for the shipped lines. The eviction handler records that here;
+    // reads skip stale homes, and the page's next eviction re-ships
+    // the union of its dirty and stale lines so the copy freshens.
+
+    /** Copy of @p vpn on @p node missed lines in @p mask. */
+    void markStaleHome(Addr vpn, NodeId node, std::uint64_t mask);
+
+    /** A shipment to @p node landed; its copy of @p vpn is fresh. */
+    void clearStaleHome(Addr vpn, NodeId node);
+
+    /** Union of lines any home of @p vpn is missing (0 = none). */
+    std::uint64_t staleLines(Addr vpn) const;
+
+    /** Whether @p node's copy of @p vpn must not serve reads. */
+    bool homeStale(Addr vpn, NodeId node) const;
+
+    /** Pages with at least one stale home right now. */
+    std::size_t stalePages() const { return staleHomes_.size(); }
+
+    /** Reads that skipped a live node because its copy was stale. */
+    std::uint64_t staleHomeSkips() const
+    {
+        return staleSkips_.value();
     }
 
     /** Queue pair to memory node @p node (created on first use). */
@@ -256,6 +301,14 @@ class CoherentFpga : public MemorySideListener
     std::uint64_t prefetches() const { return prefetchIssued_.value(); }
     std::uint64_t fetchFailures() const { return fetchFailures_.value(); }
     std::uint64_t replicaPromotions() const { return promotions_.value(); }
+    /** Demand reads served by a replica because the primary's
+     *  membership state said to avoid it (no promotion involved). */
+    std::uint64_t hedgedReads() const { return hedgedReads_.value(); }
+    /** Prefetches served by a replica after the primary was down. */
+    std::uint64_t prefetchReplicaFallbacks() const
+    {
+        return prefetchReplicaFallback_.value();
+    }
 
     /** Accuracy/coverage counters of the prefetch engine. */
     PrefetchStats prefetchStats() const;
@@ -274,16 +327,17 @@ class CoherentFpga : public MemorySideListener
     enum class FetchIntent : std::uint8_t
     {
         Demand,    ///< critical path: full replica failover + health
-        Prefetch,  ///< speculative: primary only, silent on failure
+        Prefetch,  ///< speculative: replica fallback, no promotion
     };
 
     /**
      * Bring VFMem page @p vpn into FMem. Assumes a free way exists.
-     * Demand fetches walk the replica failover path and feed the
-     * failure detector; prefetch fetches read the primary only and
-     * give up silently (a speculation must not mutate replica
-     * ordering or spam warnings). @p issueTick stamps prefetched
-     * frames for timeliness attribution.
+     * Demand fetches walk the replica failover path (hedging away
+     * from Suspect/Quarantined primaries via the membership probe)
+     * and feed the failure detector; prefetch fetches also fall back
+     * to replicas and report failures to the health scorer, but never
+     * promote, warn, or retry. @p issueTick stamps prefetched frames
+     * for timeliness attribution.
      * @return false when the page could not be fetched.
      */
     bool fetchPage(Addr vpn, SimClock &clock,
@@ -301,7 +355,12 @@ class CoherentFpga : public MemorySideListener
     /** First-touch attribution of a resident page (useful prefetch). */
     void noteDemandTouch(Addr vpn, SimClock &clock);
 
-    void reportHealth(NodeId node, bool ok);
+    void reportHealth(NodeId node, bool ok, Tick latencyNs = 0);
+
+    /** Candidate iteration order: healthy locations first (stable), so
+     *  reads hedge away from Suspect/Quarantined/Joining primaries. */
+    std::vector<std::size_t>
+    fetchOrder(const std::vector<RemoteLocation> &locations) const;
 
     Fabric &fabric_;
     NodeId computeNode_;
@@ -313,6 +372,12 @@ class CoherentFpga : public MemorySideListener
     DirtyLineBitmap dirtyLines_;
     EvictionCallback evictionCallback_;
     HealthReporter healthReporter_;
+    MembershipProbe membershipProbe_;
+
+    /** vpn -> (home node -> missed-line mask). Almost always empty. */
+    std::unordered_map<Addr,
+                       std::unordered_map<NodeId, std::uint64_t>>
+        staleHomes_;
 
     CompletionQueue cq_;
     Poller poller_;
@@ -333,6 +398,9 @@ class CoherentFpga : public MemorySideListener
     Counter &writebacksObserved_;
     Counter &fetchFailures_;
     Counter &promotions_;
+    Counter &hedgedReads_;
+    Counter &prefetchReplicaFallback_;
+    Counter &staleSkips_;
     Counter &prefetchPredicted_;
     Counter &prefetchIssued_;
     Counter &prefetchUseful_;

@@ -1,27 +1,43 @@
 #include "net/fault_injector.h"
 
+#include <algorithm>
+
 #include "net/fabric.h"
 
 namespace kona {
 
 FaultDecision
-FaultInjector::decide(NodeId node, RdmaOpcode opcode, std::size_t length)
+FaultInjector::decide(NodeId source, NodeId target, RdmaOpcode opcode,
+                      std::size_t length)
 {
     FaultDecision decision;
-    auto it = profiles_.find(node);
+    auto it = profiles_.find(target);
     if (it == profiles_.end())
         return decision;
     const NodeFaultProfile &profile = it->second;
-    std::uint64_t op = opCounts_[node]++;
+    std::uint64_t op = opCounts_[target]++;
 
-    // Scheduled (deterministic) faults first: permanent death, link
-    // flap windows, error bursts. They key off the op index so a
-    // scenario like "flap node 2 every 500 ops" replays exactly.
+    // Scheduled (deterministic) faults first: permanent death, partial
+    // partitions, link flap windows, error bursts. They key off the op
+    // index (or the source id) so a scenario like "flap node 2 every
+    // 500 ops" replays exactly.
     if (profile.failAtOp != 0 && op + 1 >= profile.failAtOp) {
         if (fabric_ != nullptr)
-            fabric_->setNodeDown(node, true);
+            fabric_->setNodeDown(target, true);
         decision.status = WcStatus::Timeout;
         decision.extraLatencyNs = profile.timeoutNs;
+        timeouts_.add();
+        return decision;
+    }
+    if (!profile.blockedSources.empty() &&
+        std::find(profile.blockedSources.begin(),
+                  profile.blockedSources.end(),
+                  source) != profile.blockedSources.end()) {
+        // One-directional partition: this source cannot reach the
+        // target, but the target is otherwise alive and reachable.
+        decision.status = WcStatus::Timeout;
+        decision.extraLatencyNs = profile.timeoutNs;
+        partitionBlocks_.add();
         timeouts_.add();
         return decision;
     }
@@ -61,10 +77,27 @@ FaultInjector::decide(NodeId node, RdmaOpcode opcode, std::size_t length)
         decision.corruptMask =
             static_cast<std::uint8_t>(1u << rng_.below(8));
     }
+    if (profile.nakProbability > 0.0 && length > 0 &&
+        opcode == RdmaOpcode::Write && !decision.corruptPayload &&
+        rng_.chance(profile.nakProbability)) {
+        // NAK inflation: end-host corruption on writes only, caught by
+        // the CL log's CRC at the receiver, never by the transport.
+        decision.corruptPayload = true;
+        decision.corruptOffset =
+            static_cast<std::size_t>(rng_.below(length));
+        decision.corruptMask =
+            static_cast<std::uint8_t>(1u << rng_.below(8));
+        nakSeeds_.add();
+    }
     if (profile.spikeProbability > 0.0 &&
         rng_.chance(profile.spikeProbability)) {
         decision.extraLatencyNs += profile.spikeNs;
         spikes_.add();
+    }
+    if (profile.degradeDelayNs != 0) {
+        // Straggler: the op completes, just late, every time.
+        decision.extraLatencyNs += profile.degradeDelayNs;
+        degrades_.add();
     }
     return decision;
 }

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -75,6 +76,25 @@ struct NodeFaultProfile
     /** Permanent failure: at op number @ref failAtOp the node dies for
      *  good (the injector marks it down on the fabric). 0 = never. */
     std::uint64_t failAtOp = 0;
+
+    // --- gray (non-fail-stop) failure modes --------------------------
+
+    /** Degraded link / straggler node: constant extra latency added to
+     *  every op that completes. The node keeps answering — just
+     *  slowly — which is exactly what a binary up/down model misses. */
+    Tick degradeDelayNs = 0;
+
+    /** NAK-rate inflation: probability a *write* payload is corrupted
+     *  in a way only the end-to-end CRC catches (the CL log NAKs and
+     *  retransmits). Reads are untouched, so the mode isolates the
+     *  receiver-verify path without perturbing the fetch path. */
+    double nakProbability = 0.0;
+
+    /** One-directional partial partition: ops *from* these source
+     *  nodes to this node time out, while every other source still
+     *  reaches it (and this node's own outbound traffic is governed by
+     *  the sources' profiles, not this list). */
+    std::vector<NodeId> blockedSources;
 };
 
 /** What the injector decided for one work request. */
@@ -98,21 +118,41 @@ class FaultInjector
           drops_(scope_.counter("drops_injected")),
           timeouts_(scope_.counter("timeouts_injected")),
           corrupt_(scope_.counter("corruptions_injected")),
-          spikes_(scope_.counter("spikes_injected"))
+          spikes_(scope_.counter("spikes_injected")),
+          degrades_(scope_.counter("degrades_injected")),
+          nakSeeds_(scope_.counter("naks_seeded")),
+          partitionBlocks_(scope_.counter("partition_blocks"))
     {}
+
+    /** Sentinel source for callers that predate source-aware faults;
+     *  it never matches a blockedSources entry. */
+    static constexpr NodeId anySource = ~NodeId(0);
 
     /** Mutable fault profile of @p node (created on first use). */
     NodeFaultProfile &profile(NodeId node) { return profiles_[node]; }
+
+    /** Reset @p node's profile to "no fault" (schedule counters keep
+     *  advancing so later windows stay aligned with the op index). */
+    void clearProfile(NodeId node) { profiles_.erase(node); }
 
     /** Called by Fabric::setFaultInjector. */
     void bind(Fabric *fabric) { fabric_ = fabric; }
 
     /**
-     * Decide the fate of one work request against @p node. Advances
-     * the node's op counter (flap/burst/fail schedules key off it).
+     * Decide the fate of one work request from @p source against
+     * @p target. Advances the target's op counter (flap/burst/fail
+     * schedules key off it).
      */
-    FaultDecision decide(NodeId node, RdmaOpcode opcode,
+    FaultDecision decide(NodeId source, NodeId target, RdmaOpcode opcode,
                          std::size_t length);
+
+    /** Back-compat overload for source-oblivious callers: partitions
+     *  never match, every other mode behaves identically. */
+    FaultDecision
+    decide(NodeId target, RdmaOpcode opcode, std::size_t length)
+    {
+        return decide(anySource, target, opcode, length);
+    }
 
     std::uint64_t opsSeen(NodeId node) const;
 
@@ -120,6 +160,12 @@ class FaultInjector
     std::uint64_t timeoutsInjected() const { return timeouts_.value(); }
     std::uint64_t corruptionsInjected() const { return corrupt_.value(); }
     std::uint64_t spikesInjected() const { return spikes_.value(); }
+    std::uint64_t degradesInjected() const { return degrades_.value(); }
+    std::uint64_t naksSeeded() const { return nakSeeds_.value(); }
+    std::uint64_t partitionBlocks() const
+    {
+        return partitionBlocks_.value();
+    }
 
   private:
     Rng rng_;
@@ -132,6 +178,9 @@ class FaultInjector
     Counter &timeouts_;
     Counter &corrupt_;
     Counter &spikes_;
+    Counter &degrades_;
+    Counter &nakSeeds_;
+    Counter &partitionBlocks_;
 };
 
 } // namespace kona

@@ -86,7 +86,7 @@ QueuePair::post(const WorkRequest &wr, SimClock &clock)
     }
     FaultDecision fd;
     if (FaultInjector *fi = fabric_.faultInjector())
-        fd = fi->decide(remoteNode_, wr.opcode, wr.length);
+        fd = fi->decide(localNode_, remoteNode_, wr.opcode, wr.length);
     if (fd.status != WcStatus::Success) {
         // Dropped/timed-out ops never touch remote memory; the issuer
         // eats the injected delay (e.g. a retransmission timer).
@@ -122,7 +122,8 @@ QueuePair::postLinked(std::span<const WorkRequest> wrs, SimClock &clock)
     for (const WorkRequest &wr : wrs) {
         FaultDecision fd;
         if (fi != nullptr)
-            fd = fi->decide(remoteNode_, wr.opcode, wr.length);
+            fd = fi->decide(localNode_, remoteNode_, wr.opcode,
+                            wr.length);
         extra += fd.extraLatencyNs;
         if (fd.status != WcStatus::Success) {
             // Mid-chain failure: earlier WRs of the chain have already

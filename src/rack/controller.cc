@@ -13,8 +13,14 @@ Controller::Controller(std::size_t slabSize, MetricScope scope)
       nodesFailed_(scope_.counter("nodes_failed")),
       slabsRebuilt_(scope_.counter("slabs_rebuilt")),
       slabsLost_(scope_.counter("slabs_lost")),
-      bytesCopied_(scope_.counter("bytes_copied"))
+      bytesCopied_(scope_.counter("bytes_copied")),
+      nodesSuspected_(scope_.counter("nodes_suspected")),
+      nodesQuarantined_(scope_.counter("nodes_quarantined")),
+      nodesReadmitted_(scope_.counter("nodes_readmitted")),
+      nodesJoined_(scope_.counter("nodes_joined")),
+      epochGauge_(scope_.gauge("membership_epoch"))
 {
+    epochGauge_.set(static_cast<double>(membershipEpoch_));
     KONA_ASSERT(slabSize >= pageSize && slabSize % pageSize == 0,
                 "slab size must be a positive multiple of the page size");
 }
@@ -33,6 +39,9 @@ Controller::removeNode(NodeId node)
     KONA_ASSERT(nodes_.erase(node) == 1, "unknown node ", node);
     health_.erase(node);
     consecFailures_.erase(node);
+    scores_.erase(node);
+    ++membershipEpoch_;
+    epochGauge_.set(static_cast<double>(membershipEpoch_));
 }
 
 std::optional<SlabGrant>
@@ -40,7 +49,7 @@ Controller::allocateSlabAvoiding(const std::vector<NodeId> &avoid)
 {
     MemoryNode *best = nullptr;
     for (auto &[id, node] : nodes_) {
-        if (health(id) != NodeHealth::Healthy)
+        if (!takesPlacements(id))
             continue;
         if (std::find(avoid.begin(), avoid.end(), id) != avoid.end())
             continue;
@@ -111,7 +120,7 @@ Controller::healthyNodeCount() const
 {
     std::size_t n = 0;
     for (const auto &[id, node] : nodes_)
-        n += health(id) == NodeHealth::Healthy ? 1 : 0;
+        n += takesPlacements(id) ? 1 : 0;
     return n;
 }
 
@@ -131,14 +140,133 @@ Controller::reportOpFailure(NodeId node)
 {
     if (health(node) == NodeHealth::Failed)
         return;
-    if (++consecFailures_[node] >= failureThreshold_)
+    if (++consecFailures_[node] >= failureThreshold_) {
         markFailed(node);
+        return;
+    }
+    recordSample(node, 1.0, std::nullopt);
 }
 
 void
 Controller::reportOpSuccess(NodeId node)
 {
     consecFailures_[node] = 0;
+    recordSample(node, 0.0, std::nullopt);
+}
+
+void
+Controller::observeFetch(NodeId node, Tick latencyNs)
+{
+    recordSample(node, 0.0, latencyNs);
+}
+
+void
+Controller::observeNak(NodeId node)
+{
+    // A NAK is softer evidence than a timeout: the node answered, the
+    // payload just failed its end-to-end check.
+    recordSample(node, 0.75, std::nullopt);
+}
+
+void
+Controller::observeTimeout(NodeId node)
+{
+    recordSample(node, 1.0, std::nullopt);
+}
+
+double
+Controller::scoreOf(const HealthScore &s) const
+{
+    const HealthPolicy &p = healthPolicy_;
+    double latencyScore = 0.0;
+    double budget = static_cast<double>(p.latencyBudgetNs);
+    if (budget > 0.0 && s.latencyNs > budget && p.latencySlack > 1.0) {
+        latencyScore = std::min(
+            1.0, (s.latencyNs / budget - 1.0) / (p.latencySlack - 1.0));
+    }
+    return std::max(s.badness, latencyScore);
+}
+
+double
+Controller::healthScore(NodeId node) const
+{
+    auto it = scores_.find(node);
+    return it == scores_.end() ? 0.0 : scoreOf(it->second);
+}
+
+void
+Controller::recordSample(NodeId node, double badness,
+                         std::optional<Tick> latencyNs)
+{
+    NodeHealth h = health(node);
+    if (h == NodeHealth::Failed)
+        return;
+
+    const HealthPolicy &p = healthPolicy_;
+    HealthScore &s = scores_[node];
+    s.badness += p.ewmaAlpha * (badness - s.badness);
+    if (latencyNs.has_value()) {
+        s.latencyNs += p.ewmaAlpha *
+                       (static_cast<double>(*latencyNs) - s.latencyNs);
+    }
+    ++s.samples;
+    if (s.samples < p.minSamples)
+        return;
+
+    double score = scoreOf(s);
+    switch (h) {
+    case NodeHealth::Healthy:
+        if (score >= p.suspectThreshold) {
+            nodesSuspected_.add();
+            transition(node, NodeHealth::Suspect, "score degraded");
+        }
+        break;
+    case NodeHealth::Suspect:
+        if (score >= p.quarantineThreshold) {
+            nodesQuarantined_.add();
+            transition(node, NodeHealth::Quarantined,
+                       "score collapsed");
+        } else if (score <= p.recoverThreshold) {
+            transition(node, NodeHealth::Healthy, "score recovered");
+        }
+        break;
+    case NodeHealth::Quarantined:
+        if (score <= p.recoverThreshold) {
+            s.probation = p.readmitProbation;
+            nodesReadmitted_.add();
+            transition(node, NodeHealth::Readmitted,
+                       "score recovered; on probation");
+        }
+        break;
+    case NodeHealth::Readmitted:
+        if (badness >= 1.0) {
+            nodesSuspected_.add();
+            transition(node, NodeHealth::Suspect,
+                       "failed while on probation");
+        } else if (s.probation > 0 && --s.probation == 0) {
+            transition(node, NodeHealth::Healthy, "probation served");
+        }
+        break;
+    case NodeHealth::Joining:
+    case NodeHealth::Draining:
+    case NodeHealth::Failed:
+        break; // planned/terminal states: not score-driven
+    }
+}
+
+void
+Controller::transition(NodeId node, NodeHealth to, const char *reason)
+{
+    health_[node] = to;
+    ++membershipEpoch_;
+    epochGauge_.set(static_cast<double>(membershipEpoch_));
+    static const char *names[] = {"healthy",     "suspect",
+                                  "quarantined", "readmitted",
+                                  "joining",     "draining",
+                                  "failed"};
+    inform("controller: node ", node, " -> ",
+           names[static_cast<std::size_t>(to)], " (", reason,
+           "), epoch ", membershipEpoch_);
 }
 
 void
@@ -146,10 +274,11 @@ Controller::markFailed(NodeId node)
 {
     if (health(node) == NodeHealth::Failed)
         return;
-    health_[node] = NodeHealth::Failed;
     consecFailures_[node] = 0;
+    scores_.erase(node);
     newlyFailed_.push_back(node);
     nodesFailed_.add();
+    transition(node, NodeHealth::Failed, "declared dead");
     warn("controller: memory node ", node, " declared failed");
 }
 
@@ -159,8 +288,25 @@ Controller::drainNode(NodeId node)
     KONA_ASSERT(nodes_.count(node) == 1, "unknown node ", node);
     KONA_ASSERT(health(node) != NodeHealth::Failed,
                 "cannot drain an already-failed node");
-    health_[node] = NodeHealth::Draining;
+    transition(node, NodeHealth::Draining, "operator drain");
     inform("controller: draining memory node ", node);
+}
+
+void
+Controller::joinNode(MemoryNode &node)
+{
+    registerNode(node);
+    nodesJoined_.add();
+    transition(node.id(), NodeHealth::Joining, "hot-add");
+}
+
+void
+Controller::completeJoin(NodeId node)
+{
+    KONA_ASSERT(health(node) == NodeHealth::Joining,
+                "completeJoin on a node that is not joining");
+    scores_[node] = {};
+    transition(node, NodeHealth::Healthy, "warm-up complete");
 }
 
 NodeHealth
@@ -283,6 +429,120 @@ Controller::migrate(NodeId from, bool sourceAlive,
             rehomeCopy(*g, *source, sourceAlive, occupied, report);
         }
     }
+    return report;
+}
+
+std::optional<SlabGrant>
+Controller::allocateSlabOn(NodeId id)
+{
+    auto it = nodes_.find(id);
+    KONA_ASSERT(it != nodes_.end(), "unknown node ", id);
+    MemoryNode *node = it->second;
+    if (node->bytesFree() < slabSize_)
+        return std::nullopt;
+    auto offset = node->allocateSlab(slabSize_);
+    KONA_ASSERT(offset.has_value(), "node free-space accounting broke");
+    SlabGrant grant;
+    grant.slab = nextSlab_++;
+    grant.where = {id, *offset};
+    grant.size = slabSize_;
+    grant.regionKey = node->slabRegion().key;
+    slabsAllocated_.add();
+    return grant;
+}
+
+RebuildReport
+Controller::rebalanceOnto(NodeId target,
+                          std::vector<PlacementRef> &placements)
+{
+    KONA_ASSERT(nodes_.count(target) == 1, "unknown node ", target);
+    RebuildReport report;
+
+    // Flatten every copy, tallying the per-node load (copies are
+    // uniform slabs, so a count is a byte load).
+    std::vector<SlabGrant *> copies;
+    std::vector<const PlacementRef *> owner;
+    std::unordered_map<NodeId, std::size_t> load;
+    for (const PlacementRef &p : placements) {
+        KONA_ASSERT(p.primary != nullptr && p.replicas != nullptr,
+                    "placement ref without grants");
+        copies.push_back(p.primary);
+        owner.push_back(&p);
+        for (SlabGrant &r : *p.replicas) {
+            copies.push_back(&r);
+            owner.push_back(&p);
+        }
+    }
+    for (SlabGrant *g : copies)
+        ++load[g->where.node];
+
+    std::size_t liveNodes = 0;
+    for (const auto &[id, node] : nodes_)
+        liveNodes += health(id) != NodeHealth::Failed ? 1 : 0;
+    std::size_t fairShare =
+        liveNodes == 0 ? 0 : copies.size() / liveNodes;
+
+    // Repeatedly move one copy from the most-loaded donor until the
+    // target carries its fair share (or no donor can give one up).
+    while (load[target] < fairShare) {
+        NodeId donor = target;
+        std::size_t donorLoad = 0;
+        for (const auto &[id, n] : load) {
+            if (id != target && n > donorLoad &&
+                health(id) != NodeHealth::Failed) {
+                donor = id;
+                donorLoad = n;
+            }
+        }
+        if (donor == target || donorLoad <= load[target] + 1)
+            break;   // nothing left worth moving
+
+        // Pick a donor copy whose siblings avoid the target (never
+        // co-locate two copies of the same slab).
+        SlabGrant *pick = nullptr;
+        for (std::size_t i = 0; i < copies.size(); ++i) {
+            if (copies[i]->where.node != donor)
+                continue;
+            bool siblingOnTarget =
+                owner[i]->primary->where.node == target;
+            for (const SlabGrant &r : *owner[i]->replicas)
+                siblingOnTarget |= r.where.node == target;
+            if (!siblingOnTarget) {
+                pick = copies[i];
+                break;
+            }
+        }
+        if (pick == nullptr) {
+            // Every copy on this donor has a sibling on the target;
+            // a second donor cannot fix that, stop here.
+            break;
+        }
+
+        auto replacement = allocateSlabOn(target);
+        if (!replacement.has_value()) {
+            report.slabsUnrebuilt += 1;
+            break;   // target is full: the rebalance is as far as it goes
+        }
+        report.slabsScanned += 1;
+        std::vector<std::uint8_t> bytes(pick->size);
+        node(pick->where.node)
+            .store()
+            .read(pick->where.offset, bytes.data(), bytes.size());
+        node(target).store().write(replacement->where.offset,
+                                   bytes.data(), bytes.size());
+        node(pick->where.node).freeSlab(pick->where.offset);
+        replacement->slab = pick->slab;   // identity follows the data
+        replacement->size = pick->size;
+        *pick = *replacement;
+        --load[donor];
+        ++load[target];
+        report.slabsRebuilt += 1;
+        report.bytesCopied += bytes.size();
+        slabsRebuilt_.add();
+        bytesCopied_.add(bytes.size());
+    }
+    inform("controller: rebalanced ", report.slabsRebuilt,
+           " slab(s) onto node ", target);
     return report;
 }
 

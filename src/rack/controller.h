@@ -35,12 +35,45 @@ struct SlabGrant
     std::uint32_t regionKey = 0; ///< RDMA key covering the slab
 };
 
-/** Controller-side view of a memory node's availability. */
+/**
+ * Controller-side view of a memory node's availability. Gray failures
+ * move a node along Healthy -> Suspect -> Quarantined -> Readmitted ->
+ * Healthy driven by the health score; the planned states Draining and
+ * Joining support graceful decommission and hot-add; Failed is the
+ * fail-stop terminal state (rebuild elsewhere).
+ */
 enum class NodeHealth : std::uint8_t
 {
-    Healthy,  ///< taking traffic and new slabs
-    Draining, ///< serving existing slabs; no new placements
-    Failed,   ///< declared dead; data must be rebuilt elsewhere
+    Healthy,     ///< taking traffic and new slabs
+    Suspect,     ///< degraded score: reads hedge to replicas
+    Quarantined, ///< no primary reads, no new placements; writes to
+                 ///< existing copies continue so data stays current
+    Readmitted,  ///< recovered from quarantine, on probation
+    Joining,     ///< hot-added: being warmed/rebalanced onto; no
+                 ///< primary traffic until the join completes
+    Draining,    ///< serving existing slabs; no new placements
+    Failed,      ///< declared dead; data must be rebuilt elsewhere
+};
+
+/**
+ * Tunables of the EWMA health scorer. Per-op outcomes (success,
+ * failure/timeout, NAK) fold into a badness EWMA and fetch latencies
+ * into a latency EWMA; the score is the worse of the two, and
+ * threshold crossings drive the membership state machine. Defaults are
+ * deliberately conservative (minSamples keeps a short burst from
+ * tripping transitions) so the fail-stop detector's consecutive-failure
+ * threshold still fires first on a truly dead node.
+ */
+struct HealthPolicy
+{
+    double ewmaAlpha = 0.15;           ///< weight of a new observation
+    double suspectThreshold = 0.5;     ///< score at/above -> Suspect
+    double quarantineThreshold = 0.85; ///< Suspect score -> Quarantined
+    double recoverThreshold = 0.15;    ///< score at/below -> recover
+    Tick latencyBudgetNs = 40'000;     ///< fetch EWMA considered healthy
+    double latencySlack = 4.0;         ///< budget multiple scoring 1.0
+    std::uint32_t minSamples = 16;     ///< observations before moving
+    std::uint32_t readmitProbation = 32; ///< clean ops to exit probation
 };
 
 /**
@@ -144,6 +177,73 @@ class Controller
 
     void setFailureThreshold(std::uint32_t n) { failureThreshold_ = n; }
 
+    // --- gray-failure health scoring --------------------------------
+
+    void setHealthPolicy(const HealthPolicy &p) { healthPolicy_ = p; }
+    const HealthPolicy &healthPolicy() const { return healthPolicy_; }
+
+    /** A demand fetch against @p node succeeded in @p latencyNs. */
+    void observeFetch(NodeId node, Tick latencyNs);
+
+    /** The receiver NAKed a payload to @p node (CRC failure). */
+    void observeNak(NodeId node);
+
+    /** An op against @p node timed out (counts like a failure). */
+    void observeTimeout(NodeId node);
+
+    /** Current [0, 1] health score of @p node (0 = pristine). */
+    double healthScore(NodeId node) const;
+
+    /**
+     * Monotone epoch bumped on every membership transition. Consumers
+     * (runtime, eviction, prefetch) compare epochs to notice that the
+     * rack's shape changed under them.
+     */
+    std::uint64_t membershipEpoch() const { return membershipEpoch_; }
+
+    /** Whether @p node may receive new slab placements. */
+    bool
+    takesPlacements(NodeId node) const
+    {
+        NodeHealth h = health(node);
+        return h == NodeHealth::Healthy || h == NodeHealth::Readmitted;
+    }
+
+    /**
+     * Whether reads should prefer another replica over @p node. True
+     * for Suspect (hedge), Quarantined, Joining (not warmed yet) and
+     * Failed nodes; Draining still serves its existing slabs.
+     */
+    bool
+    avoidForReads(NodeId node) const
+    {
+        NodeHealth h = health(node);
+        return h == NodeHealth::Suspect ||
+               h == NodeHealth::Quarantined ||
+               h == NodeHealth::Joining || h == NodeHealth::Failed;
+    }
+
+    // --- elastic membership -----------------------------------------
+
+    /**
+     * Hot-add: register @p node in the Joining state. It takes no
+     * placements or primary reads until completeJoin(); warm it first
+     * via rebalanceOnto().
+     */
+    void joinNode(MemoryNode &node);
+
+    /** Promote a Joining node to Healthy (warm-up finished). */
+    void completeJoin(NodeId node);
+
+    /**
+     * Warm a hot-added node: migrate copies from the most-loaded live
+     * nodes onto @p target until it carries its fair share, copying
+     * bytes control-plane and rewriting the placements in place (same
+     * contract as rebuildReplicas/evacuateNode).
+     */
+    RebuildReport rebalanceOnto(NodeId target,
+                                std::vector<PlacementRef> &placements);
+
     // --- self-healing -----------------------------------------------
 
     /**
@@ -168,8 +268,29 @@ class Controller
     std::uint64_t slabsRebuilt() const { return slabsRebuilt_.value(); }
     std::uint64_t slabsLost() const { return slabsLost_.value(); }
     std::uint64_t bytesCopied() const { return bytesCopied_.value(); }
+    std::uint64_t nodesSuspected() const
+    {
+        return nodesSuspected_.value();
+    }
+    std::uint64_t nodesQuarantined() const
+    {
+        return nodesQuarantined_.value();
+    }
+    std::uint64_t nodesReadmitted() const
+    {
+        return nodesReadmitted_.value();
+    }
 
   private:
+    /** EWMA state behind one node's health score. */
+    struct HealthScore
+    {
+        double badness = 0.0;     ///< EWMA of bad-op indicators
+        double latencyNs = 0.0;   ///< EWMA of demand-fetch latency
+        std::uint64_t samples = 0;
+        std::uint32_t probation = 0; ///< clean ops left in Readmitted
+    };
+
     RebuildReport migrate(NodeId from, bool sourceAlive,
                           std::vector<PlacementRef> &placements);
 
@@ -179,19 +300,41 @@ class Controller
                     const std::vector<NodeId> &occupied,
                     RebuildReport &report);
 
+    /** Allocate one slab specifically on @p id (rebalance target). */
+    std::optional<SlabGrant> allocateSlabOn(NodeId id);
+
+    /** Fold one observation into @p node's score, then re-evaluate
+     *  the membership state machine. */
+    void recordSample(NodeId node, double badness,
+                      std::optional<Tick> latencyNs);
+
+    /** Score from the current EWMA state. */
+    double scoreOf(const HealthScore &s) const;
+
+    /** Move @p node to @p to, bumping the membership epoch. */
+    void transition(NodeId node, NodeHealth to, const char *reason);
+
     std::size_t slabSize_;
     MetricScope scope_;
     std::unordered_map<NodeId, MemoryNode *> nodes_;
     std::unordered_map<NodeId, NodeHealth> health_;
     std::unordered_map<NodeId, std::uint32_t> consecFailures_;
+    std::unordered_map<NodeId, HealthScore> scores_;
     std::vector<NodeId> newlyFailed_;
     std::uint32_t failureThreshold_ = defaultFailureThreshold;
+    HealthPolicy healthPolicy_;
+    std::uint64_t membershipEpoch_ = 1;
     SlabId nextSlab_ = 1;
     Counter &slabsAllocated_;
     Counter &nodesFailed_;
     Counter &slabsRebuilt_;
     Counter &slabsLost_;
     Counter &bytesCopied_;
+    Counter &nodesSuspected_;
+    Counter &nodesQuarantined_;
+    Counter &nodesReadmitted_;
+    Counter &nodesJoined_;
+    Gauge &epochGauge_;
 };
 
 } // namespace kona

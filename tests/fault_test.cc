@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -147,6 +148,48 @@ TEST(RetryPolicyTest, DeadlineBoundsTotalBackoff)
     state.backoff(clock);   // 20k spent
     EXPECT_TRUE(state.shouldRetry());
     state.backoff(clock);   // 60k spent, past the deadline
+    EXPECT_FALSE(state.shouldRetry());
+}
+
+TEST(RetryPolicyTest, ZeroJitterScheduleIsSeedIndependent)
+{
+    RetryPolicy policy;
+    policy.jitterFraction = 0.0;
+    policy.maxAttempts = 10;
+    RetryState a(policy, 1), b(policy, 0xdeadbeef);
+    SimClock ca, cb;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.backoff(ca), b.backoff(cb)) << "attempt " << i;
+    EXPECT_EQ(ca.now(), cb.now());
+}
+
+TEST(RetryPolicyTest, ZeroAttemptBudgetNeverRetries)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 0;
+    RetryState state(policy, 1);
+    EXPECT_FALSE(state.shouldRetry());
+}
+
+TEST(RetryPolicyTest, HugeScheduleSaturatesInsteadOfWrapping)
+{
+    // An adversarial policy pushes the exponential schedule past 2^63
+    // in the double domain. Each charged wait must pin to the ceiling
+    // — never wrap to a tiny value — and spentNs must saturate.
+    constexpr Tick tickMax = std::numeric_limits<Tick>::max();
+    RetryPolicy policy;
+    policy.initialBackoffNs = tickMax / 2;
+    policy.backoffMultiplier = 1e6;
+    policy.maxBackoffNs = tickMax;
+    policy.jitterFraction = 0.5;
+    policy.maxAttempts = 8;
+    RetryState state(policy, 3);
+    SimClock clock;
+    for (int i = 0; i < 8; ++i) {
+        Tick charged = state.backoff(clock);
+        EXPECT_GE(charged, tickMax / 2) << "attempt " << i;
+    }
+    EXPECT_EQ(state.spentNs(), tickMax);   // saturated, not wrapped
     EXPECT_FALSE(state.shouldRetry());
 }
 

@@ -374,9 +374,9 @@ TEST_F(PrefetchEngineFixture, SequentialStreamIsAllUseful)
     EXPECT_DOUBLE_EQ(s.accuracy(), 0.75);
 }
 
-TEST_F(PrefetchEngineFixture, PrefetchGivesUpSilentlyOnDownNode)
+TEST_F(PrefetchEngineFixture, PrefetchFallsBackToReplicaOnDownNode)
 {
-    // Replica on a second node so a *demand* miss would fail over.
+    // Replica on a second node so the speculation has somewhere to go.
     MemoryNode node2(fabric, 8, 32 * MiB);
     controller.registerNode(node2);
 
@@ -395,21 +395,35 @@ TEST_F(PrefetchEngineFixture, PrefetchGivesUpSilentlyOnDownNode)
     ASSERT_TRUE(fpga.pageResident(pageNumber(base) + 1));
 
     int healthReports = 0;
-    fpga.setHealthReporter([&](NodeId, bool) { ++healthReports; });
+    int failureReports = 0;
+    fpga.setHealthReporter([&](NodeId, bool ok, Tick) {
+        ++healthReports;
+        failureReports += ok ? 0 : 1;
+    });
     fabric.setNodeDown(7, true);
 
     // FMem hit on the prefetched page; the engine now wants page 2,
-    // whose primary is down. The speculation must give up without
-    // failover, promotion, health evidence, or a warning.
+    // whose primary is down. The speculation reports the dead primary
+    // to the health scorer and serves the page from the replica — no
+    // promotion, no retry loop, no warning.
     ServeStatus s =
         fpga.serveLine(base + pageSize, AccessType::Read, clock);
     EXPECT_EQ(s, ServeStatus::FMemHit);
-    EXPECT_FALSE(fpga.pageResident(pageNumber(base) + 2));
-    EXPECT_EQ(fpga.prefetchStats().droppedNodeDown, 1u);
+    EXPECT_TRUE(fpga.pageResident(pageNumber(base) + 2));
+    EXPECT_EQ(fpga.prefetchReplicaFallbacks(), 1u);
+    EXPECT_EQ(fpga.prefetchStats().droppedNodeDown, 0u);
     EXPECT_EQ(fpga.translation().translate(base).node, 7u);
     EXPECT_EQ(fpga.replicaPromotions(), 0u);
-    EXPECT_EQ(healthReports, 0);
+    EXPECT_EQ(failureReports, 1);
+    EXPECT_GE(healthReports, 2);   // the failure + the replica success
+
+    // With every copy unreachable the speculation gives up silently.
+    fabric.setNodeDown(8, true);
+    fpga.serveLine(base + 2 * pageSize, AccessType::Read, clock);
+    EXPECT_FALSE(fpga.pageResident(pageNumber(base) + 3));
+    EXPECT_EQ(fpga.prefetchStats().droppedNodeDown, 1u);
     fabric.setNodeDown(7, false);
+    fabric.setNodeDown(8, false);
 }
 
 TEST_F(PrefetchEngineFixture, DeprecatedBoolAliasesNextOne)
