@@ -7,10 +7,14 @@
  * as BENCH_chaos.json).
  *
  *   bench_chaos [--quick] [--soak] [--metrics-json=PATH]
+ *               [--events-out=PATH]
  *
  * --quick: one seed per scenario (PR-gating CI).
  * --soak: ten seeds per scenario (the scheduled soak job).
  * Default: five seeds (the acceptance sweep).
+ * --events-out: concatenated JSONL of every run's event journal (the
+ * soak job archives it so a failing seed's transition history is
+ * preserved).
  *
  * Exit status is non-zero when any run diverges from its oracle.
  */
@@ -29,6 +33,13 @@ int
 main(int argc, char **argv)
 {
     parseExportFlags(argc, argv);
+    std::ofstream eventsOs;
+    if (!exportOptions().eventsOut.empty()) {
+        eventsOs.open(exportOptions().eventsOut);
+        if (!eventsOs)
+            fatal("cannot open ", exportOptions().eventsOut,
+                  " for events export");
+    }
     std::size_t seedCount = 5;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
@@ -58,6 +69,14 @@ main(int argc, char **argv)
             ChaosRunConfig cfg;
             cfg.seed = seed;
             ChaosReport r = runChaosScenario(scenario, cfg);
+            if (eventsOs.is_open()) {
+                // One marker line per run so the concatenated stream
+                // stays attributable to (scenario, seed).
+                eventsOs << "{\"event\": \"run\", \"scenario\": \""
+                         << scenario.name << "\", \"seed\": " << seed
+                         << "}\n";
+                EventJournal::writeEventsJsonl(eventsOs, r.journal);
+            }
             bool match = r.image == oracle.image;
             scenarioMismatches += match ? 0 : 1;
             worstP99 = std::max(worstP99, r.p99OpNs);

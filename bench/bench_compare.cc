@@ -1,0 +1,112 @@
+/**
+ * @file
+ * CLI over src/tools/bench_compare.h: diff a bench's --metrics-json
+ * export against its checked-in baseline under per-metric tolerance
+ * rules, and exit nonzero on regression so CI can gate on it.
+ *
+ *   bench_compare [--rules=FILE] [--verbose] BASELINE.json CURRENT.json
+ *
+ * --rules=FILE  tolerance rules (default: gate every "gauges.result.*"
+ *               as a 10% band); bench/baselines/compare.rules is the
+ *               checked-in policy for the CI benches
+ * --verbose     also list passing metrics
+ *
+ * Exit status: 0 = all gated metrics within tolerance (warnings are
+ * printed but do not fail), 1 = at least one regression or a gated
+ * metric missing on one side, 2 = bad usage / unreadable input.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "tools/bench_compare.h"
+
+namespace {
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::ostringstream text;
+    text << is.rdbuf();
+    out = text.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace kona;
+
+    std::string rulesPath;
+    bool verbose = false;
+    std::string paths[2];
+    std::size_t nPaths = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        constexpr std::string_view rulesFlag = "--rules=";
+        if (arg.substr(0, rulesFlag.size()) == rulesFlag) {
+            rulesPath = arg.substr(rulesFlag.size());
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (nPaths < 2) {
+            paths[nPaths++] = arg;
+        } else {
+            nPaths = 3; // too many positionals
+            break;
+        }
+    }
+    if (nPaths != 2) {
+        std::fprintf(stderr,
+                     "usage: bench_compare [--rules=FILE] [--verbose] "
+                     "BASELINE.json CURRENT.json\n");
+        return 2;
+    }
+
+    std::vector<CompareRule> rules;
+    if (rulesPath.empty()) {
+        rules.push_back({"gauges.result.*", CompareDirection::Band,
+                         0.10, 0.05});
+    } else {
+        std::string text, error;
+        if (!readFile(rulesPath, text)) {
+            std::fprintf(stderr, "cannot read rules file %s\n",
+                         rulesPath.c_str());
+            return 2;
+        }
+        if (!parseCompareRules(text, rules, &error)) {
+            std::fprintf(stderr, "%s: %s\n", rulesPath.c_str(),
+                         error.c_str());
+            return 2;
+        }
+    }
+
+    std::map<std::string, double> metrics[2];
+    for (std::size_t i = 0; i < 2; ++i) {
+        std::string text, error;
+        if (!readFile(paths[i], text)) {
+            std::fprintf(stderr, "cannot read %s\n", paths[i].c_str());
+            return 2;
+        }
+        if (!parseMetricsJson(text, metrics[i], &error)) {
+            std::fprintf(stderr, "%s: %s\n", paths[i].c_str(),
+                         error.c_str());
+            return 2;
+        }
+    }
+
+    std::printf("comparing %s (current) against %s (baseline)\n",
+                paths[1].c_str(), paths[0].c_str());
+    CompareReport report =
+        compareMetrics(metrics[0], metrics[1], rules);
+    printCompareReport(std::cout, report, verbose);
+    return report.ok() ? 0 : 1;
+}

@@ -185,6 +185,37 @@ warmSpan(KonaRuntime &rt, Addr base, std::size_t span)
 }
 
 /**
+ * Attach a sim-time sampler post-warm and keep it ticking through the
+ * timed loop: sampling is always on here, so --strict-alloc also
+ * proves onTick()/closeWindow() are allocation-free in steady state.
+ */
+void
+attachSampler(KonaRuntime &rt, TimeSeriesSampler &sampler)
+{
+    sampler.attach(rt.metrics(), rt.appTime());
+    rt.setTimeSeriesSampler(&sampler);
+}
+
+/** Write one mix's sampler to --timeseries-out= with ".<mix>" spliced
+ *  in before the extension (each mix has its own stack + registry). */
+void
+writeMixTimeseries(const std::string &mix, KonaRuntime &rt,
+                   TimeSeriesSampler &sampler)
+{
+    sampler.finish(rt.appTime());
+    const std::string &path = bench::exportOptions().timeseriesOut;
+    if (path.empty())
+        return;
+    std::string out = path;
+    std::size_t dot = out.rfind('.');
+    if (dot == std::string::npos)
+        out += "." + mix;
+    else
+        out.insert(dot, "." + mix);
+    sampler.writeFile(out);
+}
+
+/**
  * Run one timed loop. @p body performs exactly @p ops accesses; the
  * allocation counter and wall clock are diffed around it.
  */
@@ -220,9 +251,11 @@ runSeq(std::uint64_t ops)
     constexpr std::size_t span = 32 * MiB;
     Addr base = rt.allocate(span, pageSize);
     warmSpan(rt, base, span);
+    TimeSeriesSampler sampler;
+    attachSampler(rt, sampler);
 
     std::uint64_t buf = 0;
-    return timed("seq", rt, ops, [&] {
+    MixResult r = timed("seq", rt, ops, [&] {
         std::size_t off = 0;
         for (std::uint64_t i = 0; i < ops; ++i) {
             if ((i & 3) == 3)
@@ -234,6 +267,8 @@ runSeq(std::uint64_t ops)
                 off = 0;
         }
     });
+    writeMixTimeseries("seq", rt, sampler);
+    return r;
 }
 
 /** 1KB-stride 8B accesses (25% writes) over a 32MB span. */
@@ -246,9 +281,11 @@ runStride(std::uint64_t ops)
     constexpr std::size_t stride = 1024;
     Addr base = rt.allocate(span, pageSize);
     warmSpan(rt, base, span);
+    TimeSeriesSampler sampler;
+    attachSampler(rt, sampler);
 
     std::uint64_t buf = 0;
-    return timed("stride", rt, ops, [&] {
+    MixResult r = timed("stride", rt, ops, [&] {
         std::size_t off = 0;
         for (std::uint64_t i = 0; i < ops; ++i) {
             if ((i & 3) == 1)
@@ -260,6 +297,8 @@ runStride(std::uint64_t ops)
                 off = (off + cacheLineSize) % stride;
         }
     });
+    writeMixTimeseries("stride", rt, sampler);
+    return r;
 }
 
 /** Uniform-random 8B accesses (30% writes) over a 32MB span. */
@@ -271,10 +310,12 @@ runRandom(std::uint64_t ops)
     constexpr std::size_t span = 32 * MiB;
     Addr base = rt.allocate(span, pageSize);
     warmSpan(rt, base, span);
+    TimeSeriesSampler sampler;
+    attachSampler(rt, sampler);
 
     Rng rng(0x51eedull);
     std::uint64_t buf = 0;
-    return timed("random", rt, ops, [&] {
+    MixResult r = timed("random", rt, ops, [&] {
         for (std::uint64_t i = 0; i < ops; ++i) {
             Addr addr = base + rng.below(span / 8) * 8;
             if (rng.chance(0.3))
@@ -283,6 +324,8 @@ runRandom(std::uint64_t ops)
                 rt.read(addr, &buf, sizeof(buf));
         }
     });
+    writeMixTimeseries("random", rt, sampler);
+    return r;
 }
 
 /**
@@ -311,6 +354,8 @@ runGraph(std::uint64_t ops)
     // Write the chase array page by page (setup, untimed).
     for (std::size_t off = 0; off < span; off += pageSize)
         rt.write(base + off, next.data() + off / 8, pageSize);
+    TimeSeriesSampler sampler;
+    attachSampler(rt, sampler);
 
     std::uint64_t idx = 0;
     MixResult r = timed("graph", rt, ops, [&] {
@@ -323,6 +368,7 @@ runGraph(std::uint64_t ops)
     // Keep the compiler from dropping the chase.
     if (idx >= nodes)
         fatal("graph chase escaped the node array");
+    writeMixTimeseries("graph", rt, sampler);
     return r;
 }
 

@@ -11,6 +11,7 @@
 #define KONA_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -22,7 +23,9 @@
 #include "core/vm_runtime.h"
 #include "mem/backing_store.h"
 #include "prefetch/prefetcher.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/time_series.h"
 #include "telemetry/trace_session.h"
 #include "workloads/registry.h"
 
@@ -34,6 +37,9 @@ struct ExportOptions
     std::string metricsJson;     ///< --metrics-json=PATH
     std::string traceOut;        ///< --trace-out=PATH
     std::string prefetchPolicy;  ///< --prefetch=policy[:depth]
+    std::string timeseriesOut;   ///< --timeseries-out=PATH (.json/.csv)
+    std::string eventsOut;       ///< --events-out=PATH (JSONL)
+    Tick timeseriesIntervalNs = 1'000'000; ///< --timeseries-interval=NS
 };
 
 inline ExportOptions &
@@ -63,11 +69,12 @@ exportScope(const std::string &prefix = "")
 }
 
 /**
- * Strip --metrics-json=, --trace-out= and --prefetch= out of argv,
- * leaving every other argument in place. Call first thing in main,
- * before any other argument parsing (including benchmark::Initialize,
- * which rejects flags it does not know). A bad --prefetch= spec is
- * fatal() here rather than deep inside a runtime constructor.
+ * Strip --metrics-json=, --trace-out=, --prefetch=, --timeseries-out=,
+ * --timeseries-interval= and --events-out= out of argv, leaving every
+ * other argument in place. Call first thing in main, before any other
+ * argument parsing (including benchmark::Initialize, which rejects
+ * flags it does not know). A bad --prefetch= spec is fatal() here
+ * rather than deep inside a runtime constructor.
  */
 inline void
 parseExportFlags(int &argc, char **argv)
@@ -78,10 +85,27 @@ parseExportFlags(int &argc, char **argv)
         constexpr std::string_view metricsFlag = "--metrics-json=";
         constexpr std::string_view traceFlag = "--trace-out=";
         constexpr std::string_view prefetchFlag = "--prefetch=";
+        constexpr std::string_view tsFlag = "--timeseries-out=";
+        constexpr std::string_view tsIntervalFlag =
+            "--timeseries-interval=";
+        constexpr std::string_view eventsFlag = "--events-out=";
         if (arg.substr(0, metricsFlag.size()) == metricsFlag) {
             exportOptions().metricsJson = arg.substr(metricsFlag.size());
         } else if (arg.substr(0, traceFlag.size()) == traceFlag) {
             exportOptions().traceOut = arg.substr(traceFlag.size());
+        } else if (arg.substr(0, tsFlag.size()) == tsFlag) {
+            exportOptions().timeseriesOut = arg.substr(tsFlag.size());
+        } else if (arg.substr(0, tsIntervalFlag.size()) ==
+                   tsIntervalFlag) {
+            std::string spec(arg.substr(tsIntervalFlag.size()));
+            char *end = nullptr;
+            unsigned long long ns = std::strtoull(spec.c_str(), &end, 10);
+            if (end == spec.c_str() || *end != '\0' || ns == 0)
+                fatal("bad --timeseries-interval= value \"", spec,
+                      "\"; want a positive sim-time interval in ns");
+            exportOptions().timeseriesIntervalNs = ns;
+        } else if (arg.substr(0, eventsFlag.size()) == eventsFlag) {
+            exportOptions().eventsOut = arg.substr(eventsFlag.size());
         } else if (arg.substr(0, prefetchFlag.size()) == prefetchFlag) {
             std::string spec(arg.substr(prefetchFlag.size()));
             if (!knownPrefetchPolicy(spec))
@@ -159,6 +183,34 @@ flushExports()
         return;
     }
     exportRegistry()->writeJson(os);
+}
+
+/**
+ * Write @p sampler's windows to --timeseries-out= (format from the
+ * extension: ".json" = JSON, anything else = CSV). Call finish() on
+ * the sampler first so the trailing partial window is included.
+ */
+inline void
+writeTimeseriesIfRequested(const TimeSeriesSampler &sampler)
+{
+    if (exportOptions().timeseriesOut.empty())
+        return;
+    sampler.writeFile(exportOptions().timeseriesOut);
+}
+
+/**
+ * Write @p runtime's event journal to --events-out= as JSONL (no-op
+ * when the flag is absent or the runtime has no journal).
+ */
+inline void
+writeEventsIfRequested(RemoteMemoryRuntime &runtime)
+{
+    if (exportOptions().eventsOut.empty())
+        return;
+    EventJournal *journal = runtime.eventJournal();
+    if (journal == nullptr)
+        return;
+    journal->writeJsonlFile(exportOptions().eventsOut);
 }
 
 /** A rack with @p nodeCount memory nodes of @p nodeSize bytes each. */

@@ -9,6 +9,8 @@
  *   run_workload [workload] [runtime] [local%] [ops]
  *                [--prefetch=POLICY[:depth]] [--evict-depth=N]
  *                [--metrics-json=PATH] [--trace-out=PATH]
+ *                [--timeseries-out=PATH] [--timeseries-interval=NS]
+ *                [--events-out=PATH]
  *                [--chaos=NAME|@FILE] [--chaos-seed=N]
  *
  *   workload:  redis-rand | redis-seq | linear-regression |
@@ -34,6 +36,16 @@
  *   --trace-out=PATH     record sim-time spans of the miss and
  *                        eviction paths and write Chrome trace-event
  *                        JSON (open in Perfetto / chrome://tracing)
+ *   --timeseries-out=PATH  sample every stack metric on a sim-time
+ *                        interval and write per-window deltas
+ *                        (".json" = JSON, else CSV); works in both
+ *                        the plain and --chaos= modes
+ *   --timeseries-interval=NS  sim-time sampling interval in ns
+ *                        (default 1000000 = 1ms)
+ *   --events-out=PATH    write the runtime's structured event journal
+ *                        (health transitions, quarantine/readmit,
+ *                        epoch bumps, drain/join, stale-home marks,
+ *                        retries-exhausted, ring-full stalls) as JSONL
  *   --chaos=NAME|@FILE   run a scripted gray-failure scenario instead
  *                        of the plain workload loop: a builtin name
  *                        (slow-node, flapping, partial-partition,
@@ -58,6 +70,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string_view>
 
@@ -67,7 +80,9 @@
 #include "core/vm_runtime.h"
 #include "mem/backing_store.h"
 #include "prefetch/prefetcher.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/time_series.h"
 #include "telemetry/trace_session.h"
 #include "workloads/registry.h"
 
@@ -99,6 +114,8 @@ usage()
                  "usage: run_workload [workload] [runtime] [local%%] "
                  "[ops] [--prefetch=POLICY[:depth]] [--evict-depth=N] "
                  "[--metrics-json=PATH] [--trace-out=PATH] "
+                 "[--timeseries-out=PATH] [--timeseries-interval=NS] "
+                 "[--events-out=PATH] "
                  "[--chaos=NAME|@FILE] [--chaos-seed=N]\n"
                  "  workloads:");
     for (const std::string &name : table2WorkloadNames())
@@ -138,14 +155,29 @@ resolveChaosScenario(const std::string &spec)
     usage();
 }
 
+/** Print the slowest-1% component breakdown(s) of a kona run. */
+void
+printAttributionTables(KonaRuntime &kona)
+{
+    kona.missAttribution().printTable(
+        std::cout, "demand-miss latency attribution");
+    kona.evictionHandler().shipmentAttribution().printTable(
+        std::cout, "eviction-shipment latency attribution");
+}
+
 /** The --chaos= mode: one scripted run plus its fault-free oracle. */
 int
-runChaosMode(const std::string &spec, std::uint64_t seed)
+runChaosMode(const std::string &spec, std::uint64_t seed,
+             const std::string &timeseriesOut, Tick timeseriesIntervalNs,
+             const std::string &eventsOut)
 {
     ChaosScenario scenario = resolveChaosScenario(spec);
 
+    TimeSeriesSampler sampler(timeseriesIntervalNs);
     ChaosRunConfig cfg;
     cfg.seed = seed;
+    if (!timeseriesOut.empty())
+        cfg.sampler = &sampler;
     ChaosReport run = runChaosScenario(scenario, cfg);
 
     ChaosRunConfig oracleCfg;
@@ -179,17 +211,54 @@ runChaosMode(const std::string &spec, std::uint64_t seed)
                 match ? "match (final memory byte-identical to the "
                         "fault-free run)"
                       : "MISMATCH — content diverged");
+    std::printf("attribution: miss sum %llu ns over %llu samples, "
+                "shipment sum %llu ns over %llu samples\n",
+                static_cast<unsigned long long>(run.missAttrTotalNs),
+                static_cast<unsigned long long>(run.missAttrSamples),
+                static_cast<unsigned long long>(run.shipAttrTotalNs),
+                static_cast<unsigned long long>(run.shipAttrSamples));
+    if (!timeseriesOut.empty()) {
+        if (!sampler.writeFile(timeseriesOut))
+            return 1;
+        std::printf("timeseries : %s (%zu windows, %zu columns, %llu "
+                    "dropped)\n",
+                    timeseriesOut.c_str(), sampler.windows(),
+                    sampler.columns(),
+                    static_cast<unsigned long long>(
+                        sampler.droppedWindows()));
+    }
+    if (!eventsOut.empty()) {
+        std::ofstream os(eventsOut);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s for events export\n",
+                         eventsOut.c_str());
+            return 1;
+        }
+        EventJournal::writeEventsJsonl(os, run.journal);
+        std::printf("events     : %s (%zu journal events)\n",
+                    eventsOut.c_str(), run.journal.size());
+    }
     return match ? 0 : 1;
 }
 
-/** Strip --metrics-json=/--trace-out=/--prefetch= from argv
- *  (positional args are parsed by index, so the flags must come out
- *  first). */
+/** All the --flag= values of one invocation. */
+struct Flags
+{
+    std::string metricsJson;
+    std::string traceOut;
+    std::string prefetch;
+    std::size_t evictDepth = 1;
+    std::string chaos;
+    std::uint64_t chaosSeed = 0x5eedULL;
+    std::string timeseriesOut;
+    Tick timeseriesIntervalNs = 1'000'000;
+    std::string eventsOut;
+};
+
+/** Strip every --flag= from argv (positional args are parsed by
+ *  index, so the flags must come out first). */
 void
-parseExportFlags(int &argc, char **argv, std::string &metricsJson,
-                 std::string &traceOut, std::string &prefetch,
-                 std::size_t &evictDepth, std::string &chaos,
-                 std::uint64_t &chaosSeed)
+parseExportFlags(int &argc, char **argv, Flags &flags)
 {
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
@@ -200,24 +269,39 @@ parseExportFlags(int &argc, char **argv, std::string &metricsJson,
         constexpr std::string_view depthFlag = "--evict-depth=";
         constexpr std::string_view chaosFlag = "--chaos=";
         constexpr std::string_view chaosSeedFlag = "--chaos-seed=";
+        constexpr std::string_view tsFlag = "--timeseries-out=";
+        constexpr std::string_view tsIntervalFlag =
+            "--timeseries-interval=";
+        constexpr std::string_view eventsFlag = "--events-out=";
         if (arg.substr(0, metricsFlag.size()) == metricsFlag)
-            metricsJson = arg.substr(metricsFlag.size());
+            flags.metricsJson = arg.substr(metricsFlag.size());
         else if (arg.substr(0, traceFlag.size()) == traceFlag)
-            traceOut = arg.substr(traceFlag.size());
+            flags.traceOut = arg.substr(traceFlag.size());
         else if (arg.substr(0, prefetchFlag.size()) == prefetchFlag)
-            prefetch = arg.substr(prefetchFlag.size());
+            flags.prefetch = arg.substr(prefetchFlag.size());
         else if (arg.substr(0, depthFlag.size()) == depthFlag) {
             int depth = std::atoi(
                 std::string(arg.substr(depthFlag.size())).c_str());
             if (depth < 1)
                 usage();
-            evictDepth = static_cast<std::size_t>(depth);
+            flags.evictDepth = static_cast<std::size_t>(depth);
         } else if (arg.substr(0, chaosFlag.size()) == chaosFlag)
-            chaos = arg.substr(chaosFlag.size());
+            flags.chaos = arg.substr(chaosFlag.size());
         else if (arg.substr(0, chaosSeedFlag.size()) == chaosSeedFlag)
-            chaosSeed = std::strtoull(
+            flags.chaosSeed = std::strtoull(
                 std::string(arg.substr(chaosSeedFlag.size())).c_str(),
                 nullptr, 0);
+        else if (arg.substr(0, tsFlag.size()) == tsFlag)
+            flags.timeseriesOut = arg.substr(tsFlag.size());
+        else if (arg.substr(0, tsIntervalFlag.size()) ==
+                 tsIntervalFlag) {
+            flags.timeseriesIntervalNs = std::strtoull(
+                std::string(arg.substr(tsIntervalFlag.size())).c_str(),
+                nullptr, 10);
+            if (flags.timeseriesIntervalNs == 0)
+                usage();
+        } else if (arg.substr(0, eventsFlag.size()) == eventsFlag)
+            flags.eventsOut = arg.substr(eventsFlag.size());
         else
             argv[kept++] = argv[i];
     }
@@ -234,13 +318,18 @@ main(int argc, char **argv)
     using namespace kona;
     setQuietLogging(true);
 
-    std::string metricsJson, traceOut, prefetchPolicy, chaos;
-    std::size_t evictDepth = 1;
-    std::uint64_t chaosSeed = 0x5eedULL;
-    parseExportFlags(argc, argv, metricsJson, traceOut,
-                     prefetchPolicy, evictDepth, chaos, chaosSeed);
-    if (!chaos.empty())
-        return runChaosMode(chaos, chaosSeed);
+    Flags flags;
+    parseExportFlags(argc, argv, flags);
+    const std::string &metricsJson = flags.metricsJson;
+    const std::string &traceOut = flags.traceOut;
+    const std::string &prefetchPolicy = flags.prefetch;
+    std::size_t evictDepth = flags.evictDepth;
+    if (!flags.chaos.empty()) {
+        return runChaosMode(flags.chaos, flags.chaosSeed,
+                            flags.timeseriesOut,
+                            flags.timeseriesIntervalNs,
+                            flags.eventsOut);
+    }
 
     std::string workloadName = argc > 1 ? argv[1] : "redis-rand";
     std::string runtimeName = argc > 2 ? argv[2] : "kona";
@@ -299,6 +388,7 @@ main(int argc, char **argv)
     std::unique_ptr<WorkloadContext> context;
 
     KonaRuntime *kona = nullptr;
+    VmRuntime *vm = nullptr;
     if (runtimeName == "kona") {
         KonaConfig cfg;
         cfg.fpga.vfmemSize = 2048 * MiB;
@@ -321,8 +411,10 @@ main(int argc, char **argv)
                                           : VmPersonality::KonaVm;
         cfg.localCachePages = localBytes / pageSize;
         cfg.hierarchy = HierarchyConfig::scaled();
-        runtime = std::make_unique<VmRuntime>(
+        auto owned = std::make_unique<VmRuntime>(
             fabric, controller, 0, cfg, MetricScope(registry, "vm"));
+        vm = owned.get();
+        runtime = std::move(owned);
     } else if (runtimeName != "local") {
         usage();
     }
@@ -356,6 +448,17 @@ main(int argc, char **argv)
 
     auto workload = makeWorkload(workloadName, *context);
     workload->setup();
+
+    // Attach after setup so lazily-created metrics (QP scopes) are in
+    // the sampled set; the runtime ticks it once per read()/write().
+    TimeSeriesSampler sampler(flags.timeseriesIntervalNs);
+    if (runtime != nullptr && !flags.timeseriesOut.empty()) {
+        sampler.attach(registry,
+                       kona != nullptr ? kona->appClock().now()
+                       : vm != nullptr ? vm->appClock().now()
+                                       : Tick{0});
+        runtime->setTimeSeriesSampler(&sampler);
+    }
 
     Tick before = runtime ? runtime->elapsed() : 0;
     std::uint64_t executed = 0;
@@ -410,9 +513,42 @@ main(int argc, char **argv)
                         100.0 * ps.accuracy());
         }
     }
+    if (kona != nullptr)
+        printAttributionTables(*kona);
+
+    if (runtime != nullptr && !flags.timeseriesOut.empty()) {
+        sampler.finish(kona != nullptr ? kona->appClock().now()
+                       : vm != nullptr ? vm->appClock().now()
+                                       : Tick{0});
+        if (!sampler.writeFile(flags.timeseriesOut))
+            return 1;
+        std::printf("timeseries : %s (%zu windows, %zu columns, %llu "
+                    "dropped)\n",
+                    flags.timeseriesOut.c_str(), sampler.windows(),
+                    sampler.columns(),
+                    static_cast<unsigned long long>(
+                        sampler.droppedWindows()));
+    }
+    if (runtime != nullptr && !flags.eventsOut.empty()) {
+        EventJournal *journal = runtime->eventJournal();
+        if (journal != nullptr) {
+            if (!journal->writeJsonlFile(flags.eventsOut))
+                return 1;
+            std::printf("events     : %s (%zu journal events, %llu "
+                        "dropped)\n",
+                        flags.eventsOut.c_str(), journal->size(),
+                        static_cast<unsigned long long>(
+                            journal->dropped()));
+        } else {
+            std::fprintf(stderr, "--events-out= needs a runtime with "
+                                 "an event journal (kona); ignoring\n");
+        }
+    }
 
     if (!metricsJson.empty()) {
         // Headline run facts ride along with the component metrics.
+        if (kona != nullptr)
+            kona->exportAttribution();
         registry->gauge("run.operations")
             .set(static_cast<double>(executed));
         registry->gauge("run.sim_ns").set(static_cast<double>(ns));

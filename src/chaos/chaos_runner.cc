@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "net/fault_injector.h"
+#include "telemetry/time_series.h"
 #include "workloads/registry.h"
 
 namespace kona {
@@ -168,6 +169,14 @@ runChaosScenario(const ChaosScenario &scenario,
     auto workload = makeWorkload(scenario.workload, context, scale);
     workload->setup();
 
+    // Attach after setup so every lazily-created metric (QP scopes,
+    // workload counters) is part of the sampled set.
+    if (config.sampler != nullptr) {
+        config.sampler->attach(scope.registry(),
+                               runtime.appClock().now());
+        runtime.setTimeSeriesSampler(config.sampler);
+    }
+
     std::uint64_t budget = scenario.ops > 0
                                ? scenario.ops
                                : std::min<std::uint64_t>(
@@ -203,8 +212,20 @@ runChaosScenario(const ChaosScenario &scenario,
     // an earlier shipment — and all copies converge.
     fabric.setFaultInjector(nullptr);
     runtime.writebackAll();
+    if (config.sampler != nullptr)
+        config.sampler->finish(runtime.appClock().now());
 
     report.image = dumpImage(runtime);
+    report.journal = runtime.journal().snapshot();
+    const LatencyAttribution &miss = runtime.missAttribution();
+    report.missAttrSamples = miss.samples();
+    report.missAttrTotalNs = miss.totalNs();
+    report.missAttrOtherNs = miss.componentNs(MissComponent::Other);
+    const LatencyAttribution &ship =
+        runtime.evictionHandler().shipmentAttribution();
+    report.shipAttrSamples = ship.samples();
+    report.shipAttrTotalNs = ship.totalNs();
+    report.shipAttrOtherNs = ship.componentNs(EvictComponent::Other);
     report.reliability = runtime.reliability();
     report.hedgedReads = runtime.fpga().hedgedReads();
     report.prefetchReplicaFallbacks =

@@ -42,6 +42,14 @@ struct ChaosRunConfig
                                     ///< miss does not
     HealthPolicy health = chaosHealthPolicy();
     MetricScope scope = {};         ///< telemetry scope for the stack
+
+    /**
+     * Optional time-series sampler: attached to the stack's registry
+     * after setup (so all lazily-created metrics exist) and ticked on
+     * the app clock; the trailing partial window is closed before the
+     * report is returned.
+     */
+    TimeSeriesSampler *sampler = nullptr;
 };
 
 /** Everything a scenario run produced. */
@@ -65,6 +73,17 @@ struct ChaosReport
     RebuildReport drainReport;
     bool hotAdded = false;           ///< a HotAdd event executed
     RebuildReport hotAddReport;
+
+    /** The runtime's structured event journal, oldest first. */
+    std::vector<JournalEvent> journal;
+
+    /** Attribution invariants (sum of components == total, exactly). */
+    std::uint64_t missAttrSamples = 0;
+    std::uint64_t missAttrTotalNs = 0;
+    std::uint64_t missAttrOtherNs = 0;
+    std::uint64_t shipAttrSamples = 0;
+    std::uint64_t shipAttrTotalNs = 0;
+    std::uint64_t shipAttrOtherNs = 0;
 };
 
 /** Run @p scenario under @p config and collect the report. */

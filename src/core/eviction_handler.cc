@@ -351,6 +351,9 @@ EvictionHandler::submit(const EvictionRequest &req, SimClock &clock)
             // Backpressure: every slot holds an in-flight log. Fall
             // back to blocking on the oldest completion on this node.
             ringStalls_.add();
+            if (config_.journal != nullptr)
+                config_.journal->record(JournalKind::RingFullStall,
+                                        nodeId, batchId);
             auto next = earliestDoneAt([nodeId](const Shipment &s) {
                 return s.node == nodeId;
             });
@@ -383,6 +386,7 @@ EvictionHandler::submit(const EvictionRequest &req, SimClock &clock)
         s.retry.bindTelemetry(&retries_, &retryBackoffNs_);
         ring.owner[s.slot] = s.id;
         s.timeline.advanceTo(clock.now());
+        s.attrStart = s.timeline.now();
         postShipment(s);
         ++batch.outstanding;
         inflight_.set(static_cast<double>(shipments_.size()));
@@ -405,7 +409,9 @@ EvictionHandler::postShipment(Shipment &s)
     MemoryNode &node = controller_.node(s.node);
     // One link per node: a shipment's wire time starts only when the
     // previous transfer to that node has left the NIC.
+    const Tick parked = s.timeline.now();
     s.timeline.advanceTo(ring.wireFreeAt);
+    s.comp[EvictComponent::Queueing] += s.timeline.now() - parked;
     s.wireStart = s.timeline.now();
     ++s.sends;
     if (s.clLog) {
@@ -454,6 +460,7 @@ EvictionHandler::handleCompletion(const WorkCompletion &wc)
     ring.wireFreeAt = std::max(ring.wireFreeAt, wc.completeAt);
     breakdown_.rdmaNs +=
         static_cast<double>(s.timeline.now() - s.wireStart);
+    s.comp[EvictComponent::Wire] += s.timeline.now() - s.wireStart;
 
     if (wc.status != WcStatus::Success) {
         // Dropped or timed out: the payload never landed. A node the
@@ -466,7 +473,9 @@ EvictionHandler::handleCompletion(const WorkCompletion &wc)
             settleShipment(s, false);
             return;
         }
+        const Tick backoffStart = s.timeline.now();
         s.retry.backoff(s.timeline);
+        s.comp[EvictComponent::Retry] += s.timeline.now() - backoffStart;
         postShipment(s);
         return;
     }
@@ -499,15 +508,19 @@ EvictionHandler::handleCompletion(const WorkCompletion &wc)
     // transport's checks — retransmit the slot. One receiver thread
     // per node serializes unpacks (recvFreeAt).
     MemoryNode &node = controller_.node(s.node);
+    const Tick recvWaitStart = s.timeline.now();
     Tick unpackStart = std::max(s.timeline.now(), ring.recvFreeAt);
     LogReceiptStats receipt = node.receiveLog(
         static_cast<Addr>(s.slot) * ring.slotBytes, s.log.size());
     Tick unpackDur = static_cast<Tick>(receipt.unpackNs);
     ring.recvFreeAt = unpackStart + unpackDur;
     s.timeline.advanceTo(ring.recvFreeAt);
+    s.comp[EvictComponent::Queueing] += unpackStart - recvWaitStart;
+    s.comp[EvictComponent::Unpack] += s.timeline.now() - unpackStart;
     breakdown_.unpackNs += receipt.unpackNs;
     Tick ackStart = s.timeline.now();
     s.timeline.advance(static_cast<Tick>(lat.ackNs));
+    s.comp[EvictComponent::Ack] += s.timeline.now() - ackStart;
     if (tracing()) {
         record("unpack", unpackStart, unpackDur,
                traceNodeThread(s.node),
@@ -525,7 +538,9 @@ EvictionHandler::handleCompletion(const WorkCompletion &wc)
             settleShipment(s, false);
             return;
         }
+        const Tick backoffStart = s.timeline.now();
         s.retry.backoff(s.timeline);
+        s.comp[EvictComponent::Retry] += s.timeline.now() - backoffStart;
         postShipment(s);
         return;
     }
@@ -540,6 +555,11 @@ EvictionHandler::settleShipment(Shipment &s, bool succeeded)
     s.succeeded = succeeded;
     s.doneAt = s.timeline.now();
     retransmits_.add(s.sends - 1);
+    shipAttr_.record(s.doneAt - s.attrStart, s.comp.data(),
+                     EvictComponent::Other);
+    if (!succeeded && config_.journal != nullptr)
+        config_.journal->record(JournalKind::RetriesExhausted, s.node,
+                                s.batchId, s.sends);
 }
 
 std::size_t
@@ -605,6 +625,9 @@ EvictionHandler::finalizeBatch(Batch &batch)
                 // and the page's next eviction re-ships these lines.
                 fpga_.markStaleHome(page.vpn, home, page.mask);
                 staleMarks_.add();
+                if (config_.journal != nullptr)
+                    config_.journal->record(JournalKind::StaleHomeMark,
+                                            home, page.vpn, page.mask);
             }
         }
         if (!safe) {

@@ -41,6 +41,8 @@
 #include "fpga/coherent_fpga.h"
 #include "net/retry_policy.h"
 #include "rack/controller.h"
+#include "telemetry/attribution.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_session.h"
 
@@ -82,6 +84,10 @@ struct EvictionConfig
 
     /** Span tracer for the eviction path (KonaRuntime wires its own). */
     TraceSession *trace = nullptr;
+
+    /** Event journal for stale-home marks, retries-exhausted give-ups
+     *  and ring-full stalls (KonaRuntime wires its own). */
+    EventJournal *journal = nullptr;
 };
 
 /**
@@ -259,6 +265,14 @@ class EvictionHandler
     const EvictionBreakdown &breakdown() const { return breakdown_; }
     void resetBreakdown() { breakdown_ = {}; }
 
+    /** Exact per-shipment latency attribution (queueing / wire /
+     *  unpack / ack / retry on each shipment's own timeline, sum ==
+     *  submission-to-settle) with a slowest-1% table. */
+    const LatencyAttribution &shipmentAttribution() const
+    {
+        return shipAttr_;
+    }
+
   private:
     /** One page's packed contribution to an in-flight batch. */
     struct PackedPage
@@ -302,6 +316,10 @@ class EvictionHandler
         RetryState retry;
         std::uint64_t sends = 0;
         Tick wireStart = 0;
+        Tick attrStart = 0;   ///< timeline at submission (attribution)
+        /** Per-component ns on this shipment's timeline, indexed by
+         *  EvictComponent; settles into shipmentAttribution(). */
+        std::array<Tick, LatencyAttribution::maxComponents> comp{};
         Tick doneAt = 0;      ///< ack time (valid once acked)
         bool acked = false;   ///< outcome decided, awaiting finalize
         bool succeeded = false;
@@ -409,6 +427,8 @@ class EvictionHandler
     LatencyHistogram &retryBackoffNs_;
     LatencyHistogram &batchNs_;
     EvictionBreakdown breakdown_;
+    LatencyAttribution shipAttr_{EvictComponent::names,
+                                 EvictComponent::Count};
 };
 
 } // namespace kona

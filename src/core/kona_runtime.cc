@@ -1,6 +1,7 @@
 #include "core/kona_runtime.h"
 
 #include "common/logging.h"
+#include "telemetry/time_series.h"
 
 namespace kona {
 
@@ -9,15 +10,17 @@ namespace {
 /**
  * Resolve the eviction engine's config from the runtime's: inherit the
  * shared retry policy when none was set, and always wire the runtime's
- * own trace session.
+ * own trace session and event journal.
  */
 EvictionConfig
-resolvedEvictionConfig(const KonaConfig &config, TraceSession &trace)
+resolvedEvictionConfig(const KonaConfig &config, TraceSession &trace,
+                       EventJournal &journal)
 {
     EvictionConfig evict = config.evict;
     if (!evict.retry.has_value())
         evict.retry = config.retry;
     evict.trace = &trace;
+    evict.journal = &journal;
     return evict;
 }
 
@@ -31,7 +34,7 @@ KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
       fpga_(fabric, computeNode, config.fpga, scope_.sub("fpga")),
       hierarchy_(config.hierarchy, scope_.sub("hierarchy")),
       evictor_(fabric, fpga_, hierarchy_, controller,
-               resolvedEvictionConfig(config, trace_),
+               resolvedEvictionConfig(config, trace_, journal_),
                scope_.sub("evict")),
       vfmemCursor_(config.fpga.vfmemBase),
       reads_(scope_.counter("reads")),
@@ -42,6 +45,17 @@ KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
       rebuildPromotions_(scope_.counter("rebuild_promotions")),
       outageBackoffNs_(scope_.histogram("outage_backoff_ns"))
 {
+    // The journal timestamps on the app clock and mirrors into the
+    // trace as instants; its dropped-event count (and the trace ring's)
+    // are registry metrics so exports expose flight-recorder loss.
+    journal_.setClock(&appClock_);
+    journal_.setTraceSession(&trace_);
+    journal_.bindCounters(&scope_.counter("journal.events_recorded"),
+                          &scope_.counter("journal.events_dropped"));
+    trace_.bindDroppedCounter(&scope_.counter("trace.dropped_events"));
+    controller_.setJournal(&journal_);
+    fpga_.setMissAttribution(&missAttr_);
+
     hierarchy_.setListener(&fpga_);
     fpga_.setTraceSession(&trace_);
     fpga_.setEvictionCallback(
@@ -84,6 +98,22 @@ KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
     // Pre-map the first slab so the heap exists (the Resource Manager
     // allocates remote memory proactively, off the critical path).
     mapNewSlab();
+}
+
+KonaRuntime::~KonaRuntime()
+{
+    // The Controller outlives runtimes and may be shared between them;
+    // only clear the binding if it still points at our journal.
+    if (controller_.journal() == &journal_)
+        controller_.setJournal(nullptr);
+}
+
+void
+KonaRuntime::exportAttribution()
+{
+    missAttr_.exportGauges(scope_.sub("miss.attr"));
+    evictor_.shipmentAttribution().exportGauges(
+        scope_.sub("evict.attr"));
 }
 
 void
@@ -168,9 +198,12 @@ KonaRuntime::simulateAccess(Addr addr, std::size_t size,
         Span miss(&trace_, appClock_, "miss", "miss");
         miss.arg("addr", line);
         miss.arg("bytes", static_cast<std::uint64_t>(cacheLineSize));
+        missAttr_.begin(appClock_.now());
         ServeStatus status = fpga_.serveLine(line, type, appClock_);
-        if (status != ServeStatus::RemoteUnavailable)
+        if (status != ServeStatus::RemoteUnavailable) {
+            missAttr_.end(appClock_.now(), MissComponent::Other);
             continue;
+        }
         RetryState retry(config_.retry, retrySeed_++);
         retry.bindTelemetry(&outageRetries_, &outageBackoffNs_);
         while (status == ServeStatus::RemoteUnavailable) {
@@ -186,7 +219,10 @@ KonaRuntime::simulateAccess(Addr addr, std::size_t size,
             // §4.5: report the failure and wait for the outage to
             // resolve, then retry the fetch.
             std::size_t attempt = retry.attempts();
+            Tick backoffStart = appClock_.now();
             retry.backoff(appClock_);
+            missAttr_.charge(MissComponent::Retry,
+                             appClock_.now() - backoffStart);
             if (outageObserver_)
                 outageObserver_(attempt);
             // The outage may have pushed a node over the failure
@@ -196,6 +232,7 @@ KonaRuntime::simulateAccess(Addr addr, std::size_t size,
             hierarchy_.accessOne(line, type);
             status = fpga_.serveLine(line, type, appClock_);
         }
+        missAttr_.end(appClock_.now(), MissComponent::Other);
         miss.arg("retries", retry.attempts());
     }
 }
@@ -246,6 +283,8 @@ KonaRuntime::read(Addr addr, void *buf, std::size_t size)
         accessesSincePump_ = 0;
         evictor_.pump(backgroundClock_, config_.evict.freeWays);
     }
+    if (sampler_ != nullptr)
+        sampler_->onTick(appClock_.now());
 }
 
 void
@@ -269,6 +308,8 @@ KonaRuntime::write(Addr addr, const void *buf, std::size_t size)
         accessesSincePump_ = 0;
         evictor_.pump(backgroundClock_, config_.evict.freeWays);
     }
+    if (sampler_ != nullptr)
+        sampler_->onTick(appClock_.now());
 }
 
 void

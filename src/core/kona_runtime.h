@@ -34,6 +34,8 @@
 #include "mem/region_allocator.h"
 #include "net/retry_policy.h"
 #include "rack/controller.h"
+#include "telemetry/attribution.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_session.h"
 
@@ -84,6 +86,7 @@ class KonaRuntime : public RemoteMemoryRuntime
     KonaRuntime(Fabric &fabric, Controller &controller,
                 NodeId computeNode, const KonaConfig &config = {},
                 MetricScope scope = {});
+    ~KonaRuntime() override;
 
     // MemoryInterface
     void read(Addr addr, void *buf, std::size_t size) override;
@@ -163,6 +166,31 @@ class KonaRuntime : public RemoteMemoryRuntime
     }
 
     TraceSession *traceSession() override { return &trace_; }
+    EventJournal *eventJournal() override { return &journal_; }
+    EventJournal &journal() { return journal_; }
+
+    /** Tick @p sampler once per read()/write() on the app clock. */
+    void setTimeSeriesSampler(TimeSeriesSampler *sampler) override
+    {
+        sampler_ = sampler;
+    }
+
+    /**
+     * Exact end-to-end attribution of every completed demand miss
+     * (sum of MissComponent buckets == miss ns, with any unbracketed
+     * residual in "other") plus a slowest-1% breakdown.
+     */
+    const LatencyAttribution &missAttribution() const
+    {
+        return missAttr_;
+    }
+
+    /**
+     * Publish the miss and eviction-shipment attributions as gauges
+     * ("<scope>.miss.attr.*", "<scope>.evict.attr.*") so --metrics-json
+     * exports carry the breakdown. Call before exporting.
+     */
+    void exportAttribution();
 
   private:
     // Single source for the counters RuntimeStats and ReliabilityStats
@@ -204,6 +232,7 @@ class KonaRuntime : public RemoteMemoryRuntime
     KonaConfig config_;
     MetricScope scope_;
     TraceSession trace_;
+    EventJournal journal_;
     CoherentFpga fpga_;
     CacheHierarchy hierarchy_;
     EvictionHandler evictor_;
@@ -214,6 +243,9 @@ class KonaRuntime : public RemoteMemoryRuntime
 
     SimClock appClock_;
     SimClock backgroundClock_;
+    LatencyAttribution missAttr_{MissComponent::names,
+                                 MissComponent::Count};
+    TimeSeriesSampler *sampler_ = nullptr;
     std::size_t accessesSincePump_ = 0;
     std::uint64_t retrySeed_ = 0x4b6fULL;
     bool degraded_ = false;

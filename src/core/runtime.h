@@ -21,6 +21,8 @@
 
 namespace kona {
 
+class EventJournal;
+class TimeSeriesSampler;
 class TraceSession;
 
 /** Cross-runtime statistics snapshot. */
@@ -89,6 +91,22 @@ class RemoteMemoryRuntime : public MemoryInterface
      * nullptr when the runtime is not instrumented.
      */
     virtual TraceSession *traceSession() { return nullptr; }
+
+    /**
+     * The runtime's structured event journal (health transitions,
+     * membership changes, eviction give-ups); nullptr when the runtime
+     * does not keep one.
+     */
+    virtual EventJournal *eventJournal() { return nullptr; }
+
+    /**
+     * Tick @p sampler from the runtime's access loop so it can close
+     * sim-time windows. Pass nullptr to detach. Default: unsupported.
+     */
+    virtual void setTimeSeriesSampler(TimeSeriesSampler *sampler)
+    {
+        (void)sampler;
+    }
 };
 
 } // namespace kona

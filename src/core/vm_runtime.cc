@@ -1,6 +1,7 @@
 #include "core/vm_runtime.h"
 
 #include "common/logging.h"
+#include "telemetry/time_series.h"
 
 namespace kona {
 
@@ -433,6 +434,8 @@ VmRuntime::read(Addr addr, void *buf, std::size_t size)
     cmem_.read(addr, buf, size);
     reads_.add();
     bytesRead_.add(size);
+    if (sampler_ != nullptr)
+        sampler_->onTick(appClock_.now());
 }
 
 void
@@ -458,6 +461,8 @@ VmRuntime::write(Addr addr, const void *buf, std::size_t size)
     cmem_.write(addr, buf, size);
     writes_.add();
     bytesWritten_.add(size);
+    if (sampler_ != nullptr)
+        sampler_->onTick(appClock_.now());
 }
 
 void

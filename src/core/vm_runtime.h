@@ -102,6 +102,12 @@ class VmRuntime : public RemoteMemoryRuntime
 
     TraceSession *traceSession() override { return &trace_; }
 
+    /** Tick @p sampler once per read()/write() on the app clock. */
+    void setTimeSeriesSampler(TimeSeriesSampler *sampler) override
+    {
+        sampler_ = sampler;
+    }
+
   private:
     /** Fault/translate until the access to @p vpn is permitted. */
     void ensureAccess(Addr vpn, AccessType type);
@@ -158,6 +164,7 @@ class VmRuntime : public RemoteMemoryRuntime
 
     SimClock appClock_;
     SimClock backgroundClock_;
+    TimeSeriesSampler *sampler_ = nullptr;
     std::array<double, 8> levelLatencyNs_{};
 
     Counter &reads_;

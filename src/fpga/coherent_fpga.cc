@@ -94,10 +94,16 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
     span.arg("addr", lineAddr);
     const LatencyConfig &lat = fabric_.latency();
     clock.advance(static_cast<Tick>(lat.vfmemDirectoryNs));
+    if (missAttr_ != nullptr)
+        missAttr_->charge(MissComponent::FmemCheck,
+                          static_cast<Tick>(lat.vfmemDirectoryNs));
 
     Addr vpn = pageNumber(lineAddr);
     if (fmem_.lookup(vpn).has_value()) {
         clock.advance(static_cast<Tick>(lat.fmemNs));
+        if (missAttr_ != nullptr)
+            missAttr_->charge(MissComponent::FmemCheck,
+                              static_cast<Tick>(lat.fmemNs));
         noteDemandTouch(vpn, clock);
         // Streaming accesses keep the prefetcher running even while
         // hitting in FMem (a fault-based runtime cannot: the
@@ -112,7 +118,11 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
     if (victim.has_value()) {
         KONA_ASSERT(static_cast<bool>(evictionCallback_),
                     "FMem set full and no eviction callback installed");
+        const Tick evictStart = clock.now();
         evictionCallback_(*victim, clock);
+        if (missAttr_ != nullptr)
+            missAttr_->charge(MissComponent::Evict,
+                              clock.now() - evictStart);
         if (fmem_.contains(victim->vfmemPage)) {
             // Eviction failed (all replicas unreachable); the fetch
             // cannot proceed without a frame.
@@ -130,6 +140,9 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
     }
     fetchNs_.record(static_cast<double>(clock.now() - fetchStart));
     clock.advance(static_cast<Tick>(lat.fmemNs));
+    if (missAttr_ != nullptr)
+        missAttr_->charge(MissComponent::FmemCheck,
+                          static_cast<Tick>(lat.fmemNs));
     maybePrefetch(vpn, /*demandMiss=*/true, clock);
     span.arg("outcome", "remote_fetch");
     return ServeStatus::RemoteFetch;
@@ -271,13 +284,23 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
         rdma.arg("bytes", wr.length);
         Tick opStart = clock.now();
         PostResult posted = qpTo(loc.node).post(wr, clock);
+        const Tick postDone = clock.now();
+        if (!prefetch && missAttr_ != nullptr)
+            missAttr_->charge(MissComponent::Queueing,
+                              postDone - opStart);
         if (!posted.ok()) {
             // Consume exactly the error CQEs this doorbell pushed.
             poller_.drain(cq_, clock, posted.cqesPushed);
+            if (!prefetch && missAttr_ != nullptr)
+                missAttr_->charge(MissComponent::Retry,
+                                  clock.now() - postDone);
             reportHealth(loc.node, false);
             continue;
         }
         poller_.waitOne(cq_, clock);
+        if (!prefetch && missAttr_ != nullptr)
+            missAttr_->charge(MissComponent::Wire,
+                              clock.now() - postDone);
         reportHealth(loc.node, true, clock.now() - opStart);
         if (!prefetch && i > 0) {
             // Promote the replica we read from only when every

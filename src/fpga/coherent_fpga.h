@@ -38,6 +38,7 @@
 #include "net/queue_pair.h"
 #include "prefetch/prefetch_queue.h"
 #include "prefetch/prefetcher.h"
+#include "telemetry/attribution.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/trace_session.h"
 
@@ -322,6 +323,21 @@ class CoherentFpga : public MemorySideListener
     /** Attach a span tracer to the fetch path (nullptr detaches). */
     void setTraceSession(TraceSession *trace) { trace_ = trace; }
 
+    /**
+     * Attach the demand-miss latency attribution (nullptr detaches).
+     * While the owner has a miss sample open (KonaRuntime brackets the
+     * whole miss, including retries), the serve/fetch path charges its
+     * clock advances to MissComponent buckets: directory + FMem access
+     * to FmemCheck, room-making writeback to Evict, fabric post to
+     * Queueing, the RDMA round trip to Wire, failed-post drains to
+     * Retry. Background prefetch fetches never charge (they run on the
+     * background clock, off the miss's end-to-end total).
+     */
+    void setMissAttribution(LatencyAttribution *attr)
+    {
+        missAttr_ = attr;
+    }
+
   private:
     /** Who a page fetch is for; controls failover and accounting. */
     enum class FetchIntent : std::uint8_t
@@ -385,6 +401,7 @@ class CoherentFpga : public MemorySideListener
 
     SimClock backgroundClock_;
     TraceSession *trace_ = nullptr;
+    LatencyAttribution *missAttr_ = nullptr;
 
     // Prefetch engine: predictor (policy), staging queue, bandwidth
     // budget. Demand fetches never consult the credit bucket.

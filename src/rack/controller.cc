@@ -42,6 +42,9 @@ Controller::removeNode(NodeId node)
     scores_.erase(node);
     ++membershipEpoch_;
     epochGauge_.set(static_cast<double>(membershipEpoch_));
+    if (journal_ != nullptr)
+        journal_->record(JournalKind::NodeRemoved, node, 0, 0,
+                         membershipEpoch_);
 }
 
 std::optional<SlabGrant>
@@ -257,9 +260,16 @@ Controller::recordSample(NodeId node, double badness,
 void
 Controller::transition(NodeId node, NodeHealth to, const char *reason)
 {
+    const NodeHealth from = health(node);
     health_[node] = to;
     ++membershipEpoch_;
     epochGauge_.set(static_cast<double>(membershipEpoch_));
+    if (journal_ != nullptr) {
+        journal_->record(JournalKind::HealthTransition, node,
+                         static_cast<std::uint64_t>(from),
+                         static_cast<std::uint64_t>(to),
+                         membershipEpoch_);
+    }
     static const char *names[] = {"healthy",     "suspect",
                                   "quarantined", "readmitted",
                                   "joining",     "draining",
@@ -289,6 +299,9 @@ Controller::drainNode(NodeId node)
     KONA_ASSERT(health(node) != NodeHealth::Failed,
                 "cannot drain an already-failed node");
     transition(node, NodeHealth::Draining, "operator drain");
+    if (journal_ != nullptr)
+        journal_->record(JournalKind::DrainStart, node, 0, 0,
+                         membershipEpoch_);
     inform("controller: draining memory node ", node);
 }
 
@@ -298,6 +311,9 @@ Controller::joinNode(MemoryNode &node)
     registerNode(node);
     nodesJoined_.add();
     transition(node.id(), NodeHealth::Joining, "hot-add");
+    if (journal_ != nullptr)
+        journal_->record(JournalKind::JoinStart, node.id(), 0, 0,
+                         membershipEpoch_);
 }
 
 void
@@ -307,6 +323,9 @@ Controller::completeJoin(NodeId node)
                 "completeJoin on a node that is not joining");
     scores_[node] = {};
     transition(node, NodeHealth::Healthy, "warm-up complete");
+    if (journal_ != nullptr)
+        journal_->record(JournalKind::JoinComplete, node, 0, 0,
+                         membershipEpoch_);
 }
 
 NodeHealth

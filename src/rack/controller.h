@@ -22,6 +22,7 @@
 
 #include "common/types.h"
 #include "rack/memory_node.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metric_registry.h"
 
 namespace kona {
@@ -177,6 +178,13 @@ class Controller
 
     void setFailureThreshold(std::uint32_t n) { failureThreshold_ = n; }
 
+    /**
+     * Journal every membership event (health transitions, removals,
+     * drain/join lifecycle) into @p journal. nullptr detaches.
+     */
+    void setJournal(EventJournal *journal) { journal_ = journal; }
+    EventJournal *journal() const { return journal_; }
+
     // --- gray-failure health scoring --------------------------------
 
     void setHealthPolicy(const HealthPolicy &p) { healthPolicy_ = p; }
@@ -325,6 +333,7 @@ class Controller
     HealthPolicy healthPolicy_;
     std::uint64_t membershipEpoch_ = 1;
     SlabId nextSlab_ = 1;
+    EventJournal *journal_ = nullptr;
     Counter &slabsAllocated_;
     Counter &nodesFailed_;
     Counter &slabsRebuilt_;

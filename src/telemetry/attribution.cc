@@ -1,0 +1,182 @@
+#include "telemetry/attribution.h"
+
+#include <bit>
+#include <iomanip>
+#include <ostream>
+
+#include "common/logging.h"
+#include "telemetry/metric_registry.h"
+
+namespace kona {
+
+const char *const MissComponent::names[MissComponent::Count] = {
+    "fmem_check", "evict", "queueing", "wire", "retry", "other",
+};
+
+const char *const EvictComponent::names[EvictComponent::Count] = {
+    "queueing", "wire", "unpack", "ack", "retry", "other",
+};
+
+LatencyAttribution::LatencyAttribution(const char *const *names,
+                                       std::size_t count)
+{
+    KONA_ASSERT(count > 0 && count <= maxComponents,
+                "LatencyAttribution: bad component count ", count);
+    numComponents_ = count;
+    for (std::size_t c = 0; c < count; ++c)
+        names_[c] = names[c];
+}
+
+void
+LatencyAttribution::begin(Tick now)
+{
+    // A sample may still be open if the previous miss raised (fatal()
+    // throws in tests, unwinding past end()); discard it rather than
+    // poison the next sample.
+    active_ = true;
+    startNs_ = now;
+    pending_.fill(0);
+}
+
+Tick
+LatencyAttribution::end(Tick now, std::size_t residualComponent)
+{
+    KONA_ASSERT(active_, "LatencyAttribution::end while inactive");
+    active_ = false;
+    KONA_ASSERT(now >= startNs_, "LatencyAttribution: clock ran backwards");
+    const Tick total = now - startNs_;
+
+    Tick charged = 0;
+    for (std::size_t c = 0; c < numComponents_; ++c)
+        charged += pending_[c];
+    KONA_ASSERT(charged <= total,
+                "LatencyAttribution: components (", charged,
+                " ns) exceed end-to-end total (", total, " ns)");
+    const Tick residual = total - charged;
+    pending_[residualComponent] += residual;
+    fold(total, pending_.data(), residualComponent);
+    return residual;
+}
+
+void
+LatencyAttribution::record(Tick totalNs, const Tick *componentNs,
+                           std::size_t residualComponent)
+{
+    Tick charged = 0;
+    for (std::size_t c = 0; c < numComponents_; ++c)
+        charged += componentNs[c];
+    KONA_ASSERT(charged <= totalNs,
+                "LatencyAttribution: components (", charged,
+                " ns) exceed end-to-end total (", totalNs, " ns)");
+    pending_.fill(0);
+    for (std::size_t c = 0; c < numComponents_; ++c)
+        pending_[c] = componentNs[c];
+    pending_[residualComponent] += totalNs - charged;
+    fold(totalNs, pending_.data(), residualComponent);
+}
+
+void
+LatencyAttribution::fold(Tick totalNs, const Tick *componentNs, std::size_t)
+{
+    ++samples_;
+    totalNs_ += totalNs;
+    // Octave of the total, matching LatencyHistogram's bucketing: value
+    // v lands in bucket bit_width(v), i.e. bucket b covers
+    // [2^(b-1), 2^b).  Bucket 0 holds zero-latency samples.
+    const std::size_t octave =
+        static_cast<std::size_t>(std::bit_width(totalNs));
+    OctaveRow &row = octaves_[octave];
+    ++row.count;
+    row.totalNs += totalNs;
+    for (std::size_t c = 0; c < numComponents_; ++c) {
+        compTotal_[c] += componentNs[c];
+        row.compNs[c] += componentNs[c];
+    }
+}
+
+LatencyAttribution::TailSlice
+LatencyAttribution::tail(double fraction) const
+{
+    TailSlice slice;
+    if (samples_ == 0 || fraction <= 0.0)
+        return slice;
+    if (fraction > 1.0)
+        fraction = 1.0;
+    // At least one sample, and round up: the slice may only widen.
+    const auto want = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(samples_)) + 1;
+
+    for (std::size_t o = numOctaves; o-- > 0;) {
+        const OctaveRow &row = octaves_[o];
+        if (row.count == 0)
+            continue;
+        slice.samples += row.count;
+        slice.totalNs += row.totalNs;
+        for (std::size_t c = 0; c < numComponents_; ++c)
+            slice.componentNs[c] += row.compNs[c];
+        slice.minTotalNs = o == 0 ? 0 : Tick{1} << (o - 1);
+        if (slice.samples >= want)
+            break;
+    }
+    slice.fraction =
+        static_cast<double>(slice.samples) / static_cast<double>(samples_);
+    return slice;
+}
+
+void
+LatencyAttribution::exportGauges(MetricScope scope) const
+{
+    scope.gauge("samples").set(static_cast<double>(samples_));
+    scope.gauge("total_ns").set(static_cast<double>(totalNs_));
+    for (std::size_t c = 0; c < numComponents_; ++c)
+        scope.gauge(std::string(names_[c]) + "_ns")
+            .set(static_cast<double>(compTotal_[c]));
+
+    const TailSlice p99 = tail(0.01);
+    MetricScope tailScope = scope.sub("p99");
+    tailScope.gauge("samples").set(static_cast<double>(p99.samples));
+    tailScope.gauge("total_ns").set(static_cast<double>(p99.totalNs));
+    for (std::size_t c = 0; c < numComponents_; ++c)
+        tailScope.gauge(std::string(names_[c]) + "_ns")
+            .set(static_cast<double>(p99.componentNs[c]));
+}
+
+void
+LatencyAttribution::printTable(std::ostream &os, const char *title) const
+{
+    const TailSlice p99 = tail(0.01);
+    os << title << " (" << samples_ << " samples)\n";
+    os << "  " << std::left << std::setw(12) << "component"
+       << std::right << std::setw(16) << "total ns"
+       << std::setw(8) << "share";
+    os << std::setw(16) << "slowest-1% ns" << std::setw(8) << "share"
+       << "\n";
+    const double tot = totalNs_ ? static_cast<double>(totalNs_) : 1.0;
+    const double tailTot =
+        p99.totalNs ? static_cast<double>(p99.totalNs) : 1.0;
+    for (std::size_t c = 0; c < numComponents_; ++c) {
+        os << "  " << std::left << std::setw(12) << names_[c] << std::right
+           << std::setw(16) << compTotal_[c] << std::setw(7) << std::fixed
+           << std::setprecision(1)
+           << 100.0 * static_cast<double>(compTotal_[c]) / tot << "%"
+           << std::setw(16) << p99.componentNs[c] << std::setw(7)
+           << 100.0 * static_cast<double>(p99.componentNs[c]) / tailTot
+           << "%\n";
+    }
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+}
+
+void
+LatencyAttribution::reset()
+{
+    active_ = false;
+    startNs_ = 0;
+    pending_.fill(0);
+    samples_ = 0;
+    totalNs_ = 0;
+    compTotal_.fill(0);
+    octaves_.fill(OctaveRow{});
+}
+
+} // namespace kona

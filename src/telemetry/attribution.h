@@ -1,0 +1,197 @@
+/**
+ * @file
+ * LatencyAttribution: exact component breakdown of critical-path latency.
+ *
+ * The paper's whole argument is a sequence of "where did the nanoseconds
+ * go" breakdowns (Figs 2/3, Table 2). A LatencyHistogram can say the p99
+ * was slow; it cannot say *which component* made it slow. This class
+ * closes that gap: each completed operation (a demand miss, an eviction
+ * shipment) charges its end-to-end nanoseconds to a small fixed set of
+ * component buckets, with an exact sum==total invariant — the buckets are
+ * Tick (integer ns) deltas of the very clock that defines the total, so
+ * no rounding can leak time. Whatever the instrumentation failed to
+ * bracket lands in the caller-designated "other" bucket, and tests assert
+ * it stays zero.
+ *
+ * Aggregation reuses the log2-octave machinery of LatencyHistogram: each
+ * sample lands in the octave of its total, and every octave row keeps
+ * per-component sums. tail() then walks octaves from the slowest down
+ * until the requested fraction of samples is covered — a Table-2-style
+ * "who dominated the slowest 1%" answer that is exact for the octave
+ * boundary it lands on (we report the fraction actually covered).
+ *
+ * Two usage shapes:
+ *  - begin()/charge()/end() for serial paths with one operation in
+ *    flight at a time (the demand-miss path on the app clock);
+ *  - record() for overlapping operations (pipelined eviction shipments)
+ *    where the caller accumulates per-operation component ticks itself.
+ *
+ * Everything is preallocated at construction; the hot-path methods never
+ * allocate (PR 5's --strict-alloc covers runs with attribution enabled).
+ */
+
+#ifndef KONA_TELEMETRY_ATTRIBUTION_H
+#define KONA_TELEMETRY_ATTRIBUTION_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/types.h"
+
+namespace kona {
+
+class MetricScope;
+
+/** Component indices of the demand-miss critical path. The names map
+ *  onto the paper's Fig 3 stages as implemented by this simulator:
+ *  FmemCheck is the vFMem directory probe plus the FMem array access,
+ *  Evict is the room-making victim writeback when the set is full,
+ *  Queueing is fabric submission (QueuePair::post), Wire is the RDMA
+ *  round trip (Poller::waitOne), Retry is outage backoff plus drain of
+ *  failed posts. Unpack/prefetch-wait do not exist on this path: CL-log
+ *  unpack happens on the *eviction* path (see EvictComponent) and
+ *  prefetches run on the background clock, so a prefetched line is
+ *  either present (FMem hit) or refetched as a normal demand miss. */
+struct MissComponent
+{
+    enum : std::size_t {
+        FmemCheck = 0,
+        Evict,
+        Queueing,
+        Wire,
+        Retry,
+        Other,
+        Count,
+    };
+    static const char *const names[Count];
+};
+
+/** Component indices of an eviction shipment's lifetime (on its own
+ *  pipeline timeline, from submission to settle): Queueing is time
+ *  parked behind earlier batches (wire-slot and receiver-slot waits),
+ *  Wire is post + RDMA flight, Unpack is the memory node applying the
+ *  CL log, Ack is the acknowledgement, Retry is NAK/timeout backoff. */
+struct EvictComponent
+{
+    enum : std::size_t {
+        Queueing = 0,
+        Wire,
+        Unpack,
+        Ack,
+        Retry,
+        Other,
+        Count,
+    };
+    static const char *const names[Count];
+};
+
+/** Exact per-component latency accounting with a tail breakdown. */
+class LatencyAttribution
+{
+  public:
+    static constexpr std::size_t maxComponents = 8;
+    static constexpr std::size_t numOctaves = 64;
+
+    /** @param names     Component names; names[count-1] should be the
+     *                   residual ("other") bucket.
+     *  @param count     Number of components (<= maxComponents). */
+    LatencyAttribution(const char *const *names, std::size_t count);
+
+    std::size_t components() const { return numComponents_; }
+    const char *componentName(std::size_t c) const { return names_[c]; }
+
+    // ---- serial begin/charge/end (one operation in flight) ----
+
+    /** Start a sample at clock time @p now. Must not already be active. */
+    void begin(Tick now);
+
+    /** True between begin() and end(). */
+    bool active() const { return active_; }
+
+    /** Charge @p ns to component @p c. No-op when not active, so
+     *  instrumentation points can charge unconditionally. */
+    void charge(std::size_t c, Tick ns)
+    {
+        if (active_)
+            pending_[c] += ns;
+    }
+
+    /** Finish the active sample at @p now; the gap between (now - begin)
+     *  and the sum of charges goes to @p residualComponent. Returns that
+     *  residual. Panics if charges exceed the total (a double-charge
+     *  bug), never on residual. */
+    Tick end(Tick now, std::size_t residualComponent);
+
+    /** Abandon the active sample without recording (e.g. the operation
+     *  was cut short and never completed). */
+    void cancel() { active_ = false; }
+
+    // ---- bulk record (overlapping operations) ----
+
+    /** Record one completed operation: @p totalNs end-to-end with
+     *  @p componentNs[0..components()) charged; the shortfall goes to
+     *  @p residualComponent. Panics if the charges exceed the total. */
+    void record(Tick totalNs, const Tick *componentNs,
+                std::size_t residualComponent);
+
+    // ---- aggregates ----
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t totalNs() const { return totalNs_; }
+    std::uint64_t componentNs(std::size_t c) const { return compTotal_[c]; }
+
+    /** Aggregate over the slowest samples. */
+    struct TailSlice
+    {
+        std::uint64_t samples = 0;      ///< samples actually covered
+        double fraction = 0.0;          ///< covered / all (>= requested)
+        std::uint64_t totalNs = 0;      ///< end-to-end ns in the slice
+        Tick minTotalNs = 0;            ///< octave floor of the slice
+        std::array<std::uint64_t, maxComponents> componentNs{};
+    };
+
+    /** Component breakdown of the slowest @p fraction of samples
+     *  (fraction in (0,1]; 0.01 = the slowest 1%). Octave-granular: the
+     *  slice is widened to the octave boundary, and `fraction` reports
+     *  the share actually covered. */
+    TailSlice tail(double fraction) const;
+
+    /** Write totals + the slowest-1% table as gauges under @p scope:
+     *  <scope>.samples, <scope>.total_ns, <scope>.<comp>_ns,
+     *  <scope>.p99.samples, <scope>.p99.<comp>_ns. */
+    void exportGauges(MetricScope scope) const;
+
+    /** Human-readable breakdown table (totals and slowest 1%). */
+    void printTable(std::ostream &os, const char *title) const;
+
+    void reset();
+
+  private:
+    struct OctaveRow
+    {
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+        std::array<std::uint64_t, maxComponents> compNs{};
+    };
+
+    void fold(Tick totalNs, const Tick *componentNs,
+              std::size_t residualComponent);
+
+    std::array<const char *, maxComponents> names_{};
+    std::size_t numComponents_ = 0;
+
+    bool active_ = false;
+    Tick startNs_ = 0;
+    std::array<Tick, maxComponents> pending_{};
+
+    std::uint64_t samples_ = 0;
+    std::uint64_t totalNs_ = 0;
+    std::array<std::uint64_t, maxComponents> compTotal_{};
+    std::array<OctaveRow, numOctaves> octaves_{};
+};
+
+} // namespace kona
+
+#endif // KONA_TELEMETRY_ATTRIBUTION_H

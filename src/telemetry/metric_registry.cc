@@ -177,7 +177,9 @@ MetricRegistry::writeJson(std::ostream &os) const
     first = true;
     for (const auto &[name, h] : histograms_) {
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
-           << "\": {\"count\": " << h->count() << ", \"mean\": ";
+           << "\": {\"count\": " << h->count() << ", \"sum\": ";
+        jsonNumber(os, h->sum());
+        os << ", \"mean\": ";
         jsonNumber(os, h->mean());
         os << ", \"p50\": ";
         jsonNumber(os, h->p50());

@@ -127,7 +127,8 @@ class MetricRegistry
     /**
      * Machine-readable export: one JSON object with "counters",
      * "gauges" and "histograms" sections, names sorted, histograms
-     * summarized as count/mean/p50/p95/p99/max.
+     * summarized as count/sum/mean/p50/p95/p99/max (count, sum and max
+     * re-aggregate exactly across runs; the quantiles do not).
      */
     void writeJson(std::ostream &os) const;
     std::string toJson() const;

@@ -1,0 +1,221 @@
+#include "telemetry/time_series.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.h"
+#include "telemetry/metric_registry.h"
+
+namespace kona {
+
+namespace {
+
+/** Compact numeric rendering shared by the CSV and JSON writers. */
+void
+writeNumber(std::ostream &os, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    os << buf;
+}
+
+} // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(Tick intervalNs, std::size_t capacity)
+    : intervalNs_(intervalNs == 0 ? 1 : intervalNs),
+      capacity_(capacity == 0 ? 1 : capacity)
+{}
+
+void
+TimeSeriesSampler::attach(std::shared_ptr<MetricRegistry> registry,
+                          Tick start)
+{
+    KONA_ASSERT(registry != nullptr, "TimeSeriesSampler: null registry");
+    registry_ = std::move(registry);
+
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    columnNames_.clear();
+
+    for (const auto &[name, counter] : registry_->counters()) {
+        counters_.push_back(counter.get());
+        columnNames_.push_back(name);
+    }
+    for (const auto &[name, gauge] : registry_->gauges()) {
+        gauges_.push_back(gauge.get());
+        columnNames_.push_back(name);
+    }
+    for (const auto &[name, hist] : registry_->histograms()) {
+        histograms_.push_back(hist.get());
+        columnNames_.push_back(name + ".count");
+        columnNames_.push_back(name + ".sum");
+    }
+
+    const std::size_t cols = columnNames_.size();
+    prev_.assign(cols, 0.0);
+    std::size_t c = 0;
+    for (const Counter *counter : counters_)
+        prev_[c++] = static_cast<double>(counter->value());
+    c += gauges_.size(); // gauges are sampled, not differenced
+    for (const LatencyHistogram *hist : histograms_) {
+        prev_[c++] = static_cast<double>(hist->count());
+        prev_[c++] = hist->sum();
+    }
+
+    values_.assign(capacity_ * cols, 0.0);
+    starts_.assign(capacity_, 0);
+    ends_.assign(capacity_, 0);
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+    windowStartNs_ = start;
+    nextCloseNs_ = start + intervalNs_;
+}
+
+void
+TimeSeriesSampler::closeWindow(Tick now)
+{
+    const std::size_t cols = columnNames_.size();
+    std::size_t row;
+    if (count_ < capacity_) {
+        row = (head_ + count_) % capacity_;
+        ++count_;
+    } else {
+        row = head_;
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+    }
+
+    double *out = values_.data() + row * cols;
+    std::size_t c = 0;
+    for (const Counter *counter : counters_) {
+        const double cur = static_cast<double>(counter->value());
+        out[c] = cur - prev_[c];
+        prev_[c] = cur;
+        ++c;
+    }
+    for (const Gauge *gauge : gauges_)
+        out[c++] = gauge->value();
+    for (const LatencyHistogram *hist : histograms_) {
+        const double curCount = static_cast<double>(hist->count());
+        out[c] = curCount - prev_[c];
+        prev_[c] = curCount;
+        ++c;
+        const double curSum = hist->sum();
+        out[c] = curSum - prev_[c];
+        prev_[c] = curSum;
+        ++c;
+    }
+
+    starts_[row] = windowStartNs_;
+    ends_[row] = now;
+    windowStartNs_ = now;
+    nextCloseNs_ = now + intervalNs_;
+}
+
+void
+TimeSeriesSampler::finish(Tick now)
+{
+    if (registry_ != nullptr && now > windowStartNs_)
+        closeWindow(now);
+}
+
+Tick
+TimeSeriesSampler::windowStartNs(std::size_t w) const
+{
+    KONA_ASSERT(w < count_, "window ", w, " of ", count_);
+    return starts_[(head_ + w) % capacity_];
+}
+
+Tick
+TimeSeriesSampler::windowEndNs(std::size_t w) const
+{
+    KONA_ASSERT(w < count_, "window ", w, " of ", count_);
+    return ends_[(head_ + w) % capacity_];
+}
+
+double
+TimeSeriesSampler::value(std::size_t w, std::size_t c) const
+{
+    KONA_ASSERT(w < count_ && c < columnNames_.size(),
+                "sample (", w, ", ", c, ") out of range");
+    return values_[((head_ + w) % capacity_) * columnNames_.size() + c];
+}
+
+std::size_t
+TimeSeriesSampler::columnIndex(const std::string &name) const
+{
+    for (std::size_t c = 0; c < columnNames_.size(); ++c) {
+        if (columnNames_[c] == name)
+            return c;
+    }
+    return columnNames_.size();
+}
+
+void
+TimeSeriesSampler::writeCsv(std::ostream &os) const
+{
+    os << "window_start_ns,window_end_ns";
+    for (const std::string &name : columnNames_)
+        os << "," << name;
+    os << "\n";
+    for (std::size_t w = 0; w < count_; ++w) {
+        os << windowStartNs(w) << "," << windowEndNs(w);
+        for (std::size_t c = 0; c < columnNames_.size(); ++c) {
+            os << ",";
+            writeNumber(os, value(w, c));
+        }
+        os << "\n";
+    }
+}
+
+void
+TimeSeriesSampler::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"interval_ns\": " << intervalNs_
+       << ",\n  \"dropped_windows\": " << dropped_
+       << ",\n  \"columns\": [";
+    for (std::size_t c = 0; c < columnNames_.size(); ++c) {
+        os << (c == 0 ? "" : ", ") << "\"" << jsonEscape(columnNames_[c])
+           << "\"";
+    }
+    os << "],\n  \"windows\": [";
+    for (std::size_t w = 0; w < count_; ++w) {
+        os << (w == 0 ? "\n" : ",\n") << "    {\"start_ns\": "
+           << windowStartNs(w) << ", \"end_ns\": " << windowEndNs(w)
+           << ", \"values\": [";
+        for (std::size_t c = 0; c < columnNames_.size(); ++c) {
+            if (c != 0)
+                os << ", ";
+            writeNumber(os, value(w, c));
+        }
+        os << "]}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+bool
+TimeSeriesSampler::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open timeseries output file ", path);
+        return false;
+    }
+    const bool json =
+        path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+    if (json)
+        writeJson(out);
+    else
+        writeCsv(out);
+    out.flush();
+    if (!out) {
+        warn("short write to timeseries output file ", path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace kona

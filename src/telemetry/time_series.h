@@ -1,0 +1,142 @@
+/**
+ * @file
+ * TimeSeriesSampler: sim-time windowed snapshots of a MetricRegistry.
+ *
+ * The PR 2 registry answers "what was the total at the end of the run";
+ * this sampler answers "what happened over time": every `intervalNs` of
+ * *simulated* time it closes a window and records, for every metric that
+ * existed at attach() time,
+ *  - counters:   the delta accumulated during the window,
+ *  - gauges:     the value at the window's close,
+ *  - histograms: the count and sum deltas (rates and mean latency per
+ *                window are then derivable; quantiles are not, which is
+ *                why histograms also export sum in --metrics-json).
+ *
+ * Windows are variable-width with an at-least-interval guarantee: the
+ * sampler is ticked from the runtime's access loop (onTick), and a
+ * window closes on the first tick at or past its deadline. Sim time can
+ * jump by milliseconds on a single outage backoff, so fixed-width
+ * windows would either flood (one empty window per interval skipped) or
+ * misattribute; instead each window records its actual [start, end)
+ * bounds and deltas are exact for those bounds.
+ *
+ * Steady state is allocation-free, enforced by bench_simspeed
+ * --strict-alloc with sampling always on: attach() caches stable metric
+ * pointers (registry metrics never move once created) and preallocates
+ * the flat value ring; onTick() is a compare, and closing a window
+ * writes into the ring. When the ring is full the oldest window is
+ * dropped (droppedWindows() counts them) — a flight recorder, like the
+ * trace session. Metrics created *after* attach() (e.g. a lazily
+ * created QP scope) are not sampled until the next attach(); attach
+ * after warm-up, or call attach() again to rescan.
+ */
+
+#ifndef KONA_TELEMETRY_TIME_SERIES_H
+#define KONA_TELEMETRY_TIME_SERIES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kona {
+
+class Counter;
+class Gauge;
+class LatencyHistogram;
+class MetricRegistry;
+
+/** Windowed sampler over a registry's metrics. */
+class TimeSeriesSampler
+{
+  public:
+    /** @param intervalNs Minimum simulated window width.
+     *  @param capacity   Window ring size (oldest dropped when full). */
+    explicit TimeSeriesSampler(Tick intervalNs = 1'000'000,
+                               std::size_t capacity = 4096);
+
+    /** Snapshot @p registry's current metric set, preallocate the ring,
+     *  and start the first window at @p start. May be called again to
+     *  rescan for new metrics (existing windows are kept; new columns
+     *  start from the current metric values). */
+    void attach(std::shared_ptr<MetricRegistry> registry, Tick start = 0);
+
+    bool attached() const { return registry_ != nullptr; }
+    Tick intervalNs() const { return intervalNs_; }
+
+    /** Tick from the hot path; closes a window when its deadline has
+     *  passed. Inline compare when it hasn't. */
+    void onTick(Tick now)
+    {
+        if (registry_ != nullptr && now >= nextCloseNs_)
+            closeWindow(now);
+    }
+
+    /** Close the trailing partial window (if any sim time elapsed). */
+    void finish(Tick now);
+
+    // ---- results ----
+
+    std::size_t windows() const { return count_; }
+    std::size_t columns() const { return columnNames_.size(); }
+    std::uint64_t droppedWindows() const { return dropped_; }
+
+    const std::string &columnName(std::size_t c) const
+    {
+        return columnNames_[c];
+    }
+    Tick windowStartNs(std::size_t w) const;
+    Tick windowEndNs(std::size_t w) const;
+
+    /** Value of column @p c in retained window @p w (oldest first). */
+    double value(std::size_t w, std::size_t c) const;
+
+    /** Column index of @p name, or columns() when absent. */
+    std::size_t columnIndex(const std::string &name) const;
+
+    /** CSV: header "window_start_ns,window_end_ns,<columns...>", one
+     *  row per retained window. */
+    void writeCsv(std::ostream &os) const;
+
+    /** JSON: {"interval_ns", "dropped_windows", "columns", "windows":
+     *  [{"start_ns", "end_ns", "values": [...]}]}. */
+    void writeJson(std::ostream &os) const;
+
+    /** Write by extension: ".json" => JSON, anything else CSV. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void closeWindow(Tick now);
+
+    Tick intervalNs_;
+    std::size_t capacity_;
+
+    std::shared_ptr<MetricRegistry> registry_;
+
+    // Sampled metric set (parallel to the column layout: counters,
+    // then gauges, then histogram count/sum pairs).
+    std::vector<const Counter *> counters_;
+    std::vector<const Gauge *> gauges_;
+    std::vector<const LatencyHistogram *> histograms_;
+    std::vector<std::string> columnNames_;
+    std::vector<double> prev_; ///< last-close value of delta columns
+
+    // Window ring: flat values (capacity_ x columns), bounds per row.
+    std::vector<double> values_;
+    std::vector<Tick> starts_;
+    std::vector<Tick> ends_;
+    std::size_t head_ = 0; ///< index of the oldest retained window
+    std::size_t count_ = 0;
+    std::uint64_t dropped_ = 0;
+
+    Tick windowStartNs_ = 0;
+    Tick nextCloseNs_ = ~Tick{0};
+};
+
+} // namespace kona
+
+#endif // KONA_TELEMETRY_TIME_SERIES_H

@@ -91,6 +91,8 @@ TraceSession::record(TraceEvent ev)
     events_[head_] = std::move(ev);
     head_ = (head_ + 1) % capacity_;
     ++dropped_;
+    if (droppedCounter_ != nullptr)
+        droppedCounter_->add();
 }
 
 void
@@ -168,11 +170,17 @@ TraceSession::writeJson(std::ostream &os) const
 
     for (const TraceEvent &ev : snapshot()) {
         os << ",\n    {\"name\": \"" << jsonEscape(ev.name)
-           << "\", \"cat\": \"" << jsonEscape(ev.cat)
-           << "\", \"ph\": \"X\", \"ts\": ";
+           << "\", \"cat\": \"" << jsonEscape(ev.cat) << "\", \"ph\": \""
+           << ev.ph << "\", \"ts\": ";
         writeMicros(os, ev.ts);
-        os << ", \"dur\": ";
-        writeMicros(os, ev.dur);
+        if (ev.ph == 'i') {
+            // Instant events carry a scope instead of a duration;
+            // "t" pins the marker to its thread lane.
+            os << ", \"s\": \"t\"";
+        } else {
+            os << ", \"dur\": ";
+            writeMicros(os, ev.dur);
+        }
         os << ", \"pid\": 1, \"tid\": " << ev.tid;
         if (!ev.args.empty()) {
             os << ", \"args\": {";

@@ -35,6 +35,8 @@
 
 namespace kona {
 
+class Counter;
+
 /** Logical sim-thread ids used as Chrome trace "tid"s. */
 constexpr std::uint32_t traceAppThread = 1;        ///< app critical path
 constexpr std::uint32_t traceBackgroundThread = 2; ///< background pumps
@@ -54,14 +56,17 @@ struct TraceArg
     bool isString = false;
 };
 
-/** One complete ("ph":"X") trace event. Times in simulated ns. */
+/** One trace event: a complete span ("ph":"X", the default) or an
+ *  instant marker ("ph":"i", used by the event journal mirror). Times
+ *  in simulated ns. */
 struct TraceEvent
 {
     const char *name = "";  ///< string literal (not owned)
     const char *cat = "";   ///< string literal (not owned)
     Tick ts = 0;
-    Tick dur = 0;
+    Tick dur = 0;           ///< ignored for instants
     std::uint32_t tid = traceAppThread;
+    char ph = 'X';          ///< 'X' complete span, 'i' instant
     std::vector<TraceArg> args;
 };
 
@@ -91,6 +96,13 @@ class TraceSession
     std::uint64_t dropped() const { return dropped_; }
     void clear();
 
+    /** Mirror the dropped-event count into a registry counter so
+     *  flight-recorder truncation is visible instead of silent. */
+    void bindDroppedCounter(Counter *counter)
+    {
+        droppedCounter_ = counter;
+    }
+
     /**
      * Dump the ring to @p path automatically when panic() or fatal()
      * fires (the crash hook covers every live session that set a
@@ -115,6 +127,7 @@ class TraceSession
     std::size_t head_ = 0;          ///< index of the oldest event
     std::vector<TraceEvent> events_; ///< ring storage (<= capacity_)
     std::uint64_t dropped_ = 0;
+    Counter *droppedCounter_ = nullptr;
     std::string crashDumpPath_;
 };
 

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * bench_compare library tests: metrics-JSON flattening, glob matching,
+ * rules parsing, and pass/warn/fail/missing classification — including
+ * the CI-shaped fixture of a 20% simspeed throughput regression under
+ * the checked-in "higher 0.15" rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/metric_registry.h"
+#include "tools/bench_compare.h"
+
+namespace kona {
+namespace {
+
+TEST(BenchCompare, ParseFlattensRegistryDump)
+{
+    // Round-trip through the real exporter so the parser is tested
+    // against the exact shape CI compares.
+    MetricRegistry registry;
+    registry.counter("fpga.remote_fetches").add(42);
+    registry.gauge("result.simspeed.seq.accesses_per_sec").set(2.5e6);
+    registry.histogram("miss_ns").record(100.0);
+    registry.histogram("miss_ns").record(300.0);
+
+    std::map<std::string, double> flat;
+    std::string error;
+    ASSERT_TRUE(parseMetricsJson(registry.toJson(), flat, &error))
+        << error;
+    EXPECT_DOUBLE_EQ(flat.at("counters.fpga.remote_fetches"), 42.0);
+    EXPECT_DOUBLE_EQ(
+        flat.at("gauges.result.simspeed.seq.accesses_per_sec"), 2.5e6);
+    EXPECT_DOUBLE_EQ(flat.at("histograms.miss_ns.count"), 2.0);
+    EXPECT_DOUBLE_EQ(flat.at("histograms.miss_ns.sum"), 400.0);
+}
+
+TEST(BenchCompare, ParseRejectsMalformedInput)
+{
+    std::map<std::string, double> flat;
+    std::string error;
+    EXPECT_FALSE(parseMetricsJson("{\"a\": ", flat, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseMetricsJson("not json", flat, nullptr));
+}
+
+TEST(BenchCompare, GlobStarSpansDots)
+{
+    EXPECT_TRUE(globMatch("gauges.result.*",
+                          "gauges.result.simspeed.seq.ns_per_access"));
+    EXPECT_TRUE(globMatch("*.oracle_ok",
+                          "gauges.result.chaos.partial-partition.oracle_ok"));
+    EXPECT_TRUE(globMatch("gauges.result.chaos.*.p99_us",
+                          "gauges.result.chaos.flaky-node.p99_us"));
+    EXPECT_FALSE(globMatch("gauges.result.chaos.*.p99_us",
+                           "gauges.result.chaos.p99_us.extra"));
+    EXPECT_TRUE(globMatch("a?c", "abc"));
+    EXPECT_FALSE(globMatch("a?c", "ac"));
+    EXPECT_FALSE(globMatch("gauges.*", "counters.x"));
+    EXPECT_TRUE(globMatch("*", "anything.at.all"));
+}
+
+TEST(BenchCompare, RulesParseFirstMatchWinsAndDefaults)
+{
+    std::vector<CompareRule> rules;
+    std::string error;
+    ASSERT_TRUE(parseCompareRules(
+        "# comment\n"
+        "gauges.result.simspeed.seq.allocs_per_access exact 0\n"
+        "gauges.result.simspeed.*.accesses_per_sec higher 0.15\n"
+        "gauges.result.table2.* band 0.01 0.002\n"
+        "counters.* ignore\n",
+        rules, &error))
+        << error;
+    ASSERT_EQ(rules.size(), 4u);
+    EXPECT_EQ(rules[0].direction, CompareDirection::Exact);
+    EXPECT_EQ(rules[1].direction, CompareDirection::HigherBetter);
+    EXPECT_DOUBLE_EQ(rules[1].failTol, 0.15);
+    EXPECT_DOUBLE_EQ(rules[1].warnTol, 0.075); // defaults failTol/2
+    EXPECT_DOUBLE_EQ(rules[2].warnTol, 0.002); // explicit override
+    EXPECT_EQ(rules[3].direction, CompareDirection::Ignore);
+
+    // First match wins: the exact rule shadows the higher rule for the
+    // alloc invariant even though both globs could match.
+    EXPECT_TRUE(globMatch(rules[0].pattern,
+                          "gauges.result.simspeed.seq.allocs_per_access"));
+
+    EXPECT_FALSE(parseCompareRules("pattern sideways 0.1", rules, &error));
+    EXPECT_NE(error.find("unknown direction"), std::string::npos);
+    EXPECT_FALSE(parseCompareRules("pattern band", rules, &error));
+    EXPECT_NE(error.find("missing tolerance"), std::string::npos);
+}
+
+std::vector<CompareRule>
+simspeedRules()
+{
+    std::vector<CompareRule> rules;
+    std::string error;
+    EXPECT_TRUE(parseCompareRules(
+        "gauges.result.simspeed.*.allocs_per_access exact 0\n"
+        "gauges.result.simspeed.*.accesses_per_sec higher 0.15\n"
+        "gauges.result.simspeed.*.ns_per_access    lower  0.15\n",
+        rules, &error))
+        << error;
+    return rules;
+}
+
+TEST(BenchCompare, TwentyPercentThroughputRegressionFails)
+{
+    // The acceptance fixture: a synthetic 20% accesses_per_sec drop
+    // must exit nonzero under the checked-in 15% gate.
+    std::map<std::string, double> baseline = {
+        {"gauges.result.simspeed.seq.accesses_per_sec", 2.0e6},
+        {"gauges.result.simspeed.seq.ns_per_access", 500.0},
+        {"gauges.result.simspeed.seq.allocs_per_access", 0.0},
+    };
+    std::map<std::string, double> current = baseline;
+    current["gauges.result.simspeed.seq.accesses_per_sec"] = 1.6e6;
+    current["gauges.result.simspeed.seq.ns_per_access"] = 625.0;
+
+    CompareReport report =
+        compareMetrics(baseline, current, simspeedRules());
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.failed, 2u); // throughput dropped AND ns rose >15%
+    EXPECT_EQ(report.passed, 1u); // allocs stayed exactly 0
+    for (const CompareFinding &f : report.findings) {
+        if (f.key == "gauges.result.simspeed.seq.accesses_per_sec") {
+            EXPECT_EQ(f.status, CompareStatus::Fail);
+            EXPECT_NEAR(f.relDelta, -0.20, 1e-9);
+        }
+    }
+}
+
+TEST(BenchCompare, WarnBandBetweenWarnAndFailTolerance)
+{
+    std::map<std::string, double> baseline = {
+        {"gauges.result.simspeed.seq.accesses_per_sec", 1.0e6}};
+    std::map<std::string, double> current = {
+        {"gauges.result.simspeed.seq.accesses_per_sec", 0.9e6}};
+    // 10% drop: past warn (7.5%) but within fail (15%).
+    CompareReport report =
+        compareMetrics(baseline, current, simspeedRules());
+    EXPECT_TRUE(report.ok()); // warns do not gate
+    EXPECT_EQ(report.warned, 1u);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].status, CompareStatus::Warn);
+}
+
+TEST(BenchCompare, ImprovementsNeverFailDirectionalRules)
+{
+    std::map<std::string, double> baseline = {
+        {"gauges.result.simspeed.seq.accesses_per_sec", 1.0e6},
+        {"gauges.result.simspeed.seq.ns_per_access", 500.0}};
+    std::map<std::string, double> current = {
+        {"gauges.result.simspeed.seq.accesses_per_sec", 2.0e6},
+        {"gauges.result.simspeed.seq.ns_per_access", 250.0}};
+    CompareReport report =
+        compareMetrics(baseline, current, simspeedRules());
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.warned, 0u);
+    EXPECT_EQ(report.passed, 2u);
+}
+
+TEST(BenchCompare, BandFailsInEitherDirection)
+{
+    std::vector<CompareRule> rules = {
+        {"gauges.result.table2.*", CompareDirection::Band, 0.01, 0.005}};
+    std::map<std::string, double> baseline = {
+        {"gauges.result.table2.redis.amp2m", 100.0}};
+    std::map<std::string, double> up = {
+        {"gauges.result.table2.redis.amp2m", 102.0}};
+    std::map<std::string, double> down = {
+        {"gauges.result.table2.redis.amp2m", 98.0}};
+    EXPECT_FALSE(compareMetrics(baseline, up, rules).ok());
+    EXPECT_FALSE(compareMetrics(baseline, down, rules).ok());
+    std::map<std::string, double> within = {
+        {"gauges.result.table2.redis.amp2m", 100.4}};
+    EXPECT_TRUE(compareMetrics(baseline, within, rules).ok());
+}
+
+TEST(BenchCompare, ExactRuleGatesInvariants)
+{
+    std::vector<CompareRule> rules = {
+        {"*.allocs_per_access", CompareDirection::Exact, 0.0, 0.0}};
+    std::map<std::string, double> baseline = {
+        {"gauges.result.simspeed.seq.allocs_per_access", 0.0}};
+    std::map<std::string, double> clean = baseline;
+    std::map<std::string, double> leaky = {
+        {"gauges.result.simspeed.seq.allocs_per_access", 0.0001}};
+    EXPECT_TRUE(compareMetrics(baseline, clean, rules).ok());
+    EXPECT_FALSE(compareMetrics(baseline, leaky, rules).ok());
+}
+
+TEST(BenchCompare, MissingGatedKeyFailsEitherSide)
+{
+    std::vector<CompareRule> rules = {
+        {"gauges.result.*", CompareDirection::Band, 0.1, 0.05}};
+    std::map<std::string, double> baseline = {
+        {"gauges.result.a", 1.0}, {"gauges.other.x", 5.0}};
+    std::map<std::string, double> current = {
+        {"gauges.result.b", 2.0}, {"gauges.other.y", 6.0}};
+    CompareReport report = compareMetrics(baseline, current, rules);
+    EXPECT_FALSE(report.ok());
+    // Both the lost baseline key and the stale-baseline current-only
+    // key fail; the ungated "other" keys are counted but not compared.
+    EXPECT_EQ(report.failed, 2u);
+    EXPECT_EQ(report.ignored, 2u);
+    for (const CompareFinding &f : report.findings)
+        EXPECT_EQ(f.status, CompareStatus::Missing);
+}
+
+TEST(BenchCompare, ReportPrinterSummarizesCounts)
+{
+    std::map<std::string, double> baseline = {
+        {"gauges.result.simspeed.seq.accesses_per_sec", 2.0e6}};
+    std::map<std::string, double> current = {
+        {"gauges.result.simspeed.seq.accesses_per_sec", 1.6e6}};
+    CompareReport report =
+        compareMetrics(baseline, current, simspeedRules());
+    std::ostringstream os;
+    printCompareReport(os, report);
+    EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+    EXPECT_NE(os.str().find("-20.0%"), std::string::npos);
+    EXPECT_NE(os.str().find("0 passed, 0 warned, 1 failed"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace kona
