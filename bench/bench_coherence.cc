@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Coherence experiment: sharing-degree x read/write-mix sweep over a
+ * MultiRack shared region, plus the no-sharing overhead check.
+ *
+ *   bench_coherence [--quick] [--metrics-json=PATH]
+ *
+ * For every (sharing degree, write mix) cell a fresh 4-compute-node
+ * rack runs an interleaved uniform workload against one shared
+ * region while a shadow oracle tracks the last value stored at every
+ * word; each load is checked against it, so "stale_reads" is a hard
+ * zero-tolerance correctness result, not a statistic. Alongside it
+ * the cell reports protocol cost: invalidation rate per simulated
+ * millisecond and the ownership-transfer p99.
+ *
+ * The final section runs an identical private (unshared) workload on
+ * a directory-attached runtime and on a plain detached runtime and
+ * reports the simulated-time ratio: the coherence hook must be free
+ * when no page is governed (DESIGN.md section 14), so the gate holds
+ * the ratio to 1.0.
+ *
+ * Everything reported is a pure function of (binary, seed): the CI
+ * gate uses tight deterministic bands (see bench/baselines/
+ * compare.rules).
+ *
+ * Exit status is non-zero when any cell observes a stale read.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "rack/multi_rack.h"
+
+using namespace kona;
+using namespace kona::bench;
+
+namespace {
+
+MultiRackConfig
+rackConfig()
+{
+    MultiRackConfig cfg;
+    cfg.computeNodes = 4;
+    cfg.memoryNodes = 3;
+    cfg.memoryBytes = 64 * MiB;
+    cfg.slabSize = 1 * MiB;
+    cfg.runtime.fpga.vfmemSize = 64 * MiB;
+    cfg.runtime.fpga.fmemSize = 8 * MiB;
+    return cfg;
+}
+
+struct CellResult
+{
+    std::uint64_t staleReads = 0;
+    double invalsPerMsimS = 0.0;   ///< invalidations / simulated ms
+    double ownershipP99Us = 0.0;
+    std::uint64_t transfers = 0;
+};
+
+/**
+ * Run @p ops interleaved accesses from @p sharers runtimes against
+ * one shared region, checking every load against the shadow oracle.
+ */
+CellResult
+runCell(std::size_t sharers, unsigned writePct, std::size_t ops,
+        std::uint64_t seed)
+{
+    MultiRack rack(rackConfig());
+    constexpr std::size_t regionBytes = 256 * KiB;
+    Addr base = rack.mapShared("sweep", regionBytes);
+
+    constexpr std::size_t words = regionBytes / sizeof(std::uint64_t);
+    std::vector<std::uint64_t> oracle(words, 0);
+
+    // The protocol zero-fills nothing for us: seed every word once
+    // through runtime 0 so loads of untouched words are defined.
+    std::uint64_t zero = 0;
+    for (std::size_t w = 0; w < words; w += pageSize / sizeof zero)
+        rack.runtime(0).write(base + w * sizeof zero, &zero,
+                              sizeof zero);
+
+    CellResult r;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < ops; ++i) {
+        KonaRuntime &rt = rack.runtime(rng.below(sharers));
+        std::size_t w = rng.below(words);
+        Addr addr = base + w * sizeof(std::uint64_t);
+        if (rng.below(100) < writePct) {
+            std::uint64_t v = (i << 8) | (rt.computeNode() & 0xff);
+            rt.write(addr, &v, sizeof v);
+            oracle[w] = v;
+        } else {
+            std::uint64_t got = ~std::uint64_t(0);
+            rt.read(addr, &got, sizeof got);
+            if (got != oracle[w])
+                ++r.staleReads;
+        }
+    }
+
+    Tick simNs = 0;
+    for (std::size_t i = 0; i < sharers; ++i)
+        simNs += rack.runtime(i).appTime();
+    DirectoryService &dir = rack.directory();
+    r.invalsPerMsimS = simNs == 0
+                           ? 0.0
+                           : double(dir.invalidationsSent()) /
+                                 (double(simNs) / 1e6);
+    r.ownershipP99Us = dir.ownershipTransferNs().p99() / 1000.0;
+    r.transfers = dir.ownershipTransfers();
+    return r;
+}
+
+/** The private workload both halves of the overhead check run. */
+std::uint64_t
+privateWorkload(KonaRuntime &rt, std::size_t bytes)
+{
+    Addr a = rt.allocate(bytes, pageSize);
+    std::uint64_t v = 0, sum = 0;
+    for (Addr off = 0; off < bytes; off += 256) {
+        v = off;
+        rt.write(a + off, &v, sizeof v);
+    }
+    for (Addr off = 0; off < bytes; off += 256) {
+        rt.read(a + off, &v, sizeof v);
+        sum += v;
+    }
+    return sum;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseExportFlags(argc, argv);
+    std::size_t ops = 20'000;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            ops = 4'000;
+
+    const std::size_t degrees[] = {1, 2, 4};
+    const unsigned writeMixes[] = {10, 50, 90};
+    constexpr std::uint64_t seed = 0xc0deULL;
+
+    std::uint64_t staleTotal = 0;
+    section("coherence: sharing-degree x write-mix sweep");
+    row("cell", {"stale", "inv/msim-s", "xfer p99 us", "transfers"});
+    for (std::size_t degree : degrees) {
+        for (unsigned writePct : writeMixes) {
+            CellResult r = runCell(degree, writePct, ops, seed);
+            staleTotal += r.staleReads;
+            char cellBuf[32];
+            std::snprintf(cellBuf, sizeof cellBuf, "s%zu.w%u",
+                          degree, writePct);
+            std::string cell = cellBuf;
+            row(cell, {fmtInt(r.staleReads), fmt(r.invalsPerMsimS),
+                       fmt(r.ownershipP99Us), fmtInt(r.transfers)});
+            const std::string prefix = "coherence." + cell;
+            recordResult(prefix + ".stale_reads",
+                         double(r.staleReads));
+            recordResult(prefix + ".invals_per_msim_s",
+                         r.invalsPerMsimS);
+            recordResult(prefix + ".ownership_p99_us",
+                         r.ownershipP99Us);
+        }
+    }
+
+    // No-sharing overhead: attached vs detached runtime, identical
+    // private workload, simulated time must be identical.
+    section("coherence: no-sharing overhead");
+    constexpr std::size_t privateBytes = 4 * MiB;
+    MultiRackConfig soloCfg = rackConfig();
+    soloCfg.computeNodes = 1;
+    MultiRack attachedRack(soloCfg);
+    std::uint64_t sumAttached =
+        privateWorkload(attachedRack.runtime(0), privateBytes);
+    Tick attachedNs = attachedRack.runtime(0).appTime();
+
+    Rack plain(soloCfg.memoryNodes, soloCfg.memoryBytes,
+               soloCfg.slabSize);
+    KonaRuntime detached(plain.fabric, plain.controller,
+                         MultiRack::firstComputeNode,
+                         soloCfg.runtime);
+    std::uint64_t sumDetached =
+        privateWorkload(detached, privateBytes);
+    Tick detachedNs = detached.appTime();
+
+    if (sumAttached != sumDetached)
+        fatal("no-sharing workload sums diverged");
+    double ratio = detachedNs == 0
+                       ? 0.0
+                       : double(attachedNs) / double(detachedNs);
+    row("apptime ratio", {fmt(ratio, 4)});
+    recordResult("coherence.nosharing.apptime_ratio", ratio);
+    recordResult("coherence.stale_reads_total", double(staleTotal));
+
+    flushExports();
+    if (staleTotal > 0) {
+        std::printf("\n%llu stale read(s) observed\n",
+                    static_cast<unsigned long long>(staleTotal));
+        return 1;
+    }
+    std::printf("\nzero stale reads across the sweep\n");
+    return 0;
+}

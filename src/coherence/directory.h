@@ -1,0 +1,334 @@
+/**
+ * @file
+ * DirectoryService: the rack's inter-node coherence directory, hosted
+ * at the Controller (§4.1 places rack-global metadata there). It lets
+ * N KonaRuntime instances read and write overlapping VFMem regions
+ * over the same memory nodes with MSI-style per-page states:
+ *
+ *  - Uncached:  no compute node holds the page;
+ *  - Shared:    one or more nodes hold read rights (cacheline-
+ *               granularity sharer vectors record which lines each
+ *               sharer actually touched);
+ *  - Modified:  exactly one node owns the page for writing.
+ *
+ * acquireShared/acquireExclusive arbitrate transitions; a conflicting
+ * holder is invalidated first, which forces its dirty lines back
+ * through the existing async eviction pipeline (CL log) before
+ * ownership transfers — the "line-granularity invalidation riding
+ * existing writeback machinery" design of the Federated Coherence
+ * position paper. Invalidations and acquire RPCs are carried as
+ * RdmaOpcode::Inval messages into per-node mailbox regions on the
+ * fabric, so PR 1 fault injection and PR 6 gray-failure modes (drops,
+ * partial partitions, degrade delays) apply to coherence traffic with
+ * no extra plumbing. release() piggybacks on the eviction ack that
+ * already notified the memory side, so it costs no extra message.
+ *
+ * The directory also federates stale-copy knowledge: a holder that
+ * could not freshen every home of a page (gray link, retries
+ * exhausted) reports its per-home missed-line view at release, and
+ * the next acquirer is seeded with it so no compute node ever fetches
+ * a stale copy another node failed to update.
+ */
+
+#ifndef KONA_COHERENCE_DIRECTORY_H
+#define KONA_COHERENCE_DIRECTORY_H
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/types.h"
+#include "fpga/remote_translation.h"
+#include "mem/backing_store.h"
+#include "net/queue_pair.h"
+#include "net/retry_policy.h"
+#include "rack/controller.h"
+#include "telemetry/metric_registry.h"
+
+namespace kona {
+
+/** MSI state of one page at the directory. */
+enum class PageCoherenceState : std::uint8_t
+{
+    Uncached,
+    Shared,
+    Modified,
+};
+
+/** One home's missed-line mask, as reported/seeded at the directory. */
+struct StaleHomeReport
+{
+    NodeId node = 0;
+    std::uint64_t mask = 0;
+};
+
+/** What a holder did with a remote invalidation. */
+struct InvalidateResult
+{
+    bool released = false;           ///< page written back and dropped
+    std::uint64_t linesWrittenBack = 0;
+};
+
+/**
+ * Compute-node side of the protocol: the directory calls back into
+ * the holder's runtime to execute an invalidation (snoop CPU caches,
+ * flush dirty lines through the eviction pipeline, drop the page).
+ * The clock is the requester's: the victim's writeback is on the
+ * acquiring access's critical path.
+ */
+class CoherencePeer
+{
+  public:
+    virtual ~CoherencePeer() = default;
+    virtual InvalidateResult onInvalidate(Addr vpn, SimClock &clock) = 0;
+};
+
+/** Configuration of the directory service. */
+struct DirectoryConfig
+{
+    /** The directory's node id on the fabric (its mailbox lives
+     *  there). Must not collide with memory or compute nodes. */
+    NodeId directoryNode = 900;
+
+    /** Bytes of mailbox registered per node for control messages. */
+    std::size_t mailboxBytes = 4096;
+
+    /** Simulated ns of directory state-machine work per request. */
+    double lookupNs = 150.0;
+
+    /** Retry discipline for control messages (invalidations and
+     *  acquire RPCs) against injected drops and gray links. */
+    RetryPolicy retry{.initialBackoffNs = 50'000, .maxAttempts = 16};
+};
+
+/** Outcome of an acquire. */
+struct AcquireResult
+{
+    bool granted = false;
+    /** Homes whose copy of the page is stale (missed lines); the
+     *  requester must seed these into its FPGA before fetching. */
+    std::vector<StaleHomeReport> staleHomes;
+};
+
+/** The rack coherence directory. */
+class DirectoryService
+{
+  public:
+    /**
+     * @param scope Telemetry scope for the protocol counters; QPs
+     *              register under "<scope>.qp<node>".
+     */
+    DirectoryService(Fabric &fabric, Controller &controller,
+                     DirectoryConfig config = {}, MetricScope scope = {});
+
+    const DirectoryConfig &config() const { return config_; }
+
+    /**
+     * Register compute node @p node as a protocol participant: attach
+     * a mailbox for its invalidation messages to the fabric and
+     * remember the peer callback. Must precede any acquire by @p node.
+     */
+    void attachPeer(NodeId node, CoherencePeer &peer);
+
+    /** Remove @p node from the protocol (its holdings are dropped
+     *  from every entry without invalidation traffic). */
+    void detachPeer(NodeId node);
+
+    // --- shared-region registry --------------------------------------
+
+    /**
+     * A named region every participating runtime maps at the same
+     * placement. The first caller allocates (primary plus
+     * @p replicationFactor replicas per slab, copies on distinct
+     * nodes); later callers get the identical grants back.
+     */
+    struct SharedRegion
+    {
+        std::string name;
+        std::size_t bytes = 0;
+        std::vector<MappedSlab> slabs;
+    };
+
+    /**
+     * Get-or-create the named region. @p bytes is rounded up to whole
+     * slabs; a second caller must ask for a size that rounds to the
+     * same slab count.
+     */
+    const SharedRegion &sharedRegion(const std::string &name,
+                                     std::size_t bytes,
+                                     std::size_t replicationFactor);
+
+    // --- protocol ----------------------------------------------------
+
+    /**
+     * Grant @p requester read rights on VFMem page @p vpn, line(s)
+     * @p lineMask. Invalidate a conflicting Modified owner first
+     * (forcing its dirty-line writeback on @p clock, the requester's
+     * timeline). Returns granted=false when the directory or the
+     * owner was unreachable; the caller backs off and retries.
+     */
+    AcquireResult acquireShared(NodeId requester, Addr vpn,
+                                std::uint64_t lineMask, SimClock &clock);
+
+    /** Grant write ownership, invalidating every other holder. */
+    AcquireResult acquireExclusive(NodeId requester, Addr vpn,
+                                   std::uint64_t lineMask,
+                                   SimClock &clock);
+
+    /**
+     * @p holder no longer caches @p vpn (its FMem copy dropped after
+     * writeback). @p touchedMask is the holder's final touched-line
+     * vector; @p staleView is its per-home missed-line knowledge at
+     * drop time, which REPLACES the directory's record — sound
+     * because every releaser's eviction ships dirty|stale lines to
+     * all copies, so its drop-time view is accurate for every home.
+     * Piggybacked on the eviction ack: no separate fabric message.
+     */
+    void release(NodeId holder, Addr vpn, std::uint64_t touchedMask,
+                 const std::vector<StaleHomeReport> &staleView);
+
+    // --- introspection -----------------------------------------------
+
+    PageCoherenceState stateOf(Addr vpn) const;
+    /** Owner of @p vpn when Modified; 0 otherwise. */
+    NodeId ownerOf(Addr vpn) const;
+    /** Touched-line vector of @p node's claim on @p vpn (0 = none). */
+    std::uint64_t sharerLineMask(Addr vpn, NodeId node) const;
+    std::size_t sharerCount(Addr vpn) const;
+    std::size_t pagesTracked() const { return entries_.size(); }
+    std::size_t sharedRegionCount() const { return regions_.size(); }
+
+    // --- statistics --------------------------------------------------
+
+    std::uint64_t sharedAcquires() const { return acqShared_.value(); }
+    std::uint64_t exclusiveAcquires() const { return acqExcl_.value(); }
+    /** Exclusive acquires by a node that already held the page
+     *  Shared (S -> M upgrades). */
+    std::uint64_t upgrades() const { return upgrades_.value(); }
+    std::uint64_t releases() const { return releases_.value(); }
+    std::uint64_t invalidationsSent() const { return invalsSent_.value(); }
+    /** Invalidations whose message or writeback could not complete
+     *  (the acquire aborts and the requester retries). */
+    std::uint64_t invalidationFailures() const
+    {
+        return invalFailures_.value();
+    }
+    /** Invalidations that forced a dirty-line writeback. */
+    std::uint64_t forcedWritebacks() const
+    {
+        return forcedWritebacks_.value();
+    }
+    std::uint64_t linesWrittenBack() const { return linesWb_.value(); }
+    /** Acquires denied because a control message never got through. */
+    std::uint64_t acquireFailures() const
+    {
+        return acquireFailures_.value();
+    }
+    /** Acquires whose grant carried stale-home seeds. */
+    std::uint64_t staleSeedGrants() const { return staleSeeds_.value(); }
+    std::uint64_t controlMessages() const { return controlMsgs_.value(); }
+    std::uint64_t controlRetries() const { return controlRetries_.value(); }
+    /** M-ownership moves between nodes (invalidate + transfer). */
+    std::uint64_t ownershipTransfers() const
+    {
+        return transfers_.value();
+    }
+    /** End-to-end latency of acquires that moved ownership. */
+    const LatencyHistogram &ownershipTransferNs() const
+    {
+        return transferNs_;
+    }
+
+  private:
+    /** One attached compute node. */
+    struct Peer
+    {
+        CoherencePeer *peer = nullptr;
+        std::unique_ptr<BackingStore> mailbox;
+        MemoryRegion region;                  ///< mailbox registration
+        std::unique_ptr<QueuePair> toPeer;    ///< directory -> node
+        std::unique_ptr<QueuePair> fromPeer;  ///< node -> directory
+    };
+
+    /** Directory entry for one page. */
+    struct DirEntry
+    {
+        PageCoherenceState state = PageCoherenceState::Uncached;
+        NodeId owner = 0;
+        /** (node, touched-line mask); owner included when Modified. */
+        std::vector<std::pair<NodeId, std::uint64_t>> sharers;
+        /** Federated stale-copy record: home -> missed-line mask. */
+        std::vector<StaleHomeReport> staleHomes;
+    };
+
+    /** Wire format of a control message (lands in a mailbox). */
+    struct ControlMessage
+    {
+        std::uint8_t op = 0;
+        std::uint8_t pad[7] = {};
+        Addr vpn = 0;
+        std::uint64_t mask = 0;
+    };
+
+    /**
+     * Ship one Inval-opcode message into @p dst via @p qp, retrying
+     * per the configured policy. @return false when every attempt
+     * failed (drop storm, partition, node down).
+     */
+    bool sendControl(QueuePair &qp, const MemoryRegion &dst,
+                     std::uint8_t op, Addr vpn, std::uint64_t mask,
+                     SimClock &clock);
+
+    /**
+     * Invalidate @p target's copy of @p vpn: deliver the message,
+     * then run the holder's writeback on @p clock. The holder's
+     * release() fires reentrantly (via its page-drop hook) and edits
+     * the entry, so callers must re-look-up entries afterwards.
+     */
+    bool invalidate(NodeId target, Addr vpn, SimClock &clock);
+
+    DirEntry &entry(Addr vpn) { return entries_[vpn]; }
+    void dropSharer(DirEntry &e, NodeId node);
+    std::uint64_t sharerMaskOf(const DirEntry &e, NodeId node) const;
+    /** Erase the entry when it holds no information. */
+    void compact(Addr vpn);
+
+    Fabric &fabric_;
+    Controller &controller_;
+    DirectoryConfig config_;
+    MetricScope scope_;
+
+    CompletionQueue cq_;
+    Poller poller_;
+    std::unique_ptr<BackingStore> homeMailbox_;   ///< directory's own
+    MemoryRegion homeRegion_;
+
+    std::map<NodeId, Peer> peers_;
+    std::unordered_map<Addr, DirEntry> entries_;
+    std::map<std::string, SharedRegion> regions_;
+
+    std::uint64_t nextWrId_ = 0x20000000;
+    std::uint64_t retrySeed_ = 0xd1c7ULL;
+
+    Counter &acqShared_;
+    Counter &acqExcl_;
+    Counter &upgrades_;
+    Counter &releases_;
+    Counter &invalsSent_;
+    Counter &invalFailures_;
+    Counter &forcedWritebacks_;
+    Counter &linesWb_;
+    Counter &acquireFailures_;
+    Counter &staleSeeds_;
+    Counter &controlMsgs_;
+    Counter &controlRetries_;
+    Counter &transfers_;
+    LatencyHistogram &transferNs_;
+    LatencyHistogram &controlBackoffNs_;
+};
+
+} // namespace kona
+
+#endif // KONA_COHERENCE_DIRECTORY_H

@@ -730,6 +730,27 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
     drain(clock);
 }
 
+bool
+EvictionHandler::flushPage(Addr vpn, SimClock &clock)
+{
+    // Targeted barrier for coherence invalidations: ship this page and
+    // wait for it alone, leaving unrelated in-flight shipments (and
+    // their timelines) untouched. A few rounds bound the case where a
+    // fenced write re-dirtied the page while its log was on the wire;
+    // in the invalidation path the holder is stalled, so one round is
+    // the norm.
+    for (int round = 0; round < 4 && fpga_.pageResident(vpn); ++round) {
+        EvictionRequest req;
+        req.vpns.push_back(vpn);
+        submit(req, clock);
+        awaitPageIdle(vpn, clock);
+        // Any re-queue entry is ours now: the next round (or the fact
+        // that the page dropped) supersedes it.
+        requeue_.erase(vpn);
+    }
+    return !fpga_.pageResident(vpn);
+}
+
 void
 EvictionHandler::pump(SimClock &backgroundClock, std::size_t freeWays)
 {

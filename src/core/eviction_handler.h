@@ -200,33 +200,23 @@ class EvictionHandler
      */
     void pump(SimClock &backgroundClock, std::size_t freeWays = 1);
 
+    /**
+     * Targeted flush for a remote coherence invalidation: ship @p vpn's
+     * dirty lines and wait until *that page* (and only that page) has
+     * settled, without draining unrelated in-flight shipments the way
+     * evictPage()'s drain() barrier would. If the page was clean it
+     * drops silently; if every home was unreachable it stays resident.
+     * @return true when the page is gone from FMem (ownership can
+     *         transfer), false when the writeback could not land.
+     */
+    bool flushPage(Addr vpn, SimClock &clock);
+
     // --- configuration ------------------------------------------------
 
     const EvictionConfig &evictionConfig() const { return config_; }
     EvictionMode mode() const { return config_.mode; }
     std::size_t pipelineDepth() const { return config_.pipelineDepth; }
     const RetryPolicy &retryPolicy() const { return retryPolicy_; }
-
-    /** @deprecated Set EvictionConfig::mode at construction instead. */
-    [[deprecated("set EvictionConfig::mode instead")]] void
-    setMode(EvictionMode mode)
-    {
-        config_.mode = mode;
-    }
-
-    /** @deprecated Set EvictionConfig::retry at construction instead. */
-    [[deprecated("set EvictionConfig::retry instead")]] void
-    setRetryPolicy(const RetryPolicy &policy)
-    {
-        retryPolicy_ = policy;
-    }
-
-    /** @deprecated Set EvictionConfig::trace at construction instead. */
-    [[deprecated("set EvictionConfig::trace instead")]] void
-    setTraceSession(TraceSession *trace)
-    {
-        trace_ = trace;
-    }
 
     // --- statistics ---------------------------------------------------
 

@@ -1,5 +1,6 @@
 #include "core/kona_runtime.h"
 
+#include "coherence/agent.h"
 #include "common/logging.h"
 #include "telemetry/time_series.h"
 
@@ -29,8 +30,11 @@ resolvedEvictionConfig(const KonaConfig &config, TraceSession &trace,
 KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
                          NodeId computeNode, const KonaConfig &config,
                          MetricScope scope)
-    : fabric_(fabric), controller_(controller), config_(config),
-      scope_(std::move(scope)),
+    : fabric_(fabric), controller_(controller),
+      computeNode_(computeNode), config_(config),
+      // Per-runtime metric namespace: several runtimes can share one
+      // registry (multi-compute-node racks) without colliding.
+      scope_(scope.sub("cn" + std::to_string(computeNode))),
       fpga_(fabric, computeNode, config.fpga, scope_.sub("fpga")),
       hierarchy_(config.hierarchy, scope_.sub("hierarchy")),
       evictor_(fabric, fpga_, hierarchy_, controller,
@@ -106,6 +110,53 @@ KonaRuntime::~KonaRuntime()
     // only clear the binding if it still points at our journal.
     if (controller_.journal() == &journal_)
         controller_.setJournal(nullptr);
+}
+
+void
+KonaRuntime::attachCoherence(DirectoryService &directory)
+{
+    KONA_ASSERT(agent_ == nullptr, "coherence already attached");
+    agent_ = std::make_unique<CoherenceAgent>(
+        directory, computeNode_, fpga_, hierarchy_, evictor_,
+        config_.retry, scope_.sub("coherence"));
+    coherenceDir_ = &directory;
+    directory.attachPeer(computeNode_, *agent_);
+    // Any drop of a governed page — remote invalidation or ordinary
+    // capacity eviction — releases this node's directory rights, and
+    // the prefetcher is kept away from governed pages (a speculative
+    // fetch without rights could resurrect a stale copy).
+    fpga_.setDropHook([this](Addr vpn) { agent_->onPageDropped(vpn); });
+    fpga_.setPageGovernor(
+        [this](Addr vpn) { return agent_->governs(vpn); });
+}
+
+Addr
+KonaRuntime::mapSharedRegion(const std::string &name, std::size_t bytes)
+{
+    KONA_ASSERT(agent_ != nullptr,
+                "attachCoherence() before mapSharedRegion()");
+    const DirectoryService::SharedRegion &region =
+        coherenceDir_->sharedRegion(name, bytes,
+                                    config_.replicationFactor);
+
+    Addr base = vfmemCursor_;
+    for (const MappedSlab &slab : region.slabs) {
+        std::size_t slabSize = slab.primary.size;
+        if (vfmemCursor_ + slabSize >
+            config_.fpga.vfmemBase + config_.fpga.vfmemSize) {
+            fatal("VFMem window exhausted mapping shared region '",
+                  name, "'");
+        }
+        fpga_.translation().addSlab(vfmemCursor_, slab.primary,
+                                    slab.replicas, /*shared=*/true);
+        Addr firstVpn = pageNumber(vfmemCursor_);
+        Addr pages = slabSize / pageSize;
+        for (Addr i = 0; i < pages; ++i)
+            pageTable_.map(firstVpn + i, firstVpn + i, /*writable=*/true);
+        vfmemCursor_ += slabSize;
+    }
+    agent_->addGovernedRange(base, region.bytes);
+    return base;
 }
 
 void
@@ -187,6 +238,10 @@ KonaRuntime::simulateAccess(Addr addr, std::size_t size,
     Addr first = alignDown(addr, cacheLineSize);
     Addr last = alignDown(addr + size - 1, cacheLineSize);
     for (Addr line = first; line <= last; line += cacheLineSize) {
+        // Inter-node coherence: hold directory rights before the line
+        // is served. Detached runtimes pay one predicted branch.
+        if (agent_)
+            agent_->ensureAccess(line, type, appClock_);
         int level = hierarchy_.accessOne(line, type);
         if (level >= 0) {
             appClock_.advance(static_cast<Tick>(
@@ -355,6 +410,11 @@ KonaRuntime::collectPlacements()
     // which are stable across the Controller's in-place rewrites.
     std::vector<PlacementRef> refs;
     fpga_.translation().forEachSlab([&refs](MappedSlab &slab) {
+        // Shared-region placements are owned by the DirectoryService
+        // registry (identical across every mapping runtime); a
+        // per-runtime rewrite would desynchronize the copies.
+        if (slab.shared)
+            return;
         refs.push_back({&slab.primary, &slab.replicas});
     });
     return refs;

@@ -41,6 +41,9 @@
 
 namespace kona {
 
+class CoherenceAgent;
+class DirectoryService;
+
 /** What to do when every replica of a page is unreachable (§4.5). */
 enum class FailurePolicy : std::uint8_t
 {
@@ -79,9 +82,12 @@ class KonaRuntime : public RemoteMemoryRuntime
 {
   public:
     /**
-     * @param scope Telemetry scope; subsystems register under
-     *         "<scope>.fpga", "<scope>.hierarchy", "<scope>.evict",
-     *         the runtime's own counters directly under "<scope>".
+     * @param scope Telemetry scope. The runtime prefixes it with its
+     *         compute-node id ("<scope>.cn<id>") so several runtimes
+     *         sharing one MetricRegistry never collide; subsystems
+     *         then register under "<scope>.cn<id>.fpga",
+     *         ".hierarchy", ".evict", and the runtime's own counters
+     *         directly under "<scope>.cn<id>".
      */
     KonaRuntime(Fabric &fabric, Controller &controller,
                 NodeId computeNode, const KonaConfig &config = {},
@@ -152,6 +158,34 @@ class KonaRuntime : public RemoteMemoryRuntime
      * and primary traffic.
      */
     RebuildReport hotAddNode(MemoryNode &node);
+
+    // --- inter-node coherence (multi-compute-node racks) -------------
+
+    /**
+     * Join the rack's coherence protocol: embed a CoherenceAgent,
+     * register this runtime as a peer at @p directory, and wire the
+     * FPGA's page-drop hook so any drop of a governed page (remote
+     * invalidation or capacity eviction) releases directory rights.
+     * Must be called before mapSharedRegion(); single-node runtimes
+     * that never call it pay nothing on the access path.
+     */
+    void attachCoherence(DirectoryService &directory);
+
+    /**
+     * Map the named coherence-shared region into this runtime's VFMem
+     * window and put it under the agent's governance. Every runtime
+     * mapping the region gets the identical remote placement (the
+     * DirectoryService registry owns it); with identically-configured
+     * runtimes the returned VFMem base is identical too, so litmus
+     * harnesses can use one address across nodes. The region is not
+     * part of the private heap: allocate() never hands out its pages.
+     */
+    Addr mapSharedRegion(const std::string &name, std::size_t bytes);
+
+    /** The embedded protocol endpoint; nullptr until attached. */
+    CoherenceAgent *coherenceAgent() const { return agent_.get(); }
+
+    NodeId computeNode() const { return computeNode_; }
 
     /** True while the rack holds less redundancy than configured. */
     bool degraded() const { return degraded_; }
@@ -229,6 +263,7 @@ class KonaRuntime : public RemoteMemoryRuntime
 
     Fabric &fabric_;
     Controller &controller_;
+    NodeId computeNode_;
     KonaConfig config_;
     MetricScope scope_;
     TraceSession trace_;
@@ -239,6 +274,8 @@ class KonaRuntime : public RemoteMemoryRuntime
     PageTable pageTable_;
 
     std::unique_ptr<RegionAllocator> heap_;
+    std::unique_ptr<CoherenceAgent> agent_;
+    DirectoryService *coherenceDir_ = nullptr;
     Addr vfmemCursor_;
 
     SimClock appClock_;

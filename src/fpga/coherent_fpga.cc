@@ -7,26 +7,6 @@
 
 namespace kona {
 
-namespace {
-
-/**
- * Resolve the effective policy spec: the deprecated prefetchNextPage
- * bool keeps meaning "next:1" while prefetchPolicy stays at "off", so
- * pre-policy configs and benches behave unchanged.
- */
-std::string
-effectivePrefetchPolicy(const FpgaConfig &config)
-{
-    if ((config.prefetchPolicy.empty() ||
-         config.prefetchPolicy == "off") &&
-        config.prefetchNextPage) {
-        return "next:1";
-    }
-    return config.prefetchPolicy;
-}
-
-} // namespace
-
 CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
                            const FpgaConfig &config, MetricScope scope)
     : fabric_(fabric), computeNode_(computeNode), config_(config),
@@ -34,7 +14,7 @@ CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
       fmem_(config.fmemSize, config.fmemAssociativity,
             scope_.sub("fmem")),
       fmemStore_(config.fmemSize), poller_(fabric.latency()),
-      prefetcher_(makePrefetcher(effectivePrefetchPolicy(config))),
+      prefetcher_(makePrefetcher(config.prefetchPolicy)),
       prefetchQueue_(config.prefetchQueueCapacity),
       prefetchCredits_(config.prefetchCreditRefillNs,
                        config.prefetchCreditBurst),
@@ -59,6 +39,8 @@ CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
           scope_.counter("prefetch.dropped_set_full")),
       prefetchDroppedQueueFull_(
           scope_.counter("prefetch.dropped_queue_full")),
+      prefetchDroppedGoverned_(
+          scope_.counter("prefetch.dropped_governed")),
       fetchNs_(scope_.histogram("fetch_ns")),
       prefetchLeadNs_(scope_.histogram("prefetch.lead_ns"))
 {
@@ -366,6 +348,12 @@ CoherentFpga::maybePrefetch(Addr vpn, bool demandMiss, SimClock &clock)
             continue;
         if (fmem_.contains(c) || prefetchQueue_.contains(c))
             continue;
+        if (pageGovernor_ && pageGovernor_(c)) {
+            // Coherence-governed page: a speculative fetch would
+            // install bytes without the directory's rights check.
+            prefetchDroppedGoverned_.add();
+            continue;
+        }
         if (!prefetchQueue_.push(c))
             prefetchDroppedQueueFull_.add();
     }
@@ -466,6 +454,8 @@ CoherentFpga::dropPage(Addr vpn)
             prefetcher_->onPrefetchWasted(vpn);
     }
     fmem_.remove(vpn);
+    if (dropHook_)
+        dropHook_(vpn);
 }
 
 PrefetchStats
@@ -480,6 +470,7 @@ CoherentFpga::prefetchStats() const
     s.droppedNodeDown = prefetchDroppedNodeDown_.value();
     s.droppedSetFull = prefetchDroppedSetFull_.value();
     s.droppedQueueFull = prefetchDroppedQueueFull_.value();
+    s.droppedGoverned = prefetchDroppedGoverned_.value();
     return s;
 }
 

@@ -54,17 +54,9 @@ struct FpgaConfig
 
     /**
      * Prefetch policy spec "policy[:depth]": off, next, stride, corr,
-     * adaptive (see src/prefetch/prefetcher.h). Replaces the old
-     * hardcoded next-page bool.
+     * adaptive (see src/prefetch/prefetcher.h).
      */
     std::string prefetchPolicy = "off";
-
-    /**
-     * @deprecated Back-compat alias for prefetchPolicy = "next:1";
-     * honored only while prefetchPolicy is "off". New code should set
-     * prefetchPolicy directly.
-     */
-    bool prefetchNextPage = false;
 
     /** Candidates staged per access before the credit gate. */
     std::size_t prefetchQueueCapacity = 32;
@@ -85,6 +77,7 @@ struct PrefetchStats
     std::uint64_t droppedNodeDown = 0;  ///< primary unreachable
     std::uint64_t droppedSetFull = 0;   ///< no free way, no eviction
     std::uint64_t droppedQueueFull = 0; ///< staging overflow
+    std::uint64_t droppedGoverned = 0;  ///< coherence-governed page
 
     /** useful / issued (1.0 when nothing issued yet). */
     double
@@ -245,6 +238,28 @@ class CoherentFpga : public MemorySideListener
         membershipProbe_ = std::move(probe);
     }
 
+    /**
+     * Hook invoked after a page leaves FMem for any reason (capacity
+     * eviction, silent drop, coherence invalidation). The coherence
+     * agent uses it to release directory rights exactly when residency
+     * ends. Unset on single-node racks — the hot path never pays for
+     * it (drops are off the per-access path).
+     */
+    using DropHook = std::function<void(Addr)>;
+    void setDropHook(DropHook hook) { dropHook_ = std::move(hook); }
+
+    /**
+     * Predicate over VFMem page numbers the coherence layer governs.
+     * The prefetch engine skips governed pages: speculatively fetching
+     * a shared page would install bytes without the directory's rights
+     * check. Unset = nothing governed.
+     */
+    using PageGovernor = std::function<bool(Addr)>;
+    void setPageGovernor(PageGovernor governor)
+    {
+        pageGovernor_ = std::move(governor);
+    }
+
     // --- stale-copy tracking -----------------------------------------
     //
     // When an eviction shipment permanently fails against a *live*
@@ -265,6 +280,18 @@ class CoherentFpga : public MemorySideListener
 
     /** Whether @p node's copy of @p vpn must not serve reads. */
     bool homeStale(Addr vpn, NodeId node) const;
+
+    /**
+     * Per-home missed-line masks of @p vpn, or nullptr when no home is
+     * stale. The coherence agent reports this view to the directory at
+     * release time so the next holder inherits it.
+     */
+    const std::unordered_map<NodeId, std::uint64_t> *
+    staleHomesOf(Addr vpn) const
+    {
+        auto it = staleHomes_.find(vpn);
+        return it == staleHomes_.end() ? nullptr : &it->second;
+    }
 
     /** Pages with at least one stale home right now. */
     std::size_t stalePages() const { return staleHomes_.size(); }
@@ -389,6 +416,8 @@ class CoherentFpga : public MemorySideListener
     EvictionCallback evictionCallback_;
     HealthReporter healthReporter_;
     MembershipProbe membershipProbe_;
+    DropHook dropHook_;
+    PageGovernor pageGovernor_;
 
     /** vpn -> (home node -> missed-line mask). Almost always empty. */
     std::unordered_map<Addr,
@@ -426,6 +455,7 @@ class CoherentFpga : public MemorySideListener
     Counter &prefetchDroppedNodeDown_;
     Counter &prefetchDroppedSetFull_;
     Counter &prefetchDroppedQueueFull_;
+    Counter &prefetchDroppedGoverned_;
     LatencyHistogram &fetchNs_;
     LatencyHistogram &prefetchLeadNs_;
     std::uint64_t nextWrId_ = 1;

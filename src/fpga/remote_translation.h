@@ -33,6 +33,13 @@ struct MappedSlab
 {
     SlabGrant primary;
     std::vector<SlabGrant> replicas;
+    /**
+     * True for slabs of a coherence-shared region: the placement is
+     * owned by the DirectoryService's registry (identical across every
+     * compute node mapping the region), so rack-level rebuild and
+     * decommission must not rewrite it per-runtime.
+     */
+    bool shared = false;
 };
 
 /** VFMem slab base -> placement map with range lookup. */
@@ -42,14 +49,14 @@ class RemoteTranslation
     /** Record VFMem range [vfmemBase, +primary.size) -> placement. */
     void
     addSlab(Addr vfmemBase, const SlabGrant &primary,
-            std::vector<SlabGrant> replicas = {})
+            std::vector<SlabGrant> replicas = {}, bool shared = false)
     {
         KONA_ASSERT(primary.size > 0, "empty slab grant");
         for (const SlabGrant &r : replicas) {
             KONA_ASSERT(r.size == primary.size,
                         "replica size mismatch");
         }
-        slabs_[vfmemBase] = {primary, std::move(replicas)};
+        slabs_[vfmemBase] = {primary, std::move(replicas), shared};
     }
 
     /** Remove the slab starting at @p vfmemBase. */

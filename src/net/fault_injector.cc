@@ -65,9 +65,11 @@ FaultInjector::decide(NodeId source, NodeId target, RdmaOpcode opcode,
     if (profile.corruptProbability > 0.0 && length > 0 &&
         rng_.chance(profile.corruptProbability)) {
         corrupt_.add();
-        if (opcode == RdmaOpcode::Read) {
-            // The transport's ICRC catches corrupted responses; the
-            // issuer sees a drop, never the bad bytes.
+        if (opcode != RdmaOpcode::Write) {
+            // The transport's ICRC catches corrupted responses and
+            // corrupted coherence control messages (Inval carries no
+            // CL-log CRC of its own); the issuer sees a drop, never
+            // the bad bytes.
             decision.status = WcStatus::Dropped;
             return decision;
         }

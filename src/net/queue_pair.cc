@@ -38,10 +38,12 @@ QueuePair::executeOne(const WorkRequest &wr, bool linked)
               wr.remoteAddr, " len ", wr.length);
 
     BackingStore &remote = fabric_.nodeStore(remoteNode_);
-    if (wr.opcode == RdmaOpcode::Write) {
-        remote.write(wr.remoteAddr, wr.localBuf, wr.length);
-    } else {
+    if (wr.opcode == RdmaOpcode::Read) {
         remote.read(wr.remoteAddr, wr.localBuf, wr.length);
+    } else {
+        // Write and Inval both land payload bytes remotely; Inval's
+        // payload is a coherence control message in the mailbox region.
+        remote.write(wr.remoteAddr, wr.localBuf, wr.length);
     }
     fabric_.accountTransfer(wr.length);
     postedOps_.add();
@@ -49,7 +51,7 @@ QueuePair::executeOne(const WorkRequest &wr, bool linked)
 
     const LatencyConfig &lat = fabric_.latency();
     double base = linked ? lat.rdmaLinkedOpNs : lat.rdmaBaseNs;
-    if (wr.inlineData && wr.opcode == RdmaOpcode::Write &&
+    if (wr.inlineData && wr.opcode != RdmaOpcode::Read &&
         wr.length <= lat.rdmaInlineThreshold) {
         // Inline payloads skip the DMA fetch of the local buffer but
         // still cross the wire; the paper found this unhelpful at 64B+

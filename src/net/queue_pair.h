@@ -23,8 +23,18 @@
 
 namespace kona {
 
-/** One-sided verb opcodes. */
-enum class RdmaOpcode : std::uint8_t { Read, Write };
+/**
+ * One-sided verb opcodes. Inval is the coherence control opcode: a
+ * tiny send into the target node's registered mailbox region, used for
+ * directory invalidations and acquire/release RPCs. On the wire it
+ * behaves like a small write (it lands payload bytes remotely and pays
+ * the same base + wire cost), so fault injection — drops, partitions,
+ * degrade delays, flaps — applies to coherence traffic exactly as it
+ * does to data traffic. NAK injection stays Write-only: control
+ * messages carry no CL-log CRC, so a corrupted Inval is modelled as a
+ * transport-level drop instead.
+ */
+enum class RdmaOpcode : std::uint8_t { Read, Write, Inval };
 
 /** A work request. Local buffers are host memory (registered buffers). */
 struct WorkRequest

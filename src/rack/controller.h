@@ -27,6 +27,8 @@
 
 namespace kona {
 
+class DirectoryService;
+
 /** A slab grant handed to a compute node. */
 struct SlabGrant
 {
@@ -185,6 +187,19 @@ class Controller
     void setJournal(EventJournal *journal) { journal_ = journal; }
     EventJournal *journal() const { return journal_; }
 
+    /**
+     * The inter-node coherence directory hosted at this controller
+     * (§4.1 places rack-global metadata here). The controller does not
+     * own the service; MultiRack wires it so compute nodes can find
+     * the rack's directory through the controller they already hold.
+     * nullptr on single-writer racks.
+     */
+    void hostDirectory(DirectoryService *directory)
+    {
+        directory_ = directory;
+    }
+    DirectoryService *directory() const { return directory_; }
+
     // --- gray-failure health scoring --------------------------------
 
     void setHealthPolicy(const HealthPolicy &p) { healthPolicy_ = p; }
@@ -334,6 +349,7 @@ class Controller
     std::uint64_t membershipEpoch_ = 1;
     SlabId nextSlab_ = 1;
     EventJournal *journal_ = nullptr;
+    DirectoryService *directory_ = nullptr;
     Counter &slabsAllocated_;
     Counter &nodesFailed_;
     Counter &slabsRebuilt_;

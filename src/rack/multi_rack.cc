@@ -1,0 +1,70 @@
+/**
+ * @file
+ * MultiRack wiring. Order matters: memory nodes attach to the fabric
+ * before the directory (whose mailboxes claim node ids) and before
+ * the runtimes (whose FPGAs open queue pairs to the memory nodes).
+ */
+
+#include "rack/multi_rack.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+MultiRack::MultiRack(const MultiRackConfig &config, MetricScope scope)
+    : scope_(std::move(scope)),
+      fabric_(LatencyConfig{}, scope_.sub("fabric")),
+      controller_(config.slabSize, scope_.sub("rack")),
+      faults_(config.faultSeed, scope_.sub("faults"))
+{
+    KONA_ASSERT(config.computeNodes >= 1, "need at least one compute node");
+    KONA_ASSERT(config.memoryNodes >= 1, "need at least one memory node");
+    KONA_ASSERT(config.directory.directoryNode > config.memoryNodes &&
+                    (config.directory.directoryNode < firstComputeNode ||
+                     config.directory.directoryNode >=
+                         firstComputeNode + config.computeNodes),
+                "directory node id collides with rack nodes");
+
+    // Fault model first so even setup traffic is subject to it once
+    // callers script profiles; it injects nothing until configured.
+    fabric_.setFaultInjector(&faults_);
+
+    for (NodeId id = 1; id <= config.memoryNodes; ++id) {
+        nodes_.push_back(std::make_unique<MemoryNode>(
+            fabric_, id, config.memoryBytes, config.logAreaBytes,
+            scope_.sub("rack.node" + std::to_string(id))));
+        controller_.registerNode(*nodes_.back());
+    }
+
+    directory_ = std::make_unique<DirectoryService>(
+        fabric_, controller_, config.directory, scope_.sub("dir"));
+
+    for (std::size_t i = 0; i < config.computeNodes; ++i) {
+        NodeId id = firstComputeNode + static_cast<NodeId>(i);
+        // Runtimes self-prefix their scope with "cn<id>", so sharing
+        // the rack registry is collision-free by construction.
+        runtimes_.push_back(std::make_unique<KonaRuntime>(
+            fabric_, controller_, id, config.runtime,
+            scope_.sub("kona")));
+        runtimes_.back()->attachCoherence(*directory_);
+    }
+}
+
+Addr
+MultiRack::mapShared(const std::string &name, std::size_t bytes)
+{
+    Addr base = invalidAddr;
+    for (auto &rt : runtimes_) {
+        Addr b = rt->mapSharedRegion(name, bytes);
+        if (base == invalidAddr) {
+            base = b;
+        } else if (b != base) {
+            fatal("shared region '", name, "' mapped at diverging "
+                  "VFMem bases (", base, " vs ", b,
+                  "); configure the runtimes identically");
+        }
+    }
+    return base;
+}
+
+} // namespace kona

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * MultiRack: a rack with several compute nodes running KonaRuntime
+ * instances over one pool of shared memory nodes, kept coherent by a
+ * Controller-hosted DirectoryService.
+ *
+ * This is the harness the coherence litmus suite and bench_coherence
+ * run on: it wires one Fabric, one Controller, one FaultInjector (so
+ * drops, gray degradation and partial partitions hit data AND
+ * coherence traffic), N memory nodes and M compute nodes, attaches
+ * every runtime to the directory, and maps named shared regions at
+ * identical VFMem bases across all runtimes.
+ */
+
+#ifndef KONA_RACK_MULTI_RACK_H
+#define KONA_RACK_MULTI_RACK_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/directory.h"
+#include "core/kona_runtime.h"
+#include "net/fault_injector.h"
+#include "rack/memory_node.h"
+
+namespace kona {
+
+/** Configuration of a multi-compute-node rack. */
+struct MultiRackConfig
+{
+    std::size_t computeNodes = 2;
+    std::size_t memoryNodes = 3;
+    std::size_t memoryBytes = 64 * MiB;  ///< DRAM per memory node
+    std::size_t slabSize = 1 * MiB;
+    std::size_t logAreaBytes = 4 * MiB;
+
+    /** Runtime configuration cloned into every compute node. */
+    KonaConfig runtime;
+    DirectoryConfig directory;
+
+    std::uint64_t faultSeed = 0xfa17ULL;
+};
+
+/** N compute nodes + M memory nodes + directory, fully wired. */
+class MultiRack
+{
+  public:
+    /** First compute-node id; memory nodes are 1..memoryNodes. */
+    static constexpr NodeId firstComputeNode = 101;
+
+    explicit MultiRack(const MultiRackConfig &config = {},
+                       MetricScope scope = {});
+
+    /**
+     * Map the named shared region into every runtime and return its
+     * (identical) VFMem base. Fatal if the runtimes' windows diverge.
+     */
+    Addr mapShared(const std::string &name, std::size_t bytes);
+
+    KonaRuntime &runtime(std::size_t i) { return *runtimes_.at(i); }
+    std::size_t runtimeCount() const { return runtimes_.size(); }
+
+    Fabric &fabric() { return fabric_; }
+    Controller &controller() { return controller_; }
+    DirectoryService &directory() { return *directory_; }
+    FaultInjector &faults() { return faults_; }
+    MemoryNode &memoryNode(std::size_t i) { return *nodes_.at(i); }
+    std::size_t memoryNodeCount() const { return nodes_.size(); }
+
+    /** The registry all rack components share. */
+    const std::shared_ptr<MetricRegistry> &metrics() const
+    {
+        return scope_.registry();
+    }
+
+  private:
+    MetricScope scope_;
+    Fabric fabric_;
+    Controller controller_;
+    FaultInjector faults_;
+    std::vector<std::unique_ptr<MemoryNode>> nodes_;
+    std::unique_ptr<DirectoryService> directory_;
+    std::vector<std::unique_ptr<KonaRuntime>> runtimes_;
+};
+
+} // namespace kona
+
+#endif // KONA_RACK_MULTI_RACK_H

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Inter-node coherence tests: DirectoryService MSI state machine,
+ * CoherenceAgent integration over MultiRack, the litmus differential
+ * suite vs the sequentially-consistent oracle (fault-free and under
+ * gray faults), determinism across seeds, metric-namespace isolation
+ * between runtimes, and the no-sharing fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coherence/agent.h"
+#include "coherence/directory.h"
+#include "coherence/litmus.h"
+#include "net/fault_injector.h"
+#include "rack/multi_rack.h"
+
+namespace kona {
+namespace {
+
+// ---------------------------------------------------------------------
+// DirectoryService unit tests (scripted peers, no runtimes).
+// ---------------------------------------------------------------------
+
+/** A peer that releases immediately when invalidated. */
+struct ScriptedPeer : CoherencePeer
+{
+    DirectoryService *dir = nullptr;
+    NodeId self = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t linesToReport = 0;
+    std::vector<StaleHomeReport> staleViewAtRelease;
+
+    InvalidateResult
+    onInvalidate(Addr vpn, SimClock &) override
+    {
+        ++invalidations;
+        dir->release(self, vpn, ~std::uint64_t(0), staleViewAtRelease);
+        return {true, linesToReport};
+    }
+};
+
+struct DirectoryFixture : ::testing::Test
+{
+    DirectoryFixture()
+        : fabric(), controller(1 * MiB),
+          node(fabric, 1, 32 * MiB), dir(fabric, controller)
+    {
+        controller.registerNode(node);
+        for (std::size_t i = 0; i < 3; ++i) {
+            peers[i].dir = &dir;
+            peers[i].self = 101 + static_cast<NodeId>(i);
+            dir.attachPeer(peers[i].self, peers[i]);
+        }
+    }
+
+    Fabric fabric;
+    Controller controller;
+    MemoryNode node;
+    DirectoryService dir;
+    ScriptedPeer peers[3];
+    SimClock clock;
+};
+
+TEST_F(DirectoryFixture, MsiTransitions)
+{
+    const Addr vpn = 42;
+    EXPECT_EQ(dir.stateOf(vpn), PageCoherenceState::Uncached);
+
+    // Two readers share the page with distinct line vectors.
+    EXPECT_TRUE(dir.acquireShared(101, vpn, 0x1, clock).granted);
+    EXPECT_TRUE(dir.acquireShared(102, vpn, 0x6, clock).granted);
+    EXPECT_EQ(dir.stateOf(vpn), PageCoherenceState::Shared);
+    EXPECT_EQ(dir.sharerCount(vpn), 2u);
+    EXPECT_EQ(dir.sharerLineMask(vpn, 101), 0x1u);
+    EXPECT_EQ(dir.sharerLineMask(vpn, 102), 0x6u);
+    EXPECT_EQ(dir.invalidationsSent(), 0u);
+
+    // A third node takes exclusive ownership: both sharers are
+    // invalidated and the entry collapses to one owner.
+    EXPECT_TRUE(dir.acquireExclusive(103, vpn, 0x8, clock).granted);
+    EXPECT_EQ(dir.stateOf(vpn), PageCoherenceState::Modified);
+    EXPECT_EQ(dir.ownerOf(vpn), 103u);
+    EXPECT_EQ(dir.sharerCount(vpn), 1u);
+    EXPECT_EQ(peers[0].invalidations + peers[1].invalidations, 2u);
+    EXPECT_EQ(dir.invalidationsSent(), 2u);
+
+    // A reader pulls the owner back to Shared (ownership transfer).
+    EXPECT_TRUE(dir.acquireShared(101, vpn, 0x1, clock).granted);
+    EXPECT_EQ(dir.stateOf(vpn), PageCoherenceState::Shared);
+    EXPECT_EQ(peers[2].invalidations, 1u);
+    EXPECT_GE(dir.ownershipTransfers(), 1u);
+    EXPECT_GE(dir.ownershipTransferNs().count(), 1u);
+
+    // Upgrade: the remaining sharer goes exclusive without
+    // invalidating itself.
+    std::uint64_t invalsBefore = dir.invalidationsSent();
+    EXPECT_TRUE(dir.acquireExclusive(101, vpn, 0x2, clock).granted);
+    EXPECT_EQ(dir.ownerOf(vpn), 101u);
+    EXPECT_EQ(dir.invalidationsSent(), invalsBefore);
+    EXPECT_GE(dir.upgrades(), 1u);
+    // The owner's line vector accumulated across acquires.
+    EXPECT_EQ(dir.sharerLineMask(vpn, 101), 0x3u);
+
+    // Final release empties and compacts the entry.
+    dir.release(101, vpn, 0x3, {});
+    EXPECT_EQ(dir.stateOf(vpn), PageCoherenceState::Uncached);
+    EXPECT_EQ(dir.pagesTracked(), 0u);
+}
+
+TEST_F(DirectoryFixture, OwnerKeepsModifiedOnSelfReacquire)
+{
+    const Addr vpn = 7;
+    EXPECT_TRUE(dir.acquireExclusive(101, vpn, 0x1, clock).granted);
+    // The owner reading its own page must not demote it.
+    EXPECT_TRUE(dir.acquireShared(101, vpn, 0x2, clock).granted);
+    EXPECT_EQ(dir.stateOf(vpn), PageCoherenceState::Modified);
+    EXPECT_EQ(dir.ownerOf(vpn), 101u);
+    EXPECT_EQ(peers[0].invalidations, 0u);
+}
+
+TEST_F(DirectoryFixture, StaleHomeFederationReplacesOnRelease)
+{
+    const Addr vpn = 9;
+    // Holder 101 drops the page having failed to freshen home 3.
+    peers[0].staleViewAtRelease = {{3, 0xf0}};
+    EXPECT_TRUE(dir.acquireExclusive(101, vpn, 0x1, clock).granted);
+    EXPECT_TRUE(dir.acquireExclusive(102, vpn, 0x1, clock).granted);
+
+    // 102's grant carried the stale-home seed from 101's release.
+    // (Check via a fresh shared acquire whose result we can observe.)
+    AcquireResult r = dir.acquireShared(103, vpn, 0x1, clock);
+    ASSERT_TRUE(r.granted);
+    // 102 released with an empty stale view during 103's acquire
+    // (ScriptedPeer default), which REPLACED the record: home 3 was
+    // freshened by 102's (scripted) full writeback.
+    EXPECT_TRUE(r.staleHomes.empty());
+    EXPECT_GE(dir.staleSeedGrants(), 1u);
+}
+
+TEST_F(DirectoryFixture, SharedRegionRegistryIsIdempotent)
+{
+    const auto &a = dir.sharedRegion("litmus", 3 * MiB, 0);
+    const auto &b = dir.sharedRegion("litmus", 3 * MiB, 0);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.slabs.size(), 3u);
+    EXPECT_EQ(a.bytes, 3 * MiB);
+    for (const MappedSlab &slab : a.slabs)
+        EXPECT_TRUE(slab.shared);
+    EXPECT_EQ(dir.sharedRegionCount(), 1u);
+}
+
+TEST_F(DirectoryFixture, ControlMessagesRideTheFaultInjector)
+{
+    FaultInjector fi(0x5eedULL);
+    fabric.setFaultInjector(&fi);
+    // Drop every fourth-ish message into peer 101's mailbox: the
+    // directory's Inval-opcode sends must retry through it.
+    fi.profile(101).dropProbability = 0.5;
+
+    const Addr vpn = 11;
+    EXPECT_TRUE(dir.acquireShared(101, vpn, 0x1, clock).granted);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_TRUE(dir.acquireExclusive(102, vpn, 0x1, clock).granted);
+        EXPECT_TRUE(dir.acquireShared(101, vpn, 0x1, clock).granted);
+    }
+    EXPECT_GT(dir.controlRetries(), 0u);
+    EXPECT_GT(dir.invalidationsSent(), 0u);
+    fabric.setFaultInjector(nullptr);
+}
+
+// ---------------------------------------------------------------------
+// MultiRack integration: real runtimes, real eviction pipeline.
+// ---------------------------------------------------------------------
+
+MultiRackConfig
+smallRack(std::size_t computeNodes)
+{
+    MultiRackConfig cfg;
+    cfg.computeNodes = computeNodes;
+    cfg.memoryNodes = 3;
+    cfg.memoryBytes = 64 * MiB;
+    cfg.slabSize = 1 * MiB;
+    cfg.runtime.fpga.vfmemSize = 64 * MiB;
+    cfg.runtime.fpga.fmemSize = 8 * MiB;
+    return cfg;
+}
+
+TEST(MultiRackCoherence, PingPongWritesNeverServeStale)
+{
+    MultiRack rack(smallRack(2));
+    Addr base = rack.mapShared("pingpong", 64 * KiB);
+
+    // Alternating writers on one line: every read must observe the
+    // other node's latest store, which requires invalidation plus
+    // dirty-line writeback through the eviction pipeline each swing.
+    for (std::uint64_t i = 1; i <= 50; ++i) {
+        KonaRuntime &writer = rack.runtime(i % 2);
+        KonaRuntime &reader = rack.runtime((i + 1) % 2);
+        writer.write(base, &i, sizeof i);
+        std::uint64_t got = 0;
+        reader.read(base, &got, sizeof got);
+        ASSERT_EQ(got, i) << "stale read at iteration " << i;
+    }
+
+    DirectoryService &dir = rack.directory();
+    EXPECT_GT(dir.invalidationsSent(), 0u);
+    EXPECT_GT(dir.forcedWritebacks(), 0u);
+    EXPECT_GT(dir.linesWrittenBack(), 0u);
+    EXPECT_GT(dir.ownershipTransfers(), 0u);
+    EXPECT_EQ(dir.invalidationFailures(), 0u);
+    EXPECT_GT(rack.runtime(0).coherenceAgent()->invalidationsReceived(),
+              0u);
+}
+
+TEST(MultiRackCoherence, RuntimeMetricScopesDoNotCollide)
+{
+    MultiRack rack(smallRack(2));
+    Addr base = rack.mapShared("metrics", 4 * KiB);
+    std::uint64_t v = 1;
+    rack.runtime(0).write(base, &v, sizeof v);
+    rack.runtime(1).read(base, &v, sizeof v);
+
+    // Both runtimes share one registry; the per-runtime cn<id> prefix
+    // keeps their counters distinct.
+    const MetricRegistry &reg = *rack.metrics();
+    EXPECT_EQ(reg.counterValue("kona.cn101.writes"), 1u);
+    EXPECT_EQ(reg.counterValue("kona.cn101.reads"), 0u);
+    EXPECT_EQ(reg.counterValue("kona.cn102.reads"), 1u);
+    EXPECT_EQ(reg.counterValue("kona.cn102.writes"), 0u);
+    EXPECT_EQ(reg.counterValue("kona.reads"), 0u);  // no unprefixed leak
+    EXPECT_GT(reg.counterValue("kona.cn101.coherence.acquires"), 0u);
+}
+
+TEST(MultiRackCoherence, PrefetcherIsGovernedOffSharedPages)
+{
+    MultiRackConfig cfg = smallRack(2);
+    cfg.runtime.fpga.prefetchPolicy = "next:1";
+    MultiRack rack(cfg);
+    Addr base = rack.mapShared("governed", 64 * KiB);
+
+    // A sequential sweep tempts the next-page prefetcher into the
+    // governed region; the governor must veto those candidates (a
+    // speculative fetch without directory rights could resurrect a
+    // stale copy).
+    std::uint64_t v = 7;
+    for (Addr off = 0; off < 16 * pageSize; off += pageSize)
+        rack.runtime(0).write(base + off, &v, sizeof v);
+    EXPECT_GT(rack.runtime(0).fpga().prefetchStats().droppedGoverned,
+              0u);
+}
+
+TEST(MultiRackCoherence, UnsharedWorkloadMatchesDetachedRuntimeExactly)
+{
+    // Same private workload on two identical racks, one runtime
+    // attached to a directory and one not: the coherence hook must
+    // cost zero simulated time when no page is governed.
+    auto workload = [](KonaRuntime &rt) {
+        Addr a = rt.allocate(2 * MiB, pageSize);
+        std::uint64_t v = 0;
+        for (Addr off = 0; off < 2 * MiB; off += 256) {
+            v = off;
+            rt.write(a + off, &v, sizeof v);
+        }
+        std::uint64_t sum = 0;
+        for (Addr off = 0; off < 2 * MiB; off += 256) {
+            rt.read(a + off, &v, sizeof v);
+            sum += v;
+        }
+        return sum;
+    };
+
+    MultiRack attached(smallRack(1));
+    std::uint64_t sumAttached = workload(attached.runtime(0));
+
+    MultiRackConfig cfg = smallRack(1);
+    Fabric fabric;
+    Controller controller(cfg.slabSize);
+    MemoryNode n1(fabric, 1, cfg.memoryBytes);
+    MemoryNode n2(fabric, 2, cfg.memoryBytes);
+    MemoryNode n3(fabric, 3, cfg.memoryBytes);
+    controller.registerNode(n1);
+    controller.registerNode(n2);
+    controller.registerNode(n3);
+    KonaRuntime detached(fabric, controller,
+                         MultiRack::firstComputeNode, cfg.runtime);
+    std::uint64_t sumDetached = workload(detached);
+
+    EXPECT_EQ(sumAttached, sumDetached);
+    EXPECT_EQ(attached.runtime(0).appTime(), detached.appTime());
+    EXPECT_EQ(attached.runtime(0).coherenceAgent()->acquires(), 0u);
+    EXPECT_EQ(attached.directory().sharedAcquires() +
+                  attached.directory().exclusiveAcquires(),
+              0u);
+}
+
+// ---------------------------------------------------------------------
+// Litmus differential suite.
+// ---------------------------------------------------------------------
+
+constexpr std::uint64_t kSeeds[] = {11, 22, 33, 44, 55};
+
+/** Run every scenario on a fresh 4-node rack; return name -> hash. */
+std::map<std::string, std::uint64_t>
+runSuite(const MultiRackConfig &cfg, std::uint64_t seed,
+         const char *label)
+{
+    MultiRack rack(cfg);
+    Addr base = rack.mapShared("litmus", 64 * KiB);
+    std::map<std::string, std::uint64_t> hashes;
+    for (const LitmusScenario &scenario : litmusScenarios()) {
+        LitmusOutcome out = runLitmus(scenario, rack, base, seed);
+        EXPECT_TRUE(out.match)
+            << label << " seed " << seed << ": " << out.divergence;
+        EXPECT_GT(out.loadsChecked, 0u);
+        hashes[scenario.name] = out.valueHash;
+    }
+    return hashes;
+}
+
+TEST(Litmus, CatalogueShape)
+{
+    const auto &all = litmusScenarios();
+    EXPECT_GE(all.size(), 22u);
+    std::size_t multiThread = 0;
+    for (const LitmusScenario &s : all) {
+        EXPECT_GE(s.threads(), 2u) << s.name;
+        EXPECT_LE(s.threads(), 4u) << s.name;
+        if (s.threads() > 2)
+            ++multiThread;
+    }
+    EXPECT_GE(multiThread, 4u);  // 3- and 4-thread shapes present
+}
+
+TEST(Litmus, AllScenariosMatchOracleAcrossSeeds)
+{
+    for (std::uint64_t seed : kSeeds)
+        runSuite(smallRack(4), seed, "fault-free");
+}
+
+TEST(Litmus, OutcomesAreBitIdenticalAcrossReruns)
+{
+    for (std::uint64_t seed : kSeeds) {
+        auto first = runSuite(smallRack(4), seed, "determinism/a");
+        auto second = runSuite(smallRack(4), seed, "determinism/b");
+        EXPECT_EQ(first, second) << "seed " << seed;
+    }
+}
+
+TEST(Litmus, MatchesOracleUnderGrayFaults)
+{
+    // PR 6 gray modes on coherence + data traffic at once:
+    //  - memory node 1 is slow (degrade delay on every op);
+    //  - memory node 2 is partially partitioned from compute node 101
+    //    (one-directional timeouts), with replication so fetches and
+    //    writebacks must fail over / go through stale-home marking;
+    //  - compute node 102's mailbox drops a quarter of the directory's
+    //    invalidation messages (retries through the Inval opcode).
+    for (std::uint64_t seed : {kSeeds[0], kSeeds[1], kSeeds[2]}) {
+        MultiRackConfig cfg = smallRack(4);
+        cfg.runtime.replicationFactor = 1;
+        cfg.runtime.failurePolicy = FailurePolicy::WaitRetry;
+        MultiRack rack(cfg);
+        // Gray means gray: the failure detector must not promote
+        // these nodes to fail-stop and trigger rebuilds mid-litmus.
+        rack.controller().setFailureThreshold(1'000'000);
+        rack.faults().profile(1).degradeDelayNs = 30'000;
+        rack.faults().profile(2).blockedSources.push_back(
+            MultiRack::firstComputeNode);
+        rack.faults().profile(MultiRack::firstComputeNode + 1)
+            .dropProbability = 0.25;
+
+        Addr base = rack.mapShared("litmus", 64 * KiB);
+        bool sawFault = false;
+        for (const LitmusScenario &scenario : litmusScenarios()) {
+            LitmusOutcome out = runLitmus(scenario, rack, base, seed);
+            ASSERT_TRUE(out.match)
+                << "gray seed " << seed << ": " << out.divergence;
+        }
+        const MetricRegistry &reg = *rack.metrics();
+        sawFault = reg.counterValue("faults.degrades_injected") > 0 ||
+                   reg.counterValue("faults.timeouts_injected") > 0 ||
+                   reg.counterValue("faults.drops_injected") > 0;
+        EXPECT_TRUE(sawFault) << "fault profiles never fired";
+        // The protocol really was exercised under fire.
+        EXPECT_GT(rack.directory().invalidationsSent(), 0u);
+        EXPECT_GT(rack.directory().controlRetries() +
+                      rack.directory().invalidationFailures(),
+                  0u);
+    }
+}
+
+} // namespace
+} // namespace kona

@@ -295,7 +295,7 @@ TEST_F(FpgaFixture, EvictionCallbackFiresOnSetConflict)
 TEST_F(FpgaFixture, PrefetchNextPage)
 {
     FpgaConfig cfg = fpga->config();
-    cfg.prefetchNextPage = true;
+    cfg.prefetchPolicy = "next:1";
     CoherentFpga pf(fabric, 2, cfg);
     pf.translation().addSlab(cfg.vfmemBase, slab);
 

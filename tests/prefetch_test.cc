@@ -426,10 +426,10 @@ TEST_F(PrefetchEngineFixture, PrefetchFallsBackToReplicaOnDownNode)
     fabric.setNodeDown(8, false);
 }
 
-TEST_F(PrefetchEngineFixture, DeprecatedBoolAliasesNextOne)
+TEST_F(PrefetchEngineFixture, NextOnePolicyString)
 {
     FpgaConfig cfg = baseConfig;
-    cfg.prefetchNextPage = true;   // prefetchPolicy left at "off"
+    cfg.prefetchPolicy = "next:1";
     auto fpga = makeFpga(cfg);
     ASSERT_NE(fpga->prefetcher(), nullptr);
     EXPECT_EQ(fpga->prefetcher()->name(), "next:1");
@@ -438,16 +438,6 @@ TEST_F(PrefetchEngineFixture, DeprecatedBoolAliasesNextOne)
     fpga->serveLine(base, AccessType::Read, clock);
     EXPECT_TRUE(fpga->pageResident(pageNumber(base) + 1));
     EXPECT_EQ(fpga->prefetches(), 1u);
-}
-
-TEST_F(PrefetchEngineFixture, PolicyStringWinsOverDeprecatedBool)
-{
-    FpgaConfig cfg = baseConfig;
-    cfg.prefetchPolicy = "stride:4";
-    cfg.prefetchNextPage = true;
-    auto fpga = makeFpga(cfg);
-    ASSERT_NE(fpga->prefetcher(), nullptr);
-    EXPECT_EQ(fpga->prefetcher()->name(), "stride:4");
 }
 
 // --------------------------------------------------------- integration

@@ -574,28 +574,28 @@ TEST(KonaTelemetry, RegistryAggregatesExactlyMatchRuntimeStats)
     EXPECT_GT(s.remoteFetches, 0u);
     EXPECT_GT(s.pagesEvicted, 0u);
 
-    EXPECT_EQ(s.reads, reg.counterValue("kona.reads"));
-    EXPECT_EQ(s.writes, reg.counterValue("kona.writes"));
-    EXPECT_EQ(s.bytesRead, reg.counterValue("kona.bytes_read"));
-    EXPECT_EQ(s.bytesWritten, reg.counterValue("kona.bytes_written"));
+    EXPECT_EQ(s.reads, reg.counterValue("kona.cn0.reads"));
+    EXPECT_EQ(s.writes, reg.counterValue("kona.cn0.writes"));
+    EXPECT_EQ(s.bytesRead, reg.counterValue("kona.cn0.bytes_read"));
+    EXPECT_EQ(s.bytesWritten, reg.counterValue("kona.cn0.bytes_written"));
     EXPECT_EQ(s.remoteFetches,
-              reg.counterValue("kona.fpga.remote_fetches"));
+              reg.counterValue("kona.cn0.fpga.remote_fetches"));
     EXPECT_EQ(s.pagesEvicted,
-              reg.counterValue("kona.evict.pages_evicted"));
+              reg.counterValue("kona.cn0.evict.pages_evicted"));
     EXPECT_EQ(s.silentEvictions,
-              reg.counterValue("kona.evict.silent_evictions"));
+              reg.counterValue("kona.cn0.evict.silent_evictions"));
     EXPECT_EQ(s.dirtyLinesWritten,
-              reg.counterValue("kona.evict.dirty_lines_written"));
+              reg.counterValue("kona.cn0.evict.dirty_lines_written"));
     EXPECT_EQ(s.evictionBytesOnWire,
-              reg.counterValue("kona.evict.bytes_on_wire"));
+              reg.counterValue("kona.cn0.evict.bytes_on_wire"));
     EXPECT_EQ(s.retries,
-              reg.counterValue("kona.outage_retries") +
-                  reg.counterValue("kona.evict.retry_backoffs"));
+              reg.counterValue("kona.cn0.outage_retries") +
+                  reg.counterValue("kona.cn0.evict.retry_backoffs"));
     EXPECT_EQ(s.retransmits,
-              reg.counterValue("kona.evict.log_retransmits"));
+              reg.counterValue("kona.cn0.evict.log_retransmits"));
     EXPECT_EQ(s.replicaPromotions,
-              reg.counterValue("kona.fpga.replica_promotions") +
-                  reg.counterValue("kona.rebuild_promotions"));
+              reg.counterValue("kona.cn0.fpga.replica_promotions") +
+                  reg.counterValue("kona.cn0.rebuild_promotions"));
 
     // The same registry also carries the rack side of the run.
     EXPECT_GT(reg.counterValue("fabric.bytes_moved"), 0u);
@@ -641,9 +641,9 @@ TEST(KonaTelemetry, StatsAndReliabilityShareOneSource)
     EXPECT_EQ(s.retransmits, r.retransmits);
     EXPECT_EQ(s.replicaPromotions, r.replicaPromotions);
     EXPECT_EQ(s.retries,
-              rig.registry->counterValue("kona.outage_retries") +
+              rig.registry->counterValue("kona.cn0.outage_retries") +
                   rig.registry->counterValue(
-                      "kona.evict.retry_backoffs"));
+                      "kona.cn0.evict.retry_backoffs"));
 }
 
 /** Find all events named @p name in @p events. */
