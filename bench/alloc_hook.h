@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Global operator new/delete replacement that counts every heap
+ * allocation in the binary. Benches that assert an allocation-free
+ * steady state (--strict-alloc) include this once and diff
+ * kona::bench::allocCount() around their timed loops.
+ *
+ * This header DEFINES the replaceable global allocation functions, so
+ * it must be included from exactly one translation unit per binary
+ * (each bench is its own binary; bench_util.h deliberately does not
+ * include it).
+ */
+
+#ifndef KONA_BENCH_ALLOC_HOOK_H
+#define KONA_BENCH_ALLOC_HOOK_H
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace kona::bench {
+
+inline std::atomic<std::uint64_t> gAllocCount{0};
+
+/** Allocations made by this binary since start. */
+inline std::uint64_t
+allocCount()
+{
+    return gAllocCount.load(std::memory_order_relaxed);
+}
+
+} // namespace kona::bench
+
+void *
+operator new(std::size_t size)
+{
+    kona::bench::gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    kona::bench::gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    std::size_t a = static_cast<std::size_t>(align);
+    std::size_t rounded = (size + a - 1) / a * a;
+    if (void *p = std::aligned_alloc(a, rounded ? rounded : a))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return operator new(size, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // KONA_BENCH_ALLOC_HOOK_H

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Placement & tiering ablation: sweep the pluggable policy axes —
+ * FMem victim selection (lru/lfu/scan/dirty), Controller slab
+ * placement (free/rr/health), and hot/cold tiering (off/ewma) —
+ * under two adversarial access mixes and report AMAT per config:
+ *
+ *  - zipf:  Zipfian-skewed accesses over a footprint 3x FMem, with a
+ *           periodic sequential scan burst that floods the cache with
+ *           one-touch pages (the scan-resistance stressor);
+ *  - shift: the same skewed stream, but the hot region jumps between
+ *           quarters of the footprint on a schedule scripted in the
+ *           chaos-scenario text format ("@<op> shift <region>"), so
+ *           recency-only policies drag a dead working set behind them.
+ *
+ * A third resident mix (footprint < FMem, no steady-state misses)
+ * exists purely for --strict-alloc: with the policy layer in the loop
+ * the access path must stay allocation-free (see DESIGN.md
+ * "Simulator performance").
+ *
+ * Every run doubles as a content oracle: each word holds a value
+ * derived from (address, seed, generation); a final sweep re-reads
+ * the whole footprint and any mismatch counts as a lost page.
+ * result.ablation_placement.*.lost_pages must be exactly zero — a
+ * victim policy that evicts a fenced page, or a tiering demotion that
+ * races a dirty writeback, shows up here before it shows up anywhere
+ * else.
+ *
+ * Flags: --quick (short CI preset), --strict-alloc,
+ *        --metrics-json=PATH (exports result.ablation_placement.*).
+ */
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/alloc_hook.h"
+#include "bench/bench_util.h"
+#include "chaos/chaos_scenario.h"
+#include "common/rng.h"
+
+namespace kona {
+namespace {
+
+constexpr std::size_t kFmemBytes = 4 * MiB;      // 1024 frames
+constexpr std::size_t kFootprint = 12 * MiB;     // 3x FMem
+constexpr std::size_t kResidentFootprint = 2 * MiB;
+constexpr std::size_t kScanBytes = 4 * MiB;      // one FMem of junk
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+
+/**
+ * The shift mix's schedule, in the chaos harness's scenario text: the
+ * node field of a "shift" event names the footprint quarter the hot
+ * set jumps to. Op indices are fractions of the run (ops 100 = 100%).
+ */
+constexpr const char *kShiftSchedule = R"(
+    scenario placement-shift
+    workload zipf
+    ops 100
+    @25 shift 1
+    @50 shift 2
+    @75 shift 3
+)";
+
+/** One point of the sweep. */
+struct PolicyConfig
+{
+    std::string victim;
+    std::string placement;
+    std::string tiering;
+
+    std::string
+    key() const
+    {
+        // "scan:2" -> "scan2" etc. so the metric path stays clean.
+        auto clean = [](std::string s) {
+            std::string out;
+            for (char c : s)
+                if (c != ':')
+                    out += c;
+            return out;
+        };
+        return clean(victim) + "-" + clean(placement) + "-" +
+               clean(tiering);
+    }
+};
+
+/** Aggregated outcome of one config across seeds. */
+struct SweepResult
+{
+    double amatNs = 0;            ///< mean sim-ns per access
+    std::uint64_t lostPages = 0;  ///< content-oracle mismatches
+    std::uint64_t promoted = 0;
+    std::uint64_t promotedUseful = 0;
+    std::uint64_t promotedWasted = 0;
+    std::uint64_t allocs = 0;     ///< heap allocs in the timed loop
+};
+
+/**
+ * Zipfian(s=1) sampler over @p n ranks via the precomputed harmonic
+ * CDF (exact, not the power-law approximation). Setup-time only
+ * allocation; draws are a binary search.
+ */
+class Zipf
+{
+  public:
+    Zipf(std::size_t n, Rng &rng) : rng_(rng), cdf_(n)
+    {
+        double sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / static_cast<double>(i + 1);
+            cdf_[i] = sum;
+        }
+        for (double &c : cdf_)
+            c /= sum;
+    }
+
+    std::size_t
+    draw()
+    {
+        double u = rng_.uniform();
+        std::size_t lo = 0, hi = cdf_.size() - 1;
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+  private:
+    Rng &rng_;
+    std::vector<double> cdf_;
+};
+
+/** The value every word of @p addr must hold in @p generation. */
+std::uint64_t
+expectedWord(Addr addr, std::uint64_t seed, std::uint64_t generation)
+{
+    std::uint64_t x = addr ^ (seed * 0x9e3779b97f4a7c15ULL) ^
+                      (generation << 48);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** A Kona stack with the sweep's policies plugged in. */
+struct Stack
+{
+    Stack(const PolicyConfig &pc, std::size_t footprint)
+    {
+        rack = std::make_unique<bench::Rack>(3, 64 * MiB, 1 * MiB);
+        rack->controller.setPlacementPolicy(pc.placement);
+        KonaConfig cfg;
+        cfg.fpga.vfmemSize = 64 * MiB;
+        cfg.fpga.fmemSize = kFmemBytes;
+        cfg.fpga.victimPolicy = pc.victim;
+        cfg.tiering = pc.tiering;
+        runtime = std::make_unique<KonaRuntime>(
+            rack->fabric, rack->controller, 0, cfg);
+        base = runtime->allocate(footprint, pageSize);
+    }
+
+    std::unique_ptr<bench::Rack> rack;
+    std::unique_ptr<KonaRuntime> runtime;
+    Addr base = 0;
+};
+
+/**
+ * Run one (config, mix, seed) cell: warm the footprint with the
+ * oracle pattern, drive the access mix, then sweep the whole
+ * footprint and count pages whose content diverged.
+ */
+SweepResult
+runCell(const PolicyConfig &pc, const std::string &mix,
+        std::uint64_t seed, std::uint64_t ops)
+{
+    std::size_t footprint =
+        mix == "resident-zipf" ? kResidentFootprint : kFootprint;
+    Stack stack(pc, footprint);
+    KonaRuntime &rt = *stack.runtime;
+    Addr base = stack.base;
+    std::size_t pages = footprint / pageSize;
+
+    // Oracle generation 0: every word of every page.
+    std::vector<std::uint64_t> pageBuf(pageSize / 8);
+    std::vector<std::uint64_t> generation(pages, 0);
+    for (std::size_t p = 0; p < pages; ++p) {
+        Addr pageAddr = base + p * pageSize;
+        for (std::size_t w = 0; w < pageBuf.size(); ++w)
+            pageBuf[w] = expectedWord(pageAddr + w * 8, seed, 0);
+        rt.write(pageAddr, pageBuf.data(), pageSize);
+    }
+
+    Rng rng(seed * 0x2545f4914f6cdd1dULL + 0xb1e55);
+    // Hot ranks cover a quarter of the footprint; the rank->page
+    // permutation is seeded so each seed stresses different sets.
+    std::size_t hotSpan = pages / 4;
+    Zipf zipf(hotSpan, rng);
+    std::vector<std::size_t> perm(pages);
+    for (std::size_t i = 0; i < pages; ++i)
+        perm[i] = i;
+    for (std::size_t i = pages - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.below(i + 1)]);
+
+    // The shift mix's phase schedule comes from the chaos-scenario
+    // text; op indices are percentages of this run's op budget.
+    std::vector<std::pair<std::uint64_t, std::size_t>> shifts;
+    if (mix == "shift") {
+        ChaosScenario sc = parseChaosScenario(kShiftSchedule);
+        for (const ChaosEvent &ev : sc.events) {
+            if (ev.op == ChaosOp::ShiftWorkingSet)
+                shifts.emplace_back(ev.atOp * ops / sc.ops, ev.node);
+        }
+    }
+
+    std::size_t region = 0;       // which footprint quarter is hot
+    std::size_t nextShift = 0;
+    constexpr std::uint64_t scanPeriod = 24'000;
+    std::size_t scanPages = kScanBytes / pageSize;
+
+    std::uint64_t buf = 0;
+    Tick simStart = rt.elapsed();
+    std::uint64_t allocStart = bench::allocCount();
+    std::uint64_t accesses = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        while (nextShift < shifts.size() &&
+               i >= shifts[nextShift].first) {
+            region = shifts[nextShift].second % 4;
+            ++nextShift;
+        }
+        if (mix != "resident-zipf" && (i + 1) % scanPeriod == 0) {
+            // Scan burst: one pass of sequential single-touch reads.
+            for (std::size_t p = 0; p < scanPages; ++p) {
+                rt.read(base + (p % pages) * pageSize + 256, &buf,
+                        sizeof(buf));
+                ++accesses;
+            }
+            continue;
+        }
+        std::size_t rank = zipf.draw();
+        std::size_t page = perm[(region * hotSpan + rank) % pages];
+        Addr pageAddr = base + page * pageSize;
+        std::size_t word = rng.below(pageBuf.size());
+        Addr addr = pageAddr + word * 8;
+        if (rng.chance(0.3)) {
+            // Writes bump the page's generation: rewrite the whole
+            // page so the oracle stays whole-page checkable.
+            std::uint64_t gen = ++generation[page];
+            for (std::size_t w = 0; w < pageBuf.size(); ++w)
+                pageBuf[w] =
+                    expectedWord(pageAddr + w * 8, seed, gen);
+            rt.write(pageAddr, pageBuf.data(), pageSize);
+        } else {
+            rt.read(addr, &buf, sizeof(buf));
+        }
+        ++accesses;
+    }
+
+    SweepResult r;
+    r.allocs = bench::allocCount() - allocStart;
+    r.amatNs = accesses > 0
+        ? static_cast<double>(rt.elapsed() - simStart) /
+              static_cast<double>(accesses)
+        : 0.0;
+
+    // Content oracle: every page must read back its generation's
+    // pattern, bit-exact, no matter which policies shuffled it.
+    for (std::size_t p = 0; p < pages; ++p) {
+        Addr pageAddr = base + p * pageSize;
+        rt.read(pageAddr, pageBuf.data(), pageSize);
+        for (std::size_t w = 0; w < pageBuf.size(); ++w) {
+            if (pageBuf[w] !=
+                expectedWord(pageAddr + w * 8, seed,
+                             generation[p])) {
+                ++r.lostPages;
+                break;
+            }
+        }
+    }
+
+    if (TieringEngine *tier = rt.tieringEngine()) {
+        r.promoted = tier->promoted();
+        r.promotedUseful = tier->promotedUseful();
+        r.promotedWasted = tier->promotedWasted();
+    }
+    return r;
+}
+
+/** Mean over the seed set, with lost pages and counters summed. */
+SweepResult
+runConfig(const PolicyConfig &pc, const std::string &mix,
+          std::uint64_t ops)
+{
+    SweepResult agg;
+    for (std::uint64_t seed : kSeeds) {
+        SweepResult r = runCell(pc, mix, seed, ops);
+        agg.amatNs += r.amatNs / std::size(kSeeds);
+        agg.lostPages += r.lostPages;
+        agg.promoted += r.promoted;
+        agg.promotedUseful += r.promotedUseful;
+        agg.promotedWasted += r.promotedWasted;
+        agg.allocs += r.allocs;
+    }
+    return agg;
+}
+
+} // namespace
+} // namespace kona
+
+int
+main(int argc, char **argv)
+{
+    using namespace kona;
+    bench::parseExportFlags(argc, argv);
+    setQuietLogging(true);
+
+    bool quick = false;
+    bool strictAlloc = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--strict-alloc") == 0)
+            strictAlloc = true;
+        else
+            fatal("unknown flag \"", argv[i],
+                  "\"; known: --quick --strict-alloc "
+                  "--metrics-json=PATH");
+    }
+
+    std::uint64_t ops = quick ? 60'000 : 240'000;
+
+    // The sweep: every victim policy with and without tiering on the
+    // default placement, plus the placement axis on the default
+    // victim policy.
+    std::vector<PolicyConfig> sweep = {
+        {"lru", "free", "off"},   {"lru", "free", "ewma"},
+        {"lfu", "free", "off"},   {"lfu", "free", "ewma"},
+        {"scan:2", "free", "off"}, {"scan:2", "free", "ewma"},
+        {"dirty", "free", "off"}, {"dirty", "free", "ewma"},
+        {"lru", "rr", "off"},     {"lru", "health", "off"},
+    };
+
+    double lruOff = 0, bestNonLruOff = 1e300;
+    double bestOff = 1e300, bestEwma = 1e300;
+    std::uint64_t totalLost = 0;
+
+    for (const std::string &mix : {std::string("zipf"),
+                                   std::string("shift")}) {
+        bench::section("Placement & tiering ablation — " + mix +
+                       " mix (" + std::to_string(ops) +
+                       " ops x 5 seeds)");
+        bench::row("config", {"amat ns", "lost", "promoted", "useful",
+                              "wasted"});
+        for (const PolicyConfig &pc : sweep) {
+            SweepResult r = runConfig(pc, mix, ops);
+            bench::row(pc.key(),
+                       {bench::fmt(r.amatNs, 1),
+                        bench::fmtInt(r.lostPages),
+                        bench::fmtInt(r.promoted),
+                        bench::fmtInt(r.promotedUseful),
+                        bench::fmtInt(r.promotedWasted)});
+            std::string prefix =
+                "ablation_placement." + mix + "." + pc.key();
+            bench::recordResult(prefix + ".amat_ns", r.amatNs);
+            bench::recordResult(prefix + ".lost_pages",
+                                static_cast<double>(r.lostPages));
+            if (pc.tiering != "off") {
+                double attempts = static_cast<double>(
+                    r.promotedUseful + r.promotedWasted);
+                bench::recordResult(
+                    prefix + ".promote_accuracy",
+                    attempts > 0 ? r.promotedUseful / attempts : 0.0);
+            }
+            totalLost += r.lostPages;
+            if (mix == "zipf" && pc.placement == "free") {
+                if (pc.tiering == "off") {
+                    bestOff = std::min(bestOff, r.amatNs);
+                    if (pc.victim == "lru")
+                        lruOff = r.amatNs;
+                    else
+                        bestNonLruOff =
+                            std::min(bestNonLruOff, r.amatNs);
+                } else {
+                    bestEwma = std::min(bestEwma, r.amatNs);
+                }
+            }
+        }
+    }
+
+    // Self-check flags the gate pins exact: on the skewed mix, at
+    // least one non-LRU victim policy must beat LRU, and the best
+    // tiering-on config must beat both the best tiering-off config
+    // and the plain LRU/off baseline.
+    bool nonLruWins = bestNonLruOff < lruOff;
+    bool tieringWins = bestEwma < bestOff && bestEwma < lruOff;
+    bench::recordResult("ablation_placement.zipf.nonlru_beats_lru",
+                        nonLruWins ? 1.0 : 0.0);
+    bench::recordResult("ablation_placement.zipf.tiering_beats_off",
+                        tieringWins ? 1.0 : 0.0);
+    std::printf("\nzipf: best non-LRU %.1f ns vs LRU %.1f ns (%s); "
+                "best tiering-on %.1f ns vs best off %.1f ns (%s)\n",
+                bestNonLruOff, lruOff,
+                nonLruWins ? "non-LRU wins" : "LRU wins",
+                bestEwma, bestOff,
+                tieringWins ? "tiering wins" : "off wins");
+
+    // --strict-alloc: the resident mix must not allocate in steady
+    // state even with every policy axis engaged.
+    std::uint64_t residentAllocs = 0;
+    for (const PolicyConfig &pc :
+         {PolicyConfig{"scan:2", "free", "ewma"},
+          PolicyConfig{"lru", "rr", "off"}}) {
+        SweepResult r = runConfig(pc, "resident-zipf", ops / 4);
+        residentAllocs += r.allocs;
+        totalLost += r.lostPages;
+        bench::recordResult("ablation_placement.resident." +
+                                pc.key() + ".allocs",
+                            static_cast<double>(r.allocs));
+    }
+    bench::recordResult("ablation_placement.lost_pages_total",
+                        static_cast<double>(totalLost));
+
+    bench::flushExports();
+
+    if (totalLost != 0) {
+        std::printf("FAIL: content oracle lost %llu pages\n",
+                    static_cast<unsigned long long>(totalLost));
+        return 1;
+    }
+    if (strictAlloc && residentAllocs != 0) {
+        std::printf("FAIL: %llu steady-state heap allocations on the "
+                    "resident mix (--strict-alloc)\n",
+                    static_cast<unsigned long long>(residentAllocs));
+        return 1;
+    }
+    return 0;
+}

@@ -22,103 +22,12 @@
  *        --metrics-json=PATH (exports result.simspeed.*).
  */
 
-#include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <cstring>
-#include <new>
 
+#include "bench/alloc_hook.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
-
-// ---------------------------------------------------------------------
-// Allocation-counting hook. Every global new/delete funnels through
-// here; the bench diffs the counter around each timed loop.
-// ---------------------------------------------------------------------
-
-namespace {
-std::atomic<std::uint64_t> gAllocCount{0};
-} // namespace
-
-void *
-operator new(std::size_t size)
-{
-    gAllocCount.fetch_add(1, std::memory_order_relaxed);
-    if (void *p = std::malloc(size ? size : 1))
-        return p;
-    throw std::bad_alloc();
-}
-
-void *
-operator new[](std::size_t size)
-{
-    return operator new(size);
-}
-
-void *
-operator new(std::size_t size, std::align_val_t align)
-{
-    gAllocCount.fetch_add(1, std::memory_order_relaxed);
-    std::size_t a = static_cast<std::size_t>(align);
-    std::size_t rounded = (size + a - 1) / a * a;
-    if (void *p = std::aligned_alloc(a, rounded ? rounded : a))
-        return p;
-    throw std::bad_alloc();
-}
-
-void *
-operator new[](std::size_t size, std::align_val_t align)
-{
-    return operator new(size, align);
-}
-
-void
-operator delete(void *p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete(void *p, std::size_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p, std::size_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete(void *p, std::align_val_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p, std::align_val_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete(void *p, std::size_t, std::align_val_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p, std::size_t, std::align_val_t) noexcept
-{
-    std::free(p);
-}
 
 namespace kona {
 namespace {
@@ -229,12 +138,12 @@ timed(const std::string &name, KonaRuntime &rt, std::uint64_t ops,
     r.ops = ops;
     Tick simStart = rt.appTime();
     std::uint64_t allocStart =
-        gAllocCount.load(std::memory_order_relaxed);
+        bench::allocCount();
     Clock::time_point t0 = Clock::now();
     body();
     Clock::time_point t1 = Clock::now();
     r.allocs =
-        gAllocCount.load(std::memory_order_relaxed) - allocStart;
+        bench::allocCount() - allocStart;
     r.wallNs = static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
             .count());

@@ -22,6 +22,9 @@
 #include "core/kona_runtime.h"
 #include "core/vm_runtime.h"
 #include "mem/backing_store.h"
+#include "policy/placement_policy.h"
+#include "policy/tiering_engine.h"
+#include "policy/victim_policy.h"
 #include "prefetch/prefetcher.h"
 #include "telemetry/event_journal.h"
 #include "telemetry/metric_registry.h"
@@ -37,6 +40,9 @@ struct ExportOptions
     std::string metricsJson;     ///< --metrics-json=PATH
     std::string traceOut;        ///< --trace-out=PATH
     std::string prefetchPolicy;  ///< --prefetch=policy[:depth]
+    std::string victimPolicy;    ///< --victim=policy[:arg]
+    std::string placementPolicy; ///< --placement=policy
+    std::string tieringPolicy;   ///< --tiering=policy[:n]
     std::string timeseriesOut;   ///< --timeseries-out=PATH (.json/.csv)
     std::string eventsOut;       ///< --events-out=PATH (JSONL)
     Tick timeseriesIntervalNs = 1'000'000; ///< --timeseries-interval=NS
@@ -69,12 +75,13 @@ exportScope(const std::string &prefix = "")
 }
 
 /**
- * Strip --metrics-json=, --trace-out=, --prefetch=, --timeseries-out=,
- * --timeseries-interval= and --events-out= out of argv, leaving every
- * other argument in place. Call first thing in main, before any other
- * argument parsing (including benchmark::Initialize, which rejects
- * flags it does not know). A bad --prefetch= spec is fatal() here
- * rather than deep inside a runtime constructor.
+ * Strip --metrics-json=, --trace-out=, --prefetch=, --victim=,
+ * --placement=, --tiering=, --timeseries-out=, --timeseries-interval=
+ * and --events-out= out of argv, leaving every other argument in
+ * place. Call first thing in main, before any other argument parsing
+ * (including benchmark::Initialize, which rejects flags it does not
+ * know). A bad policy spec is fatal() here rather than deep inside a
+ * runtime constructor.
  */
 inline void
 parseExportFlags(int &argc, char **argv)
@@ -89,6 +96,9 @@ parseExportFlags(int &argc, char **argv)
         constexpr std::string_view tsIntervalFlag =
             "--timeseries-interval=";
         constexpr std::string_view eventsFlag = "--events-out=";
+        constexpr std::string_view victimFlag = "--victim=";
+        constexpr std::string_view placementFlag = "--placement=";
+        constexpr std::string_view tieringFlag = "--tiering=";
         if (arg.substr(0, metricsFlag.size()) == metricsFlag) {
             exportOptions().metricsJson = arg.substr(metricsFlag.size());
         } else if (arg.substr(0, traceFlag.size()) == traceFlag) {
@@ -113,6 +123,25 @@ parseExportFlags(int &argc, char **argv)
                       "\"; known: off next[:d] stride[:d] corr[:d] "
                       "adaptive[:d]");
             exportOptions().prefetchPolicy = spec;
+        } else if (arg.substr(0, victimFlag.size()) == victimFlag) {
+            std::string spec(arg.substr(victimFlag.size()));
+            if (!knownVictimPolicy(spec))
+                fatal("bad --victim= policy \"", spec,
+                      "\"; known: lru lfu scan[:t] dirty");
+            exportOptions().victimPolicy = spec;
+        } else if (arg.substr(0, placementFlag.size()) ==
+                   placementFlag) {
+            std::string spec(arg.substr(placementFlag.size()));
+            if (!knownPlacementPolicy(spec))
+                fatal("bad --placement= policy \"", spec,
+                      "\"; known: free first rr health");
+            exportOptions().placementPolicy = spec;
+        } else if (arg.substr(0, tieringFlag.size()) == tieringFlag) {
+            std::string spec(arg.substr(tieringFlag.size()));
+            if (!knownTieringPolicy(spec))
+                fatal("bad --tiering= policy \"", spec,
+                      "\"; known: off ewma[:n]");
+            exportOptions().tieringPolicy = spec;
         } else {
             argv[kept++] = argv[i];
         }

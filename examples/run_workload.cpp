@@ -8,6 +8,8 @@
  * Usage:
  *   run_workload [workload] [runtime] [local%] [ops]
  *                [--prefetch=POLICY[:depth]] [--evict-depth=N]
+ *                [--victim=POLICY[:arg]] [--placement=POLICY]
+ *                [--tiering=POLICY[:n]]
  *                [--metrics-json=PATH] [--trace-out=PATH]
  *                [--timeseries-out=PATH] [--timeseries-interval=NS]
  *                [--events-out=PATH]
@@ -30,6 +32,14 @@
  *                        ring slots per memory node's log landing
  *                        area = in-flight eviction batches per node;
  *                        1 (default) is fully synchronous
+ *   --victim=POLICY      FMem victim-selection policy (kona runtime
+ *                        only): lru | lfu | scan[:t] | dirty; picks
+ *                        appear under kona.fpga.fmem.policy.*
+ *   --placement=POLICY   slab placement policy at the Controller:
+ *                        free | first | rr | health
+ *   --tiering=POLICY     hot/cold tiering (kona runtime only):
+ *                        off | ewma[:n]; promotion/demotion counters
+ *                        appear under kona.tier.*
  *   --metrics-json=PATH  write every metric of the whole stack
  *                        (fabric, rack, nodes, runtime) as one JSON
  *                        registry dump
@@ -79,6 +89,9 @@
 #include "core/kona_runtime.h"
 #include "core/vm_runtime.h"
 #include "mem/backing_store.h"
+#include "policy/placement_policy.h"
+#include "policy/tiering_engine.h"
+#include "policy/victim_policy.h"
 #include "prefetch/prefetcher.h"
 #include "telemetry/event_journal.h"
 #include "telemetry/metric_registry.h"
@@ -113,6 +126,8 @@ usage()
     std::fprintf(stderr,
                  "usage: run_workload [workload] [runtime] [local%%] "
                  "[ops] [--prefetch=POLICY[:depth]] [--evict-depth=N] "
+                 "[--victim=POLICY[:arg]] [--placement=POLICY] "
+                 "[--tiering=POLICY[:n]] "
                  "[--metrics-json=PATH] [--trace-out=PATH] "
                  "[--timeseries-out=PATH] [--timeseries-interval=NS] "
                  "[--events-out=PATH] "
@@ -124,6 +139,15 @@ usage()
                  "\n  runtimes: kona kona-vm legoos infiniswap local\n"
                  "  prefetch policies (kona):");
     for (const std::string &name : prefetchPolicyNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n  victim policies (kona):");
+    for (const std::string &name : victimPolicyNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n  placement policies:");
+    for (const std::string &name : placementPolicyNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n  tiering policies (kona):");
+    for (const std::string &name : tieringPolicyNames())
         std::fprintf(stderr, " %s", name.c_str());
     std::fprintf(stderr, "\n  chaos scenarios:");
     for (const ChaosScenario &sc : builtinChaosScenarios())
@@ -247,6 +271,9 @@ struct Flags
     std::string metricsJson;
     std::string traceOut;
     std::string prefetch;
+    std::string victim;
+    std::string placement;
+    std::string tiering;
     std::size_t evictDepth = 1;
     std::string chaos;
     std::uint64_t chaosSeed = 0x5eedULL;
@@ -267,6 +294,9 @@ parseExportFlags(int &argc, char **argv, Flags &flags)
         constexpr std::string_view traceFlag = "--trace-out=";
         constexpr std::string_view prefetchFlag = "--prefetch=";
         constexpr std::string_view depthFlag = "--evict-depth=";
+        constexpr std::string_view victimFlag = "--victim=";
+        constexpr std::string_view placementFlag = "--placement=";
+        constexpr std::string_view tieringFlag = "--tiering=";
         constexpr std::string_view chaosFlag = "--chaos=";
         constexpr std::string_view chaosSeedFlag = "--chaos-seed=";
         constexpr std::string_view tsFlag = "--timeseries-out=";
@@ -279,6 +309,12 @@ parseExportFlags(int &argc, char **argv, Flags &flags)
             flags.traceOut = arg.substr(traceFlag.size());
         else if (arg.substr(0, prefetchFlag.size()) == prefetchFlag)
             flags.prefetch = arg.substr(prefetchFlag.size());
+        else if (arg.substr(0, victimFlag.size()) == victimFlag)
+            flags.victim = arg.substr(victimFlag.size());
+        else if (arg.substr(0, placementFlag.size()) == placementFlag)
+            flags.placement = arg.substr(placementFlag.size());
+        else if (arg.substr(0, tieringFlag.size()) == tieringFlag)
+            flags.tiering = arg.substr(tieringFlag.size());
         else if (arg.substr(0, depthFlag.size()) == depthFlag) {
             int depth = std::atoi(
                 std::string(arg.substr(depthFlag.size())).c_str());
@@ -354,6 +390,27 @@ main(int argc, char **argv)
                              "runtime (the FPGA owns the prefetcher); "
                              "ignoring\n");
     }
+    if (!flags.victim.empty() && !knownVictimPolicy(flags.victim)) {
+        std::fprintf(stderr, "unknown --victim= policy: %s\n",
+                     flags.victim.c_str());
+        usage();
+    }
+    if (!flags.placement.empty() &&
+        !knownPlacementPolicy(flags.placement)) {
+        std::fprintf(stderr, "unknown --placement= policy: %s\n",
+                     flags.placement.c_str());
+        usage();
+    }
+    if (!flags.tiering.empty() && !knownTieringPolicy(flags.tiering)) {
+        std::fprintf(stderr, "unknown --tiering= policy: %s\n",
+                     flags.tiering.c_str());
+        usage();
+    }
+    if ((!flags.victim.empty() || !flags.tiering.empty()) &&
+        runtimeName != "kona") {
+        std::fprintf(stderr, "--victim=/--tiering= only apply to the "
+                             "kona runtime; ignoring\n");
+    }
     if (evictDepth != 1 && runtimeName != "kona") {
         std::fprintf(stderr, "--evict-depth= only applies to the kona "
                              "runtime (the eviction engine owns the "
@@ -372,7 +429,9 @@ main(int argc, char **argv)
 
     // Rack: three memory nodes sized generously.
     Fabric fabric(LatencyConfig{}, MetricScope(registry, "fabric"));
-    Controller controller(1 * MiB, MetricScope(registry, "rack"));
+    Controller controller(1 * MiB, MetricScope(registry, "rack"),
+                          flags.placement.empty() ? "free"
+                                                  : flags.placement);
     std::vector<std::unique_ptr<MemoryNode>> nodes;
     for (NodeId id = 1; id <= 3; ++id) {
         nodes.push_back(std::make_unique<MemoryNode>(
@@ -395,6 +454,10 @@ main(int argc, char **argv)
         cfg.fpga.fmemSize = alignUp(localBytes, 4 * pageSize);
         if (!prefetchPolicy.empty())
             cfg.fpga.prefetchPolicy = prefetchPolicy;
+        if (!flags.victim.empty())
+            cfg.fpga.victimPolicy = flags.victim;
+        if (!flags.tiering.empty())
+            cfg.tiering = flags.tiering;
         cfg.evict.pipelineDepth = evictDepth;
         cfg.hierarchy = HierarchyConfig::scaled();
         auto owned = std::make_unique<KonaRuntime>(
@@ -511,6 +574,19 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(ps.useful),
                         static_cast<unsigned long long>(ps.wasted),
                         100.0 * ps.accuracy());
+        }
+        if (kona != nullptr && kona->tieringEngine() != nullptr) {
+            TieringEngine &tier = *kona->tieringEngine();
+            std::printf("tiering    : %llu promoted (%llu useful, "
+                        "%llu wasted), %llu demoted\n",
+                        static_cast<unsigned long long>(
+                            tier.promoted()),
+                        static_cast<unsigned long long>(
+                            tier.promotedUseful()),
+                        static_cast<unsigned long long>(
+                            tier.promotedWasted()),
+                        static_cast<unsigned long long>(
+                            tier.demoted()));
         }
     }
     if (kona != nullptr)

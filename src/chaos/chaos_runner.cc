@@ -101,6 +101,12 @@ applyEvent(const ChaosEvent &ev, FaultInjector &injector,
         report.hotAdded = true;
         break;
     }
+    case ChaosOp::ShiftWorkingSet:
+        // Workload-shaping, not fault injection: harnesses that build
+        // their own access stream (the placement ablation bench) read
+        // the event schedule directly; the generic runner's canned
+        // workloads ignore it.
+        break;
     }
 }
 

@@ -119,6 +119,9 @@ parseEvent(const std::vector<std::string> &t)
     } else if (verb == "hotadd") {
         requireArgs(t, 3);
         ev.op = ChaosOp::HotAdd;
+    } else if (verb == "shift") {
+        requireArgs(t, 3);
+        ev.op = ChaosOp::ShiftWorkingSet;
     } else {
         fatal("chaos scenario: unknown event verb \"", verb, "\"");
     }
@@ -191,6 +194,9 @@ formatEvent(const ChaosEvent &ev)
         break;
     case ChaosOp::HotAdd:
         head("hotadd");
+        break;
+    case ChaosOp::ShiftWorkingSet:
+        head("shift");
         break;
     }
     return buf;

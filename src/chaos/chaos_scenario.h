@@ -32,6 +32,13 @@
  *   down <node> / up <node>        fail-stop toggle on the fabric
  *   drain <node>                   live decommission through the runtime
  *   hotadd <node>                  hot-add a spare node + rebalance
+ *   shift <region>                 move the workload's hot working set
+ *                                  to region index <region> (the node
+ *                                  field carries the region; no fault
+ *                                  is injected — harnesses that drive
+ *                                  phase-shifting working sets, e.g.
+ *                                  the placement ablation bench,
+ *                                  interpret it)
  */
 
 #ifndef KONA_CHAOS_CHAOS_SCENARIO_H
@@ -60,6 +67,7 @@ enum class ChaosOp : std::uint8_t
     NodeUp,      ///< fail-stop recovery
     Drain,       ///< membership: live decommission
     HotAdd,      ///< membership: hot-add + rebalance
+    ShiftWorkingSet, ///< workload: jump the hot set to region <node>
 };
 
 /** One event of a scenario's schedule. Unused fields stay zero. */

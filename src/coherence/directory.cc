@@ -114,11 +114,13 @@ DirectoryService::sharedRegion(const std::string &name, std::size_t bytes,
     std::size_t covered = 0;
     while (covered < bytes) {
         MappedSlab slab;
-        slab.primary = controller_.allocateSlab();
+        slab.primary = *controller_.allocateSlab(
+            PlacementRequest{.required = true});
         slab.shared = true;
         std::vector<NodeId> occupied{slab.primary.where.node};
         for (std::size_t k = 0; k < replicationFactor; ++k) {
-            auto replica = controller_.allocateSlabAvoiding(occupied);
+            auto replica = controller_.allocateSlab(PlacementRequest{
+                .avoid = occupied, .copyIndex = k + 1});
             if (!replica)
                 break;          // degraded redundancy, not fatal
             occupied.push_back(replica->where.node);

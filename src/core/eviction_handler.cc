@@ -754,18 +754,25 @@ EvictionHandler::flushPage(Addr vpn, SimClock &clock)
 void
 EvictionHandler::pump(SimClock &backgroundClock, std::size_t freeWays)
 {
-    std::vector<FMemCache::Victim> victims =
-        fpga_.backgroundVictims(freeWays);
-    if (victims.empty())
+    // Caller-provided-buffer protocol: the common every-set-has-room
+    // case costs one counting pass and no writes; when the store owes
+    // more victims than the warm buffer holds, grow once and re-ask.
+    std::size_t owed = fpga_.backgroundVictims(
+        freeWays, victimBuf_.data(), victimBuf_.size());
+    if (owed == 0)
         return;
-    std::vector<Addr> vpns;
-    vpns.reserve(victims.size());
-    for (const FMemCache::Victim &victim : victims)
-        vpns.push_back(victim.vfmemPage);
+    if (owed > victimBuf_.size()) {
+        victimBuf_.resize(owed);
+        owed = fpga_.backgroundVictims(freeWays, victimBuf_.data(),
+                                       victimBuf_.size());
+    }
+    pumpVpns_.clear();
+    for (std::size_t i = 0; i < owed && i < victimBuf_.size(); ++i)
+        pumpVpns_.push_back(victimBuf_[i].vfmemPage);
     // Background work renders on its own trace lane.
     std::uint32_t prevLane = traceLane_;
     traceLane_ = traceBackgroundThread;
-    evictBatch(vpns, backgroundClock);
+    evictBatch(pumpVpns_, backgroundClock);
     traceLane_ = prevLane;
 }
 

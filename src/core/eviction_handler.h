@@ -394,6 +394,10 @@ class EvictionHandler
     std::unordered_map<Addr, std::uint64_t> inflightPage_;
     std::set<Addr> requeue_;   ///< re-dirtied while in flight
 
+    /** pump() scratch, reused so the steady state never allocates. */
+    std::vector<FMemCache::Victim> victimBuf_;
+    std::vector<Addr> pumpVpns_;
+
     std::uint64_t nextWrId_ = 0x10000000;
     std::uint64_t nextBatchId_ = 1;
     std::uint64_t nextShipmentId_ = 1;

@@ -87,6 +87,47 @@ KonaRuntime::KonaRuntime(Fabric &fabric, Controller &controller,
         return controller_.avoidForReads(node);
     });
 
+    // Hot/cold tiering: an EWMA heat map over the VFMem window, fed
+    // by the FPGA's access stream and pumped on the eviction cadence.
+    // Promotions go through tierPromote (never evicting, never
+    // touching governed pages); demotions ride the async eviction
+    // pipeline exactly like background capacity evictions.
+    TieringConfig tierCfg = parseTieringSpec(config_.tiering);
+    if (tierCfg.enabled) {
+        tiering_ = std::make_unique<TieringEngine>(
+            pageNumber(config_.fpga.vfmemBase),
+            config_.fpga.vfmemSize / pageSize, tierCfg,
+            scope_.sub("tier"));
+        demoteReq_.vpns.reserve(tierCfg.maxDemotesPerPump);
+        tiering_->setHooks(
+            [this](Addr vpn, Tick issueTick) {
+                return fpga_.tierPromote(vpn, issueTick);
+            },
+            [this](const Addr *vpns, std::size_t n) {
+                demoteReq_.vpns.clear();
+                for (std::size_t i = 0; i < n; ++i) {
+                    // submit() blocks on pages already in flight;
+                    // a cold page's earlier shipment covers it.
+                    if (fpga_.evictionInFlight(vpns[i]))
+                        continue;
+                    // Governed pages demote only through the
+                    // coherence protocol's own drop path.
+                    if (agent_ != nullptr && agent_->governs(vpns[i]))
+                        continue;
+                    demoteReq_.vpns.push_back(vpns[i]);
+                }
+                if (!demoteReq_.vpns.empty())
+                    evictor_.submit(demoteReq_, backgroundClock_);
+            },
+            [this](Addr vpn) { return fpga_.pageResident(vpn); },
+            [this] {
+                return static_cast<double>(
+                           fpga_.fmem().pagesResident()) /
+                       static_cast<double>(fpga_.fmem().frames());
+            });
+        fpga_.setTieringEngine(tiering_.get());
+    }
+
     // Cumulative hit latencies: a hit at level i pays every level
     // above it (the AMAT structure KCacheSim uses).
     const LatencyConfig &lat = fabric_.latency();
@@ -176,10 +217,12 @@ KonaRuntime::mapNewSlab()
         fatal("VFMem window exhausted: cannot map another slab");
     }
 
-    SlabGrant primary = controller_.allocateSlab();
+    SlabGrant primary =
+        *controller_.allocateSlab(PlacementRequest{.required = true});
     std::vector<SlabGrant> replicas;
     for (std::size_t i = 0; i < config_.replicationFactor; ++i)
-        replicas.push_back(controller_.allocateSlab());
+        replicas.push_back(*controller_.allocateSlab(
+            PlacementRequest{.copyIndex = i + 1, .required = true}));
     fpga_.translation().addSlab(vfmemCursor_, primary,
                                 std::move(replicas));
 
@@ -336,7 +379,13 @@ KonaRuntime::read(Addr addr, void *buf, std::size_t size)
 
     if (++accessesSincePump_ >= config_.evict.pumpPeriod) {
         accessesSincePump_ = 0;
+        // Evictor first so a fresh promotion is never the very next
+        // pump's victim: promoted pages carry zero touches until the
+        // first demand hit, which scan/lfu would otherwise reap
+        // before the page had any chance to prove itself.
         evictor_.pump(backgroundClock_, config_.evict.freeWays);
+        if (tiering_ != nullptr)
+            tiering_->pump(appClock_.now());
     }
     if (sampler_ != nullptr)
         sampler_->onTick(appClock_.now());
@@ -361,7 +410,13 @@ KonaRuntime::write(Addr addr, const void *buf, std::size_t size)
 
     if (++accessesSincePump_ >= config_.evict.pumpPeriod) {
         accessesSincePump_ = 0;
+        // Evictor first so a fresh promotion is never the very next
+        // pump's victim: promoted pages carry zero touches until the
+        // first demand hit, which scan/lfu would otherwise reap
+        // before the page had any chance to prove itself.
         evictor_.pump(backgroundClock_, config_.evict.freeWays);
+        if (tiering_ != nullptr)
+            tiering_->pump(appClock_.now());
     }
     if (sampler_ != nullptr)
         sampler_->onTick(appClock_.now());

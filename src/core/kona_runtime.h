@@ -33,6 +33,7 @@
 #include "mem/page_table.h"
 #include "mem/region_allocator.h"
 #include "net/retry_policy.h"
+#include "policy/tiering_engine.h"
 #include "rack/controller.h"
 #include "telemetry/attribution.h"
 #include "telemetry/event_journal.h"
@@ -75,6 +76,14 @@ struct KonaConfig
      * evict.trace is overridden with the runtime's own session.
      */
     EvictionConfig evict;
+
+    /**
+     * Hot/cold tiering policy spec "policy[:n]": off or ewma (see
+     * src/policy/tiering_engine.h). When enabled, the runtime keeps
+     * an EWMA heat map over VFMem and pumps promotions/demotions on
+     * the eviction cadence; metrics land under "<scope>.cn<id>.tier".
+     */
+    std::string tiering = "off";
 };
 
 /** The Kona software runtime. */
@@ -108,6 +117,9 @@ class KonaRuntime : public RemoteMemoryRuntime
 
     const KonaConfig &config() const { return config_; }
     CoherentFpga &fpga() { return fpga_; }
+
+    /** The hot/cold tiering engine; nullptr when tiering is "off". */
+    TieringEngine *tieringEngine() { return tiering_.get(); }
     CacheHierarchy &hierarchy() { return hierarchy_; }
     EvictionHandler &evictionHandler() { return evictor_; }
     SimClock &appClock() { return appClock_; }
@@ -274,6 +286,9 @@ class KonaRuntime : public RemoteMemoryRuntime
     PageTable pageTable_;
 
     std::unique_ptr<RegionAllocator> heap_;
+    std::unique_ptr<TieringEngine> tiering_;
+    /** Reused demotion batch so tiering pumps never allocate. */
+    EvictionRequest demoteReq_;
     std::unique_ptr<CoherenceAgent> agent_;
     DirectoryService *coherenceDir_ = nullptr;
     Addr vfmemCursor_;

@@ -79,10 +79,12 @@ VmRuntime::mapNewSlab()
         fatal("VM window exhausted: cannot map another slab");
     }
 
-    SlabGrant primary = controller_.allocateSlab();
+    SlabGrant primary =
+        *controller_.allocateSlab(PlacementRequest{.required = true});
     std::vector<SlabGrant> replicas;
     for (std::size_t i = 0; i < config_.replicationFactor; ++i)
-        replicas.push_back(controller_.allocateSlab());
+        replicas.push_back(*controller_.allocateSlab(
+            PlacementRequest{.copyIndex = i + 1, .required = true}));
     translation_.addSlab(windowCursor_, primary, std::move(replicas));
 
     // Pages are mapped but not present: the first touch of each page

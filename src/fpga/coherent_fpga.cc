@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/logging.h"
+#include "policy/tiering_engine.h"
 
 namespace kona {
 
@@ -12,7 +13,7 @@ CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
     : fabric_(fabric), computeNode_(computeNode), config_(config),
       scope_(std::move(scope)),
       fmem_(config.fmemSize, config.fmemAssociativity,
-            scope_.sub("fmem")),
+            scope_.sub("fmem"), config.victimPolicy),
       fmemStore_(config.fmemSize), poller_(fabric.latency()),
       prefetcher_(makePrefetcher(config.prefetchPolicy)),
       prefetchQueue_(config.prefetchQueueCapacity),
@@ -50,6 +51,11 @@ CoherentFpga::CoherentFpga(Fabric &fabric, NodeId computeNode,
                 "VFMem base must be page aligned");
     KONA_ASSERT(config.fmemSize <= config.vfmemSize,
                 "FMem larger than the VFMem window is pointless");
+    // Dirty-aware victim policies ask the tag store which candidates
+    // carry unwritten lines; the probe is only consulted when the
+    // configured policy declares wantsDirty().
+    fmem_.setDirtyProbe(
+        [this](Addr vpn) { return dirtyLines_.pageMask(vpn) != 0; });
 }
 
 QueuePair &
@@ -81,6 +87,8 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
                           static_cast<Tick>(lat.vfmemDirectoryNs));
 
     Addr vpn = pageNumber(lineAddr);
+    if (tiering_ != nullptr)
+        tiering_->observe(vpn, clock.now());
     if (fmem_.lookup(vpn).has_value()) {
         clock.advance(static_cast<Tick>(lat.fmemNs));
         if (missAttr_ != nullptr)
@@ -133,16 +141,20 @@ CoherentFpga::serveLine(Addr lineAddr, AccessType type, SimClock &clock)
 void
 CoherentFpga::noteDemandTouch(Addr vpn, SimClock &clock)
 {
-    auto issueTick = fmem_.clearPrefetched(vpn);
-    if (!issueTick.has_value())
+    auto tag = fmem_.clearSpeculative(vpn);
+    if (!tag.has_value())
         return;
-    prefetchUseful_.add();
     // Lead time from issue to first touch; the issue tick came off the
     // same demand-side clock, so the difference is well defined.
     Tick now = clock.now();
-    prefetchLeadNs_.record(
-        now >= *issueTick ? static_cast<double>(now - *issueTick)
-                          : 0.0);
+    Tick lead = now >= tag->tick ? now - tag->tick : 0;
+    if (tag->origin == FillOrigin::Tier) {
+        if (tiering_ != nullptr)
+            tiering_->onPromotedUseful(vpn, lead);
+        return;
+    }
+    prefetchUseful_.add();
+    prefetchLeadNs_.record(static_cast<double>(lead));
     if (prefetcher_)
         prefetcher_->onPrefetchUseful(vpn);
 }
@@ -217,6 +229,7 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
     Addr vfmemAddr = vpn * pageSize;
     std::array<std::uint8_t, pageSize> staging;
     bool prefetch = intent == FetchIntent::Prefetch;
+    bool speculative = intent != FetchIntent::Demand;
 
     // Prefetches run on the background clock; put their spans on the
     // background lane so the app-critical-path lane stays truthful.
@@ -227,6 +240,8 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
     span.arg("vpn", vpn);
     if (prefetch)
         span.arg("intent", "prefetch");
+    else if (intent == FetchIntent::Tier)
+        span.arg("intent", "tier");
 
     // Both intents walk all copies, hedged away from nodes the
     // membership probe says to avoid. A speculative fetch still never
@@ -267,24 +282,24 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
         Tick opStart = clock.now();
         PostResult posted = qpTo(loc.node).post(wr, clock);
         const Tick postDone = clock.now();
-        if (!prefetch && missAttr_ != nullptr)
+        if (!speculative && missAttr_ != nullptr)
             missAttr_->charge(MissComponent::Queueing,
                               postDone - opStart);
         if (!posted.ok()) {
             // Consume exactly the error CQEs this doorbell pushed.
             poller_.drain(cq_, clock, posted.cqesPushed);
-            if (!prefetch && missAttr_ != nullptr)
+            if (!speculative && missAttr_ != nullptr)
                 missAttr_->charge(MissComponent::Retry,
                                   clock.now() - postDone);
             reportHealth(loc.node, false);
             continue;
         }
         poller_.waitOne(cq_, clock);
-        if (!prefetch && missAttr_ != nullptr)
+        if (!speculative && missAttr_ != nullptr)
             missAttr_->charge(MissComponent::Wire,
                               clock.now() - postDone);
         reportHealth(loc.node, true, clock.now() - opStart);
-        if (!prefetch && i > 0) {
+        if (!speculative && i > 0) {
             // Promote the replica we read from only when every
             // earlier copy sits on a node that is actually down
             // (§4.5). A transient drop or a hedge away from a merely
@@ -312,7 +327,8 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
     if (servedBy != 0) {
         if (prefetch)
             prefetchReplicaFallback_.add();
-        else if (!fabric_.nodeDown(locations[0].node) &&
+        else if (!speculative &&
+                 !fabric_.nodeDown(locations[0].node) &&
                  membershipProbe_ &&
                  membershipProbe_(locations[0].node)) {
             // The primary was alive but its membership state said to
@@ -321,13 +337,34 @@ CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
         }
     }
 
-    std::size_t frame = fmem_.insert(vpn, prefetch, issueTick);
+    FillOrigin origin = FillOrigin::Demand;
+    if (intent == FetchIntent::Prefetch)
+        origin = FillOrigin::Prefetch;
+    else if (intent == FetchIntent::Tier)
+        origin = FillOrigin::Tier;
+    std::size_t frame = fmem_.insert(vpn, origin, issueTick);
     fmemStore_.write(static_cast<Addr>(frame) * pageSize, staging.data(),
                      pageSize);
     remoteFetches_.add();
-    if (!prefetch)
+    if (!speculative)
         demandFetches_.add();
     return true;
+}
+
+bool
+CoherentFpga::tierPromote(Addr vpn, Tick issueTick)
+{
+    Addr addr = vpn * pageSize;
+    if (!inVFMem(addr) || !translation_.mapped(addr))
+        return false;
+    if (fmem_.contains(vpn))
+        return false;
+    if (pageGovernor_ && pageGovernor_(vpn))
+        return false;   // promoting would bypass the rights check
+    if (fmem_.victimFor(vpn).has_value())
+        return false;   // promotion never evicts: set is full
+    return fetchPage(vpn, backgroundClock_, FetchIntent::Tier,
+                     issueTick);
 }
 
 void
@@ -446,12 +483,16 @@ CoherentFpga::writeBytes(Addr vfmemAddr, const void *buf,
 void
 CoherentFpga::dropPage(Addr vpn)
 {
-    // A page leaving FMem with its prefetch tag intact was never
-    // demand-touched: the speculation was wasted bandwidth.
-    if (fmem_.isPrefetched(vpn)) {
+    // A page leaving FMem with its speculative tag intact was never
+    // demand-touched: the fill was wasted bandwidth, attributed to
+    // whichever engine issued it.
+    auto origin = fmem_.speculativeOrigin(vpn);
+    if (origin == FillOrigin::Prefetch) {
         prefetchWasted_.add();
         if (prefetcher_)
             prefetcher_->onPrefetchWasted(vpn);
+    } else if (origin == FillOrigin::Tier && tiering_ != nullptr) {
+        tiering_->onPromotedWasted(vpn);
     }
     fmem_.remove(vpn);
     if (dropHook_)

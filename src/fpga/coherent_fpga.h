@@ -44,6 +44,8 @@
 
 namespace kona {
 
+class TieringEngine;
+
 /** Configuration of the coherent FPGA. */
 struct FpgaConfig
 {
@@ -57,6 +59,12 @@ struct FpgaConfig
      * adaptive (see src/prefetch/prefetcher.h).
      */
     std::string prefetchPolicy = "off";
+
+    /**
+     * FMem victim policy spec "policy[:arg]": lru, lfu, scan, dirty
+     * (see src/policy/victim_policy.h).
+     */
+    std::string victimPolicy = "lru";
 
     /** Candidates staged per access before the credit gate. */
     std::size_t prefetchQueueCapacity = 32;
@@ -202,11 +210,17 @@ class CoherentFpga : public MemorySideListener
      */
     void dropPage(Addr vpn);
 
-    /** Victims needed to keep @p freeWays ways free in every set. */
-    std::vector<FMemCache::Victim>
-    backgroundVictims(std::size_t freeWays) const
+    /**
+     * Victims needed to keep @p freeWays ways free in every set,
+     * written to caller-provided storage: up to @p cap victims land
+     * in @p out and the TOTAL owed comes back (grow the buffer and
+     * call again when it exceeds cap; @p out may be nullptr to count).
+     */
+    std::size_t backgroundVictims(std::size_t freeWays,
+                                  FMemCache::Victim *out,
+                                  std::size_t cap) const
     {
-        return fmem_.overOccupiedVictims(freeWays);
+        return fmem_.overOccupiedVictims(freeWays, out, cap);
     }
 
     /** Raw pointer to the FMem bytes of resident page @p vpn. */
@@ -258,7 +272,29 @@ class CoherentFpga : public MemorySideListener
     void setPageGovernor(PageGovernor governor)
     {
         pageGovernor_ = std::move(governor);
+        // Victim selection deprioritizes governed pages the same way
+        // (evicting one stays legal but costs directory work).
+        fmem_.setGovernedProbe(pageGovernor_);
     }
+
+    /**
+     * Attach the tiering engine (nullptr detaches). The FPGA feeds it
+     * the page-granular access stream from serveLine() and routes
+     * promoted-fill attribution (first touch, wasted eviction) back
+     * to it; promotions themselves arrive through tierPromote().
+     */
+    void setTieringEngine(TieringEngine *engine) { tiering_ = engine; }
+
+    /**
+     * Promote VFMem page @p vpn into FMem off the critical path (the
+     * tiering engine's promote hook). Promotions never evict and
+     * never touch governed pages: the fetch only happens when the
+     * page is mapped, absent, un-governed, and its set has a free
+     * way. Returns false when any of that fails or every copy is
+     * unreachable. @p issueTick stamps the frame for lead-time
+     * attribution under tier.*.
+     */
+    bool tierPromote(Addr vpn, Tick issueTick);
 
     // --- stale-copy tracking -----------------------------------------
     //
@@ -371,6 +407,8 @@ class CoherentFpga : public MemorySideListener
     {
         Demand,    ///< critical path: full replica failover + health
         Prefetch,  ///< speculative: replica fallback, no promotion
+        Tier,      ///< tiering promotion: like Prefetch, attributed
+                   ///< to tier.* instead of prefetch.*
     };
 
     /**
@@ -418,6 +456,7 @@ class CoherentFpga : public MemorySideListener
     MembershipProbe membershipProbe_;
     DropHook dropHook_;
     PageGovernor pageGovernor_;
+    TieringEngine *tiering_ = nullptr;
 
     /** vpn -> (home node -> missed-line mask). Almost always empty. */
     std::unordered_map<Addr,

@@ -7,11 +7,17 @@
 namespace kona {
 
 FMemCache::FMemCache(std::size_t sizeBytes, std::size_t associativity,
-                     MetricScope scope)
+                     MetricScope scope, const std::string &victimSpec)
     : scope_(std::move(scope)), assoc_(associativity),
-      hits_(scope_.counter("hits")), misses_(scope_.counter("misses"))
+      policy_(makeVictimPolicy(victimSpec)),
+      hits_(scope_.counter("hits")),
+      misses_(scope_.counter("misses")),
+      victimPicks_(scope_.counter("policy.victim_picks")),
+      fencedFallbacks_(scope_.counter("policy.fenced_fallbacks"))
 {
     KONA_ASSERT(assoc_ > 0, "FMem needs >= 1 way");
+    KONA_ASSERT(assoc_ <= maxAssociativity,
+                "FMem associativity above the candidate-buffer bound");
     KONA_ASSERT(sizeBytes % (assoc_ * pageSize) == 0,
                 "FMem size must be a multiple of assoc * pageSize");
     frames_ = sizeBytes / pageSize;
@@ -51,6 +57,8 @@ FMemCache::lookup(Addr vpn)
     for (std::size_t i = 0; i < used; ++i) {
         if (set[i].vpn == vpn) {
             Way hit = set[i];
+            if (hit.touches != ~static_cast<std::uint32_t>(0))
+                ++hit.touches;
             for (std::size_t j = i; j > 0; --j)
                 set[j] = set[j - 1];
             set[0] = hit;
@@ -78,7 +86,7 @@ FMemCache::frameOf(Addr vpn) const
 }
 
 std::size_t
-FMemCache::insert(Addr vpn, bool prefetched, Tick tick)
+FMemCache::insert(Addr vpn, FillOrigin origin, Tick tick)
 {
     std::size_t si = setOf(vpn);
     Way *set = setBase(si);
@@ -92,30 +100,47 @@ FMemCache::insert(Addr vpn, bool prefetched, Tick tick)
     std::size_t frame = set[used].frame;
     for (std::size_t j = used; j > 0; --j)
         set[j] = set[j - 1];
-    set[0] = {vpn, frame, prefetched, tick, false};
+    // A demand fill counts as its own first touch; speculative fills
+    // start untouched so LFU/scan policies see them as unproven.
+    std::uint32_t touches = origin == FillOrigin::Demand ? 1 : 0;
+    set[0] = {vpn, frame, origin, tick, touches, false};
     used_[si] = static_cast<std::uint32_t>(used + 1);
     ++resident_;
     return frame;
 }
 
-std::optional<Tick>
-FMemCache::clearPrefetched(Addr vpn)
+std::optional<FMemCache::SpecTag>
+FMemCache::clearSpeculative(Addr vpn)
 {
     std::size_t i = findWay(vpn);
     if (i == npos)
         return std::nullopt;
     Way &way = setBase(setOf(vpn))[i];
-    if (!way.prefetched)
+    if (way.origin == FillOrigin::Demand)
         return std::nullopt;
-    way.prefetched = false;
-    return way.prefetchTick;
+    SpecTag tag{way.fillTick, way.origin};
+    way.origin = FillOrigin::Demand;
+    return tag;
+}
+
+std::optional<FillOrigin>
+FMemCache::speculativeOrigin(Addr vpn) const
+{
+    std::size_t i = findWay(vpn);
+    if (i == npos)
+        return std::nullopt;
+    const Way &way = setBase(setOf(vpn))[i];
+    if (way.origin == FillOrigin::Demand)
+        return std::nullopt;
+    return way.origin;
 }
 
 bool
 FMemCache::isPrefetched(Addr vpn) const
 {
     std::size_t i = findWay(vpn);
-    return i != npos && setBase(setOf(vpn))[i].prefetched;
+    return i != npos &&
+           setBase(setOf(vpn))[i].origin == FillOrigin::Prefetch;
 }
 
 void
@@ -133,6 +158,55 @@ FMemCache::evictionInFlight(Addr vpn) const
     return i != npos && setBase(setOf(vpn))[i].evicting;
 }
 
+void
+FMemCache::setDirtyProbe(std::function<bool(Addr)> probe)
+{
+    dirtyProbe_ = std::move(probe);
+}
+
+void
+FMemCache::setGovernedProbe(std::function<bool(Addr)> probe)
+{
+    governedProbe_ = std::move(probe);
+}
+
+std::size_t
+FMemCache::buildCandidates(std::size_t si, VictimView *buf) const
+{
+    const Way *set = setBase(si);
+    std::size_t used = used_[si];
+    bool wantDirty = dirtyProbe_ && policy_->wantsDirty();
+    bool governed[maxAssociativity];
+    std::size_t n = 0;
+    bool anyUngoverned = false;
+    for (std::size_t i = 0; i < used; ++i) {
+        if (set[i].evicting)
+            continue;
+        governed[n] = governedProbe_ && governedProbe_(set[i].vpn);
+        anyUngoverned = anyUngoverned || !governed[n];
+        buf[n] = {set[i].vpn,
+                  set[i].frame,
+                  static_cast<std::uint32_t>(i),
+                  set[i].touches,
+                  wantDirty && dirtyProbe_(set[i].vpn),
+                  set[i].origin != FillOrigin::Demand};
+        ++n;
+    }
+    // Governed pages are last-resort victims: compact them away when
+    // any un-governed candidate exists (an all-governed set still
+    // evicts, so capacity pressure can never deadlock on coherence).
+    if (anyUngoverned) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (governed[i])
+                continue;
+            buf[kept++] = buf[i];
+        }
+        n = kept;
+    }
+    return n;
+}
+
 std::optional<FMemCache::Victim>
 FMemCache::victimFor(Addr vpn) const
 {
@@ -140,16 +214,19 @@ FMemCache::victimFor(Addr vpn) const
     std::size_t used = used_[si];
     if (used < assoc_)
         return std::nullopt;
-    // Walk LRU -> MRU for the oldest way not already being shipped;
-    // only a fully fenced set hands back an in-flight victim (the
-    // eviction engine then stalls on that shipment's completion).
-    const Way *set = setBase(si);
-    for (std::size_t i = used; i-- > 0;) {
-        if (!set[i].evicting)
-            return Victim{set[i].vpn, set[i].frame};
+    VictimView candidates[maxAssociativity];
+    std::size_t n = buildCandidates(si, candidates);
+    if (n == 0) {
+        // Whole set fenced: hand back the plain LRU way; the eviction
+        // engine then stalls on that shipment's completion.
+        fencedFallbacks_.add();
+        const Way &lru = setBase(si)[used - 1];
+        return Victim{lru.vpn, lru.frame};
     }
-    const Way &lru = set[used - 1];
-    return Victim{lru.vpn, lru.frame};
+    std::size_t picked = policy_->pick(candidates, n);
+    KONA_ASSERT(picked < n, "victim policy picked out of range");
+    victimPicks_.add();
+    return Victim{candidates[picked].vpn, candidates[picked].frame};
 }
 
 void
@@ -172,42 +249,50 @@ FMemCache::remove(Addr vpn)
 
 std::size_t
 FMemCache::setVictims(std::size_t si, std::size_t freeWays,
-                      std::vector<Victim> *out) const
+                      Victim *out, std::size_t cap) const
 {
     std::size_t used = used_[si];
     std::size_t free = assoc_ - used;
     if (free >= freeWays)
         return 0;
     std::size_t need = freeWays - free;
-    // Walk the set from LRU (back of the prefix) forward, skipping
-    // ways whose eviction is already in flight (they free up on ack).
-    const Way *set = setBase(si);
-    std::size_t count = 0;
-    for (std::size_t i = used; count < need && i-- > 0;) {
-        if (set[i].evicting)
-            continue;
-        if (out != nullptr)
-            out->push_back({set[i].vpn, set[i].frame});
-        ++count;
+    VictimView candidates[maxAssociativity];
+    std::size_t n = buildCandidates(si, candidates);
+    std::size_t owed = need < n ? need : n;
+    if (out == nullptr)
+        return owed;
+    // Select iteratively through the policy, erasing each pick (the
+    // stable shift keeps the MRU-first order intact), so "lru" emits
+    // victims coldest first exactly like the historical walk.
+    std::size_t selected = owed < cap ? owed : cap;
+    for (std::size_t k = 0; k < selected; ++k) {
+        std::size_t picked = policy_->pick(candidates, n);
+        KONA_ASSERT(picked < n, "victim policy picked out of range");
+        victimPicks_.add();
+        out[k] = {candidates[picked].vpn, candidates[picked].frame};
+        for (std::size_t j = picked; j + 1 < n; ++j)
+            candidates[j] = candidates[j + 1];
+        --n;
     }
-    return count;
+    return owed;
 }
 
-std::vector<FMemCache::Victim>
-FMemCache::overOccupiedVictims(std::size_t freeWays) const
+std::size_t
+FMemCache::overOccupiedVictims(std::size_t freeWays, Victim *out,
+                               std::size_t cap) const
 {
-    std::vector<Victim> victims;
     // Count first: the common case (every set has room) must return
-    // without allocating, and the rest reserve exactly once.
+    // without selecting anything.
     std::size_t total = 0;
     for (std::size_t si = 0; si < numSets_; ++si)
-        total += setVictims(si, freeWays, nullptr);
-    if (total == 0)
-        return victims;
-    victims.reserve(total);
-    for (std::size_t si = 0; si < numSets_; ++si)
-        setVictims(si, freeWays, &victims);
-    return victims;
+        total += setVictims(si, freeWays, nullptr, 0);
+    if (total == 0 || out == nullptr)
+        return total;
+    std::size_t written = 0;
+    for (std::size_t si = 0; si < numSets_ && written < cap; ++si)
+        written += setVictims(si, freeWays, out + written,
+                              cap - written);
+    return total;
 }
 
 std::vector<Addr>

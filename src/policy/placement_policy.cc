@@ -1,0 +1,154 @@
+#include "policy/placement_policy.h"
+
+#include "common/logging.h"
+
+namespace kona {
+
+namespace {
+
+/** The original behavior: strictly-most-free, first-seen wins ties —
+ *  bit-identical to the old allocateSlabAvoiding() walk because the
+ *  Controller hands candidates over in the same membership order. */
+class MostFreePlacementPolicy final : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "free"; }
+
+    std::size_t choose(const PlacementCandidate *candidates,
+                       std::size_t n,
+                       const PlacementRequest &) override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i)
+            if (candidates[i].bytesFree > candidates[best].bytesFree)
+                best = i;
+        return best;
+    }
+};
+
+/** Lowest node id: packs slabs densely so later nodes stay empty and
+ *  cheap to drain. */
+class FirstFitPlacementPolicy final : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "first"; }
+
+    std::size_t choose(const PlacementCandidate *candidates,
+                       std::size_t n,
+                       const PlacementRequest &) override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i)
+            if (candidates[i].node < candidates[best].node)
+                best = i;
+        return best;
+    }
+};
+
+/** Round-robin by node id: the smallest eligible id above the last
+ *  grant, wrapping. Spreads slabs (and rebuild fan-out) evenly even
+ *  when node sizes differ. */
+class RoundRobinPlacementPolicy final : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "rr"; }
+
+    std::size_t choose(const PlacementCandidate *candidates,
+                       std::size_t n,
+                       const PlacementRequest &) override
+    {
+        std::size_t above = npos;   // smallest id > cursor
+        std::size_t lowest = 0;     // smallest id overall (wrap)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (candidates[i].node < candidates[lowest].node)
+                lowest = i;
+            if (candidates[i].node > cursor_ &&
+                (above == npos ||
+                 candidates[i].node < candidates[above].node))
+                above = i;
+        }
+        std::size_t picked = above != npos ? above : lowest;
+        cursor_ = candidates[picked].node;
+        return picked;
+    }
+
+  private:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** Node id of the previous grant; 0 is below every real id. */
+    NodeId cursor_ = 0;
+};
+
+/** Free space discounted by the EWMA failure score (and halved on
+ *  probation): shaky nodes keep serving what they have but absorb
+ *  fewer new slabs. Lowest id breaks ties for determinism. */
+class HealthAwarePlacementPolicy final : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "health"; }
+
+    std::size_t choose(const PlacementCandidate *candidates,
+                       std::size_t n,
+                       const PlacementRequest &) override
+    {
+        std::size_t best = 0;
+        double bestWeight = weight(candidates[0]);
+        for (std::size_t i = 1; i < n; ++i) {
+            double w = weight(candidates[i]);
+            if (w > bestWeight ||
+                (w == bestWeight &&
+                 candidates[i].node < candidates[best].node)) {
+                best = i;
+                bestWeight = w;
+            }
+        }
+        return best;
+    }
+
+  private:
+    static double weight(const PlacementCandidate &c)
+    {
+        double score = c.healthScore < 1.0 ? c.healthScore : 1.0;
+        double w = static_cast<double>(c.bytesFree) * (1.0 - score);
+        return c.probation ? w * 0.5 : w;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<PlacementPolicy>
+makePlacementPolicy(const std::string &spec)
+{
+    if (spec.find(':') != std::string::npos)
+        fatal("bad placement spec \"", spec,
+              "\": placement policies take no argument");
+    if (spec.empty() || spec == "free")
+        return std::make_unique<MostFreePlacementPolicy>();
+    if (spec == "first")
+        return std::make_unique<FirstFitPlacementPolicy>();
+    if (spec == "rr")
+        return std::make_unique<RoundRobinPlacementPolicy>();
+    if (spec == "health")
+        return std::make_unique<HealthAwarePlacementPolicy>();
+    fatal("unknown placement policy \"", spec,
+          "\"; known: free first rr health");
+}
+
+bool
+knownPlacementPolicy(const std::string &spec)
+{
+    if (spec.find(':') != std::string::npos)
+        return false;
+    return spec.empty() || spec == "free" || spec == "first" ||
+           spec == "rr" || spec == "health";
+}
+
+const std::vector<std::string> &
+placementPolicyNames()
+{
+    static const std::vector<std::string> names = {"free", "first",
+                                                   "rr", "health"};
+    return names;
+}
+
+} // namespace kona

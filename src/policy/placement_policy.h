@@ -1,0 +1,106 @@
+/**
+ * @file
+ * PlacementPolicy: pluggable slab-to-node placement for the rack
+ * Controller, replacing the allocateSlab()/allocateSlabAvoiding()/
+ * allocateSlabOn() trio behind one request-struct entry point.
+ *
+ * The Controller builds the candidate view — nodes that currently
+ * take placements, minus the request's avoid set, with enough free
+ * bytes — and the policy picks one. Membership, health state and
+ * pin-target semantics (rebalance onto a Joining node bypasses the
+ * health filter, exactly as before) stay in the Controller, so every
+ * policy inherits the same eligibility rules.
+ *
+ * Policies (spec strings):
+ *   free            most free bytes (the original first-fit-by-space
+ *                   behavior; default)
+ *   first           lowest node id; densest packing, frees whole
+ *                   nodes for decommission
+ *   rr              round-robin across eligible nodes; spreads slabs
+ *                   (and thus rebuild fan-out) evenly
+ *   health          free bytes weighted by the EWMA health score, so
+ *                   suspect-but-serving nodes absorb fewer new slabs
+ */
+
+#ifndef KONA_POLICY_PLACEMENT_POLICY_H
+#define KONA_POLICY_PLACEMENT_POLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kona {
+
+/**
+ * Everything a caller can say about where a slab should go. The
+ * designated-initializer style keeps call sites self-describing:
+ * allocateSlab({.avoid = occupied}), allocateSlab({.pinTo = target}).
+ */
+struct PlacementRequest
+{
+    /** Nodes that must not receive this slab (replica separation). */
+    std::vector<NodeId> avoid{};
+
+    /**
+     * Place on exactly this node, bypassing policy AND the
+     * takes-placements health filter (rebalance targets Joining
+     * nodes). Fails only when the node is absent/Failed or full.
+     */
+    std::optional<NodeId> pinTo{};
+
+    /** 0 = primary, i = i-th replica; for policies that spread copies. */
+    std::size_t copyIndex = 0;
+
+    /** fatal() instead of returning nullopt when nothing fits. */
+    bool required = false;
+};
+
+/** One eligible node as the Controller presents it to a policy. */
+struct PlacementCandidate
+{
+    NodeId node;
+    std::size_t bytesFree;
+    double healthScore;   ///< EWMA failure score: 0 = healthy
+    bool probation;       ///< readmitted, still on probation
+};
+
+/** Slab placement selection over an eligible-candidate view. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /** Human-readable policy name ("rr"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Pick the target among @p n >= 1 candidates (Controller
+     * membership order). Returns an index in [0, n). Policies may
+     * keep state across calls (round-robin cursor).
+     */
+    virtual std::size_t choose(const PlacementCandidate *candidates,
+                               std::size_t n,
+                               const PlacementRequest &req) = 0;
+};
+
+/**
+ * Build the policy described by @p spec. Unknown names or malformed
+ * args are fatal(). Never returns nullptr: "free" is the default
+ * policy, not an off switch.
+ */
+std::unique_ptr<PlacementPolicy>
+makePlacementPolicy(const std::string &spec);
+
+/** Whether @p spec parses; for CLI validation. */
+bool knownPlacementPolicy(const std::string &spec);
+
+/** The policy names, for usage strings. */
+const std::vector<std::string> &placementPolicyNames();
+
+} // namespace kona
+
+#endif // KONA_POLICY_PLACEMENT_POLICY_H

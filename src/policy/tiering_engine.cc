@@ -1,0 +1,204 @@
+#include "policy/tiering_engine.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace kona {
+
+namespace {
+
+struct ParsedSpec
+{
+    std::string policy;
+    std::size_t arg = 0;
+    bool hasArg = false;
+    bool valid = false;
+};
+
+ParsedSpec
+parseSpec(const std::string &spec)
+{
+    ParsedSpec parsed;
+    std::string::size_type colon = spec.find(':');
+    parsed.policy = spec.substr(0, colon);
+    parsed.valid = true;
+    if (colon == std::string::npos)
+        return parsed;
+    std::string arg = spec.substr(colon + 1);
+    if (arg.empty() ||
+        arg.find_first_not_of("0123456789") != std::string::npos) {
+        parsed.valid = false;
+        return parsed;
+    }
+    parsed.arg = static_cast<std::size_t>(
+        std::strtoull(arg.c_str(), nullptr, 10));
+    parsed.hasArg = true;
+    parsed.valid = parsed.arg > 0;
+    return parsed;
+}
+
+} // namespace
+
+TieringConfig
+parseTieringSpec(const std::string &spec)
+{
+    ParsedSpec p = parseSpec(spec);
+    if (!p.valid)
+        fatal("bad tiering spec \"", spec,
+              "\": expected policy[:n] with n >= 1");
+    TieringConfig config;
+    if (p.policy.empty() || p.policy == "off" || p.policy == "none") {
+        if (p.hasArg)
+            fatal("tiering policy \"", p.policy,
+                  "\" takes no argument");
+        return config;
+    }
+    if (p.policy == "ewma") {
+        config.enabled = true;
+        if (p.hasArg)
+            config.maxPromotesPerPump = p.arg;
+        return config;
+    }
+    fatal("unknown tiering policy \"", p.policy,
+          "\"; known: off ewma");
+}
+
+bool
+knownTieringPolicy(const std::string &spec)
+{
+    ParsedSpec p = parseSpec(spec);
+    if (!p.valid)
+        return false;
+    if (p.policy.empty() || p.policy == "off" || p.policy == "none")
+        return !p.hasArg;
+    return p.policy == "ewma";
+}
+
+const std::vector<std::string> &
+tieringPolicyNames()
+{
+    static const std::vector<std::string> names = {"off", "ewma"};
+    return names;
+}
+
+TieringEngine::TieringEngine(Addr basePage, std::size_t numPages,
+                             const TieringConfig &config,
+                             MetricScope scope)
+    : scope_(std::move(scope)), config_(config), basePage_(basePage),
+      stats_(numPages),
+      promoted_(scope_.counter("promoted")),
+      promoteFailed_(scope_.counter("promote_failed")),
+      demoted_(scope_.counter("demoted")),
+      promotedUseful_(scope_.counter("promoted_useful")),
+      promotedWasted_(scope_.counter("promoted_wasted")),
+      promotedLead_(scope_.histogram("promoted_lead_ns"))
+{
+    demoteBatch_.reserve(config_.maxDemotesPerPump);
+}
+
+void
+TieringEngine::setHooks(PromoteFn promote, DemoteFn demote,
+                        ResidentFn resident, PressureFn pressure)
+{
+    promote_ = std::move(promote);
+    demote_ = std::move(demote);
+    resident_ = std::move(resident);
+    pressure_ = std::move(pressure);
+}
+
+double
+TieringEngine::decayedHeat(const PageStat &stat, Tick now) const
+{
+    if (!stat.everTouched || stat.heat == 0.0f)
+        return 0.0;
+    Tick idle = now > stat.lastTouch ? now - stat.lastTouch : 0;
+    double halves =
+        static_cast<double>(idle) /
+        static_cast<double>(config_.halfLifeNs);
+    if (halves > 64.0)
+        return 0.0;
+    return static_cast<double>(stat.heat) * std::exp2(-halves);
+}
+
+void
+TieringEngine::observe(Addr vpn, Tick now)
+{
+    if (!tracked(vpn))
+        return;
+    PageStat &stat = statOf(vpn);
+    stat.heat = static_cast<float>(decayedHeat(stat, now) + 1.0);
+    stat.lastTouch = now;
+    stat.everTouched = true;
+}
+
+void
+TieringEngine::pump(Tick now)
+{
+    if (stats_.empty() || !promote_)
+        return;
+
+    std::size_t window = config_.scanWindow < stats_.size()
+                             ? config_.scanWindow
+                             : stats_.size();
+    bool demotable =
+        pressure_ && pressure_() >= config_.pressureWatermark;
+    std::size_t promotesLeft = config_.maxPromotesPerPump;
+    demoteBatch_.clear();
+
+    for (std::size_t i = 0; i < window; ++i) {
+        std::size_t slot = cursor_;
+        cursor_ = cursor_ + 1 == stats_.size() ? 0 : cursor_ + 1;
+        const PageStat &stat = stats_[slot];
+        if (!stat.everTouched)
+            continue;
+        Addr vpn = basePage_ + slot;
+        double heat = decayedHeat(stat, now);
+        bool resident = resident_ && resident_(vpn);
+
+        if (!resident && heat >= config_.hotThreshold &&
+            promotesLeft > 0) {
+            --promotesLeft;
+            if (promote_(vpn, now))
+                promoted_.add();
+            else
+                promoteFailed_.add();
+        } else if (resident && demotable &&
+                   heat <= config_.coldThreshold &&
+                   now >= stat.lastTouch + config_.minResidencyNs &&
+                   demoteBatch_.size() < config_.maxDemotesPerPump) {
+            demoteBatch_.push_back(vpn);
+        }
+    }
+
+    if (!demoteBatch_.empty() && demote_) {
+        demoted_.add(demoteBatch_.size());
+        demote_(demoteBatch_.data(), demoteBatch_.size());
+    }
+}
+
+void
+TieringEngine::onPromotedUseful(Addr vpn, Tick leadNs)
+{
+    (void)vpn;
+    promotedUseful_.add();
+    promotedLead_.record(static_cast<double>(leadNs));
+}
+
+void
+TieringEngine::onPromotedWasted(Addr vpn)
+{
+    (void)vpn;
+    promotedWasted_.add();
+}
+
+double
+TieringEngine::heatOf(Addr vpn, Tick now) const
+{
+    if (!tracked(vpn))
+        return 0.0;
+    return decayedHeat(statOf(vpn), now);
+}
+
+} // namespace kona

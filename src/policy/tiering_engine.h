@@ -1,0 +1,201 @@
+/**
+ * @file
+ * TieringEngine: the hot/cold layer between FMem and remote memory
+ * (FluidMem-style; see PAPERS.md "Memory Disaggregation: Advances and
+ * Open Challenges"). The prefetchers react to the access stream one
+ * miss at a time; the tiering engine keeps a per-page EWMA heat map
+ * of the whole VFMem range and acts on it from the background pump:
+ * hot-but-remote pages are promoted into FMem ahead of demand, cold
+ * resident pages are demoted through the async eviction pipeline once
+ * cache pressure justifies it.
+ *
+ * The engine is policy only. It talks to the stack through four
+ * hooks — promote, demote, residency, pressure — wired by
+ * KonaRuntime, and it never touches the heap after construction:
+ * the heat map is one flat array indexed by page, the demote batch
+ * is a preallocated buffer, and the pump walks a bounded cursor
+ * window per call. That keeps `--strict-alloc` green with tiering on.
+ *
+ * Promotions are speculative fills, but they are NOT prefetches: the
+ * FPGA tags them with their own fill origin so first-touch/eviction
+ * attribution lands in kona.tier.promoted_useful/_wasted instead of
+ * polluting fpga.prefetch.*.
+ *
+ * Spec strings ("policy[:arg]", like --prefetch=):
+ *   off             no tiering (parse yields enabled = false; default)
+ *   ewma[:n]        EWMA-heat tiering, at most n promotions per pump
+ *                   (default 32)
+ */
+
+#ifndef KONA_POLICY_TIERING_ENGINE_H
+#define KONA_POLICY_TIERING_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "telemetry/metric_registry.h"
+
+namespace kona {
+
+/** Knobs for the EWMA tiering policy. */
+struct TieringConfig
+{
+    bool enabled = false;
+
+    /** Promotion fetches issued per pump() call, max. */
+    std::size_t maxPromotesPerPump = 32;
+
+    /** Demotions submitted per pump() call, max. */
+    std::size_t maxDemotesPerPump = 8;
+
+    /** Effective heat at/above which a remote page is promoted. */
+    double hotThreshold = 4.0;
+
+    /** Effective heat at/below which a resident page may demote. */
+    double coldThreshold = 0.5;
+
+    /** EWMA half-life: heat halves every this many sim-ns untouched.
+     *  Sized so a hot page survives several pump revolutions of the
+     *  scan cursor — too short and every page is cold by the time the
+     *  cursor returns to it. */
+    Tick halfLifeNs = 2'000'000;
+
+    /** A resident page must idle this long before demotion. */
+    Tick minResidencyNs = 500'000;
+
+    /** Demote only when resident/frames >= this (else FMem has room
+     *  to spare and eviction-by-demotion is pure overhead). */
+    double pressureWatermark = 0.85;
+
+    /** Heat-map entries examined per pump() (cursor wraps). */
+    std::size_t scanWindow = 4096;
+};
+
+/**
+ * Parse @p spec into a TieringConfig ("off" | "ewma[:n]"). Unknown
+ * names or malformed args are fatal().
+ */
+TieringConfig parseTieringSpec(const std::string &spec);
+
+/** Whether @p spec parses (including "off"); for CLI validation. */
+bool knownTieringPolicy(const std::string &spec);
+
+/** The policy names, for usage strings. */
+const std::vector<std::string> &tieringPolicyNames();
+
+/** EWMA-heat promotion/demotion over one VFMem page range. */
+class TieringEngine
+{
+  public:
+    /** Issue a promotion fetch; false when it could not be issued
+     *  (page resident/governed/unmapped or its set has no room). */
+    using PromoteFn = std::function<bool(Addr vpn, Tick issueTick)>;
+
+    /** Submit @p n pages for asynchronous demotion. */
+    using DemoteFn = std::function<void(const Addr *vpns,
+                                        std::size_t n)>;
+
+    /** Whether @p vpn currently sits in FMem. */
+    using ResidentFn = std::function<bool(Addr vpn)>;
+
+    /** FMem occupancy in [0, 1]. */
+    using PressureFn = std::function<double()>;
+
+    /**
+     * @param basePage First VFMem page number tracked.
+     * @param numPages Pages tracked (heat map size).
+     * @param config   Thresholds and batch limits.
+     * @param scope    Telemetry scope for kona.tier.*.
+     */
+    TieringEngine(Addr basePage, std::size_t numPages,
+                  const TieringConfig &config, MetricScope scope = {});
+
+    void setHooks(PromoteFn promote, DemoteFn demote,
+                  ResidentFn resident, PressureFn pressure);
+
+    /**
+     * Account one page-granular access at sim time @p now: decay the
+     * page's heat to now, add one. Pure array math — called from
+     * serveLine on hits and misses alike.
+     */
+    void observe(Addr vpn, Tick now);
+
+    /**
+     * One background step: scan the next window of the heat map,
+     * promote hot remote pages (up to maxPromotesPerPump) and, when
+     * FMem pressure is at the watermark, demote cold resident pages
+     * (up to maxDemotesPerPump) as one batch.
+     */
+    void pump(Tick now);
+
+    /** First demand touch of a promoted page: the promotion paid off. */
+    void onPromotedUseful(Addr vpn, Tick leadNs);
+
+    /** A promoted page left FMem untouched: wasted fetch + eviction. */
+    void onPromotedWasted(Addr vpn);
+
+    /** Effective (decayed-to-now) heat of @p vpn; for tests. */
+    double heatOf(Addr vpn, Tick now) const;
+
+    const TieringConfig &config() const { return config_; }
+
+    std::uint64_t promoted() const { return promoted_.value(); }
+    std::uint64_t demoted() const { return demoted_.value(); }
+    std::uint64_t promotedUseful() const
+    {
+        return promotedUseful_.value();
+    }
+    std::uint64_t promotedWasted() const
+    {
+        return promotedWasted_.value();
+    }
+
+  private:
+    struct PageStat
+    {
+        float heat = 0.0f;
+        Tick lastTouch = 0;
+        bool everTouched = false;
+    };
+
+    bool tracked(Addr vpn) const
+    {
+        return vpn >= basePage_ && vpn < basePage_ + stats_.size();
+    }
+
+    /** stats_ slot for @p vpn; caller checked tracked(). */
+    PageStat &statOf(Addr vpn) { return stats_[vpn - basePage_]; }
+    const PageStat &statOf(Addr vpn) const
+    {
+        return stats_[vpn - basePage_];
+    }
+
+    /** @p stat's heat decayed from lastTouch to @p now. */
+    double decayedHeat(const PageStat &stat, Tick now) const;
+
+    MetricScope scope_;
+    TieringConfig config_;
+    Addr basePage_;
+    std::vector<PageStat> stats_;
+    std::size_t cursor_ = 0;
+    std::vector<Addr> demoteBatch_;   ///< preallocated pump buffer
+
+    PromoteFn promote_;
+    DemoteFn demote_;
+    ResidentFn resident_;
+    PressureFn pressure_;
+
+    Counter &promoted_;
+    Counter &promoteFailed_;
+    Counter &demoted_;
+    Counter &promotedUseful_;
+    Counter &promotedWasted_;
+    LatencyHistogram &promotedLead_;
+};
+
+} // namespace kona
+
+#endif // KONA_POLICY_TIERING_ENGINE_H

@@ -1,0 +1,168 @@
+#include "policy/victim_policy.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace kona {
+
+namespace {
+
+struct ParsedSpec
+{
+    std::string policy;
+    std::size_t arg = 0;   ///< 0 = policy default
+    bool hasArg = false;
+    bool valid = false;
+};
+
+ParsedSpec
+parseSpec(const std::string &spec)
+{
+    ParsedSpec parsed;
+    std::string::size_type colon = spec.find(':');
+    parsed.policy = spec.substr(0, colon);
+    parsed.valid = true;
+    if (colon == std::string::npos)
+        return parsed;
+    std::string arg = spec.substr(colon + 1);
+    if (arg.empty() ||
+        arg.find_first_not_of("0123456789") != std::string::npos) {
+        parsed.valid = false;
+        return parsed;
+    }
+    parsed.arg = static_cast<std::size_t>(
+        std::strtoull(arg.c_str(), nullptr, 10));
+    parsed.hasArg = true;
+    parsed.valid = parsed.arg > 0;
+    return parsed;
+}
+
+/** The paper's behavior: the coldest candidate. Candidates arrive MRU
+ *  first, so this is simply the last one — bit-identical to the PR 5
+ *  flat-array walk. */
+class LruVictimPolicy final : public VictimPolicy
+{
+  public:
+    std::string name() const override { return "lru"; }
+
+    std::size_t pick(const VictimView *, std::size_t n) const override
+    {
+        return n - 1;
+    }
+};
+
+/** Fewest demand touches wins; colder candidate breaks ties, so an
+ *  untouched streaming page always leaves before an equally-cold page
+ *  that was re-referenced. */
+class LfuVictimPolicy final : public VictimPolicy
+{
+  public:
+    std::string name() const override { return "lfu"; }
+
+    std::size_t pick(const VictimView *candidates,
+                     std::size_t n) const override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i)
+            if (candidates[i].touches <= candidates[best].touches)
+                best = i;
+        return best;
+    }
+};
+
+/** Scan-resistant: evict the coldest candidate that never proved
+ *  itself (fewer than @p threshold touches), so a sequential scan
+ *  cycles through probationary ways without displacing the hot set.
+ *  When every candidate is proven, fall back to plain LRU. */
+class ScanVictimPolicy final : public VictimPolicy
+{
+  public:
+    explicit ScanVictimPolicy(std::size_t threshold)
+        : threshold_(static_cast<std::uint32_t>(threshold))
+    {}
+
+    std::string name() const override
+    {
+        return "scan:" + std::to_string(threshold_);
+    }
+
+    std::size_t pick(const VictimView *candidates,
+                     std::size_t n) const override
+    {
+        for (std::size_t i = n; i-- > 0;)
+            if (candidates[i].touches < threshold_)
+                return i;
+        return n - 1;
+    }
+
+  private:
+    std::uint32_t threshold_;
+};
+
+/** Writeback-batching: prefer the coldest dirty candidate so its
+ *  lines ship while the eviction pipeline is touching the page
+ *  anyway; clean sets degrade to LRU. */
+class DirtyFirstVictimPolicy final : public VictimPolicy
+{
+  public:
+    std::string name() const override { return "dirty"; }
+
+    std::size_t pick(const VictimView *candidates,
+                     std::size_t n) const override
+    {
+        for (std::size_t i = n; i-- > 0;)
+            if (candidates[i].dirty)
+                return i;
+        return n - 1;
+    }
+
+    bool wantsDirty() const override { return true; }
+};
+
+} // namespace
+
+std::unique_ptr<VictimPolicy>
+makeVictimPolicy(const std::string &spec)
+{
+    ParsedSpec p = parseSpec(spec);
+    if (!p.valid)
+        fatal("bad victim spec \"", spec,
+              "\": expected policy[:arg] with arg >= 1");
+    if (p.hasArg && p.policy != "scan")
+        fatal("victim policy \"", p.policy, "\" takes no argument");
+    if (p.policy.empty() || p.policy == "lru")
+        return std::make_unique<LruVictimPolicy>();
+    if (p.policy == "lfu")
+        return std::make_unique<LfuVictimPolicy>();
+    if (p.policy == "scan")
+        return std::make_unique<ScanVictimPolicy>(
+            p.arg != 0 ? p.arg : 2);
+    if (p.policy == "dirty")
+        return std::make_unique<DirtyFirstVictimPolicy>();
+    fatal("unknown victim policy \"", p.policy,
+          "\"; known: lru lfu scan dirty");
+}
+
+bool
+knownVictimPolicy(const std::string &spec)
+{
+    ParsedSpec p = parseSpec(spec);
+    if (!p.valid)
+        return false;
+    if (p.hasArg && p.policy != "scan")
+        return false;
+    return p.policy.empty() || p.policy == "lru" ||
+           p.policy == "lfu" || p.policy == "scan" ||
+           p.policy == "dirty";
+}
+
+const std::vector<std::string> &
+victimPolicyNames()
+{
+    static const std::vector<std::string> names = {"lru", "lfu",
+                                                   "scan", "dirty"};
+    return names;
+}
+
+} // namespace kona

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * VictimPolicy: pluggable within-set replacement for the FMem tag
+ * store. PR 5 flattened FMemCache into a recency-ordered array; this
+ * turns "slot used-1 is the victim" from the API into one policy
+ * (LRU) among several, selected by a spec string "policy[:arg]" the
+ * same way the prefetch engine is.
+ *
+ * A policy is pure selection: FMemCache builds the candidate view —
+ * resident, un-fenced ways of one set, MRU first — and the policy
+ * picks an index. Fencing (eviction in flight), coherence governance
+ * and the full-set fallback all stay in FMemCache, so every policy
+ * inherits the same safety rules.
+ *
+ * Policies (spec strings):
+ *   lru             least-recently-used (the paper's behavior; default)
+ *   lfu             fewest demand touches, recency as tie-break
+ *   scan[:t]        scan-resistant (2Q/CLOCK-Pro flavored): prefer the
+ *                   coldest way with fewer than t touches (default 2),
+ *                   so one-shot scan pages leave before the hot set
+ *   dirty           prefer the coldest dirty way so writebacks batch
+ *                   with eviction; clean-LRU when nothing is dirty
+ */
+
+#ifndef KONA_POLICY_VICTIM_POLICY_H
+#define KONA_POLICY_VICTIM_POLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kona {
+
+/** One eviction candidate as the tag store presents it to a policy. */
+struct VictimView
+{
+    Addr vpn;              ///< VFMem page number
+    std::size_t frame;     ///< frame it occupies
+    std::uint32_t recency; ///< 0 = MRU; higher = colder
+    std::uint32_t touches; ///< demand touches since fill (saturating)
+    bool dirty;            ///< has unwritten lines (via dirty probe)
+    bool speculative;      ///< speculative fill, never demand-touched
+};
+
+/** Within-set victim selection over a candidate view. */
+class VictimPolicy
+{
+  public:
+    virtual ~VictimPolicy() = default;
+
+    /** Human-readable policy name ("scan:2"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Pick the victim among @p n >= 1 candidates ordered MRU first
+     * (candidates[i].recency increases with i). Returns an index in
+     * [0, n).
+     */
+    virtual std::size_t pick(const VictimView *candidates,
+                             std::size_t n) const = 0;
+
+    /**
+     * Whether pick() reads the dirty bit. The tag store only pays for
+     * the dirty-line probe when a policy asks for it, keeping the
+     * default LRU path byte-for-byte as cheap as before.
+     */
+    virtual bool wantsDirty() const { return false; }
+};
+
+/**
+ * Build the policy described by @p spec ("policy[:arg]", see the file
+ * comment). Unknown names or malformed args are fatal(). Never
+ * returns nullptr: "lru" is a real policy, not an off switch.
+ */
+std::unique_ptr<VictimPolicy> makeVictimPolicy(const std::string &spec);
+
+/** Whether @p spec parses; for CLI validation. */
+bool knownVictimPolicy(const std::string &spec);
+
+/** The policy names, for usage strings. */
+const std::vector<std::string> &victimPolicyNames();
+
+} // namespace kona
+
+#endif // KONA_POLICY_VICTIM_POLICY_H

@@ -7,8 +7,10 @@
 
 namespace kona {
 
-Controller::Controller(std::size_t slabSize, MetricScope scope)
+Controller::Controller(std::size_t slabSize, MetricScope scope,
+                       const std::string &placementPolicy)
     : slabSize_(slabSize), scope_(std::move(scope)),
+      placement_(makePlacementPolicy(placementPolicy)),
       slabsAllocated_(scope_.counter("slabs_allocated")),
       nodesFailed_(scope_.counter("nodes_failed")),
       slabsRebuilt_(scope_.counter("slabs_rebuilt")),
@@ -47,43 +49,83 @@ Controller::removeNode(NodeId node)
                          membershipEpoch_);
 }
 
+SlabGrant
+Controller::grantFrom(MemoryNode *node)
+{
+    auto offset = node->allocateSlab(slabSize_);
+    KONA_ASSERT(offset.has_value(), "node free-space accounting broke");
+    SlabGrant grant;
+    grant.slab = nextSlab_++;
+    grant.where = {node->id(), *offset};
+    grant.size = slabSize_;
+    grant.regionKey = node->slabRegion().key;
+    slabsAllocated_.add();
+    return grant;
+}
+
+std::optional<SlabGrant>
+Controller::allocateSlab(const PlacementRequest &req)
+{
+    MemoryNode *chosen = nullptr;
+    if (req.pinTo.has_value()) {
+        // Pinned placement (rebalance target): bypasses the policy
+        // and the health filter — a Joining node must be able to
+        // receive slabs before it takes traffic.
+        auto it = nodes_.find(*req.pinTo);
+        KONA_ASSERT(it != nodes_.end(), "unknown node ", *req.pinTo);
+        if (it->second->bytesFree() >= slabSize_)
+            chosen = it->second;
+    } else {
+        candidates_.clear();
+        candidateNodes_.clear();
+        for (auto &[id, node] : nodes_) {
+            if (!takesPlacements(id))
+                continue;
+            if (std::find(req.avoid.begin(), req.avoid.end(), id) !=
+                req.avoid.end())
+                continue;
+            if (node->bytesFree() < slabSize_)
+                continue;
+            auto sit = scores_.find(id);
+            candidates_.push_back(
+                {id, node->bytesFree(),
+                 sit == scores_.end() ? 0.0 : scoreOf(sit->second),
+                 health(id) == NodeHealth::Readmitted});
+            candidateNodes_.push_back(node);
+        }
+        if (!candidates_.empty()) {
+            std::size_t picked = placement_->choose(
+                candidates_.data(), candidates_.size(), req);
+            KONA_ASSERT(picked < candidates_.size(),
+                        "placement policy picked out of range");
+            chosen = candidateNodes_[picked];
+        }
+    }
+    if (chosen == nullptr) {
+        if (req.required)
+            fatal("rack out of disaggregated memory (", nodes_.size(),
+                  " nodes, need ", slabSize_, " bytes)");
+        return std::nullopt;
+    }
+    return grantFrom(chosen);
+}
+
 std::optional<SlabGrant>
 Controller::allocateSlabAvoiding(const std::vector<NodeId> &avoid)
 {
-    MemoryNode *best = nullptr;
-    for (auto &[id, node] : nodes_) {
-        if (!takesPlacements(id))
-            continue;
-        if (std::find(avoid.begin(), avoid.end(), id) != avoid.end())
-            continue;
-        if (node->bytesFree() < slabSize_)
-            continue;
-        if (best == nullptr || node->bytesFree() > best->bytesFree())
-            best = node;
-    }
-    if (best == nullptr)
-        return std::nullopt;
-
-    auto offset = best->allocateSlab(slabSize_);
-    KONA_ASSERT(offset.has_value(), "node free-space accounting broke");
-
-    SlabGrant grant;
-    grant.slab = nextSlab_++;
-    grant.where = {best->id(), *offset};
-    grant.size = slabSize_;
-    grant.regionKey = best->slabRegion().key;
-    slabsAllocated_.add();
-    return grant;
+    return allocateSlab(PlacementRequest{.avoid = avoid});
 }
 
 SlabGrant
 Controller::allocateSlab()
 {
-    auto grant = allocateSlabAvoiding({});
-    if (!grant.has_value())
-        fatal("rack out of disaggregated memory (", nodes_.size(),
-              " nodes, need ", slabSize_, " bytes)");
-    return *grant;
+    return *allocateSlab(PlacementRequest{.required = true});
+}
+
+void
+Controller::setPlacementPolicy(const std::string &spec)
+{
+    placement_ = makePlacementPolicy(spec);
 }
 
 void
@@ -451,25 +493,6 @@ Controller::migrate(NodeId from, bool sourceAlive,
     return report;
 }
 
-std::optional<SlabGrant>
-Controller::allocateSlabOn(NodeId id)
-{
-    auto it = nodes_.find(id);
-    KONA_ASSERT(it != nodes_.end(), "unknown node ", id);
-    MemoryNode *node = it->second;
-    if (node->bytesFree() < slabSize_)
-        return std::nullopt;
-    auto offset = node->allocateSlab(slabSize_);
-    KONA_ASSERT(offset.has_value(), "node free-space accounting broke");
-    SlabGrant grant;
-    grant.slab = nextSlab_++;
-    grant.where = {id, *offset};
-    grant.size = slabSize_;
-    grant.regionKey = node->slabRegion().key;
-    slabsAllocated_.add();
-    return grant;
-}
-
 RebuildReport
 Controller::rebalanceOnto(NodeId target,
                           std::vector<PlacementRef> &placements)
@@ -537,7 +560,7 @@ Controller::rebalanceOnto(NodeId target,
             break;
         }
 
-        auto replacement = allocateSlabOn(target);
+        auto replacement = allocateSlab({.pinTo = target});
         if (!replacement.has_value()) {
             report.slabsUnrebuilt += 1;
             break;   // target is full: the rebalance is as far as it goes
@@ -571,7 +594,7 @@ Controller::rehomeCopy(SlabGrant &grant, const SlabGrant &source,
                        const std::vector<NodeId> &occupied,
                        RebuildReport &report)
 {
-    auto replacement = allocateSlabAvoiding(occupied);
+    auto replacement = allocateSlab({.avoid = occupied});
     if (!replacement.has_value()) {
         report.slabsUnrebuilt += 1;
         warn("no healthy node has room to re-home slab ", grant.slab,

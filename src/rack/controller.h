@@ -16,11 +16,14 @@
 #ifndef KONA_RACK_CONTROLLER_H
 #define KONA_RACK_CONTROLLER_H
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "policy/placement_policy.h"
 #include "rack/memory_node.h"
 #include "telemetry/event_journal.h"
 #include "telemetry/metric_registry.h"
@@ -112,9 +115,14 @@ class Controller
     /** Consecutive op failures before a node is declared Failed. */
     static constexpr std::uint32_t defaultFailureThreshold = 5;
 
-    /** @param scope Telemetry scope for the allocation/heal counters. */
+    /**
+     * @param scope Telemetry scope for the allocation/heal counters.
+     * @param placementPolicy Slab placement policy spec (free, first,
+     *        rr, health — see src/policy/placement_policy.h).
+     */
     explicit Controller(std::size_t slabSize = defaultSlabSize,
-                        MetricScope scope = {});
+                        MetricScope scope = {},
+                        const std::string &placementPolicy = "free");
 
     /** A memory node exposes its pool to applications. */
     void registerNode(MemoryNode &node);
@@ -123,18 +131,32 @@ class Controller
     void removeNode(NodeId node);
 
     /**
-     * Allocate one slab, preferring the healthy node with the most free
-     * space (simple balancing). Fatal when the rack is out of memory.
+     * Allocate one slab as described by @p req: among the nodes that
+     * take placements, have room, and are not in req.avoid, the
+     * configured PlacementPolicy picks the target. req.pinTo bypasses
+     * both the policy and the health filter (rebalance targets
+     * Joining nodes). Returns nullopt when nothing fits — unless
+     * req.required, which makes that fatal.
      */
+    std::optional<SlabGrant> allocateSlab(const PlacementRequest &req);
+
+    /** Old entry point: allocateSlab({.required = true}). */
+    [[deprecated("use allocateSlab(const PlacementRequest&)")]]
     SlabGrant allocateSlab();
 
-    /**
-     * Like allocateSlab but skips nodes in @p avoid (so a rebuilt copy
-     * never lands next to another copy of the same data); returns
-     * nullopt instead of dying when no eligible node has room.
-     */
+    /** Old entry point: allocateSlab({.avoid = avoid}). */
+    [[deprecated("use allocateSlab(const PlacementRequest&)")]]
     std::optional<SlabGrant>
     allocateSlabAvoiding(const std::vector<NodeId> &avoid);
+
+    /** Swap the placement policy ("policy", no argument). */
+    void setPlacementPolicy(const std::string &spec);
+
+    /** Name of the active placement policy ("free", "rr"...). */
+    std::string placementPolicyName() const
+    {
+        return placement_->name();
+    }
 
     /** Return a slab to its node. No-op if the node has failed. */
     void freeSlab(const SlabGrant &grant);
@@ -323,8 +345,8 @@ class Controller
                     const std::vector<NodeId> &occupied,
                     RebuildReport &report);
 
-    /** Allocate one slab specifically on @p id (rebalance target). */
-    std::optional<SlabGrant> allocateSlabOn(NodeId id);
+    /** Assemble the grant for a slab carved out of @p node. */
+    SlabGrant grantFrom(MemoryNode *node);
 
     /** Fold one observation into @p node's score, then re-evaluate
      *  the membership state machine. */
@@ -339,6 +361,11 @@ class Controller
 
     std::size_t slabSize_;
     MetricScope scope_;
+    std::unique_ptr<PlacementPolicy> placement_;
+    /** Scratch for allocateSlab (parallel: candidateNodes_[i] backs
+     *  candidates_[i]); members so repeated allocations reuse them. */
+    std::vector<PlacementCandidate> candidates_;
+    std::vector<MemoryNode *> candidateNodes_;
     std::unordered_map<NodeId, MemoryNode *> nodes_;
     std::unordered_map<NodeId, NodeHealth> health_;
     std::unordered_map<NodeId, std::uint32_t> consecFailures_;

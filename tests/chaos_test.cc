@@ -217,8 +217,9 @@ TEST(ControllerHealthMachine, QuarantinedNodeTakesNoPlacements)
     while (c.health(2) != NodeHealth::Quarantined)
         c.reportOpFailure(2);
     for (int i = 0; i < 4; ++i)
-        EXPECT_EQ(c.allocateSlab().where.node, 1u);
-    EXPECT_TRUE(c.allocateSlabAvoiding({1}) == std::nullopt);
+        EXPECT_EQ(c.allocateSlab(PlacementRequest{})->where.node, 1u);
+    EXPECT_TRUE(c.allocateSlab(PlacementRequest{.avoid = {1}}) ==
+                std::nullopt);
 }
 
 TEST(ControllerHealthMachine, NakIsSofterEvidenceThanTimeout)

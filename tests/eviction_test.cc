@@ -229,7 +229,7 @@ TEST_F(EvictionFixture, PumpKeepsFreeWays)
     handler().pump(bg, 1);
     // Every set now has at least one free way: inserting any new page
     // cannot require a forced eviction.
-    EXPECT_TRUE(runtime->fpga().backgroundVictims(1).empty());
+    EXPECT_EQ(runtime->fpga().backgroundVictims(1, nullptr, 0), 0u);
     EXPECT_GT(bg.now(), 0u);
 }
 

@@ -555,7 +555,9 @@ TEST(ControllerHealth, ConsecutiveFailuresDeclareDeath)
 
     // A failed node takes no new placements.
     for (int i = 0; i < 3; ++i)
-        EXPECT_EQ(controller.allocateSlab().where.node, 2u);
+        EXPECT_EQ(
+            controller.allocateSlab(PlacementRequest{})->where.node,
+            2u);
 }
 
 TEST(ControllerHealth, DrainingNodeTakesNoNewSlabs)
@@ -568,9 +570,11 @@ TEST(ControllerHealth, DrainingNodeTakesNoNewSlabs)
     controller.drainNode(1);
     EXPECT_EQ(controller.health(1), NodeHealth::Draining);
     for (int i = 0; i < 3; ++i)
-        EXPECT_EQ(controller.allocateSlab().where.node, 2u);
-    EXPECT_TRUE(
-        controller.allocateSlabAvoiding({2}) == std::nullopt);
+        EXPECT_EQ(
+            controller.allocateSlab(PlacementRequest{})->where.node,
+            2u);
+    EXPECT_TRUE(controller.allocateSlab(
+                    PlacementRequest{.avoid = {2}}) == std::nullopt);
 }
 
 // ---------------------------------------------------------------------

@@ -57,16 +57,32 @@ TEST(FMemCache, InsertIntoFullSetIsFatal)
     EXPECT_THROW(fmem.insert(4), PanicError);
 }
 
+/**
+ * Collect overOccupiedVictims through the fixed-buffer protocol the
+ * way EvictionHandler::pump does: count, size, re-ask.
+ */
+std::vector<FMemCache::Victim>
+victimsOf(const FMemCache &fmem, std::size_t freeWays)
+{
+    std::size_t owed = fmem.overOccupiedVictims(freeWays, nullptr, 0);
+    std::vector<FMemCache::Victim> out(owed);
+    if (owed > 0)
+        EXPECT_EQ(fmem.overOccupiedVictims(freeWays, out.data(),
+                                           out.size()),
+                  owed);
+    return out;
+}
+
 TEST(FMemCache, OverOccupiedVictims)
 {
     FMemCache fmem(8 * pageSize, 4);
     for (Addr vpn : {0, 2, 4, 6})
         fmem.insert(vpn);   // set 0 full
     fmem.insert(1);         // set 1 one way used
-    auto victims = fmem.overOccupiedVictims(1);
+    auto victims = victimsOf(fmem, 1);
     ASSERT_EQ(victims.size(), 1u);
     EXPECT_EQ(victims[0].vfmemPage, 0u);
-    victims = fmem.overOccupiedVictims(2);
+    victims = victimsOf(fmem, 2);
     // Set 0 needs 2 free ways -> 2 victims; set 1 has 3 free already.
     EXPECT_EQ(victims.size(), 2u);
 }
@@ -83,7 +99,7 @@ TEST(FMemCache, OverOccupiedVictimsSkipsFencedWays)
     // look past them and pick the next-oldest unfenced way.
     fmem.setEvictionInFlight(0, true);
     fmem.setEvictionInFlight(2, true);
-    auto victims = fmem.overOccupiedVictims(1);
+    auto victims = victimsOf(fmem, 1);
     ASSERT_EQ(victims.size(), 2u);   // one per full set
     EXPECT_EQ(victims[0].vfmemPage, 4u);   // set 0: oldest unfenced
     EXPECT_EQ(victims[1].vfmemPage, 1u);   // set 1: plain LRU
@@ -92,7 +108,7 @@ TEST(FMemCache, OverOccupiedVictimsSkipsFencedWays)
     // candidate is already on its way out), and set 1 is unaffected.
     fmem.setEvictionInFlight(4, true);
     fmem.setEvictionInFlight(6, true);
-    victims = fmem.overOccupiedVictims(2);
+    victims = victimsOf(fmem, 2);
     ASSERT_EQ(victims.size(), 2u);
     EXPECT_EQ(victims[0].vfmemPage, 1u);
     EXPECT_EQ(victims[1].vfmemPage, 3u);
@@ -101,11 +117,11 @@ TEST(FMemCache, OverOccupiedVictimsSkipsFencedWays)
     // count-first path returns an empty vector without reserving).
     for (Addr vpn : {1, 3, 5, 7})
         fmem.setEvictionInFlight(vpn, true);
-    EXPECT_TRUE(fmem.overOccupiedVictims(4).empty());
+    EXPECT_TRUE(victimsOf(fmem, 4).empty());
 
     // Unfencing restores eligibility.
     fmem.setEvictionInFlight(0, false);
-    victims = fmem.overOccupiedVictims(1);
+    victims = victimsOf(fmem, 1);
     ASSERT_EQ(victims.size(), 1u);
     EXPECT_EQ(victims[0].vfmemPage, 0u);
     EXPECT_TRUE(fmem.checkInvariants());
@@ -206,7 +222,8 @@ class FpgaFixture : public ::testing::Test
         // Map four contiguous slabs at the base of VFMem.
         base = cfg.vfmemBase;
         for (int i = 0; i < 4; ++i) {
-            SlabGrant g = controller.allocateSlab();
+            SlabGrant g = *controller.allocateSlab(
+                PlacementRequest{.required = true});
             fpga->translation().addSlab(base + i * g.size, g);
             if (i == 0)
                 slab = g;
@@ -311,7 +328,8 @@ TEST_F(FpgaFixture, FailoverToReplica)
     // Second node with a replica of the slab.
     MemoryNode node2(fabric, 8, 32 * MiB);
     controller.registerNode(node2);
-    SlabGrant replica = controller.allocateSlab();
+    SlabGrant replica =
+        *controller.allocateSlab(PlacementRequest{.required = true});
     ASSERT_EQ(replica.where.node, 8u);
 
     FpgaConfig cfg = fpga->config();

@@ -291,7 +291,8 @@ class PrefetchEngineFixture : public ::testing::Test
     {
         auto fpga = std::make_unique<CoherentFpga>(fabric, 0, cfg);
         for (int i = 0; i < 4; ++i) {
-            SlabGrant g = controller.allocateSlab();
+            SlabGrant g =
+                *controller.allocateSlab(PlacementRequest{.required = true});
             fpga->translation().addSlab(base + i * g.size, g);
         }
         return fpga;
@@ -383,8 +384,8 @@ TEST_F(PrefetchEngineFixture, PrefetchFallsBackToReplicaOnDownNode)
     FpgaConfig cfg = baseConfig;
     cfg.prefetchPolicy = "next:1";
     CoherentFpga fpga(fabric, 3, cfg);
-    SlabGrant a = controller.allocateSlab();
-    SlabGrant b = controller.allocateSlab();
+    SlabGrant a = *controller.allocateSlab(PlacementRequest{.required = true});
+    SlabGrant b = *controller.allocateSlab(PlacementRequest{.required = true});
     ASSERT_NE(a.where.node, b.where.node);
     SlabGrant primary = a.where.node == 7 ? a : b;
     SlabGrant replica = a.where.node == 7 ? b : a;

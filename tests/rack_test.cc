@@ -77,7 +77,8 @@ TEST_F(RackFixture, SlabAllocationBalancesNodes)
 {
     std::vector<SlabGrant> grants;
     for (int i = 0; i < 8; ++i)
-        grants.push_back(controller.allocateSlab());
+        grants.push_back(
+            *controller.allocateSlab(PlacementRequest{.required = true}));
     int onFirst = 0;
     for (const auto &g : grants) {
         if (g.where.node == 10)
@@ -91,15 +92,16 @@ TEST_F(RackFixture, SlabAllocationBalancesNodes)
 
 TEST_F(RackFixture, SlabIdsUnique)
 {
-    auto a = controller.allocateSlab();
-    auto b = controller.allocateSlab();
+    auto a = *controller.allocateSlab(PlacementRequest{.required = true});
+    auto b = *controller.allocateSlab(PlacementRequest{.required = true});
     EXPECT_NE(a.slab, b.slab);
 }
 
 TEST_F(RackFixture, FreeSlabReturnsCapacity)
 {
     std::size_t before = controller.totalFree();
-    SlabGrant g = controller.allocateSlab();
+    SlabGrant g =
+        *controller.allocateSlab(PlacementRequest{.required = true});
     EXPECT_EQ(controller.totalFree(), before - 1 * MiB);
     controller.freeSlab(g);
     EXPECT_EQ(controller.totalFree(), before);
@@ -110,17 +112,22 @@ TEST_F(RackFixture, ExhaustionIsFatal)
     // Each node has ~12MB of slab area (16MB minus the 4MB log area).
     std::vector<SlabGrant> grants;
     for (int i = 0; i < 24; ++i)
-        grants.push_back(controller.allocateSlab());
-    EXPECT_THROW(controller.allocateSlab(), FatalError);
+        grants.push_back(
+            *controller.allocateSlab(PlacementRequest{.required = true}));
+    EXPECT_THROW(controller.allocateSlab(
+                     PlacementRequest{.required = true}),
+                 FatalError);
     controller.freeSlab(grants.back());
-    EXPECT_NO_THROW(controller.allocateSlab());
+    EXPECT_NO_THROW(
+        controller.allocateSlab(PlacementRequest{.required = true}));
 }
 
 TEST_F(RackFixture, RemovedNodeReceivesNoSlabs)
 {
     controller.removeNode(10);
     for (int i = 0; i < 4; ++i)
-        EXPECT_EQ(controller.allocateSlab().where.node, 11u);
+        EXPECT_EQ(controller.allocateSlab(PlacementRequest{})->where.node,
+                  11u);
 }
 
 TEST_F(RackFixture, NodeLookup)
@@ -131,7 +138,8 @@ TEST_F(RackFixture, NodeLookup)
 
 TEST_F(RackFixture, LogReceiverDistributesLines)
 {
-    SlabGrant g = controller.allocateSlab();
+    SlabGrant g =
+        *controller.allocateSlab(PlacementRequest{.required = true});
     MemoryNode &node = controller.node(g.where.node);
 
     // Build a log with two runs targeting the slab.
