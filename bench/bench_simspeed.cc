@@ -18,16 +18,28 @@
  * --strict-alloc turns any steady-state allocation on the resident
  * mixes into a failure; CI runs with it.
  *
+ * The "mrandom" mix drives the same random workload through FOUR
+ * compute nodes of a MultiRack under the parallel engine (ShardGate +
+ * ParallelDriver, DESIGN.md §16), sweeping the shard-concurrency cap.
+ * Every thread count must produce the bit-identical run — identical
+ * metric-registry fingerprint, identical memory content, identical
+ * canonical cross-shard event log — and the t>1 rows report their
+ * speedup over the t=1 reference schedule.
+ *
  * Flags: --quick (short CI preset), --strict-alloc,
+ *        --threads=N (sweep {1,N} instead of {1,2,4,8}),
  *        --metrics-json=PATH (exports result.simspeed.*).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
 #include "bench/alloc_hook.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "rack/multi_rack.h"
+#include "rack/parallel_driver.h"
 
 namespace kona {
 namespace {
@@ -281,6 +293,126 @@ runGraph(std::uint64_t ops)
     return r;
 }
 
+/** One parallel-engine run: throughput plus the identity evidence. */
+struct MultiResult
+{
+    unsigned threads = 0;
+    MixResult mix;
+    std::uint64_t identityHash = 0; ///< fingerprint ⊕ content ⊕ log
+    std::uint64_t steadyAllocs = 0; ///< allocs while every shard steady
+};
+
+constexpr std::size_t mrandomShards = 4;
+constexpr std::size_t mrandomSpan = 8 * MiB; ///< FMem-resident / shard
+
+std::uint64_t
+fnvMix(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/**
+ * Random 8B accesses (30% writes), one private FMem-resident span per
+ * compute node, under ParallelDriver with concurrency cap @p threads.
+ * Each shard's access stream is a pure function of its own seed, and
+ * all cross-shard effects (slab maps, log flushes, evictions) happen
+ * inside gated sections, so the whole run is deterministic.
+ *
+ * Steady-state allocations are measured over the window in which every
+ * shard is past warm-up AND past half of its ops but none has finished
+ * — the only interval where "zero allocations" is a fair demand of a
+ * run that spawns threads and demand-maps slabs at the start.
+ */
+MultiResult
+runMultiRandom(std::uint64_t opsPerShard, unsigned threads)
+{
+    MultiRackConfig cfg;
+    cfg.computeNodes = mrandomShards;
+    MultiRack rack(cfg);
+
+    std::vector<Addr> bases;
+    for (std::size_t i = 0; i < rack.runtimeCount(); ++i)
+        bases.push_back(rack.runtime(i).allocate(mrandomSpan, pageSize));
+
+    std::vector<std::uint64_t> halfMark(rack.runtimeCount(), 0);
+    std::vector<std::uint64_t> endMark(rack.runtimeCount(), 0);
+
+    MultiResult out;
+    out.threads = threads;
+    out.mix.name = "mrandom.t" + std::to_string(threads);
+    out.mix.ops = opsPerShard * rack.runtimeCount();
+
+    std::uint64_t h = 1469598103934665603ULL;
+    Tick simStart = rack.runtime(0).appTime();
+    {
+        ParallelDriver driver(rack, threads);
+        Clock::time_point t0 = Clock::now();
+        driver.run([&](std::size_t shard, KonaRuntime &rt) {
+            Addr base = bases[shard];
+            warmSpan(rt, base, mrandomSpan);
+            Rng rng(0xbe7aull + shard);
+            std::uint64_t buf = 0;
+            for (std::uint64_t i = 0; i < opsPerShard; ++i) {
+                if (i == opsPerShard / 2)
+                    halfMark[shard] = bench::allocCount();
+                Addr addr = base + rng.below(mrandomSpan / 8) * 8;
+                if (rng.chance(0.3)) {
+                    buf = (i << 8) ^ shard;
+                    rt.write(addr, &buf, sizeof(buf));
+                } else {
+                    rt.read(addr, &buf, sizeof(buf));
+                }
+            }
+            endMark[shard] = bench::allocCount();
+        });
+        Clock::time_point t1 = Clock::now();
+        out.mix.wallNs = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                 t0)
+                .count());
+        out.mix.simNs = rack.runtime(0).appTime() - simStart;
+
+        std::uint64_t maxHalf =
+            *std::max_element(halfMark.begin(), halfMark.end());
+        std::uint64_t minEnd =
+            *std::min_element(endMark.begin(), endMark.end());
+        out.steadyAllocs = minEnd > maxHalf ? minEnd - maxHalf : 0;
+        out.mix.allocs = out.steadyAllocs;
+
+        // Identity evidence, part 1+2: every metric the rack-wide
+        // registry holds, then the canonical cross-shard event log.
+        h = fnvMix(h, rack.metrics()->fingerprint());
+        for (const GateRecord &rec : driver.canonicalLog()) {
+            h = fnvMix(h, rec.key.stamp);
+            h = fnvMix(h, rec.key.shard);
+            h = fnvMix(h, rec.key.seq);
+            h = fnvMix(h, static_cast<std::uint64_t>(rec.kind));
+        }
+        h = fnvMix(h, driver.gate().recordsDropped());
+    } // ~ParallelDriver: detach the gate before main-thread reads
+
+    // Part 3: the bytes of every span (reads of resident pages; the
+    // fingerprint above was captured first, so this can't perturb it
+    // differently per thread count — and it runs gate-free).
+    std::vector<std::uint8_t> page(pageSize);
+    for (std::size_t i = 0; i < rack.runtimeCount(); ++i) {
+        for (std::size_t off = 0; off < mrandomSpan; off += pageSize) {
+            rack.runtime(i).read(bases[i] + off, page.data(),
+                                 pageSize);
+            for (std::size_t b = 0; b < pageSize; ++b) {
+                h ^= page[b];
+                h *= 1099511628211ULL;
+            }
+        }
+    }
+    out.identityHash = h;
+    return out;
+}
+
 } // namespace
 } // namespace kona
 
@@ -300,7 +432,7 @@ main(int argc, char **argv)
             strictAlloc = true;
         else
             fatal("unknown flag \"", argv[i],
-                  "\"; known: --quick --strict-alloc "
+                  "\"; known: --quick --strict-alloc --threads=N "
                   "--metrics-json=PATH");
     }
 
@@ -336,8 +468,58 @@ main(int argc, char **argv)
                 "demand-fetches and evicts, so its miss path may "
                 "allocate.\n");
 
+    // Parallel engine: 4 compute nodes, random mix, concurrency sweep.
+    std::vector<unsigned> sweep = {1, 2, 4, 8};
+    if (bench::exportOptions().threads != 0)
+        sweep = {1, bench::exportOptions().threads};
+    sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+
+    std::uint64_t perShard = 500'000 / scale;
+    std::vector<MultiResult> multi;
+    for (unsigned t : sweep)
+        multi.push_back(runMultiRandom(perShard, t));
+
+    bench::section(
+        "Parallel engine (4 compute nodes, random mix, ShardGate)");
+    bench::row("threads", {"accesses", "wall ms", "Macc/s",
+                           "speedup", "identical", "allocs"});
+    bool parallelBroken = false;
+    double t1Rate = opsPerSec(multi.front().mix);
+    for (const MultiResult &m : multi) {
+        bool identical =
+            m.identityHash == multi.front().identityHash;
+        double speedup =
+            t1Rate > 0 ? opsPerSec(m.mix) / t1Rate : 0.0;
+        bench::row("t=" + std::to_string(m.threads),
+                   {bench::fmtInt(m.mix.ops),
+                    bench::fmt(m.mix.wallNs / 1e6, 1),
+                    bench::fmt(opsPerSec(m.mix) / 1e6),
+                    bench::fmt(speedup), identical ? "yes" : "NO",
+                    bench::fmtInt(m.steadyAllocs)});
+        std::string key = "simspeed." + m.mix.name;
+        bench::recordResult(key + ".accesses_per_sec",
+                            opsPerSec(m.mix));
+        bench::recordResult(key + ".speedup_vs_t1", speedup);
+        bench::recordResult(key + ".identical_to_t1",
+                            identical ? 1.0 : 0.0);
+        bench::recordResult(key + ".allocs_per_access",
+                            allocsPerOp(m.mix));
+        if (!identical)
+            parallelBroken = true;
+        if (m.steadyAllocs != 0)
+            residentAllocs = true;
+    }
+    std::printf("\nEvery thread count must reproduce the t=1 run bit "
+                "for bit (identical = yes);\nspeedup is wall-clock "
+                "and depends on available cores.\n");
+
     bench::flushExports();
 
+    if (parallelBroken) {
+        std::printf("FAIL: a parallel run diverged from the t=1 "
+                    "reference (identity hash mismatch)\n");
+        return 1;
+    }
     if (strictAlloc && residentAllocs) {
         std::printf("FAIL: steady-state heap allocations detected on a "
                     "resident mix (--strict-alloc)\n");

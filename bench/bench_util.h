@@ -46,6 +46,7 @@ struct ExportOptions
     std::string timeseriesOut;   ///< --timeseries-out=PATH (.json/.csv)
     std::string eventsOut;       ///< --events-out=PATH (JSONL)
     Tick timeseriesIntervalNs = 1'000'000; ///< --timeseries-interval=NS
+    unsigned threads = 0;        ///< --threads=N (0 = bench default)
 };
 
 inline ExportOptions &
@@ -76,8 +77,8 @@ exportScope(const std::string &prefix = "")
 
 /**
  * Strip --metrics-json=, --trace-out=, --prefetch=, --victim=,
- * --placement=, --tiering=, --timeseries-out=, --timeseries-interval=
- * and --events-out= out of argv, leaving every other argument in
+ * --placement=, --tiering=, --timeseries-out=, --timeseries-interval=,
+ * --threads= and --events-out= out of argv, leaving every other argument in
  * place. Call first thing in main, before any other argument parsing
  * (including benchmark::Initialize, which rejects flags it does not
  * know). A bad policy spec is fatal() here rather than deep inside a
@@ -99,6 +100,7 @@ parseExportFlags(int &argc, char **argv)
         constexpr std::string_view victimFlag = "--victim=";
         constexpr std::string_view placementFlag = "--placement=";
         constexpr std::string_view tieringFlag = "--tiering=";
+        constexpr std::string_view threadsFlag = "--threads=";
         if (arg.substr(0, metricsFlag.size()) == metricsFlag) {
             exportOptions().metricsJson = arg.substr(metricsFlag.size());
         } else if (arg.substr(0, traceFlag.size()) == traceFlag) {
@@ -114,6 +116,15 @@ parseExportFlags(int &argc, char **argv)
                 fatal("bad --timeseries-interval= value \"", spec,
                       "\"; want a positive sim-time interval in ns");
             exportOptions().timeseriesIntervalNs = ns;
+        } else if (arg.substr(0, threadsFlag.size()) == threadsFlag) {
+            std::string spec(arg.substr(threadsFlag.size()));
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(spec.c_str(), &end, 10);
+            if (end == spec.c_str() || *end != '\0' || n == 0 ||
+                n > 256)
+                fatal("bad --threads= value \"", spec,
+                      "\"; want a shard-concurrency cap in [1, 256]");
+            exportOptions().threads = static_cast<unsigned>(n);
         } else if (arg.substr(0, eventsFlag.size()) == eventsFlag) {
             exportOptions().eventsOut = arg.substr(eventsFlag.size());
         } else if (arg.substr(0, prefetchFlag.size()) == prefetchFlag) {

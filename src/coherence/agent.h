@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "coherence/directory.h"
+#include "net/shard_gate.h"
 
 namespace kona {
 
@@ -75,6 +76,11 @@ class CoherenceAgent : public CoherencePeer
         Addr vpn = pageNumber(lineAddr);
         if (!governs(vpn))
             return;
+        // Gated even on cached-rights hits: a peer's invalidation
+        // mutates pages_ from its own shard thread (the directory
+        // calls onInvalidate inline), so every governed touch of the
+        // rights table is a cross-shard section.
+        ShardSection section(gate_, GateEvent::Coherence);
         std::uint64_t bit = std::uint64_t(1) << lineInPage(lineAddr);
         auto it = pages_.find(vpn);
         if (it != pages_.end()) {
@@ -119,6 +125,13 @@ class CoherenceAgent : public CoherencePeer
     /** Grants that seeded stale-home knowledge from the directory. */
     std::uint64_t staleSeedsApplied() const { return staleSeeds_.value(); }
 
+    /**
+     * Parallel engine: directory acquires/releases and the rights
+     * table are cross-shard state; ensureAccess opens a Coherence
+     * section when bound. Default endpoint = sequential, zero cost.
+     */
+    void setGateEndpoint(const GateEndpoint &ep) { gate_ = ep; }
+
   private:
     struct LocalPage
     {
@@ -134,6 +147,7 @@ class CoherenceAgent : public CoherencePeer
     CoherentFpga &fpga_;
     CacheHierarchy &hierarchy_;
     EvictionHandler &evictor_;
+    GateEndpoint gate_;
     RetryPolicy retry_;
     MetricScope scope_;
 

@@ -97,6 +97,79 @@ class Rng
 };
 
 /**
+ * Counter-based PRNG: output i of stream s under seed k is the pure
+ * function mix(k, s, i). Unlike a stateful generator shared between
+ * components, two CounterRng streams can never perturb each other —
+ * stream s sees the same sequence no matter how its draws interleave
+ * with draws from other streams, which is the property the parallel
+ * simulation engine needs so thread count cannot change any random
+ * sequence (DESIGN.md "Parallel simulation"). The mixer is the
+ * splitmix64 finalizer over a Weyl-sequenced counter, applied twice so
+ * seed, stream and counter bits all avalanche.
+ */
+class CounterRng
+{
+  public:
+    explicit CounterRng(std::uint64_t seed = 0x4b6f6e6121ULL,
+                        std::uint64_t stream = 0)
+        : key_(mix(mix(seed + 0x9e3779b97f4a7c15ULL) ^
+                   (stream * 0xda942042e4dd58b5ULL)))
+    {}
+
+    /** Output @p i of this stream, without disturbing the counter. */
+    std::uint64_t
+    at(std::uint64_t i) const
+    {
+        return mix(key_ + i * 0x9e3779b97f4a7c15ULL);
+    }
+
+    /** Next raw 64-bit value (output counter_, then advance). */
+    std::uint64_t next() { return at(counter_++); }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        KONA_ASSERT(bound != 0, "CounterRng::below(0)");
+        __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        KONA_ASSERT(lo <= hi, "CounterRng::range empty");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Draws consumed so far (the next output index). */
+    std::uint64_t counter() const { return counter_; }
+
+  private:
+    static std::uint64_t
+    mix(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t key_;
+    std::uint64_t counter_ = 0;
+};
+
+/**
  * Zipfian key-popularity generator (Gray et al.), used by the KV and
  * TPC-C workloads to model skewed access without external traces.
  */

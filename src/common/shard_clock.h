@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Event ordering primitives for the parallel simulation engine
+ * (DESIGN.md §16 "Parallel simulation").
+ *
+ * Each shard — one per compute node, plus the passive shared-state
+ * shard the gate serializes — stamps every cross-shard interaction
+ * with an EventKey (timestamp, shard id, per-shard sequence number).
+ * Keys are totally ordered lexicographically and each shard's key
+ * sequence is strictly increasing, so the set of executed events has
+ * exactly one sorted merge: the canonical order the ShardGate grants,
+ * independent of how many OS threads execute the shards.
+ *
+ * ShardClock tracks the monotone stamp lower bound one shard publishes
+ * while it simulates freely between cross-shard events; the lookahead
+ * horizon (derived from the minimum fabric wire latency) throttles how
+ * often that publication wakes waiting shards.
+ */
+
+#ifndef KONA_COMMON_SHARD_CLOCK_H
+#define KONA_COMMON_SHARD_CLOCK_H
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+#include "common/latency.h"
+#include "common/types.h"
+
+namespace kona {
+
+/** Canonical identity of one cross-shard event. */
+struct EventKey
+{
+    Tick stamp = 0;          ///< sim-time of the interaction
+    std::uint32_t shard = 0; ///< issuing shard (tie-break 1)
+    std::uint64_t seq = 0;   ///< per-shard sequence (tie-break 2)
+
+    auto operator<=>(const EventKey &) const = default;
+};
+
+/** Stamp lower bound of a shard that can issue no further events. */
+inline constexpr Tick shardDoneStamp =
+    std::numeric_limits<Tick>::max();
+
+/**
+ * Conservative lookahead horizon: no cross-shard interaction can take
+ * effect sooner than one minimum-latency fabric traversal, so bound
+ * publications finer than this cannot unblock a waiter any earlier.
+ * Used by the gate to throttle wakeups, never to delay an event.
+ */
+inline Tick
+conservativeHorizon(const LatencyConfig &lat)
+{
+    Tick h = static_cast<Tick>(lat.rdmaBaseNs);
+    if (lat.rdmaCompletionNs > 0 &&
+        static_cast<Tick>(lat.rdmaCompletionNs) < h)
+        h = static_cast<Tick>(lat.rdmaCompletionNs);
+    return h > 0 ? h : 1;
+}
+
+/**
+ * Per-shard stamp bookkeeping: the monotone clamp applied to every
+ * stamp a shard proposes (component clocks can momentarily read lower
+ * than an earlier section's stamp — e.g. a background-clock eviction
+ * after an app-clock fetch — and the canonical order needs per-shard
+ * monotonicity, not cross-clock agreement).
+ */
+class ShardClock
+{
+  public:
+    /** Clamp @p stamp to this shard's monotone stamp sequence. */
+    Tick
+    clamp(Tick stamp)
+    {
+        if (stamp < last_)
+            stamp = last_;
+        last_ = stamp;
+        return stamp;
+    }
+
+    Tick last() const { return last_; }
+    std::uint64_t nextSeq() { return seq_++; }
+    std::uint64_t seqWatermark() const { return seq_; }
+
+  private:
+    Tick last_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace kona
+
+#endif // KONA_COMMON_SHARD_CLOCK_H

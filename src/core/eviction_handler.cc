@@ -170,6 +170,10 @@ EvictionHandler::submit(const EvictionRequest &req, SimClock &clock)
     if (req.vpns.empty())
         return {};
 
+    // Cross-shard section: shipments post on the fabric, occupy
+    // memory-node landing rings and report into the Controller.
+    ShardSection section(gate_, GateEvent::Evict);
+
     // Chunk so a worst-case batch fits one landing-area ring slot on
     // every node; the ticket of the last chunk is returned (drain()
     // remains the barrier covering all of them).
@@ -662,6 +666,9 @@ EvictionHandler::finalizeBatch(Batch &batch)
 std::size_t
 EvictionHandler::poll(const SimClock &clock)
 {
+    // Gated: reaping can retransmit (fabric post) and finalizing can
+    // drop governed pages (directory release via the FPGA drop hook).
+    ShardSection section(gate_, GateEvent::Evict);
     reapCq();
     return finalizeDue(clock.now());
 }
@@ -669,6 +676,7 @@ EvictionHandler::poll(const SimClock &clock)
 void
 EvictionHandler::drain(SimClock &clock)
 {
+    ShardSection section(gate_, GateEvent::Evict);
     while (true) {
         reapCq();
         finalizeDue(clock.now());
@@ -694,6 +702,7 @@ EvictionHandler::drain(SimClock &clock)
 void
 EvictionHandler::drainNode(NodeId node, SimClock &clock)
 {
+    ShardSection section(gate_, GateEvent::Evict);
     while (true) {
         reapCq();
         finalizeDue(clock.now());
@@ -733,6 +742,7 @@ EvictionHandler::evictBatch(const std::vector<Addr> &vpns,
 bool
 EvictionHandler::flushPage(Addr vpn, SimClock &clock)
 {
+    ShardSection section(gate_, GateEvent::Evict);
     // Targeted barrier for coherence invalidations: ship this page and
     // wait for it alone, leaving unrelated in-flight shipments (and
     // their timelines) untouched. A few rounds bound the case where a

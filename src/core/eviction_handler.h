@@ -215,6 +215,15 @@ class EvictionHandler
 
     const EvictionConfig &evictionConfig() const { return config_; }
     EvictionMode mode() const { return config_.mode; }
+
+    /**
+     * Parallel engine: every public entry point (submit/poll/drain/
+     * drainNode/flushPage/pump) becomes a gated cross-shard section —
+     * shipments post on the fabric, land in memory-node rings and
+     * report into the Controller. Sections nest (pump -> submit is a
+     * depth bump). Default endpoint = sequential mode, zero overhead.
+     */
+    void setGateEndpoint(const GateEndpoint &ep) { gate_ = ep; }
     std::size_t pipelineDepth() const { return config_.pipelineDepth; }
     const RetryPolicy &retryPolicy() const { return retryPolicy_; }
 
@@ -379,6 +388,7 @@ class EvictionHandler
     CoherentFpga &fpga_;
     CacheHierarchy &hierarchy_;
     Controller &controller_;
+    GateEndpoint gate_;
     EvictionConfig config_;
     MetricScope scope_;
     RetryPolicy retryPolicy_;

@@ -169,6 +169,22 @@ KonaRuntime::attachCoherence(DirectoryService &directory)
     fpga_.setDropHook([this](Addr vpn) { agent_->onPageDropped(vpn); });
     fpga_.setPageGovernor(
         [this](Addr vpn) { return agent_->governs(vpn); });
+    // A gate bound before the agent existed propagates to it now.
+    agent_->setGateEndpoint(gate_);
+}
+
+void
+KonaRuntime::setShardGate(ShardGate *gate, std::uint32_t shard)
+{
+    gate_.bind(gate, shard, &appClock_, &backgroundClock_);
+    // One endpoint per shard, copied into every component that can
+    // open a section: all of a shard's sections share the same stamp
+    // function (max of the two clocks), which keeps the published
+    // bound sound for every later section.
+    fpga_.setGateEndpoint(gate_);
+    evictor_.setGateEndpoint(gate_);
+    if (agent_ != nullptr)
+        agent_->setGateEndpoint(gate_);
 }
 
 Addr
@@ -211,6 +227,9 @@ KonaRuntime::exportAttribution()
 void
 KonaRuntime::mapNewSlab()
 {
+    // Slab allocation mutates the Controller's shared placement state.
+    ShardSection section(gate_, GateEvent::Control);
+
     std::size_t slabSize = controller_.slabSize();
     if (vfmemCursor_ + slabSize >
         config_.fpga.vfmemBase + config_.fpga.vfmemSize) {
@@ -389,6 +408,8 @@ KonaRuntime::read(Addr addr, void *buf, std::size_t size)
     }
     if (sampler_ != nullptr)
         sampler_->onTick(appClock_.now());
+    // Parallel engine: advertise this shard's new stamp lower bound.
+    gate_.publish();
 }
 
 void
@@ -420,6 +441,8 @@ KonaRuntime::write(Addr addr, const void *buf, std::size_t size)
     }
     if (sampler_ != nullptr)
         sampler_->onTick(appClock_.now());
+    // Parallel engine: advertise this shard's new stamp lower bound.
+    gate_.publish();
 }
 
 void
@@ -479,9 +502,11 @@ void
 KonaRuntime::checkRackHealth()
 {
     // Fast path: this runs on every read()/write(), and rack failures
-    // are rare — skip the vector move when nothing was declared dead.
+    // are rare — hasNewlyFailed() is an atomic flag precisely so the
+    // parallel engine can poll it without entering the gate.
     if (!controller_.hasNewlyFailed())
         return;
+    ShardSection section(gate_, GateEvent::Control);
     for (NodeId node : controller_.takeNewlyFailed())
         recoverFromNodeFailure(node);
 }
@@ -489,6 +514,7 @@ KonaRuntime::checkRackHealth()
 RebuildReport
 KonaRuntime::recoverFromNodeFailure(NodeId node)
 {
+    ShardSection section(gate_, GateEvent::Control);
     // Fence the node before touching placements so no path (fetch,
     // eviction, rebuild source selection) talks to it again.
     fabric_.setNodeDown(node, true);
@@ -507,6 +533,7 @@ KonaRuntime::recoverFromNodeFailure(NodeId node)
 RebuildReport
 KonaRuntime::decommissionNode(NodeId node)
 {
+    ShardSection section(gate_, GateEvent::Control);
     // Stop new placements first, then wait out every in-flight CL-log
     // shipment addressed to the node: evacuation frees and rewrites
     // its slabs, and a log landing after the rewrite would scribble on
@@ -529,6 +556,7 @@ KonaRuntime::decommissionNode(NodeId node)
 RebuildReport
 KonaRuntime::hotAddNode(MemoryNode &node)
 {
+    ShardSection section(gate_, GateEvent::Control);
     // Register in the Joining state (no placements, no primary reads),
     // quiesce the eviction engine — the rebalance migrates copies off
     // arbitrary donors, so every in-flight shipment must land before

@@ -222,6 +222,20 @@ class KonaRuntime : public RemoteMemoryRuntime
     }
 
     /**
+     * Join a parallel simulation as shard @p shard of @p gate
+     * (DESIGN.md §16): every cross-shard interaction of this runtime —
+     * remote fetches, eviction shipments, directory/coherence ops,
+     * slab allocation, failure recovery — becomes a gated section
+     * stamped max(appClock, backgroundClock), and each access
+     * publishes that stamp as the shard's lower bound. nullptr
+     * detaches (sequential mode, zero overhead on the access path).
+     */
+    void setShardGate(ShardGate *gate, std::uint32_t shard = 0);
+
+    /** This runtime's gate binding (detached unless setShardGate). */
+    const GateEndpoint &gateEndpoint() const { return gate_; }
+
+    /**
      * Exact end-to-end attribution of every completed demand miss
      * (sum of MissComponent buckets == miss ns, with any unbracketed
      * residual in "other") plus a slowest-1% breakdown.
@@ -295,6 +309,7 @@ class KonaRuntime : public RemoteMemoryRuntime
 
     SimClock appClock_;
     SimClock backgroundClock_;
+    GateEndpoint gate_;
     LatencyAttribution missAttr_{MissComponent::names,
                                  MissComponent::Count};
     TimeSeriesSampler *sampler_ = nullptr;

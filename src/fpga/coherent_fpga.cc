@@ -226,6 +226,10 @@ bool
 CoherentFpga::fetchPage(Addr vpn, SimClock &clock, FetchIntent intent,
                         Tick issueTick)
 {
+    // Cross-shard section: the fetch posts on the fabric, reads node
+    // health/liveness, and feeds the Controller's failure detector.
+    ShardSection section(gate_, GateEvent::Fetch);
+
     Addr vfmemAddr = vpn * pageSize;
     std::array<std::uint8_t, pageSize> staging;
     bool prefetch = intent == FetchIntent::Prefetch;

@@ -36,6 +36,7 @@
 #include "mem/backing_store.h"
 #include "mem/dirty_bitmap.h"
 #include "net/queue_pair.h"
+#include "net/shard_gate.h"
 #include "prefetch/prefetch_queue.h"
 #include "prefetch/prefetcher.h"
 #include "telemetry/attribution.h"
@@ -387,6 +388,15 @@ class CoherentFpga : public MemorySideListener
     void setTraceSession(TraceSession *trace) { trace_ = trace; }
 
     /**
+     * Parallel engine: every fetchPage() (demand, prefetch, tier)
+     * becomes a gated cross-shard section — it posts on the fabric,
+     * reads fabric/node state and reports into the Controller's
+     * failure detector. Default-constructed endpoint = sequential
+     * mode, zero overhead.
+     */
+    void setGateEndpoint(const GateEndpoint &ep) { gate_ = ep; }
+
+    /**
      * Attach the demand-miss latency attribution (nullptr detaches).
      * While the owner has a miss sample open (KonaRuntime brackets the
      * whole miss, including retries), the serve/fetch path charges its
@@ -468,6 +478,7 @@ class CoherentFpga : public MemorySideListener
     std::unordered_map<NodeId, std::unique_ptr<QueuePair>> qps_;
 
     SimClock backgroundClock_;
+    GateEndpoint gate_;
     TraceSession *trace_ = nullptr;
     LatencyAttribution *missAttr_ = nullptr;
 

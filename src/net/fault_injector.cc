@@ -6,6 +6,17 @@
 
 namespace kona {
 
+CounterRng &
+FaultInjector::stream(NodeId source, NodeId target)
+{
+    std::uint64_t id = (static_cast<std::uint64_t>(source) << 32) |
+                       static_cast<std::uint64_t>(target);
+    auto it = streams_.find(id);
+    if (it == streams_.end())
+        it = streams_.emplace(id, CounterRng(seed_, id)).first;
+    return it->second;
+}
+
 FaultDecision
 FaultInjector::decide(NodeId source, NodeId target, RdmaOpcode opcode,
                       std::size_t length)
@@ -55,15 +66,19 @@ FaultInjector::decide(NodeId source, NodeId target, RdmaOpcode opcode,
         return decision;
     }
 
-    // Probabilistic faults, drawn from the injector's own seeded RNG.
+    // Probabilistic faults, drawn from the (source, target) pair's own
+    // counter-based stream: the draws an op sees depend only on how
+    // many ops this pair issued before it, never on how other pairs'
+    // traffic interleaved globally.
+    CounterRng &rng = stream(source, target);
     if (profile.dropProbability > 0.0 &&
-        rng_.chance(profile.dropProbability)) {
+        rng.chance(profile.dropProbability)) {
         decision.status = WcStatus::Dropped;
         drops_.add();
         return decision;
     }
     if (profile.corruptProbability > 0.0 && length > 0 &&
-        rng_.chance(profile.corruptProbability)) {
+        rng.chance(profile.corruptProbability)) {
         corrupt_.add();
         if (opcode != RdmaOpcode::Write) {
             // The transport's ICRC catches corrupted responses and
@@ -75,24 +90,24 @@ FaultInjector::decide(NodeId source, NodeId target, RdmaOpcode opcode,
         }
         decision.corruptPayload = true;
         decision.corruptOffset =
-            static_cast<std::size_t>(rng_.below(length));
+            static_cast<std::size_t>(rng.below(length));
         decision.corruptMask =
-            static_cast<std::uint8_t>(1u << rng_.below(8));
+            static_cast<std::uint8_t>(1u << rng.below(8));
     }
     if (profile.nakProbability > 0.0 && length > 0 &&
         opcode == RdmaOpcode::Write && !decision.corruptPayload &&
-        rng_.chance(profile.nakProbability)) {
+        rng.chance(profile.nakProbability)) {
         // NAK inflation: end-host corruption on writes only, caught by
         // the CL log's CRC at the receiver, never by the transport.
         decision.corruptPayload = true;
         decision.corruptOffset =
-            static_cast<std::size_t>(rng_.below(length));
+            static_cast<std::size_t>(rng.below(length));
         decision.corruptMask =
-            static_cast<std::uint8_t>(1u << rng_.below(8));
+            static_cast<std::uint8_t>(1u << rng.below(8));
         nakSeeds_.add();
     }
     if (profile.spikeProbability > 0.0 &&
-        rng_.chance(profile.spikeProbability)) {
+        rng.chance(profile.spikeProbability)) {
         decision.extraLatencyNs += profile.spikeNs;
         spikes_.add();
     }

@@ -114,7 +114,7 @@ class FaultInjector
     /** @param scope Telemetry scope for the injected-fault counters. */
     explicit FaultInjector(std::uint64_t seed = 0xfa17ULL,
                            MetricScope scope = {})
-        : rng_(seed), scope_(std::move(scope)),
+        : seed_(seed), scope_(std::move(scope)),
           drops_(scope_.counter("drops_injected")),
           timeouts_(scope_.counter("timeouts_injected")),
           corrupt_(scope_.counter("corruptions_injected")),
@@ -168,11 +168,23 @@ class FaultInjector
     }
 
   private:
-    Rng rng_;
+    /**
+     * Per-(source, target) counter-based RNG stream. A single stateful
+     * generator shared across pairs would entangle every consumer: the
+     * draw one op sees would depend on how ops from *other* compute
+     * nodes interleaved globally, which no thread count can replay.
+     * With one stream per pair, an op's draws depend only on how many
+     * ops that pair issued before it — per-shard state the parallel
+     * engine already keeps deterministic (DESIGN.md §16).
+     */
+    CounterRng &stream(NodeId source, NodeId target);
+
+    std::uint64_t seed_;
     MetricScope scope_;
     Fabric *fabric_ = nullptr;
     std::unordered_map<NodeId, NodeFaultProfile> profiles_;
     std::unordered_map<NodeId, std::uint64_t> opCounts_;
+    std::unordered_map<std::uint64_t, CounterRng> streams_;
 
     Counter &drops_;
     Counter &timeouts_;

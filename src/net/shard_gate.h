@@ -1,0 +1,282 @@
+/**
+ * @file
+ * ShardGate: the conservative-lookahead synchronizer of the parallel
+ * simulation engine (DESIGN.md §16 "Parallel simulation").
+ *
+ * The rack is partitioned into shards — one per compute node (its
+ * KonaRuntime, FPGA, caches, prefetcher, tiering engine) — plus the
+ * passive shared-state shard (Controller, DirectoryService, memory-node
+ * backing stores, FaultInjector) that only ever executes inside gated
+ * sections. Shard threads simulate freely over shard-private state and
+ * enter the gate for every cross-shard interaction: remote fetches,
+ * eviction shipments, directory/coherence operations, slab allocation,
+ * failure recovery. The gate grants sections one at a time, in the
+ * canonical order of their EventKeys (timestamp, shard id, sequence
+ * number), so the sequence of shared-state mutations is bit-identical
+ * no matter how many OS threads execute the shards.
+ *
+ * The grant rule is conservative lookahead: a section with key K runs
+ * only when every other shard's published lower bound exceeds K. A
+ * shard's lower bound is its own key while it waits or executes, +inf
+ * once finished, and otherwise the monotone stamp bound it publishes
+ * as its clocks advance (clock mode) or the promised stamp of its next
+ * scripted section (scripted mode, used by the litmus replayer). Bound
+ * publications are lock-free stores; wakeups are throttled to the
+ * lookahead horizon derived from the minimum fabric wire latency —
+ * finer-grained bounds could not unblock a waiter any earlier than one
+ * wire traversal anyway.
+ *
+ * Sections are re-entrant per THREAD, not per shard: the grant rule
+ * admits at most one executing section at a time, so any section the
+ * section-holding thread opens — a governed miss nesting a fetch, or a
+ * cross-shard call like a directory invalidation flushing the PEER's
+ * dirty line through the peer's eviction handler — is a depth bump on
+ * the executing section, serialized under its key. A nested enter from
+ * the owning thread must never wait (it would deadlock against
+ * itself). Worker concurrency is throttled by a run-token semaphore —
+ * `--threads=N` admits N shards at a time over any number of shards,
+ * and N=1 is the sequential reference schedule the bit-identity tests
+ * compare against. Nothing in enter/leave/publish allocates, keeping
+ * the PR 5 zero-steady-state-allocation property intact.
+ */
+
+#ifndef KONA_NET_SHARD_GATE_H
+#define KONA_NET_SHARD_GATE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/shard_clock.h"
+#include "net/spsc_ring.h"
+
+namespace kona {
+
+class SimClock;
+
+/** What a gated section did, for the canonical event log. */
+enum class GateEvent : std::uint8_t
+{
+    Fetch,      ///< remote page fetch (demand/prefetch/tier)
+    Evict,      ///< eviction submit/poll/drain/pump/flush
+    Coherence,  ///< directory acquire/release/invalidate
+    Control,    ///< slab allocation, health sweep, recovery
+    Scripted,   ///< externally scheduled op (litmus replay)
+};
+
+/** One executed cross-shard event in the canonical log. */
+struct GateRecord
+{
+    EventKey key;
+    GateEvent kind = GateEvent::Fetch;
+};
+
+/** Epoch/barrier synchronizer over a fixed set of shards. */
+class ShardGate
+{
+  public:
+    /**
+     * @param shards      Shard count (compute nodes / programs).
+     * @param concurrency Run tokens: shards allowed to execute
+     *                    simultaneously (clamped to [1, shards]).
+     * @param horizon     Lookahead horizon in sim-ns (wakeup throttle;
+     *                    use conservativeHorizon(fabric.latency())).
+     * @param ringCapacity Canonical-log ring slots per shard.
+     */
+    ShardGate(std::size_t shards, unsigned concurrency, Tick horizon,
+              std::size_t ringCapacity = 1 << 15);
+
+    std::size_t shardCount() const { return shards_.size(); }
+    unsigned concurrency() const { return concurrency_; }
+    Tick horizon() const { return horizon_; }
+
+    /**
+     * Put @p shard in scripted mode: its sections carry externally
+     * assigned stamps and each leave() promises the next section's
+     * stamp, replacing clock-driven bound publication. @p firstStamp
+     * is the stamp of its first section (shardDoneStamp when none).
+     */
+    void setScripted(std::uint32_t shard, Tick firstStamp);
+
+    /** Shard thread lifecycle: acquire a run token before simulating. */
+    void beginShard(std::uint32_t shard);
+
+    /** Shard finished: bound becomes +inf, token is released. */
+    void endShard(std::uint32_t shard);
+
+    /**
+     * Publish @p shard's monotone stamp lower bound (clock mode). Call
+     * once per application access with max(app, background) time; the
+     * store is lock-free and wakeups are horizon-throttled.
+     */
+    void
+    publishBound(std::uint32_t shard, Tick stamp)
+    {
+        std::atomic<Tick> &bound = bounds_[shard];
+        if (stamp <= bound.load(std::memory_order_relaxed))
+            return;
+        bound.store(stamp, std::memory_order_release);
+        if (waiters_.load(std::memory_order_acquire) == 0)
+            return;
+        if (stamp - lastNotify_[shard] < horizon_)
+            return;
+        lastNotify_[shard] = stamp;
+        std::lock_guard<std::mutex> lock(mu_);
+        cv_.notify_all();
+    }
+
+    /**
+     * Open a cross-shard section stamped @p stamp (clamped to the
+     * shard's monotone stamp sequence), blocking until the section's
+     * key is globally minimal. Re-entrant: an enter from the thread
+     * that already holds the executing section — same shard or a
+     * cross-shard call made on its behalf — is a depth bump. The run
+     * token is released while blocked.
+     */
+    void enter(std::uint32_t shard, Tick stamp, GateEvent kind);
+
+    /**
+     * Close the current section. Scripted shards must pass the stamp
+     * of their next section via @p nextStamp (shardDoneStamp when no
+     * more follow); clock shards ignore it.
+     */
+    void leave(std::uint32_t shard, Tick nextStamp = 0);
+
+    /** Sections executed (outermost enters granted). */
+    std::uint64_t eventsExecuted() const
+    {
+        return events_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Drain every shard's event ring and return the canonical log,
+     * sorted by key. Call from the driver after shards quiesce.
+     */
+    std::vector<GateRecord> drainRecords();
+
+    /** Canonical-log records lost to full rings. */
+    std::uint64_t recordsDropped() const;
+
+  private:
+    struct Shard
+    {
+        bool scripted = false;
+        bool finished = false;
+        bool waiting = false;
+        bool executing = false;
+        EventKey key;
+        GateEvent kind = GateEvent::Fetch;
+        Tick nextStamp = 0;       ///< scripted: promised next stamp
+        ShardClock clock;
+        std::unique_ptr<SpscRing<GateRecord>> ring;
+    };
+
+    /** Lower bound on @p s's next (or current) section key. */
+    EventKey lowerBoundLocked(const Shard &s, std::size_t i) const;
+
+    /** Whether @p me's key is the global minimum. */
+    bool isMinimalLocked(std::size_t me) const;
+
+    void acquireTokenLocked(std::unique_lock<std::mutex> &lock);
+    void releaseTokenLocked();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;       ///< grant / bound advancement
+    std::condition_variable tokenCv_;  ///< run-token availability
+
+    std::vector<Shard> shards_;
+    /** Clock-mode published bounds (single writer: the shard). */
+    std::unique_ptr<std::atomic<Tick>[]> bounds_;
+    /** Last bound that triggered a wakeup (own-thread only). */
+    std::vector<Tick> lastNotify_;
+
+    std::atomic<int> waiters_{0};
+    std::atomic<std::uint64_t> events_{0};
+    unsigned concurrency_;
+    unsigned tokens_;
+    Tick horizon_;
+
+    /** The one executing section (sections fully serialize): which
+     *  shard opened it, the thread that owns it, and its nest depth. */
+    std::uint32_t ownerShard_ = 0;
+    std::thread::id ownerThread_;
+    int depth_ = 0;
+};
+
+/**
+ * RAII section over an optional gate: components hold a bound
+ * GateEndpoint and open sections only when a parallel driver attached
+ * one — the sequential engine keeps its zero-overhead path (one
+ * predicted branch per potential section).
+ */
+class GateEndpoint
+{
+  public:
+    GateEndpoint() = default;
+
+    /** Attach to @p gate as @p shard, stamping sections with the max
+     *  of the two clocks (pass the same pair for every endpoint of a
+     *  shard so its stamp sequence is monotone). Null gate detaches. */
+    void
+    bind(ShardGate *gate, std::uint32_t shard, const SimClock *appClock,
+         const SimClock *backgroundClock)
+    {
+        gate_ = gate;
+        shard_ = shard;
+        app_ = appClock;
+        background_ = backgroundClock;
+    }
+
+    bool active() const { return gate_ != nullptr; }
+    ShardGate *gate() const { return gate_; }
+    std::uint32_t shard() const { return shard_; }
+
+    Tick stamp() const;
+
+    /** Publish the shard's current bound (call between sections). */
+    void
+    publish() const
+    {
+        if (gate_ != nullptr)
+            gate_->publishBound(shard_, stamp());
+    }
+
+  private:
+    ShardGate *gate_ = nullptr;
+    std::uint32_t shard_ = 0;
+    const SimClock *app_ = nullptr;
+    const SimClock *background_ = nullptr;
+};
+
+/** Scoped gated section; no-op when the endpoint is detached. */
+class ShardSection
+{
+  public:
+    ShardSection(const GateEndpoint &ep, GateEvent kind)
+        : gate_(ep.gate()), shard_(ep.shard())
+    {
+        if (gate_ != nullptr)
+            gate_->enter(shard_, ep.stamp(), kind);
+    }
+
+    ShardSection(const ShardSection &) = delete;
+    ShardSection &operator=(const ShardSection &) = delete;
+
+    ~ShardSection()
+    {
+        if (gate_ != nullptr)
+            gate_->leave(shard_);
+    }
+
+  private:
+    ShardGate *gate_;
+    std::uint32_t shard_;
+};
+
+} // namespace kona
+
+#endif // KONA_NET_SHARD_GATE_H

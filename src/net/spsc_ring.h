@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SpscRing: a fixed-capacity, lock-free single-producer single-consumer
+ * ring. The parallel simulation engine gives every shard one ring into
+ * the driver: the shard thread appends a record for each cross-shard
+ * event it executes (producer), and the driver merges the per-shard
+ * streams into the canonical event log (consumer). Capacity is fixed at
+ * construction so the steady state never allocates — the same rule the
+ * PR 5 hot path enforces with --strict-alloc.
+ */
+
+#ifndef KONA_NET_SPSC_RING_H
+#define KONA_NET_SPSC_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kona {
+
+/** Lock-free SPSC ring over @p T. One producer thread, one consumer. */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity = 1024)
+        : slots_(capacity + 1)
+    {
+        KONA_ASSERT(capacity > 0, "SpscRing needs capacity");
+    }
+
+    /** Producer side. @return false (and count the drop) when full. */
+    bool
+    push(const T &value)
+    {
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        std::size_t next = advance(head);
+        if (next == tail_.load(std::memory_order_acquire)) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots_[head] = value;
+        head_.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. @return false when the ring is empty. */
+    bool
+    pop(T &out)
+    {
+        std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail == head_.load(std::memory_order_acquire))
+            return false;
+        out = slots_[tail];
+        tail_.store(advance(tail), std::memory_order_release);
+        return true;
+    }
+
+    /** Records the producer failed to push (ring full). */
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return slots_.size() - 1; }
+
+  private:
+    std::size_t
+    advance(std::size_t i) const
+    {
+        return i + 1 == slots_.size() ? 0 : i + 1;
+    }
+
+    std::vector<T> slots_;
+    std::atomic<std::size_t> head_{0};
+    std::atomic<std::size_t> tail_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+} // namespace kona
+
+#endif // KONA_NET_SPSC_RING_H

@@ -110,18 +110,6 @@ Controller::allocateSlab(const PlacementRequest &req)
     return grantFrom(chosen);
 }
 
-std::optional<SlabGrant>
-Controller::allocateSlabAvoiding(const std::vector<NodeId> &avoid)
-{
-    return allocateSlab(PlacementRequest{.avoid = avoid});
-}
-
-SlabGrant
-Controller::allocateSlab()
-{
-    return *allocateSlab(PlacementRequest{.required = true});
-}
-
 void
 Controller::setPlacementPolicy(const std::string &spec)
 {
@@ -329,6 +317,7 @@ Controller::markFailed(NodeId node)
     consecFailures_[node] = 0;
     scores_.erase(node);
     newlyFailed_.push_back(node);
+    newlyFailedFlag_.store(true, std::memory_order_release);
     nodesFailed_.add();
     transition(node, NodeHealth::Failed, "declared dead");
     warn("controller: memory node ", node, " declared failed");
@@ -380,6 +369,7 @@ Controller::health(NodeId node) const
 std::vector<NodeId>
 Controller::takeNewlyFailed()
 {
+    newlyFailedFlag_.store(false, std::memory_order_release);
     return std::exchange(newlyFailed_, {});
 }
 

@@ -16,6 +16,7 @@
 #ifndef KONA_RACK_CONTROLLER_H
 #define KONA_RACK_CONTROLLER_H
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -140,15 +141,6 @@ class Controller
      */
     std::optional<SlabGrant> allocateSlab(const PlacementRequest &req);
 
-    /** Old entry point: allocateSlab({.required = true}). */
-    [[deprecated("use allocateSlab(const PlacementRequest&)")]]
-    SlabGrant allocateSlab();
-
-    /** Old entry point: allocateSlab({.avoid = avoid}). */
-    [[deprecated("use allocateSlab(const PlacementRequest&)")]]
-    std::optional<SlabGrant>
-    allocateSlabAvoiding(const std::vector<NodeId> &avoid);
-
     /** Swap the placement policy ("policy", no argument). */
     void setPlacementPolicy(const std::string &spec);
 
@@ -197,8 +189,18 @@ class Controller
     /** Nodes newly declared Failed since the last call (clears them). */
     std::vector<NodeId> takeNewlyFailed();
 
-    /** Whether takeNewlyFailed() would return anything (no copy). */
-    bool hasNewlyFailed() const { return !newlyFailed_.empty(); }
+    /**
+     * Whether takeNewlyFailed() would return anything. An atomic
+     * mirror of the pending list: compute-node shards poll this once
+     * per access without entering the gate, so the parallel engine
+     * needs the read to be race-free against another shard's gated
+     * markFailed()/takeNewlyFailed().
+     */
+    bool
+    hasNewlyFailed() const
+    {
+        return newlyFailedFlag_.load(std::memory_order_acquire);
+    }
 
     void setFailureThreshold(std::uint32_t n) { failureThreshold_ = n; }
 
@@ -371,6 +373,7 @@ class Controller
     std::unordered_map<NodeId, std::uint32_t> consecFailures_;
     std::unordered_map<NodeId, HealthScore> scores_;
     std::vector<NodeId> newlyFailed_;
+    std::atomic<bool> newlyFailedFlag_{false};
     std::uint32_t failureThreshold_ = defaultFailureThreshold;
     HealthPolicy healthPolicy_;
     std::uint64_t membershipEpoch_ = 1;

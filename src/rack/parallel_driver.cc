@@ -1,0 +1,54 @@
+#include "rack/parallel_driver.h"
+
+#include <exception>
+#include <thread>
+
+namespace kona {
+
+ParallelDriver::ParallelDriver(MultiRack &rack, unsigned threads)
+    : rack_(rack),
+      gate_(rack.runtimeCount(), threads,
+            conservativeHorizon(rack.fabric().latency()))
+{
+    for (std::size_t i = 0; i < rack_.runtimeCount(); ++i)
+        rack_.runtime(i).setShardGate(&gate_,
+                                      static_cast<std::uint32_t>(i));
+}
+
+ParallelDriver::~ParallelDriver()
+{
+    for (std::size_t i = 0; i < rack_.runtimeCount(); ++i)
+        rack_.runtime(i).setShardGate(nullptr);
+}
+
+void
+ParallelDriver::run(
+    const std::function<void(std::size_t, KonaRuntime &)> &program)
+{
+    std::size_t shards = rack_.runtimeCount();
+    std::vector<std::exception_ptr> errors(shards);
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+        workers.emplace_back([this, i, &program, &errors] {
+            auto shard = static_cast<std::uint32_t>(i);
+            gate_.beginShard(shard);
+            try {
+                program(i, rack_.runtime(i));
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            // endShard even on failure: a shard that silently
+            // vanished would deadlock every waiter behind its bound.
+            gate_.endShard(shard);
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+    for (std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace kona

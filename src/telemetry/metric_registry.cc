@@ -203,4 +203,70 @@ MetricRegistry::toJson() const
     return oss.str();
 }
 
+namespace {
+
+constexpr std::uint64_t fnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t fnvPrime = 0x100000001b3ULL;
+
+void
+fnvBytes(std::uint64_t &h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= fnvPrime;
+    }
+}
+
+void
+fnvU64(std::uint64_t &h, std::uint64_t v)
+{
+    fnvBytes(h, &v, sizeof(v));
+}
+
+void
+fnvF64(std::uint64_t &h, double v)
+{
+    // Hash the bit pattern; identical runs produce identical bits.
+    // Normalize -0.0 so an all-zero histogram can't differ by sign.
+    if (v == 0.0)
+        v = 0.0;
+    auto bits = std::bit_cast<std::uint64_t>(v);
+    fnvBytes(h, &bits, sizeof(bits));
+}
+
+void
+fnvString(std::uint64_t &h, const std::string &s)
+{
+    fnvBytes(h, s.data(), s.size());
+    h ^= 0xff;
+    h *= fnvPrime;
+}
+
+} // namespace
+
+std::uint64_t
+MetricRegistry::fingerprint() const
+{
+    std::uint64_t h = fnvOffset;
+    for (const auto &[name, c] : counters_) {
+        fnvString(h, name);
+        fnvU64(h, c->value());
+    }
+    for (const auto &[name, g] : gauges_) {
+        fnvString(h, name);
+        fnvF64(h, g->value());
+    }
+    for (const auto &[name, hist] : histograms_) {
+        fnvString(h, name);
+        fnvU64(h, hist->count());
+        fnvF64(h, hist->sum());
+        fnvF64(h, hist->minValue());
+        fnvF64(h, hist->maxValue());
+        for (std::size_t i = 0; i < LatencyHistogram::numBuckets; ++i)
+            fnvU64(h, hist->bucketCount(i));
+    }
+    return h;
+}
+
 } // namespace kona

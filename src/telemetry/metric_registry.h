@@ -133,6 +133,15 @@ class MetricRegistry
     void writeJson(std::ostream &os) const;
     std::string toJson() const;
 
+    /**
+     * FNV-1a hash over every metric in name order: counter values,
+     * gauge bit patterns, and full histogram state (buckets, count,
+     * sum, min, max). Two runs that executed bit-identically produce
+     * equal fingerprints; the parallel/sequential identity tests
+     * compare this instead of diffing thousands of metrics.
+     */
+    std::uint64_t fingerprint() const;
+
   private:
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;

@@ -848,7 +848,7 @@ runScenario(const std::string &name, bool faulty)
         // it is guaranteed to hold live data when it dies.
         NodeId victim = runtime.fpga().translation()
                             .translate(cfg.fpga.vfmemBase).node;
-        injector.profile(victim).failAtOp = 120;
+        injector.profile(victim).failAtOp = 60;
         fabric.setFaultInjector(&injector);
     }
 

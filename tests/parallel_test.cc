@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Differential bit-identity tests for the parallel simulation engine
+ * (DESIGN.md §16 "Parallel simulation").
+ *
+ * The contract under test: running the same per-compute-node programs
+ * through ParallelDriver at ANY shard-concurrency cap produces a run
+ * that is indistinguishable from the t=1 reference schedule — the
+ * metric registry's full fingerprint, the final bytes of every span,
+ * the canonical cross-shard event log, and every runtime's journal
+ * sequence must all match exactly. The matrix covers five seeds, four
+ * thread counts, and six workload shapes: sequential, strided,
+ * uniform-random, eviction-heavy pointer chase, the coherence litmus
+ * suite replayed through scripted gate sections, and a random mix
+ * under a deterministic partial partition with replication failover.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/litmus.h"
+#include "common/rng.h"
+#include "rack/multi_rack.h"
+#include "rack/parallel_driver.h"
+#include "telemetry/event_journal.h"
+#include "telemetry/metric_registry.h"
+
+namespace kona {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 42, 0x5eedULL, 0xdecafULL,
+                                    0xab5aULL};
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+MultiRackConfig
+smallRack(std::size_t computeNodes)
+{
+    MultiRackConfig cfg;
+    cfg.computeNodes = computeNodes;
+    cfg.memoryNodes = 3;
+    cfg.memoryBytes = 64 * MiB;
+    cfg.slabSize = 1 * MiB;
+    cfg.runtime.fpga.vfmemSize = 64 * MiB;
+    cfg.runtime.fpga.fmemSize = 8 * MiB;
+    return cfg;
+}
+
+std::uint64_t
+fnvMix(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Everything a run can leak about its schedule. */
+struct Signature
+{
+    std::uint64_t fingerprint = 0; ///< MetricRegistry::fingerprint()
+    std::uint64_t content = 0;     ///< bytes of every span, in order
+    std::uint64_t events = 0;      ///< canonical log + runtime journals
+
+    bool operator==(const Signature &) const = default;
+};
+
+enum class Mix { Seq, Stride, Random, Graph, Chaos };
+
+const char *
+mixName(Mix mix)
+{
+    switch (mix) {
+    case Mix::Seq: return "seq";
+    case Mix::Stride: return "stride";
+    case Mix::Random: return "random";
+    case Mix::Graph: return "graph";
+    case Mix::Chaos: return "chaos";
+    }
+    return "?";
+}
+
+/**
+ * One full run of @p mix at @p threads: fresh rack, one private span
+ * per compute node, the mix's access program on every shard, then the
+ * signature. Seeds only vary written values for the deterministic
+ * shapes (seq/stride) and drive the access stream for the random ones,
+ * so every seed yields a distinct but reproducible run.
+ */
+Signature
+runMix(Mix mix, std::uint64_t seed, unsigned threads)
+{
+    MultiRackConfig cfg = smallRack(3);
+    if (mix == Mix::Chaos) {
+        cfg.runtime.replicationFactor = 1;
+        cfg.runtime.failurePolicy = FailurePolicy::WaitRetry;
+    }
+    MultiRack rack(cfg);
+    if (mix == Mix::Chaos) {
+        // Deterministic partial partition: memory node 2 never
+        // answers compute node 101 (timeouts, not probabilistic
+        // drops), so fetches and writebacks fail over to replicas.
+        // The failure detector is parked — fail-stop rebuilds are
+        // outside the bit-identity contract.
+        rack.controller().setFailureThreshold(1'000'000);
+        rack.faults().profile(2).blockedSources.push_back(
+            MultiRack::firstComputeNode);
+    }
+
+    const std::size_t span = mix == Mix::Graph ? 12 * MiB : 1 * MiB;
+    const std::uint64_t ops = mix == Mix::Graph ? 1'200 : 3'000;
+
+    std::vector<Addr> bases;
+    for (std::size_t i = 0; i < rack.runtimeCount(); ++i)
+        bases.push_back(rack.runtime(i).allocate(span, pageSize));
+
+    // The graph mix chases one permutation cycle (> FMem, so the
+    // demand-fetch + eviction machinery runs the whole time). Built
+    // once here; each shard writes it into its own span in-program.
+    std::vector<std::uint64_t> chase;
+    if (mix == Mix::Graph) {
+        chase.resize(span / 8);
+        for (std::size_t i = 0; i < chase.size(); ++i)
+            chase[i] = i;
+        Rng rng(seed ^ 0x9a4fULL);
+        for (std::size_t i = chase.size() - 1; i > 0; --i) {
+            std::size_t j = rng.below(i);
+            std::swap(chase[i], chase[j]);
+        }
+    }
+
+    Signature sig;
+    std::uint64_t h = 1469598103934665603ULL;
+    {
+        ParallelDriver driver(rack, threads);
+        driver.run([&](std::size_t shard, KonaRuntime &rt) {
+            Addr base = bases[shard];
+            std::uint64_t buf = 0;
+            if (mix == Mix::Graph) {
+                for (std::size_t off = 0; off < span; off += pageSize)
+                    rt.write(base + off, chase.data() + off / 8,
+                             pageSize);
+                std::uint64_t idx = shard;
+                for (std::uint64_t i = 0; i < ops; ++i) {
+                    rt.read(base + idx * 8, &buf, sizeof(buf));
+                    idx = buf;
+                }
+                return;
+            }
+            // Resident mixes: touch every page first, then run.
+            std::vector<std::uint8_t> page(pageSize);
+            for (std::size_t off = 0; off < span; off += pageSize)
+                rt.read(base + off, page.data(), pageSize);
+            Rng rng(seed + shard);
+            std::size_t off = 0;
+            for (std::uint64_t i = 0; i < ops; ++i) {
+                Addr addr;
+                bool write;
+                switch (mix) {
+                case Mix::Seq:
+                    addr = base + off;
+                    off = (off + cacheLineSize) % span;
+                    write = (i & 3) == 3;
+                    break;
+                case Mix::Stride:
+                    addr = base + off;
+                    off += 1024;
+                    if (off >= span)
+                        off = (off + cacheLineSize) % 1024;
+                    write = (i & 3) == 1;
+                    break;
+                default: // Random, Chaos
+                    addr = base + rng.below(span / 8) * 8;
+                    write = rng.chance(0.3);
+                    break;
+                }
+                if (write) {
+                    buf = (i << 8) ^ shard ^ seed;
+                    rt.write(addr, &buf, sizeof(buf));
+                } else {
+                    rt.read(addr, &buf, sizeof(buf));
+                }
+            }
+        });
+
+        sig.fingerprint = rack.metrics()->fingerprint();
+        for (const GateRecord &rec : driver.canonicalLog()) {
+            h = fnvMix(h, rec.key.stamp);
+            h = fnvMix(h, rec.key.shard);
+            h = fnvMix(h, rec.key.seq);
+            h = fnvMix(h, static_cast<std::uint64_t>(rec.kind));
+        }
+        h = fnvMix(h, driver.gate().recordsDropped());
+    } // detach the gate before the main-thread readback below
+
+    for (std::size_t i = 0; i < rack.runtimeCount(); ++i) {
+        for (const JournalEvent &ev :
+             rack.runtime(i).eventJournal()->snapshot()) {
+            h = fnvMix(h, ev.ts);
+            h = fnvMix(h, static_cast<std::uint64_t>(ev.kind));
+            h = fnvMix(h, ev.node);
+            h = fnvMix(h, ev.a);
+            h = fnvMix(h, ev.b);
+            h = fnvMix(h, ev.epoch);
+        }
+    }
+    sig.events = h;
+
+    std::uint64_t c = 1469598103934665603ULL;
+    std::vector<std::uint8_t> page(pageSize);
+    for (std::size_t i = 0; i < rack.runtimeCount(); ++i) {
+        for (std::size_t off = 0; off < span; off += pageSize) {
+            rack.runtime(i).read(bases[i] + off, page.data(), pageSize);
+            for (std::size_t b = 0; b < pageSize; ++b) {
+                c ^= page[b];
+                c *= 1099511628211ULL;
+            }
+        }
+    }
+    sig.content = c;
+    return sig;
+}
+
+class ParallelIdentity : public ::testing::TestWithParam<Mix>
+{};
+
+TEST_P(ParallelIdentity, BitIdenticalAcrossThreadCounts)
+{
+    Mix mix = GetParam();
+    for (std::uint64_t seed : kSeeds) {
+        Signature reference = runMix(mix, seed, 1);
+        for (unsigned threads : kThreadCounts) {
+            if (threads == 1)
+                continue;
+            Signature sig = runMix(mix, seed, threads);
+            EXPECT_EQ(sig.fingerprint, reference.fingerprint)
+                << mixName(mix) << " seed " << seed << " t=" << threads
+                << ": metric fingerprints diverge";
+            EXPECT_EQ(sig.content, reference.content)
+                << mixName(mix) << " seed " << seed << " t=" << threads
+                << ": memory content diverges";
+            EXPECT_EQ(sig.events, reference.events)
+                << mixName(mix) << " seed " << seed << " t=" << threads
+                << ": event sequences diverge";
+            if (sig != reference)
+                return; // one mix's full diagnosis is enough
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, ParallelIdentity,
+                         ::testing::Values(Mix::Seq, Mix::Stride,
+                                           Mix::Random, Mix::Graph,
+                                           Mix::Chaos),
+                         [](const auto &info) {
+                             return mixName(info.param);
+                         });
+
+/**
+ * The litmus suite replayed through scripted gate sections must
+ * reproduce runLitmus()'s outcome exactly — same loads checked, same
+ * order-sensitive value hash — at every thread count.
+ */
+TEST(ParallelIdentityLitmus, ScriptedReplayMatchesSequential)
+{
+    const auto &scenarios = litmusScenarios();
+    for (std::uint64_t seed : kSeeds) {
+        const LitmusScenario &scenario =
+            scenarios[seed % scenarios.size()];
+
+        LitmusOutcome reference;
+        {
+            MultiRack rack(smallRack(4));
+            Addr base = rack.mapShared("litmus", 64 * KiB);
+            reference = runLitmus(scenario, rack, base, seed, 2);
+        }
+        ASSERT_TRUE(reference.match)
+            << scenario.name << ": " << reference.divergence;
+
+        for (unsigned threads : kThreadCounts) {
+            MultiRack rack(smallRack(4));
+            Addr base = rack.mapShared("litmus", 64 * KiB);
+            LitmusOutcome out =
+                runLitmusParallel(scenario, rack, base, seed, threads, 2);
+            EXPECT_TRUE(out.match)
+                << scenario.name << " t=" << threads << ": "
+                << out.divergence;
+            EXPECT_EQ(out.loadsChecked, reference.loadsChecked)
+                << scenario.name << " t=" << threads;
+            EXPECT_EQ(out.valueHash, reference.valueHash)
+                << scenario.name << " t=" << threads
+                << ": observed-value stream diverges";
+        }
+    }
+}
+
+/**
+ * Gate transparency: a single-compute-node program run under the
+ * driver (every choke point taking real gate sections) must leave the
+ * rack in exactly the state the same program produces with no gate
+ * attached. This pins down that sections only ORDER work and never
+ * change what the work does.
+ */
+TEST(ParallelIdentityGate, SingleShardMatchesUngated)
+{
+    auto program = [](KonaRuntime &rt, Addr base) {
+        Rng rng(0x6a7eULL);
+        std::uint64_t buf = 0;
+        for (std::uint64_t i = 0; i < 4'000; ++i) {
+            Addr addr = base + rng.below((2 * MiB) / 8) * 8;
+            if (rng.chance(0.25)) {
+                buf = i;
+                rt.write(addr, &buf, sizeof(buf));
+            } else {
+                rt.read(addr, &buf, sizeof(buf));
+            }
+        }
+    };
+
+    std::uint64_t ungated = 0;
+    {
+        MultiRack rack(smallRack(1));
+        Addr base = rack.runtime(0).allocate(2 * MiB, pageSize);
+        program(rack.runtime(0), base);
+        ungated = rack.metrics()->fingerprint();
+    }
+
+    std::uint64_t gated = 0;
+    {
+        MultiRack rack(smallRack(1));
+        Addr base = rack.runtime(0).allocate(2 * MiB, pageSize);
+        ParallelDriver driver(rack, 1);
+        driver.run([&](std::size_t, KonaRuntime &rt) {
+            program(rt, base);
+        });
+        gated = rack.metrics()->fingerprint();
+    }
+
+    EXPECT_EQ(gated, ungated)
+        << "gate sections changed the simulation, not just its order";
+}
+
+} // namespace
+} // namespace kona

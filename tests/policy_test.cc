@@ -411,19 +411,6 @@ TEST_F(PlacementFixture, PinToBypassesPolicyAndHealthFilter)
               11u);
 }
 
-TEST_F(PlacementFixture, DeprecatedWrappersStillWork)
-{
-    Rack rack("free");
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    SlabGrant grant = rack.controller.allocateSlab();
-    EXPECT_EQ(grant.where.node, 12u);
-    auto avoiding = rack.controller.allocateSlabAvoiding({11, 12});
-    ASSERT_TRUE(avoiding.has_value());
-    EXPECT_EQ(avoiding->where.node, 10u);
-#pragma GCC diagnostic pop
-}
-
 // --- TieringEngine mechanics -----------------------------------------
 
 class TieringFixture : public ::testing::Test
